@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestDaemonDemoRoundTrip boots the daemon on an ephemeral port and runs
+// the built-in client against it: factory resolution through naming,
+// remote activity creation, remote enlistment and remote completion.
+func TestDaemonDemoRoundTrip(t *testing.T) {
+	if err := run("127.0.0.1:0", true); err != nil {
+		t.Fatal(err)
+	}
+}

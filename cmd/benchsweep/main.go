@@ -1,0 +1,290 @@
+// Command benchsweep runs the parameter sweeps behind EXPERIMENTS.md and
+// prints them as aligned tables: two-phase commit latency vs participant
+// count (fig. 8 protocol, framework vs raw OTS baseline), signal fan-out
+// (fig. 5), workflow chain length (fig. 1), delivery guarantees (§3.4) and
+// local vs networked participants.
+//
+// Usage:
+//
+//	benchsweep                 # all sweeps, default iteration count
+//	benchsweep -iters 2000
+//	benchsweep -sweep 2pc      # one sweep: 2pc | fanout | chain | delivery | remote
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/extendedtx/activityservice"
+	"github.com/extendedtx/activityservice/hls/twopc"
+	"github.com/extendedtx/activityservice/hls/workflow"
+	"github.com/extendedtx/activityservice/orb"
+	"github.com/extendedtx/activityservice/ots"
+)
+
+func main() {
+	iters := flag.Int("iters", 500, "iterations per data point")
+	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote); empty = all")
+	flag.Parse()
+	if err := run(*iters, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+}
+
+var sweeps = map[string]func(iters int) error{
+	"2pc":      sweep2PC,
+	"fanout":   sweepFanout,
+	"chain":    sweepChain,
+	"delivery": sweepDelivery,
+	"remote":   sweepRemote,
+}
+
+func run(iters int, which string) error {
+	if which != "" {
+		fn, ok := sweeps[which]
+		if !ok {
+			return fmt.Errorf("unknown sweep %q", which)
+		}
+		return fn(iters)
+	}
+	names := make([]string, 0, len(sweeps))
+	for n := range sweeps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := sweeps[n](iters); err != nil {
+			return fmt.Errorf("sweep %s: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// measure runs fn iters times and returns ns/op.
+func measure(iters int, fn func() error) (float64, error) {
+	// Warm up.
+	for i := 0; i < iters/10+1; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+type okResource struct{}
+
+func (okResource) Prepare() (ots.Vote, error) { return ots.VoteCommit, nil }
+func (okResource) Commit() error              { return nil }
+func (okResource) Rollback() error            { return nil }
+func (okResource) CommitOnePhase() error      { return nil }
+func (okResource) Forget() error              { return nil }
+
+func noop() activityservice.Action {
+	return activityservice.ActionFunc(
+		func(context.Context, activityservice.Signal) (activityservice.Outcome, error) {
+			return activityservice.Outcome{Name: "ok"}, nil
+		})
+}
+
+func sweep2PC(iters int) error {
+	fmt.Println("\n== two-phase commit: ns/op vs participants (fig. 8; baseline = raw OTS) ==")
+	fmt.Printf("%-14s %14s %14s %10s\n", "participants", "activity-2pc", "raw-ots", "ratio")
+	ctx := context.Background()
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		svc := activityservice.New()
+		coord := twopc.NewCoordinator(svc)
+		act, err := measure(iters, func() error {
+			tx, err := coord.Begin("sweep")
+			if err != nil {
+				return err
+			}
+			for j := 0; j < n; j++ {
+				if err := tx.Enlist(okResource{}); err != nil {
+					return err
+				}
+			}
+			_, err = tx.Commit(ctx)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		otsSvc := ots.NewService()
+		raw, err := measure(iters, func() error {
+			tx := otsSvc.Begin()
+			for j := 0; j < n; j++ {
+				if err := tx.RegisterResource(okResource{}); err != nil {
+					return err
+				}
+			}
+			return tx.Commit(false)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14d %14.0f %14.0f %9.2fx\n", n, act, raw, act/raw)
+	}
+	return nil
+}
+
+func sweepFanout(iters int) error {
+	fmt.Println("\n== signal fan-out: ns/op vs registered actions (fig. 5) ==")
+	fmt.Printf("%-10s %14s %16s\n", "actions", "ns/op", "ns/action")
+	ctx := context.Background()
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		svc := activityservice.New()
+		ns, err := measure(iters, func() error {
+			a := svc.Begin("fanout")
+			set := activityservice.NewSequenceSet("s", "ping")
+			if err := a.RegisterSignalSet(set); err != nil {
+				return err
+			}
+			for j := 0; j < n; j++ {
+				if _, err := a.AddAction("s", noop()); err != nil {
+					return err
+				}
+			}
+			if _, err := a.Signal(ctx, "s"); err != nil {
+				return err
+			}
+			_, err := a.Complete(ctx)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10d %14.0f %16.1f\n", n, ns, ns/float64(n))
+	}
+	return nil
+}
+
+func sweepChain(iters int) error {
+	fmt.Println("\n== long-running chain: ns/op vs steps (fig. 1) ==")
+	fmt.Printf("%-10s %14s %14s\n", "steps", "ns/op", "ns/step")
+	ctx := context.Background()
+	ok := func(context.Context) error { return nil }
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		svc := activityservice.New()
+		engine := workflow.New(svc)
+		var tasks []workflow.Task
+		for i := 0; i < n; i++ {
+			t := workflow.Task{Name: fmt.Sprintf("t%d", i+1), Run: ok}
+			if i > 0 {
+				t.DependsOn = []string{fmt.Sprintf("t%d", i)}
+			}
+			tasks = append(tasks, t)
+		}
+		p := workflow.Process{Name: "chain", Tasks: tasks}
+		ns, err := measure(iters/5+1, func() error {
+			_, err := engine.Execute(ctx, p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10d %14.0f %14.1f\n", n, ns, ns/float64(n))
+	}
+	return nil
+}
+
+func sweepDelivery(iters int) error {
+	fmt.Println("\n== delivery guarantees: ns per protocol run (§3.4) ==")
+	fmt.Printf("%-20s %14s\n", "guarantee", "ns/op")
+	ctx := context.Background()
+	txsvc := ots.NewService()
+	for _, mode := range []struct {
+		name string
+		wrap func(activityservice.Action) activityservice.Action
+	}{
+		{"at-least-once", func(a activityservice.Action) activityservice.Action { return a }},
+		{"idempotent-dedup", activityservice.Idempotent},
+		{"exactly-once-tx", func(a activityservice.Action) activityservice.Action {
+			return activityservice.ExactlyOnce(txsvc, a)
+		}},
+	} {
+		svc := activityservice.New()
+		ns, err := measure(iters, func() error {
+			a := svc.Begin("sweep")
+			set := activityservice.NewSequenceSet("s", "apply")
+			if err := a.RegisterSignalSet(set); err != nil {
+				return err
+			}
+			if _, err := a.AddAction("s", mode.wrap(noop())); err != nil {
+				return err
+			}
+			if _, err := a.Signal(ctx, "s"); err != nil {
+				return err
+			}
+			_, err := a.Complete(ctx)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %14.0f\n", mode.name, ns)
+	}
+	return nil
+}
+
+func sweepRemote(iters int) error {
+	fmt.Println("\n== distribution: 2PC ns/op with 2 participants (fig. 8 over the ORB) ==")
+	fmt.Printf("%-10s %14s\n", "transport", "ns/op")
+	ctx := context.Background()
+	for _, tcp := range []bool{false, true} {
+		serverORB := orb.New()
+		clientORB := orb.New()
+		refs := make([]orb.IOR, 2)
+		for i := range refs {
+			refs[i] = orb.ExportAction(serverORB, twopc.NewResourceAction(okResource{}))
+		}
+		if tcp {
+			if _, err := serverORB.Listen("127.0.0.1:0"); err != nil {
+				return err
+			}
+			for i := range refs {
+				refs[i], _ = serverORB.IOR(refs[i].Key)
+			}
+		}
+		svc := activityservice.New()
+		coord := twopc.NewCoordinator(svc)
+		n := iters
+		if tcp {
+			n = iters / 10 // network round trips are slow; keep runtime sane
+		}
+		ns, err := measure(n+1, func() error {
+			tx, err := coord.Begin("sweep")
+			if err != nil {
+				return err
+			}
+			for _, ref := range refs {
+				if err := tx.EnlistAction(orb.ImportAction(clientORB, ref)); err != nil {
+					return err
+				}
+			}
+			_, err = tx.Commit(ctx)
+			return err
+		})
+		serverORB.Shutdown()
+		clientORB.Shutdown()
+		if err != nil {
+			return err
+		}
+		name := "inproc"
+		if tcp {
+			name = "tcp"
+		}
+		fmt.Printf("%-10s %14.0f\n", name, ns)
+	}
+	return nil
+}

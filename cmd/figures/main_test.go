@@ -1,0 +1,32 @@
+package main
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEveryFigureRegenerates drives each figure generator; the protocol
+// assertions live in the package tests — this guards the tool itself.
+func TestEveryFigureRegenerates(t *testing.T) {
+	ctx := context.Background()
+	for n, f := range figures {
+		n, f := n, f
+		t.Run(f.title, func(t *testing.T) {
+			if err := f.fn(ctx); err != nil {
+				t.Fatalf("figure %d: %v", n, err)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if err := run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run(99); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,158 @@
+// Command bulletinboard implements motivating example (i) of §2.1: posting
+// to a bulletin board from inside a long application transaction. Holding
+// board locks for the life of the enclosing transaction would make the
+// board unreadable, so the post runs as an independent top-level
+// transaction (open nested, §4.2) whose resources release immediately —
+// and if the enclosing application transaction later aborts, a
+// compensating activity retracts the post.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/extendedtx/activityservice"
+	"github.com/extendedtx/activityservice/hls/opennested"
+	"github.com/extendedtx/activityservice/ots"
+)
+
+// board is the bulletin board: a list of posts behind a transactional Var.
+type board struct {
+	posts *ots.Var
+	txs   *ots.Service
+}
+
+func newBoard() *board {
+	return &board{
+		posts: ots.NewVar("board", nil, ots.NewLockManager(), 100*time.Millisecond),
+		txs:   ots.NewService(),
+	}
+}
+
+// post appends a message in its own short top-level transaction, so board
+// locks release immediately rather than being retained by the caller.
+func (b *board) post(msg string) error {
+	tx := b.txs.Begin()
+	cur, err := b.posts.Get(tx)
+	if err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	if err := b.posts.Set(tx, append(cur, []byte(msg+"\n")...)); err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	return tx.Commit(false)
+}
+
+// retract removes a message — the compensating activity.
+func (b *board) retract(msg string) error {
+	tx := b.txs.Begin()
+	cur, err := b.posts.Get(tx)
+	if err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	var out []byte
+	for _, line := range splitLines(cur) {
+		if line != msg {
+			out = append(out, []byte(line+"\n")...)
+		}
+	}
+	if err := b.posts.Set(tx, out); err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	return tx.Commit(false)
+}
+
+func (b *board) render() string {
+	s := string(b.posts.Committed())
+	if s == "" {
+		return "  (empty)"
+	}
+	out := ""
+	for _, line := range splitLines([]byte(s)) {
+		out += "  | " + line + "\n"
+	}
+	return out[:len(out)-1]
+}
+
+func splitLines(b []byte) []string {
+	var out []string
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			out = append(out, string(b[start:i]))
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bulletinboard:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	svc := activityservice.New()
+	bb := newBoard()
+
+	scenario := func(title string, appCommits bool) error {
+		fmt.Printf("== %s ==\n", title)
+		// A: the enclosing application activity.
+		appActivity, err := opennested.Begin(svc, "application", nil)
+		if err != nil {
+			return err
+		}
+		// B: the bulletin-board post as an independent top-level
+		// transaction inside A.
+		postActivity, err := opennested.Begin(svc, "post", appActivity)
+		if err != nil {
+			return err
+		}
+		msg := fmt.Sprintf("meeting moved to 15:00 (%s)", title)
+		if _, err := postActivity.AddCompensation(svc, "retract",
+			func(context.Context) error {
+				fmt.Println("  compensating: retracting post")
+				return bb.retract(msg)
+			}); err != nil {
+			return err
+		}
+		if err := bb.post(msg); err != nil {
+			return err
+		}
+		// B commits: the post is visible immediately, board locks are free.
+		if _, err := postActivity.Complete(ctx, true); err != nil {
+			return err
+		}
+		fmt.Println("  post committed early; board readable while app continues:")
+		fmt.Println(bb.render())
+
+		// ... the application works on ...
+		if _, err := appActivity.Complete(ctx, appCommits); err != nil {
+			return err
+		}
+		fmt.Printf("  application %s; board now:\n", outcome(appCommits))
+		fmt.Println(bb.render())
+		return nil
+	}
+
+	if err := scenario("app commits", true); err != nil {
+		return err
+	}
+	return scenario("app aborts", false)
+}
+
+func outcome(committed bool) string {
+	if committed {
+		return "committed"
+	}
+	return "aborted -> compensation ran"
+}

@@ -1,0 +1,99 @@
+// Command nameserver implements motivating example (ii) of §2.1: an
+// application transaction discovers that a replica is unavailable and
+// updates the name service database accordingly while carrying on. That
+// naming update must NOT be undone if the application transaction later
+// aborts — replica liveness is a fact about the world, not application
+// state. The update therefore runs as an independent top-level transaction
+// (open nested) with no compensation registered, and the example also
+// exercises distribution: the name service lives behind the GIOP-lite ORB.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/extendedtx/activityservice"
+	"github.com/extendedtx/activityservice/hls/opennested"
+	"github.com/extendedtx/activityservice/orb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nameserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// The name service node.
+	serverORB := orb.New()
+	defer serverORB.Shutdown()
+	ns := orb.NewNameServer()
+	ns.Serve(serverORB)
+	endpoint, err := serverORB.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Println("name service listening at", endpoint)
+
+	// Bind two replicas of a persistent object.
+	replica1 := orb.IOR{TypeID: "IDL:App/Account:1.0", Endpoint: "tcp:10.0.0.1:9001", Key: "acct-r1"}
+	replica2 := orb.IOR{TypeID: "IDL:App/Account:1.0", Endpoint: "tcp:10.0.0.2:9001", Key: "acct-r2"}
+
+	clientORB := orb.New()
+	defer clientORB.Shutdown()
+	naming := orb.NewNameClient(clientORB, orb.NameServiceAt(endpoint))
+	if err := naming.Bind(ctx, "accounts/primary", replica1); err != nil {
+		return err
+	}
+	if err := naming.Bind(ctx, "accounts/backup", replica2); err != nil {
+		return err
+	}
+
+	// The application activity begins its (soon to fail) transaction.
+	svc := activityservice.New()
+	app, err := opennested.Begin(svc, "application-tx", nil)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("application: primary replica unreachable; updating naming database")
+	// The naming update is an independent top-level unit: no propagation,
+	// no compensation — "There is no reason to undo these naming service
+	// updates should the application transaction subsequently abort."
+	update, err := opennested.Begin(svc, "naming-update", nil)
+	if err != nil {
+		return err
+	}
+	if err := naming.Bind(ctx, "accounts/primary", replica2); err != nil {
+		return err
+	}
+	if err := naming.Unbind(ctx, "accounts/backup"); err != nil {
+		return err
+	}
+	if _, err := update.Complete(ctx, true); err != nil {
+		return err
+	}
+
+	// The application transaction aborts...
+	if _, err := app.Complete(ctx, false); err != nil {
+		return err
+	}
+	fmt.Println("application: transaction aborted")
+
+	// ...but the naming update survives.
+	got, err := naming.Resolve(ctx, "accounts/primary")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accounts/primary now -> %s (survived the abort)\n", got.Key)
+	names, err := naming.List(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println("bindings:", names)
+	return nil
+}

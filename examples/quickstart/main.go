@@ -1,0 +1,81 @@
+// Command quickstart shows the Activity Service essentials in one page:
+// begin an activity, register a SignalSet and Actions, broadcast a signal
+// mid-lifetime, and complete the activity through its completion set —
+// the fig. 5 interaction of the paper, driven through the public API.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/extendedtx/activityservice"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	svc := activityservice.New()
+
+	// An activity is a unit of work; it may run for days and be
+	// suspended/resumed. Here it has two protocols: a mid-lifetime
+	// "checkpoint" broadcast and a completion protocol.
+	a := svc.Begin("quickstart")
+
+	checkpoint := activityservice.NewSequenceSet("checkpoint", "save")
+	if err := a.RegisterSignalSet(checkpoint); err != nil {
+		return err
+	}
+	completion := activityservice.NewSequenceSet(
+		activityservice.DefaultCompletionSet, "flush", "close",
+	).Collate(func(responses []activityservice.Outcome) activityservice.Outcome {
+		return activityservice.Outcome{Name: "wrapped-up", Data: int64(len(responses))}
+	})
+	if err := a.RegisterSignalSet(completion); err != nil {
+		return err
+	}
+
+	// Actions register interest in SignalSets by name; every signal the
+	// set generates is delivered to every registered action, in order.
+	for _, name := range []string{"worker-1", "worker-2"} {
+		name := name
+		_, err := a.AddNamedAction("checkpoint", name, activityservice.ActionFunc(
+			func(_ context.Context, sig activityservice.Signal) (activityservice.Outcome, error) {
+				log.Printf("%s received %s", name, sig)
+				return activityservice.Outcome{Name: "saved"}, nil
+			}))
+		if err != nil {
+			return err
+		}
+		_, err = a.AddNamedAction(activityservice.DefaultCompletionSet, name,
+			activityservice.ActionFunc(
+				func(_ context.Context, sig activityservice.Signal) (activityservice.Outcome, error) {
+					log.Printf("%s completing: %s", name, sig)
+					return activityservice.Outcome{Name: "done"}, nil
+				}))
+		if err != nil {
+			return err
+		}
+	}
+
+	// Signals can flow at arbitrary points during the activity's lifetime,
+	// not just at termination (§3.1 of the paper).
+	if _, err := a.Signal(ctx, "checkpoint"); err != nil {
+		return err
+	}
+
+	// Completion drives the completion SignalSet and collates the result.
+	outcome, err := a.Complete(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("activity completed: outcome=%s responses=%v\n", outcome.Name, outcome.Data)
+	return nil
+}

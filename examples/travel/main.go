@@ -1,0 +1,118 @@
+// Command travel reproduces the paper's running example (figs. 1, 2 and
+// §4.5): a long-running business activity booking a trip — taxi,
+// restaurant, theatre, hotel — structured as BTP atoms enrolled in a
+// cohesion. The hotel cannot be reserved, so the business logic cancels
+// the preparations that depended on it and confirms an alternative
+// confirm-set with the cinema instead, exactly the recovery fig. 2 draws.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/extendedtx/activityservice"
+	"github.com/extendedtx/activityservice/hls/btp"
+)
+
+// venue is a BTP participant: a bookable service owned by some other
+// organisation.
+type venue struct {
+	name      string
+	available bool
+	state     string
+}
+
+func (v *venue) Prepare() error {
+	if !v.available {
+		return fmt.Errorf("%s: no availability", v.name)
+	}
+	v.state = "reserved"
+	fmt.Printf("  %-10s reserved (prepared, not yet booked)\n", v.name)
+	return nil
+}
+
+func (v *venue) Confirm() error {
+	v.state = "booked"
+	fmt.Printf("  %-10s BOOKED\n", v.name)
+	return nil
+}
+
+func (v *venue) Cancel() error {
+	if v.state == "reserved" {
+		fmt.Printf("  %-10s released\n", v.name)
+	}
+	v.state = "released"
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "travel:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	svc := activityservice.New()
+
+	venues := map[string]*venue{
+		"taxi":       {name: "taxi", available: true},
+		"restaurant": {name: "restaurant", available: true},
+		"theatre":    {name: "theatre", available: true},
+		"hotel":      {name: "hotel", available: false}, // t4 will abort
+		"cinema":     {name: "cinema", available: true},
+	}
+
+	fmt.Println("== attempt 1: taxi + restaurant + theatre + hotel ==")
+	cohesion := btp.NewCohesion("trip")
+	for _, name := range []string{"taxi", "restaurant", "theatre", "hotel"} {
+		atom, err := btp.NewAtom(svc, name)
+		if err != nil {
+			return err
+		}
+		if err := atom.EnrollNamed(name, venues[name]); err != nil {
+			return err
+		}
+		cohesion.Enroll(atom)
+	}
+	err := cohesion.Confirm(ctx, []string{"taxi", "restaurant", "theatre", "hotel"})
+	if !errors.Is(err, btp.ErrCancelled) {
+		return fmt.Errorf("expected the hotel to sink the confirm-set, got %v", err)
+	}
+	fmt.Println("  hotel could not prepare -> whole confirm-set cancelled")
+
+	fmt.Println("== attempt 2 (after compensation): taxi + cinema ==")
+	// New atoms: BTP signal sets are single-use (fig. 7 of the paper).
+	svc2 := activityservice.New()
+	retry := btp.NewCohesion("trip-2")
+	for _, name := range []string{"taxi", "cinema"} {
+		venues[name].state = ""
+		atom, err := btp.NewAtom(svc2, name)
+		if err != nil {
+			return err
+		}
+		if err := atom.EnrollNamed(name, venues[name]); err != nil {
+			return err
+		}
+		retry.Enroll(atom)
+	}
+	if err := retry.Confirm(ctx, []string{"taxi", "cinema"}); err != nil {
+		return err
+	}
+
+	fmt.Println("== final state ==")
+	for _, name := range []string{"taxi", "restaurant", "theatre", "hotel", "cinema"} {
+		fmt.Printf("  %-10s %s\n", name, orDash(venues[name].state))
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+// Command workflow runs an order-fulfilment business process on the
+// workflow coordination model of §4.4 (fig. 10): validate runs first, then
+// payment and inventory reservation in parallel, then shipping. A payment
+// fraud check fails on the first attempt, triggering the fig. 2 recovery —
+// compensate the inventory reservation, then continue down an alternative
+// path (manual review followed by shipping).
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/extendedtx/activityservice"
+	"github.com/extendedtx/activityservice/hls/workflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "workflow:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	svc := activityservice.New()
+	engine := workflow.New(svc)
+
+	say := func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	}
+
+	process := workflow.Process{
+		Name: "order-7841",
+		Tasks: []workflow.Task{
+			{
+				Name: "validate",
+				Run: func(context.Context) error {
+					say("validate: order checks out")
+					return nil
+				},
+			},
+			{
+				Name:      "reserve-stock",
+				DependsOn: []string{"validate"},
+				Run: func(context.Context) error {
+					say("reserve-stock: 3 units held")
+					return nil
+				},
+				Compensate: func(context.Context) error {
+					say("reserve-stock: COMPENSATED, units released")
+					return nil
+				},
+			},
+			{
+				Name:      "charge-card",
+				DependsOn: []string{"validate"},
+				Run: func(context.Context) error {
+					say("charge-card: fraud check FAILED")
+					return errors.New("fraud score too high")
+				},
+			},
+			{
+				Name:      "ship",
+				DependsOn: []string{"reserve-stock", "charge-card"},
+				Run: func(context.Context) error {
+					say("ship: dispatched")
+					return nil
+				},
+			},
+		},
+		OnFailure: map[string]workflow.Continuation{
+			"charge-card": {
+				// Undo what committed, then continue down the manual path.
+				Compensate: []string{"reserve-stock"},
+				Alternatives: []workflow.Task{
+					{
+						Name: "manual-review",
+						Run: func(context.Context) error {
+							say("manual-review: human approved the order")
+							return nil
+						},
+					},
+					{
+						Name:      "re-reserve-and-ship",
+						DependsOn: []string{"manual-review"},
+						Run: func(context.Context) error {
+							say("re-reserve-and-ship: dispatched after review")
+							return nil
+						},
+					},
+				},
+			},
+		},
+	}
+
+	fmt.Println("== executing order-7841 ==")
+	result, err := engine.Execute(ctx, process)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== result ==")
+	fmt.Printf("  ok=%v failed=%q\n", result.Ok, result.Failed)
+	fmt.Printf("  completed:   %v\n", result.Completed)
+	fmt.Printf("  compensated: %v\n", result.Compensated)
+	return nil
+}

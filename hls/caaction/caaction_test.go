@@ -1,0 +1,170 @@
+package caaction
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/extendedtx/activityservice/internal/core"
+)
+
+func TestAllRolesSucceed(t *testing.T) {
+	svc := core.New()
+	var ran atomic.Int32
+	roles := []Role{
+		{Name: "r1", Run: func(context.Context) error { ran.Add(1); return nil }},
+		{Name: "r2", Run: func(context.Context) error { ran.Add(1); return nil }},
+		{Name: "r3", Run: func(context.Context) error { ran.Add(1); return nil }},
+	}
+	res, err := New(svc, "ca", roles...).Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok || len(res.Raised) != 0 || res.Resolved != "" {
+		t.Fatalf("result = %+v", res)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("ran = %d", ran.Load())
+	}
+	if svc.Live() != 0 {
+		t.Fatalf("live = %d", svc.Live())
+	}
+}
+
+func TestSingleExceptionResolvedAndHandled(t *testing.T) {
+	svc := core.New()
+	var seen [2]string
+	roles := []Role{
+		{
+			Name: "worker",
+			Run:  func(context.Context) error { return errors.New("disk-full") },
+			Handle: func(_ context.Context, resolved string) error {
+				seen[0] = resolved
+				return nil
+			},
+		},
+		{
+			Name: "observer",
+			Run:  func(context.Context) error { return nil },
+			Handle: func(_ context.Context, resolved string) error {
+				seen[1] = resolved
+				return nil
+			},
+		},
+	}
+	res, err := New(svc, "ca", roles...).Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok || res.Resolved != "disk-full" {
+		t.Fatalf("result = %+v", res)
+	}
+	// Every role — including ones that did not raise — handles the
+	// resolved exception.
+	if seen[0] != "disk-full" || seen[1] != "disk-full" {
+		t.Fatalf("seen = %v", seen)
+	}
+	if len(res.Handled) != 2 {
+		t.Fatalf("handled = %v", res.Handled)
+	}
+}
+
+func TestConcurrentExceptionsResolved(t *testing.T) {
+	svc := core.New()
+	roles := []Role{
+		{Name: "a", Run: func(context.Context) error { return errors.New("E1") },
+			Handle: func(context.Context, string) error { return nil }},
+		{Name: "b", Run: func(context.Context) error { return errors.New("E2") },
+			Handle: func(context.Context, string) error { return nil }},
+	}
+	res, err := New(svc, "ca", roles...).Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic resolution: sorted by role name.
+	if res.Resolved != "E1+E2" {
+		t.Fatalf("resolved = %q", res.Resolved)
+	}
+	if len(res.Raised) != 2 {
+		t.Fatalf("raised = %v", res.Raised)
+	}
+}
+
+func TestCustomResolver(t *testing.T) {
+	svc := core.New()
+	roles := []Role{
+		{Name: "a", Run: func(context.Context) error { return errors.New("minor") },
+			Handle: func(context.Context, string) error { return nil }},
+		{Name: "b", Run: func(context.Context) error { return errors.New("CRITICAL") },
+			Handle: func(context.Context, string) error { return nil }},
+	}
+	res, err := New(svc, "ca", roles...).
+		WithResolver(func(raised map[string]string) string {
+			for _, e := range raised {
+				if e == "CRITICAL" {
+					return "CRITICAL"
+				}
+			}
+			return "minor"
+		}).
+		Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolved != "CRITICAL" {
+		t.Fatalf("resolved = %q", res.Resolved)
+	}
+}
+
+func TestUnhandledExceptionFailsAction(t *testing.T) {
+	svc := core.New()
+	roles := []Role{
+		{Name: "fragile",
+			Run:    func(context.Context) error { return errors.New("boom") },
+			Handle: func(context.Context, string) error { return errors.New("cannot recover") }},
+		{Name: "fine",
+			Run:    func(context.Context) error { return nil },
+			Handle: func(context.Context, string) error { return nil }},
+	}
+	res, err := New(svc, "ca", roles...).Execute(context.Background())
+	if !errors.Is(err, ErrUnhandled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Ok {
+		t.Fatal("result ok despite unhandled exception")
+	}
+	// The recovering role is still listed as handled.
+	if len(res.Handled) != 1 || res.Handled[0] != "fine" {
+		t.Fatalf("handled = %v", res.Handled)
+	}
+}
+
+func TestNilHandlerAcceptsResolution(t *testing.T) {
+	svc := core.New()
+	roles := []Role{
+		{Name: "raiser", Run: func(context.Context) error { return errors.New("x") }},
+		{Name: "silent", Run: func(context.Context) error { return nil }},
+	}
+	res, err := New(svc, "ca", roles...).Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRolesRunConcurrently(t *testing.T) {
+	svc := core.New()
+	gate := make(chan struct{})
+	roles := []Role{
+		{Name: "a", Run: func(context.Context) error { <-gate; return nil }},
+		{Name: "b", Run: func(context.Context) error { close(gate); return nil }},
+	}
+	// If roles ran sequentially, role a would deadlock waiting for b.
+	res, err := New(svc, "ca", roles...).Execute(context.Background())
+	if err != nil || !res.Ok {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}

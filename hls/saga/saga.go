@@ -1,0 +1,221 @@
+// Package saga implements the Sagas model of Garcia-Molina & Salem
+// (reference [6] of the paper) on the Activity Service: a long-lived
+// transaction structured as a sequence of steps T1…Tn, each with a
+// compensation C1…Cn; when Tk fails, the committed prefix is undone by
+// running Ck-1…C1 in reverse order.
+//
+// The mapping onto the framework keeps the coordinator generic: each
+// completed step registers a compensation Action with the saga activity's
+// compensation SignalSet; on failure the set emits one "compensate" signal
+// per completed step carrying the step index in descending order, and each
+// action reacts only to its own index — reverse-order compensation through
+// pure broadcast.
+package saga
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/extendedtx/activityservice/internal/core"
+)
+
+// Protocol names.
+const (
+	// SetName is the compensation signal set name.
+	SetName = "saga-compensation"
+	// SignalCompensate carries the index of the step to undo.
+	SignalCompensate = "compensate"
+)
+
+// Saga errors.
+var (
+	// ErrStepFailed wraps the failure of a forward step.
+	ErrStepFailed = errors.New("saga: step failed")
+	// ErrCompensationFailed reports a compensation that itself failed; the
+	// saga is then in a heuristic state requiring operator attention.
+	ErrCompensationFailed = errors.New("saga: compensation failed")
+)
+
+// Step is one forward action plus its compensation. Compensate may be nil
+// for steps that need no undo.
+type Step struct {
+	Name       string
+	Run        func(ctx context.Context) error
+	Compensate func(ctx context.Context) error
+}
+
+// Result reports how a saga ended.
+type Result struct {
+	// Committed is true when every step ran.
+	Committed bool
+	// FailedStep names the step that failed, if any.
+	FailedStep string
+	// Compensated lists the undone steps, in execution (reverse) order.
+	Compensated []string
+}
+
+// compensationSet emits "compensate" signals with descending indices,
+// one per registered compensation.
+type compensationSet struct {
+	core.BaseSet
+
+	mu    sync.Mutex
+	next  int // next index to emit, counting down
+	ended bool
+}
+
+var _ core.SignalSet = (*compensationSet)(nil)
+
+func newCompensationSet(completedSteps int) *compensationSet {
+	return &compensationSet{
+		BaseSet: core.NewBaseSet(SetName),
+		next:    completedSteps - 1,
+	}
+}
+
+func (s *compensationSet) GetSignal() (core.Signal, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended || s.next < 0 {
+		return core.Signal{}, false, core.ErrExhausted
+	}
+	idx := s.next
+	s.next--
+	last := s.next < 0
+	return core.Signal{
+		Name:    SignalCompensate,
+		SetName: SetName,
+		Data:    int64(idx),
+	}, last, nil
+}
+
+func (s *compensationSet) SetResponse(resp core.Outcome, deliveryErr error) (bool, error) {
+	return false, nil
+}
+
+func (s *compensationSet) GetOutcome() (core.Outcome, error) {
+	return core.Outcome{Name: "compensated"}, nil
+}
+
+// stepCompensation is the Action for one step: it reacts only to the
+// signal carrying its own index.
+type stepCompensation struct {
+	index int
+	name  string
+	run   func(ctx context.Context) error
+
+	mu  sync.Mutex
+	ran bool
+}
+
+func (a *stepCompensation) ProcessSignal(ctx context.Context, sig core.Signal) (core.Outcome, error) {
+	idx, ok := sig.Data.(int64)
+	if !ok || int(idx) != a.index {
+		return core.Outcome{Name: "not-mine"}, nil
+	}
+	a.mu.Lock()
+	if a.ran { // idempotent under at-least-once delivery
+		a.mu.Unlock()
+		return core.Outcome{Name: "already-compensated"}, nil
+	}
+	a.mu.Unlock()
+	if a.run != nil {
+		if err := a.run(ctx); err != nil {
+			// ran stays false: a redelivery may retry the compensation.
+			return core.Outcome{}, fmt.Errorf("%w: %s: %v", ErrCompensationFailed, a.name, err)
+		}
+	}
+	a.mu.Lock()
+	a.ran = true
+	a.mu.Unlock()
+	return core.Outcome{Name: "compensated:" + a.name}, nil
+}
+
+// Saga executes steps with compensation-on-failure.
+type Saga struct {
+	svc   *core.Service
+	name  string
+	steps []Step
+}
+
+// New returns a saga with the given steps.
+func New(svc *core.Service, name string, steps ...Step) *Saga {
+	return &Saga{svc: svc, name: name, steps: steps}
+}
+
+// Execute runs the saga: steps execute in order, each inside a child
+// activity of the saga activity (the fig. 1 structure — one short-lived
+// unit per step). On a step failure the committed prefix is compensated in
+// reverse and the saga activity completes with a failure status.
+func (s *Saga) Execute(ctx context.Context) (Result, error) {
+	root := s.svc.Begin(s.name)
+	var (
+		result    Result
+		completed []*stepCompensation
+	)
+
+	failedAt := -1
+	var stepErr error
+	for i, step := range s.steps {
+		child, err := root.BeginChild(step.Name)
+		if err != nil {
+			return result, err
+		}
+		runErr := step.Run(core.NewContext(ctx, child))
+		cs := core.CompletionSuccess
+		if runErr != nil {
+			cs = core.CompletionFail
+		}
+		if _, err := child.CompleteWithStatus(ctx, cs); err != nil {
+			return result, err
+		}
+		if runErr != nil {
+			failedAt = i
+			stepErr = runErr
+			result.FailedStep = step.Name
+			break
+		}
+		// The committed step's compensation joins the saga's set; steps
+		// without a compensation enrol nothing.
+		if step.Compensate == nil {
+			continue
+		}
+		comp := &stepCompensation{index: len(completed), name: step.Name, run: step.Compensate}
+		if _, err := root.AddNamedAction(SetName, "C:"+step.Name, comp); err != nil {
+			return result, err
+		}
+		completed = append(completed, comp)
+	}
+
+	if failedAt < 0 {
+		result.Committed = true
+		if _, err := root.CompleteWithStatus(ctx, core.CompletionSuccess); err != nil {
+			return result, err
+		}
+		return result, nil
+	}
+
+	// Backward recovery: drive the compensation set, then complete failed.
+	set := newCompensationSet(len(completed))
+	if err := root.RegisterSignalSet(set); err != nil {
+		return result, err
+	}
+	if _, err := root.Signal(ctx, SetName); err != nil {
+		return result, err
+	}
+	for i := len(completed) - 1; i >= 0; i-- {
+		c := completed[i]
+		c.mu.Lock()
+		ran := c.ran
+		c.mu.Unlock()
+		if ran {
+			result.Compensated = append(result.Compensated, c.name)
+		}
+	}
+	if _, err := root.CompleteWithStatus(ctx, core.CompletionFail); err != nil {
+		return result, err
+	}
+	return result, fmt.Errorf("%w: %s: %v", ErrStepFailed, result.FailedStep, stepErr)
+}

@@ -1,0 +1,198 @@
+package saga
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/extendedtx/activityservice/internal/core"
+)
+
+// ledger records forward and compensation executions in order.
+type ledger struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+func (l *ledger) add(s string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, s)
+}
+
+func (l *ledger) Entries() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.entries...)
+}
+
+func step(l *ledger, name string, fail bool) Step {
+	return Step{
+		Name: name,
+		Run: func(context.Context) error {
+			if fail {
+				return errors.New(name + " exploded")
+			}
+			l.add("run:" + name)
+			return nil
+		},
+		Compensate: func(context.Context) error {
+			l.add("undo:" + name)
+			return nil
+		},
+	}
+}
+
+func TestSagaCommitsAllSteps(t *testing.T) {
+	svc := core.New()
+	l := &ledger{}
+	s := New(svc, "booking",
+		step(l, "taxi", false),
+		step(l, "restaurant", false),
+		step(l, "theatre", false),
+	)
+	res, err := s.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.FailedStep != "" || len(res.Compensated) != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	want := []string{"run:taxi", "run:restaurant", "run:theatre"}
+	got := l.Entries()
+	if len(got) != len(want) {
+		t.Fatalf("entries = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entries = %v", got)
+		}
+	}
+	if svc.Live() != 0 {
+		t.Fatalf("live activities = %d", svc.Live())
+	}
+}
+
+func TestSagaCompensatesInReverse(t *testing.T) {
+	svc := core.New()
+	l := &ledger{}
+	s := New(svc, "booking",
+		step(l, "taxi", false),
+		step(l, "restaurant", false),
+		step(l, "theatre", false),
+		step(l, "hotel", true), // T4 fails, as in fig. 2
+	)
+	res, err := s.Execute(context.Background())
+	if !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Committed || res.FailedStep != "hotel" {
+		t.Fatalf("result = %+v", res)
+	}
+	want := []string{
+		"run:taxi", "run:restaurant", "run:theatre",
+		"undo:theatre", "undo:restaurant", "undo:taxi",
+	}
+	got := l.Entries()
+	if len(got) != len(want) {
+		t.Fatalf("entries = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entries = %v, want %v", got, want)
+		}
+	}
+	if len(res.Compensated) != 3 || res.Compensated[0] != "theatre" {
+		t.Fatalf("compensated = %v", res.Compensated)
+	}
+}
+
+func TestFirstStepFailureNeedsNoCompensation(t *testing.T) {
+	svc := core.New()
+	l := &ledger{}
+	s := New(svc, "booking", step(l, "taxi", true), step(l, "hotel", false))
+	res, err := s.Execute(context.Background())
+	if !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(res.Compensated) != 0 || len(l.Entries()) != 0 {
+		t.Fatalf("result = %+v entries = %v", res, l.Entries())
+	}
+}
+
+func TestNilCompensationIsNoop(t *testing.T) {
+	svc := core.New()
+	l := &ledger{}
+	steps := []Step{
+		{Name: "log", Run: func(context.Context) error { l.add("run:log"); return nil }},
+		step(l, "work", false),
+		step(l, "boom", true),
+	}
+	s := New(svc, "mixed", steps...)
+	res, err := s.Execute(context.Background())
+	if !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	// Only "work" had a compensation to run.
+	if len(res.Compensated) != 1 || res.Compensated[0] != "work" {
+		t.Fatalf("compensated = %v", res.Compensated)
+	}
+}
+
+func TestEmptySagaCommits(t *testing.T) {
+	svc := core.New()
+	res, err := New(svc, "empty").Execute(context.Background())
+	if err != nil || !res.Committed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestStepsRunInsideChildActivities(t *testing.T) {
+	svc := core.New()
+	var names []string
+	var mu sync.Mutex
+	s := New(svc, "parented", Step{
+		Name: "probe",
+		Run: func(ctx context.Context) error {
+			a, ok := core.FromContext(ctx)
+			if !ok {
+				t.Error("no activity in step context")
+				return nil
+			}
+			mu.Lock()
+			names = append(names, a.Name(), a.Parent().Name())
+			mu.Unlock()
+			return nil
+		},
+	})
+	if _, err := s.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "probe" || names[1] != "parented" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCompensationFailureReported(t *testing.T) {
+	svc := core.New()
+	l := &ledger{}
+	bad := Step{
+		Name: "fragile",
+		Run:  func(context.Context) error { l.add("run:fragile"); return nil },
+		Compensate: func(context.Context) error {
+			return errors.New("undo broken")
+		},
+	}
+	s := New(svc, "heuristic", bad, step(l, "boom", true))
+	res, err := s.Execute(context.Background())
+	if !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed compensation is not reported as compensated.
+	for _, c := range res.Compensated {
+		if c == "fragile" {
+			t.Fatal("failed compensation reported as done")
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package wscf implements §5.2 of the paper: the Web Services Coordination
+// Framework — the Activity Service re-cast for Web services.
+//
+// The paper notes one essential difference from the CORBA original: WSCF
+// "does not assume an underlying OTS implementation: all coordination
+// services (including transactions) must be constructed on top of the
+// framework." This package therefore depends only on the activity core —
+// no internal/ots import — and builds its coordination types (an
+// ACID-style completion protocol and a BTP-style business agreement
+// protocol) purely out of SignalSets and Actions.
+//
+// The vocabulary follows the later WS-Coordination lineage the paper
+// anticipates: a CoordinationContext identifies the activity and its
+// coordination type; participants register for a protocol under that
+// context; the coordinator drives the protocol's signals.
+package wscf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/extendedtx/activityservice/internal/core"
+	"github.com/extendedtx/activityservice/internal/ids"
+)
+
+// Coordination type URIs (in the WS-Coordination idiom).
+const (
+	// TypeAtomic is the ACID-style completion coordination type.
+	TypeAtomic = "http://schemas.example.org/ws/coordination/atomic"
+	// TypeBusiness is the BTP-style business-agreement coordination type.
+	TypeBusiness = "http://schemas.example.org/ws/coordination/business"
+)
+
+// Protocol names within the coordination types.
+const (
+	// ProtocolCompletion is the two-phase completion protocol of TypeAtomic.
+	ProtocolCompletion = "completion"
+	// ProtocolBusinessAgreement is the confirm/cancel protocol of
+	// TypeBusiness.
+	ProtocolBusinessAgreement = "business-agreement"
+)
+
+// WSCF errors.
+var (
+	// ErrUnknownType reports an unsupported coordination type.
+	ErrUnknownType = errors.New("wscf: unknown coordination type")
+	// ErrAborted reports that the atomic protocol aborted.
+	ErrAborted = errors.New("wscf: coordination aborted")
+)
+
+// CoordinationContext identifies a coordinated activity, the wire-level
+// "context" a Web service passes along with application messages.
+type CoordinationContext struct {
+	// Identifier is the globally unique activity id.
+	Identifier ids.UID
+	// Type is the coordination type URI.
+	Type string
+	// Registration names the coordinator to register with. In this
+	// in-process implementation it is the activity name; a deployment
+	// would carry an endpoint reference.
+	Registration string
+}
+
+// Participant is a Web-service participant in the completion protocol.
+// Prepare votes (nil = prepared); Commit and Cancel finish. Methods must
+// tolerate repeated invocation: delivery is at least once.
+type Participant interface {
+	Prepare() error
+	Commit() error
+	Cancel() error
+}
+
+// Coordinator is the WSCF activation + registration service: it creates
+// coordination contexts and registers participants, backed entirely by the
+// activity service.
+type Coordinator struct {
+	svc *core.Service
+
+	mu       sync.Mutex
+	contexts map[ids.UID]*coordination
+}
+
+// coordination is one coordinated activity.
+type coordination struct {
+	ctxInfo  CoordinationContext
+	activity *core.Activity
+	set      *completionSet
+}
+
+// NewCoordinator returns a WSCF coordinator over svc.
+func NewCoordinator(svc *core.Service) *Coordinator {
+	return &Coordinator{svc: svc, contexts: make(map[ids.UID]*coordination)}
+}
+
+// CreateCoordinationContext starts a coordinated activity of the given
+// type (the WS-Coordination "Activation" service).
+func (c *Coordinator) CreateCoordinationContext(name, coordType string) (CoordinationContext, error) {
+	switch coordType {
+	case TypeAtomic, TypeBusiness:
+	default:
+		return CoordinationContext{}, fmt.Errorf("%w: %q", ErrUnknownType, coordType)
+	}
+	a := c.svc.Begin(name)
+	set := newCompletionSet(coordType)
+	if err := a.RegisterSignalSet(set); err != nil {
+		return CoordinationContext{}, err
+	}
+	a.SetCompletionSet(set.Name())
+	info := CoordinationContext{Identifier: a.ID(), Type: coordType, Registration: name}
+	c.mu.Lock()
+	c.contexts[a.ID()] = &coordination{ctxInfo: info, activity: a, set: set}
+	c.mu.Unlock()
+	return info, nil
+}
+
+// Register enrolls a participant for the context's protocol (the
+// WS-Coordination "Registration" service).
+func (c *Coordinator) Register(cc CoordinationContext, name string, p Participant) error {
+	coord, err := c.lookup(cc)
+	if err != nil {
+		return err
+	}
+	_, err = coord.activity.AddNamedAction(coord.set.Name(), name, &participantAction{p: p})
+	return err
+}
+
+// RegisterAction enrolls a raw Action (e.g. a remote proxy) for the
+// context's protocol.
+func (c *Coordinator) RegisterAction(cc CoordinationContext, name string, a core.Action) error {
+	coord, err := c.lookup(cc)
+	if err != nil {
+		return err
+	}
+	_, err = coord.activity.AddNamedAction(coord.set.Name(), name, a)
+	return err
+}
+
+// Complete drives the context's protocol to its successful outcome
+// (commit for TypeAtomic, confirm for TypeBusiness). For TypeAtomic a
+// participant prepare failure aborts everyone and returns ErrAborted.
+func (c *Coordinator) Complete(ctx context.Context, cc CoordinationContext) error {
+	coord, err := c.lookup(cc)
+	if err != nil {
+		return err
+	}
+	out, err := coord.activity.CompleteWithStatus(ctx, core.CompletionSuccess)
+	if err != nil {
+		return fmt.Errorf("wscf: complete: %w", err)
+	}
+	c.drop(cc)
+	if out.Name != "committed" {
+		return fmt.Errorf("%w: outcome %s", ErrAborted, out.Name)
+	}
+	return nil
+}
+
+// Abort cancels the context's protocol.
+func (c *Coordinator) Abort(ctx context.Context, cc CoordinationContext) error {
+	coord, err := c.lookup(cc)
+	if err != nil {
+		return err
+	}
+	if _, err := coord.activity.CompleteWithStatus(ctx, core.CompletionFail); err != nil {
+		return fmt.Errorf("wscf: abort: %w", err)
+	}
+	c.drop(cc)
+	return nil
+}
+
+func (c *Coordinator) lookup(cc CoordinationContext) (*coordination, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	coord, ok := c.contexts[cc.Identifier]
+	if !ok {
+		return nil, fmt.Errorf("wscf: unknown coordination context %s", cc.Identifier.Short())
+	}
+	return coord, nil
+}
+
+func (c *Coordinator) drop(cc CoordinationContext) {
+	c.mu.Lock()
+	delete(c.contexts, cc.Identifier)
+	c.mu.Unlock()
+}
+
+// completionSet is the two-phase completion protocol, built with no
+// transaction service underneath: "prepare" then "commit"/"cancel"
+// (TypeAtomic), or single-round "confirm"/"cancel" (TypeBusiness).
+type completionSet struct {
+	core.BaseSet
+
+	mu       sync.Mutex
+	coordTyp string
+	stage    int
+	doomed   bool
+}
+
+var _ core.SignalSet = (*completionSet)(nil)
+
+func newCompletionSet(coordType string) *completionSet {
+	return &completionSet{
+		BaseSet:  core.NewBaseSet(ProtocolCompletion),
+		coordTyp: coordType,
+	}
+}
+
+func (s *completionSet) GetSignal() (core.Signal, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	failing := s.CompletionStatus() != core.CompletionSuccess
+	switch {
+	case s.stage == 0 && (failing || s.coordTyp == TypeBusiness):
+		// Business agreements confirm/cancel in one round; a failing
+		// atomic context cancels in one round too.
+		s.stage = 2
+		name := "confirm"
+		if failing {
+			s.doomed = true
+			name = "cancel"
+		}
+		return core.Signal{Name: name, SetName: s.Name()}, true, nil
+	case s.stage == 0:
+		s.stage = 1
+		return core.Signal{Name: "prepare", SetName: s.Name()}, false, nil
+	case s.stage == 1:
+		s.stage = 2
+		name := "commit"
+		if s.doomed {
+			name = "cancel"
+		}
+		return core.Signal{Name: name, SetName: s.Name()}, true, nil
+	default:
+		return core.Signal{}, false, core.ErrExhausted
+	}
+}
+
+func (s *completionSet) SetResponse(resp core.Outcome, deliveryErr error) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stage == 1 && (deliveryErr != nil || resp.Name == "aborted") {
+		s.doomed = true
+		return true, nil
+	}
+	return false, nil
+}
+
+func (s *completionSet) GetOutcome() (core.Outcome, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.doomed || s.CompletionStatus() != core.CompletionSuccess {
+		return core.Outcome{Name: "aborted"}, nil
+	}
+	return core.Outcome{Name: "committed"}, nil
+}
+
+// participantAction adapts a Participant to the Action protocol.
+type participantAction struct {
+	p Participant
+
+	mu       sync.Mutex
+	prepared bool
+}
+
+func (a *participantAction) ProcessSignal(_ context.Context, sig core.Signal) (core.Outcome, error) {
+	switch sig.Name {
+	case "prepare":
+		if err := a.p.Prepare(); err != nil {
+			return core.Outcome{Name: "aborted", Data: err.Error()}, nil
+		}
+		a.mu.Lock()
+		a.prepared = true
+		a.mu.Unlock()
+		return core.Outcome{Name: "prepared"}, nil
+	case "commit", "confirm":
+		if err := a.p.Commit(); err != nil {
+			return core.Outcome{}, fmt.Errorf("wscf: commit: %w", err)
+		}
+		return core.Outcome{Name: "committed"}, nil
+	case "cancel":
+		if err := a.p.Cancel(); err != nil {
+			return core.Outcome{}, fmt.Errorf("wscf: cancel: %w", err)
+		}
+		return core.Outcome{Name: "cancelled"}, nil
+	default:
+		return core.Outcome{}, fmt.Errorf("wscf: unexpected signal %q", sig.Name)
+	}
+}

@@ -1,0 +1,147 @@
+package cdr
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnyRoundTripScalars(t *testing.T) {
+	tests := []struct {
+		name string
+		give any
+		want any // nil means same as give
+	}{
+		{name: "nil", give: nil},
+		{name: "true", give: true},
+		{name: "false", give: false},
+		{name: "int64", give: int64(-99)},
+		{name: "int widens", give: int(7), want: int64(7)},
+		{name: "int32 widens", give: int32(-3), want: int64(-3)},
+		{name: "double", give: 2.5},
+		{name: "string", give: "prepare"},
+		{name: "empty string", give: ""},
+		{name: "bytes", give: []byte{0, 1, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b, err := MarshalAny(tt.give)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got, err := UnmarshalAny(b)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			want := tt.want
+			if want == nil && tt.name != "nil" {
+				want = tt.give
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("got %#v want %#v", got, want)
+			}
+		})
+	}
+}
+
+func TestAnyRoundTripComposite(t *testing.T) {
+	give := map[string]any{
+		"activity": "a1",
+		"step":     int64(4),
+		"parallel": []any{"b", "c", int64(2), true},
+		"nested":   map[string]any{"deep": []any{nil, 1.5}},
+		"blob":     []byte{9, 9},
+	}
+	b, err := MarshalAny(give)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalAny(b)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, give) {
+		t.Fatalf("got %#v\nwant %#v", got, give)
+	}
+}
+
+func TestAnyDeterministicMapEncoding(t *testing.T) {
+	m := map[string]any{"z": int64(1), "a": int64(2), "m": int64(3)}
+	b1, err := MarshalAny(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b2, err := MarshalAny(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("map encoding is not deterministic")
+		}
+	}
+}
+
+func TestAnyUnsupportedType(t *testing.T) {
+	type custom struct{ X int }
+	if _, err := MarshalAny(custom{1}); !errors.Is(err, ErrUnsupportedAny) {
+		t.Fatalf("err = %v, want ErrUnsupportedAny", err)
+	}
+	if _, err := MarshalAny(map[string]any{"k": custom{}}); !errors.Is(err, ErrUnsupportedAny) {
+		t.Fatalf("nested err = %v, want ErrUnsupportedAny", err)
+	}
+	if _, err := MarshalAny([]any{uint(1)}); !errors.Is(err, ErrUnsupportedAny) {
+		t.Fatalf("seq err = %v, want ErrUnsupportedAny", err)
+	}
+}
+
+func TestAnyBadTypeCode(t *testing.T) {
+	if _, err := UnmarshalAny([]byte{0xEE}); !errors.Is(err, ErrBadTypeCode) {
+		t.Fatalf("err = %v, want ErrBadTypeCode", err)
+	}
+}
+
+func TestAnyTruncated(t *testing.T) {
+	b, err := MarshalAny(map[string]any{"key": "value", "n": int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := UnmarshalAny(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestAnyDepthLimit(t *testing.T) {
+	v := any("leaf")
+	for i := 0; i < maxAnyDepth+2; i++ {
+		v = []any{v}
+	}
+	if _, err := MarshalAny(v); !errors.Is(err, ErrUnsupportedAny) {
+		t.Fatalf("err = %v, want depth error", err)
+	}
+}
+
+func TestAnyQuickRoundTrip(t *testing.T) {
+	f := func(s string, i int64, fl float64, bs []byte, flag bool) bool {
+		give := map[string]any{
+			"s": s, "i": i, "f": fl, "b": append([]byte{}, bs...), "flag": flag,
+			"seq": []any{s, i},
+		}
+		enc, err := MarshalAny(give)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalAny(enc)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, give)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package cdr implements a Common Data Representation style binary
+// encoding: big-endian primitives aligned to their natural size, length
+// prefixed strings and octet sequences, and a tagged "any" type.
+//
+// The ORB (internal/orb) marshals every request and reply body with this
+// package, and the Activity Service uses the any encoding for
+// Signal.application_specific_data, mirroring the CORBA `any` the paper's
+// IDL uses. The wire format is a simplification of OMG CDR: all streams are
+// big-endian (no byte-order flag) and alignment is computed from the start
+// of the stream.
+package cdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Encoding errors.
+var (
+	// ErrTruncated reports that a decoder ran out of bytes.
+	ErrTruncated = errors.New("cdr: truncated stream")
+	// ErrBadString reports a malformed string encoding.
+	ErrBadString = errors.New("cdr: malformed string")
+	// ErrTooLong reports a length prefix beyond the remaining stream, a
+	// corruption guard against huge allocations.
+	ErrTooLong = errors.New("cdr: length exceeds remaining stream")
+)
+
+// Encoder builds a CDR stream in memory. The zero value is ready to use.
+// Write methods never fail; the buffer grows as needed.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded stream. The returned slice aliases the
+// encoder's buffer; it is valid until the next Write call.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current stream length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the stream contents, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// align pads the stream with zero bytes so the next write starts at a
+// multiple of n from the beginning of the stream.
+func (e *Encoder) align(n int) {
+	for len(e.buf)%n != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// WriteOctet appends a single byte.
+func (e *Encoder) WriteOctet(b byte) { e.buf = append(e.buf, b) }
+
+// WriteBool appends a boolean as one octet (0 or 1).
+func (e *Encoder) WriteBool(v bool) {
+	if v {
+		e.WriteOctet(1)
+	} else {
+		e.WriteOctet(0)
+	}
+}
+
+// WriteUint16 appends an aligned big-endian uint16.
+func (e *Encoder) WriteUint16(v uint16) {
+	e.align(2)
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+// WriteUint32 appends an aligned big-endian uint32.
+func (e *Encoder) WriteUint32(v uint32) {
+	e.align(4)
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// WriteUint64 appends an aligned big-endian uint64.
+func (e *Encoder) WriteUint64(v uint64) {
+	e.align(8)
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// WriteInt32 appends an aligned big-endian int32.
+func (e *Encoder) WriteInt32(v int32) { e.WriteUint32(uint32(v)) }
+
+// WriteInt64 appends an aligned big-endian int64.
+func (e *Encoder) WriteInt64(v int64) { e.WriteUint64(uint64(v)) }
+
+// WriteFloat64 appends an aligned IEEE-754 double.
+func (e *Encoder) WriteFloat64(v float64) { e.WriteUint64(math.Float64bits(v)) }
+
+// WriteString appends a CDR string: uint32 length including the
+// terminating NUL, the bytes, then a NUL octet.
+func (e *Encoder) WriteString(s string) {
+	e.WriteUint32(uint32(len(s) + 1))
+	e.buf = append(e.buf, s...)
+	e.buf = append(e.buf, 0)
+}
+
+// WriteBytes appends an octet sequence: uint32 length then raw bytes.
+func (e *Encoder) WriteBytes(b []byte) {
+	e.WriteUint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// WriteRaw appends bytes without any length prefix or alignment.
+func (e *Encoder) WriteRaw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Decoder reads a CDR stream. Errors are sticky: after the first failure
+// every read returns the zero value and Err reports the failure.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder over b. The decoder does not copy b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first error encountered, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// fail records the first error.
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) align(n int) {
+	if d.err != nil {
+		return
+	}
+	for d.off%n != 0 {
+		if d.off >= len(d.buf) {
+			d.fail(fmt.Errorf("%w: during alignment", ErrTruncated))
+			return
+		}
+		d.off++
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail(fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, d.off, len(d.buf)))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// ReadOctet reads one byte.
+func (d *Decoder) ReadOctet() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// ReadBool reads one octet as a boolean.
+func (d *Decoder) ReadBool() bool { return d.ReadOctet() != 0 }
+
+// ReadUint16 reads an aligned big-endian uint16.
+func (d *Decoder) ReadUint16() uint16 {
+	d.align(2)
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// ReadUint32 reads an aligned big-endian uint32.
+func (d *Decoder) ReadUint32() uint32 {
+	d.align(4)
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// ReadUint64 reads an aligned big-endian uint64.
+func (d *Decoder) ReadUint64() uint64 {
+	d.align(8)
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// ReadInt32 reads an aligned big-endian int32.
+func (d *Decoder) ReadInt32() int32 { return int32(d.ReadUint32()) }
+
+// ReadInt64 reads an aligned big-endian int64.
+func (d *Decoder) ReadInt64() int64 { return int64(d.ReadUint64()) }
+
+// ReadFloat64 reads an aligned IEEE-754 double.
+func (d *Decoder) ReadFloat64() float64 { return math.Float64frombits(d.ReadUint64()) }
+
+// ReadString reads a CDR string.
+func (d *Decoder) ReadString() string {
+	n := d.ReadUint32()
+	if d.err != nil {
+		return ""
+	}
+	if n == 0 {
+		d.fail(fmt.Errorf("%w: zero-length string encoding", ErrBadString))
+		return ""
+	}
+	if int(n) > d.Remaining() {
+		d.fail(fmt.Errorf("%w: string of %d bytes", ErrTooLong, n))
+		return ""
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return ""
+	}
+	if b[len(b)-1] != 0 {
+		d.fail(fmt.Errorf("%w: missing NUL terminator", ErrBadString))
+		return ""
+	}
+	return string(b[:len(b)-1])
+}
+
+// ReadBytes reads an octet sequence. The returned slice is a copy.
+func (d *Decoder) ReadBytes() []byte {
+	n := d.ReadUint32()
+	if d.err != nil {
+		return nil
+	}
+	if int(n) > d.Remaining() {
+		d.fail(fmt.Errorf("%w: octet sequence of %d bytes", ErrTooLong, n))
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

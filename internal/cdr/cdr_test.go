@@ -1,0 +1,204 @@
+package cdr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteOctet(0xAB)
+	e.WriteBool(true)
+	e.WriteBool(false)
+	e.WriteUint16(0xBEEF)
+	e.WriteUint32(0xDEADBEEF)
+	e.WriteUint64(0x0123456789ABCDEF)
+	e.WriteInt32(-42)
+	e.WriteInt64(-1 << 60)
+	e.WriteFloat64(math.Pi)
+	e.WriteString("hello")
+	e.WriteBytes([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.ReadOctet(); got != 0xAB {
+		t.Errorf("octet = %#x", got)
+	}
+	if !d.ReadBool() || d.ReadBool() {
+		t.Error("bool round trip failed")
+	}
+	if got := d.ReadUint16(); got != 0xBEEF {
+		t.Errorf("u16 = %#x", got)
+	}
+	if got := d.ReadUint32(); got != 0xDEADBEEF {
+		t.Errorf("u32 = %#x", got)
+	}
+	if got := d.ReadUint64(); got != 0x0123456789ABCDEF {
+		t.Errorf("u64 = %#x", got)
+	}
+	if got := d.ReadInt32(); got != -42 {
+		t.Errorf("i32 = %d", got)
+	}
+	if got := d.ReadInt64(); got != -1<<60 {
+		t.Errorf("i64 = %d", got)
+	}
+	if got := d.ReadFloat64(); got != math.Pi {
+		t.Errorf("f64 = %g", got)
+	}
+	if got := d.ReadString(); got != "hello" {
+		t.Errorf("string = %q", got)
+	}
+	if got := d.ReadBytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("bytes = %v", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteOctet(1) // offset 1
+	e.WriteUint32(7)
+	if e.Len() != 8 { // 1 byte + 3 pad + 4
+		t.Fatalf("len = %d, want 8", e.Len())
+	}
+	e.WriteOctet(2) // offset 9
+	e.WriteUint64(9)
+	if e.Len() != 24 { // 9 + 7 pad + 8
+		t.Fatalf("len = %d, want 24", e.Len())
+	}
+	d := NewDecoder(e.Bytes())
+	if d.ReadOctet() != 1 || d.ReadUint32() != 7 || d.ReadOctet() != 2 || d.ReadUint64() != 9 {
+		t.Fatal("aligned round trip failed")
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestEmptyStringRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteString("")
+	d := NewDecoder(e.Bytes())
+	if got := d.ReadString(); got != "" || d.Err() != nil {
+		t.Fatalf("got %q err %v", got, d.Err())
+	}
+}
+
+func TestEmptyBytesRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteBytes(nil)
+	d := NewDecoder(e.Bytes())
+	if got := d.ReadBytes(); len(got) != 0 || d.Err() != nil {
+		t.Fatalf("got %v err %v", got, d.Err())
+	}
+}
+
+func TestTruncatedStreamsFail(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteUint64(12345)
+	e.WriteString("payload")
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.ReadUint64()
+		d.ReadString()
+		if d.Err() == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	_ = d.ReadUint32()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	_ = d.ReadString()
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("err = %v", d.Err())
+	}
+	if d.Err() != first {
+		t.Fatal("error was overwritten")
+	}
+}
+
+func TestHugeLengthRejected(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteUint32(0xFFFFFFFF) // absurd string length
+	d := NewDecoder(e.Bytes())
+	_ = d.ReadString()
+	if !errors.Is(d.Err(), ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", d.Err())
+	}
+}
+
+func TestStringMissingNUL(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteUint32(3)
+	e.WriteRaw([]byte{'a', 'b', 'c'}) // no NUL
+	d := NewDecoder(e.Bytes())
+	_ = d.ReadString()
+	if !errors.Is(d.Err(), ErrBadString) {
+		t.Fatalf("err = %v, want ErrBadString", d.Err())
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(s string, pre uint8) bool {
+		e := NewEncoder(0)
+		// random leading bytes force interesting alignment
+		for i := 0; i < int(pre%8); i++ {
+			e.WriteOctet(0xFF)
+		}
+		e.WriteString(s)
+		d := NewDecoder(e.Bytes())
+		for i := 0; i < int(pre%8); i++ {
+			d.ReadOctet()
+		}
+		return d.ReadString() == s && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNumericRoundTrip(t *testing.T) {
+	f := func(a int64, b uint64, c float64, d32 int32) bool {
+		e := NewEncoder(0)
+		e.WriteInt64(a)
+		e.WriteUint64(b)
+		e.WriteFloat64(c)
+		e.WriteInt32(d32)
+		dec := NewDecoder(e.Bytes())
+		okF := dec.ReadInt64() == a && dec.ReadUint64() == b
+		f2 := dec.ReadFloat64()
+		okF = okF && (f2 == c || (math.IsNaN(f2) && math.IsNaN(c)))
+		okF = okF && dec.ReadInt32() == d32
+		return okF && dec.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteUint64(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("len after reset = %d", e.Len())
+	}
+	e.WriteOctet(9)
+	if e.Len() != 1 || e.Bytes()[0] != 9 {
+		t.Fatal("encoder unusable after reset")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+func TestContextCarriesActivity(t *testing.T) {
+	svc := New()
+	a := svc.Begin("A")
+	ctx := NewContext(context.Background(), a)
+	got, ok := FromContext(ctx)
+	if !ok || got != a {
+		t.Fatal("context does not carry activity")
+	}
+	if _, ok := FromContext(context.Background()); ok {
+		t.Fatal("empty context carries an activity")
+	}
+	// A popped (nil) activity reads as absent.
+	if _, ok := FromContext(NewContext(ctx, nil)); ok {
+		t.Fatal("nil activity reads as present")
+	}
+}
+
+func TestPropagationContextLineage(t *testing.T) {
+	svc := New()
+	root := svc.Begin("root")
+	child, _ := root.BeginChild("child")
+	grand, _ := child.BeginChild("grand")
+
+	pc, err := grand.PropagationContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.Path) != 3 {
+		t.Fatalf("path = %+v", pc.Path)
+	}
+	wantNames := []string{"root", "child", "grand"}
+	for i, e := range pc.Path {
+		if e.Name != wantNames[i] {
+			t.Fatalf("path[%d] = %q, want %q", i, e.Name, wantNames[i])
+		}
+	}
+	if pc.ActivityID() != grand.ID() {
+		t.Fatal("ActivityID is not the innermost")
+	}
+}
+
+func TestPropagationContextCarriesByValueGroups(t *testing.T) {
+	svc := New()
+	a := svc.Begin("A")
+	byValue := NewTupleSpace("env", VisibilityShared, PropagateByValue)
+	_ = byValue.Set("locale", "en_GB")
+	byRef := NewTupleSpace("session", VisibilityShared, PropagateByReference)
+	_ = byRef.Set("token", "secret")
+	local := NewTupleSpace("scratch", VisibilityShared, PropagateNone)
+	_ = local.Set("tmp", int64(1))
+	_ = a.AddPropertyGroup(byValue)
+	_ = a.AddPropertyGroup(byRef)
+	_ = a.AddPropertyGroup(local)
+
+	pc, err := a.PropagationContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.Properties) != 1 {
+		t.Fatalf("properties = %+v, want only by-value groups", pc.Properties)
+	}
+	if pc.Properties["env"]["locale"] != "en_GB" {
+		t.Fatalf("env = %+v", pc.Properties["env"])
+	}
+}
+
+func TestPropagationContextMarshalRoundTrip(t *testing.T) {
+	svc := New()
+	root := svc.Begin("root")
+	child, _ := root.BeginChild("child")
+	pg := NewTupleSpace("env", VisibilityShared, PropagateByValue)
+	_ = pg.Set("k", int64(7))
+	_ = child.AddPropertyGroup(pg)
+
+	pc, err := child.PropagationContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPropagationContext(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Path) != 2 || got.Path[0].Name != "root" || got.Path[1].Name != "child" {
+		t.Fatalf("path = %+v", got.Path)
+	}
+	if got.Path[1].ID != child.ID() {
+		t.Fatal("child id corrupted")
+	}
+	if got.Properties["env"]["k"] != int64(7) {
+		t.Fatalf("properties = %+v", got.Properties)
+	}
+}
+
+func TestPropagationContextRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalPropagationContext([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := UnmarshalPropagationContext(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/ids"
+	"github.com/extendedtx/activityservice/internal/trace"
+)
+
+// ActionID identifies a registration with a coordinator, so an action can
+// later be removed.
+type ActionID = ids.UID
+
+// ErrUnknownSignalSet reports driving or registering with a set name the
+// activity does not know.
+var ErrUnknownSignalSet = errors.New("core: unknown signal set")
+
+// RetryPolicy controls at-least-once signal delivery (§3.4): a failed
+// ProcessSignal is retried up to Attempts times with Backoff between tries.
+// Actions must therefore be idempotent (or wrapped with Idempotent).
+type RetryPolicy struct {
+	Attempts int
+	Backoff  time.Duration
+}
+
+// registration pairs an Action with its identity and trace label.
+type registration struct {
+	id     ActionID
+	label  string
+	action Action
+}
+
+// Coordinator is the activity coordinator of fig. 5: Actions register
+// interest in SignalSets by name; when the activity transmits a SignalSet,
+// the coordinator pulls each Signal from the set, broadcasts it to the
+// registered Actions in registration order, and feeds every response back
+// into the set.
+type Coordinator struct {
+	owner string // activity name, for traces
+	gen   *ids.Generator
+	rec   *trace.Recorder
+	retry RetryPolicy
+
+	mu      sync.Mutex
+	regs    map[string][]registration
+	drivers map[SignalSet]*setDriver
+	seq     int
+}
+
+func newCoordinator(owner string, gen *ids.Generator, rec *trace.Recorder, retry RetryPolicy) *Coordinator {
+	if retry.Attempts < 1 {
+		retry.Attempts = 1
+	}
+	return &Coordinator{
+		owner:   owner,
+		gen:     gen,
+		rec:     rec,
+		retry:   retry,
+		regs:    make(map[string][]registration),
+		drivers: make(map[SignalSet]*setDriver),
+	}
+}
+
+// AddAction registers action with the named SignalSet. Actions register
+// interest in SignalSets, not individual Signals (§3.2.3): they receive
+// every signal the set generates.
+func (c *Coordinator) AddAction(setName string, action Action) ActionID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.addLocked(setName, fmt.Sprintf("action-%d", c.seq), action)
+}
+
+// AddNamedAction registers action under an explicit trace label.
+func (c *Coordinator) AddNamedAction(setName, label string, action Action) ActionID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addLocked(setName, label, action)
+}
+
+func (c *Coordinator) addLocked(setName, label string, action Action) ActionID {
+	id := c.gen.New()
+	c.regs[setName] = append(c.regs[setName], registration{id: id, label: label, action: action})
+	return id
+}
+
+// RemoveAction removes a registration, reporting whether it existed.
+func (c *Coordinator) RemoveAction(setName string, id ActionID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	regs := c.regs[setName]
+	for i, r := range regs {
+		if r.id == id {
+			c.regs[setName] = append(regs[:i], regs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ActionCount returns the number of actions registered with setName.
+func (c *Coordinator) ActionCount(setName string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.regs[setName])
+}
+
+// actions snapshots the registrations for a set.
+func (c *Coordinator) actions(setName string) []registration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]registration(nil), c.regs[setName]...)
+}
+
+// driverFor returns the fig. 7 state machine for a set instance, creating
+// it on first use. A set that reached End stays ended forever.
+func (c *Coordinator) driverFor(set SignalSet) *setDriver {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.drivers[set]
+	if !ok {
+		d = newSetDriver(set)
+		c.drivers[set] = d
+	}
+	return d
+}
+
+// SetState reports the fig. 7 state of a set instance under this
+// coordinator (Waiting if it has never been driven).
+func (c *Coordinator) SetState(set SignalSet) SetState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.drivers[set]; ok {
+		return d.State()
+	}
+	return StateWaiting
+}
+
+// ProcessSignalSet drives the full protocol of figs. 5 and 8: pull a
+// signal, broadcast it to every action registered with the set's name,
+// feed responses back, repeat until the set ends, then collate the final
+// outcome with GetOutcome.
+func (c *Coordinator) ProcessSignalSet(ctx context.Context, set SignalSet) (Outcome, error) {
+	driver := c.driverFor(set)
+	setName := set.Name()
+	for {
+		sig, last, err := driver.getSignal()
+		if errors.Is(err, ErrExhausted) {
+			break
+		}
+		if err != nil {
+			return Outcome{}, fmt.Errorf("core: get_signal on %q: %w", setName, err)
+		}
+		c.rec.Record(trace.KindGetSignal, c.owner, setName, sig.Name, "")
+
+		advance := false
+		for _, reg := range c.actions(setName) {
+			outcome, aerr := c.deliver(ctx, reg, sig)
+			adv, serr := driver.setResponse(outcome, aerr)
+			if serr != nil {
+				return Outcome{}, fmt.Errorf("core: set_response on %q: %w", setName, serr)
+			}
+			if adv {
+				advance = true
+				break
+			}
+		}
+		if last && !advance {
+			driver.end()
+			break
+		}
+	}
+	out, err := driver.getOutcome()
+	if err != nil {
+		return Outcome{}, fmt.Errorf("core: get_outcome on %q: %w", setName, err)
+	}
+	c.rec.Record(trace.KindGetOutcome, c.owner, setName, out.Name, "")
+	return out, nil
+}
+
+// deliver transmits one signal to one action with at-least-once retry.
+func (c *Coordinator) deliver(ctx context.Context, reg registration, sig Signal) (Outcome, error) {
+	var (
+		outcome Outcome
+		err     error
+	)
+	for attempt := 1; attempt <= c.retry.Attempts; attempt++ {
+		detail := ""
+		if attempt > 1 {
+			detail = fmt.Sprintf("retry %d", attempt-1)
+		}
+		c.rec.Record(trace.KindTransmit, c.owner, reg.label, sig.Name, detail)
+		outcome, err = reg.action.ProcessSignal(ctx, sig)
+		if err == nil {
+			c.rec.Record(trace.KindResponse, reg.label, sig.SetName, outcome.Name, "")
+			return outcome, nil
+		}
+		if c.retry.Backoff > 0 && attempt < c.retry.Attempts {
+			select {
+			case <-ctx.Done():
+				return Outcome{}, fmt.Errorf("core: delivery cancelled: %w", ctx.Err())
+			case <-time.After(c.retry.Backoff):
+			}
+		}
+	}
+	c.rec.Record(trace.KindResponse, reg.label, sig.SetName, "", fmt.Sprintf("error: %v", err))
+	return Outcome{}, err
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/ots"
+)
+
+// idempotentAction deduplicates signal deliveries: §3.4 requires Actions to
+// tolerate at-least-once delivery, and this wrapper gives any Action that
+// property by caching the outcome of each distinct signal.
+type idempotentAction struct {
+	inner Action
+
+	mu   sync.Mutex
+	seen map[string]memoized
+}
+
+type memoized struct {
+	outcome Outcome
+	err     error
+}
+
+// Idempotent wraps inner so repeated deliveries of the same signal (same
+// set, name and payload) return the first outcome without re-invoking
+// inner. Failed deliveries are not memoized, so retries still reach inner.
+func Idempotent(inner Action) Action {
+	return &idempotentAction{inner: inner, seen: make(map[string]memoized)}
+}
+
+// ProcessSignal implements Action.
+func (i *idempotentAction) ProcessSignal(ctx context.Context, sig Signal) (Outcome, error) {
+	key, err := signalKey(sig)
+	if err != nil {
+		return Outcome{}, err
+	}
+	i.mu.Lock()
+	if m, ok := i.seen[key]; ok {
+		i.mu.Unlock()
+		return m.outcome, m.err
+	}
+	i.mu.Unlock()
+
+	outcome, perr := i.inner.ProcessSignal(ctx, sig)
+	if perr == nil {
+		i.mu.Lock()
+		i.seen[key] = memoized{outcome: outcome}
+		i.mu.Unlock()
+	}
+	return outcome, perr
+}
+
+// signalKey canonically encodes a signal for deduplication.
+func signalKey(sig Signal) (string, error) {
+	e := cdr.NewEncoder(64)
+	if err := sig.Encode(e); err != nil {
+		return "", fmt.Errorf("core: idempotency key: %w", err)
+	}
+	return string(e.Bytes()), nil
+}
+
+// exactlyOnceAction provides the stronger delivery guarantee of §3.4 by
+// running each delivery inside a transaction from the underlying
+// transaction service: the outcome record and the action's effect commit
+// atomically, so a redelivery after a crash either sees the recorded
+// outcome or re-runs an action whose previous attempt rolled back.
+type exactlyOnceAction struct {
+	svc   *ots.Service
+	inner Action
+
+	mu   sync.Mutex
+	seen map[string]Outcome
+}
+
+// ExactlyOnce wraps inner with transactional delivery through svc, per the
+// paper: "Stronger delivery semantics — exactly once — can be provided by
+// the activity service itself making use of the underlying transaction
+// service."
+func ExactlyOnce(svc *ots.Service, inner Action) Action {
+	return &exactlyOnceAction{svc: svc, inner: inner, seen: make(map[string]Outcome)}
+}
+
+// ProcessSignal implements Action.
+func (x *exactlyOnceAction) ProcessSignal(ctx context.Context, sig Signal) (Outcome, error) {
+	key, err := signalKey(sig)
+	if err != nil {
+		return Outcome{}, err
+	}
+	x.mu.Lock()
+	if out, ok := x.seen[key]; ok {
+		x.mu.Unlock()
+		return out, nil
+	}
+	x.mu.Unlock()
+
+	tx := x.svc.Begin()
+	outcome, perr := x.inner.ProcessSignal(ots.WithTransaction(ctx, tx), sig)
+	if perr != nil {
+		_ = tx.Rollback()
+		return Outcome{}, perr
+	}
+	if err := tx.RegisterResource(&outcomeRecord{owner: x, key: key, outcome: outcome}); err != nil {
+		_ = tx.Rollback()
+		return Outcome{}, err
+	}
+	if err := tx.Commit(false); err != nil {
+		return Outcome{}, fmt.Errorf("core: exactly-once delivery: %w", err)
+	}
+	return outcome, nil
+}
+
+// outcomeRecord installs the memoized outcome only when the delivery
+// transaction commits.
+type outcomeRecord struct {
+	owner   *exactlyOnceAction
+	key     string
+	outcome Outcome
+}
+
+func (o *outcomeRecord) Prepare() (ots.Vote, error) { return ots.VoteCommit, nil }
+
+func (o *outcomeRecord) Commit() error {
+	o.owner.mu.Lock()
+	defer o.owner.mu.Unlock()
+	o.owner.seen[o.key] = o.outcome
+	return nil
+}
+
+func (o *outcomeRecord) Rollback() error { return nil }
+
+func (o *outcomeRecord) CommitOnePhase() error { return o.Commit() }
+
+func (o *outcomeRecord) Forget() error { return nil }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/ids"
+	"github.com/extendedtx/activityservice/internal/trace"
+	"github.com/extendedtx/activityservice/internal/wal"
+)
+
+// Service is the Activity Service: the factory for activities and the home
+// of recovery. One Service per process is typical (it plays the role the
+// per-ORB service plays in the CORBA architecture of fig. 3).
+type Service struct {
+	gen   *ids.Generator
+	rec   *trace.Recorder
+	retry RetryPolicy
+
+	journal *journal
+
+	mu        sync.Mutex
+	live      map[ids.UID]*Activity
+	setFacs   map[string]SignalSetFactory
+	actionFac map[string]ActionFactory
+}
+
+// Option configures a Service.
+type Option interface {
+	apply(*Service)
+}
+
+type optionFunc func(*Service)
+
+func (f optionFunc) apply(s *Service) { f(s) }
+
+// WithTrace records every coordinator interaction into rec, enabling the
+// figure-regeneration tooling.
+func WithTrace(rec *trace.Recorder) Option {
+	return optionFunc(func(s *Service) { s.rec = rec })
+}
+
+// WithRetryPolicy sets the signal delivery retry policy (at-least-once).
+func WithRetryPolicy(p RetryPolicy) Option {
+	return optionFunc(func(s *Service) { s.retry = p })
+}
+
+// WithJournal persists activity structure events to log so the activity
+// tree can be rebuilt after a crash (§3.4).
+func WithJournal(log *wal.Log) Option {
+	return optionFunc(func(s *Service) { s.journal = &journal{log: log} })
+}
+
+// New returns an Activity Service.
+func New(opts ...Option) *Service {
+	s := &Service{
+		gen:       ids.NewGenerator(),
+		retry:     RetryPolicy{Attempts: 3},
+		live:      make(map[ids.UID]*Activity),
+		setFacs:   make(map[string]SignalSetFactory),
+		actionFac: make(map[string]ActionFactory),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s
+}
+
+// Trace returns the service's trace recorder (nil when tracing is off).
+func (s *Service) Trace() *trace.Recorder { return s.rec }
+
+// BeginOption configures one activity.
+type BeginOption interface {
+	applyBegin(*Activity)
+}
+
+type beginOptionFunc func(*Activity)
+
+func (f beginOptionFunc) applyBegin(a *Activity) { f(a) }
+
+// WithTimeout forces the activity's completion status to FailOnly if it is
+// still running after d, per the Activity Service timeout semantics.
+func WithTimeout(d time.Duration) BeginOption {
+	return beginOptionFunc(func(a *Activity) {
+		a.timer = time.AfterFunc(d, func() {
+			// Best effort: the activity may have completed already.
+			_ = a.SetCompletionStatus(CompletionFailOnly)
+		})
+	})
+}
+
+// withID pins the activity id; used by recovery to rebuild the tree.
+func withID(id ids.UID) BeginOption {
+	return beginOptionFunc(func(a *Activity) { a.id = id })
+}
+
+// Begin starts a new root activity.
+func (s *Service) Begin(name string, opts ...BeginOption) *Activity {
+	a := s.newActivity(name, nil, opts...)
+	s.journal.begun(a.id, ids.Nil, name)
+	s.rec.Record(trace.KindBegin, name, "", "", "root activity")
+	return a
+}
+
+func (s *Service) newActivity(name string, parent *Activity, opts ...BeginOption) *Activity {
+	a := &Activity{
+		svc:      s,
+		id:       s.gen.New(),
+		name:     name,
+		parent:   parent,
+		state:    ActivityActive,
+		cs:       CompletionSuccess,
+		children: make(map[ids.UID]*Activity),
+		sets:     make(map[string]SignalSet),
+		pgroups:  make(map[string]PropertyGroup),
+	}
+	for _, o := range opts {
+		o.applyBegin(a)
+	}
+	a.coord = newCoordinator(name, s.gen, s.rec, s.retry)
+	s.mu.Lock()
+	s.live[a.id] = a
+	s.mu.Unlock()
+	return a
+}
+
+// Live returns the number of activities begun and not yet completed.
+func (s *Service) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.live)
+}
+
+// Find returns a live activity by id.
+func (s *Service) Find(id ids.UID) (*Activity, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.live[id]
+	return a, ok
+}
+
+func (s *Service) forget(a *Activity) {
+	s.mu.Lock()
+	delete(s.live, a.id)
+	s.mu.Unlock()
+}
+
+// SignalSetFactory recreates a SignalSet from persisted parameters during
+// recovery.
+type SignalSetFactory func(params []byte) (SignalSet, error)
+
+// ActionFactory recreates an Action from persisted parameters during
+// recovery.
+type ActionFactory func(params []byte) (Action, error)
+
+// RegisterSignalSetFactory names a factory for recoverable signal sets.
+func (s *Service) RegisterSignalSetFactory(name string, f SignalSetFactory) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setFacs[name] = f
+}
+
+// RegisterActionFactory names a factory for recoverable actions.
+func (s *Service) RegisterActionFactory(name string, f ActionFactory) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.actionFac[name] = f
+}
+
+func (s *Service) signalSetFactory(name string) (SignalSetFactory, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.setFacs[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no signal set factory %q", name)
+	}
+	return f, nil
+}
+
+func (s *Service) actionFactory(name string) (ActionFactory, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.actionFac[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no action factory %q", name)
+	}
+	return f, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSequenceSetProducesSignalsInOrder(t *testing.T) {
+	s := NewSequenceSet("proto", "first", "second", "third")
+	for i, want := range []string{"first", "second", "third"} {
+		sig, last, err := s.GetSignal()
+		if err != nil {
+			t.Fatalf("signal %d: %v", i, err)
+		}
+		if sig.Name != want || sig.SetName != "proto" {
+			t.Fatalf("signal %d = %+v", i, sig)
+		}
+		if last != (i == 2) {
+			t.Fatalf("signal %d last = %v", i, last)
+		}
+	}
+	if _, _, err := s.GetSignal(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestSequenceSetCollatesResponses(t *testing.T) {
+	s := NewSequenceSet("proto", "ping").Collate(func(responses []Outcome) Outcome {
+		return Outcome{Name: "collated", Data: int64(len(responses))}
+	})
+	if _, _, err := s.GetSignal(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.SetResponse(Outcome{Name: "pong"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.GetOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "collated" || out.Data != int64(3) {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestSequenceSetRecordsDeliveryErrors(t *testing.T) {
+	s := NewSequenceSet("proto", "ping")
+	_, _, _ = s.GetSignal()
+	if _, err := s.SetResponse(Outcome{}, errors.New("unreachable")); err != nil {
+		t.Fatal(err)
+	}
+	rs := s.Responses()
+	if len(rs) != 1 || rs[0].Name != "delivery-error" {
+		t.Fatalf("responses = %+v", rs)
+	}
+}
+
+func TestBaseSetCompletionStatusSticky(t *testing.T) {
+	b := NewBaseSet("x")
+	if b.CompletionStatus() != CompletionSuccess {
+		t.Fatalf("initial = %v", b.CompletionStatus())
+	}
+	b.SetCompletionStatus(CompletionFail)
+	if b.CompletionStatus() != CompletionFail {
+		t.Fatal("status did not change")
+	}
+	b.SetCompletionStatus(CompletionFailOnly)
+	b.SetCompletionStatus(CompletionSuccess) // must be ignored
+	if b.CompletionStatus() != CompletionFailOnly {
+		t.Fatalf("fail-only not sticky: %v", b.CompletionStatus())
+	}
+}
+
+// TestSignalSetStateMachine exercises fig. 7: Waiting → GetSignal → End,
+// with no reuse after End.
+func TestSignalSetStateMachine(t *testing.T) {
+	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1})
+	set := NewSequenceSet("s", "one", "two")
+	coord.AddAction("s", ActionFunc(func(context.Context, Signal) (Outcome, error) {
+		return Outcome{Name: "ok"}, nil
+	}))
+
+	if st := coord.SetState(set); st != StateWaiting {
+		t.Fatalf("initial state = %s", st)
+	}
+	if _, err := coord.ProcessSignalSet(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+	if st := coord.SetState(set); st != StateEnd {
+		t.Fatalf("state after protocol = %s", st)
+	}
+	// A set in End cannot be reused (fig. 7: "Once in the End state the
+	// SignalSet cannot provide any further Signals and will not be
+	// reused").
+	if _, err := coord.ProcessSignalSet(context.Background(), set); err == nil {
+		t.Fatal("reuse after End succeeded")
+	}
+}
+
+// TestSignalSetWaitingToEndDirectly covers the fig. 7 edge where a set has
+// no signals at all: Waiting → End without passing through GetSignal.
+func TestSignalSetWaitingToEndDirectly(t *testing.T) {
+	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1})
+	set := NewSequenceSet("empty")
+	out, err := coord.ProcessSignalSet(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "completed" {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if st := coord.SetState(set); st != StateEnd {
+		t.Fatalf("state = %s", st)
+	}
+}
+
+func TestGetOutcomeWhileActiveFails(t *testing.T) {
+	d := newSetDriver(NewSequenceSet("s", "a", "b"))
+	if _, _, err := d.getSignal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.getOutcome(); !errors.Is(err, ErrSignalSetActive) {
+		t.Fatalf("err = %v, want ErrSignalSetActive", err)
+	}
+}
+
+func TestSetResponseAfterEndFails(t *testing.T) {
+	d := newSetDriver(NewSequenceSet("s", "a"))
+	if _, _, err := d.getSignal(); err != nil {
+		t.Fatal(err)
+	}
+	d.end()
+	if _, err := d.setResponse(Outcome{Name: "late"}, nil); !errors.Is(err, ErrSignalSetInactive) {
+		t.Fatalf("err = %v, want ErrSignalSetInactive", err)
+	}
+}
+
+func TestSetResponseBeforeFirstSignalFails(t *testing.T) {
+	d := newSetDriver(NewSequenceSet("s", "a"))
+	if _, err := d.setResponse(Outcome{Name: "early"}, nil); !errors.Is(err, ErrSignalSetInactive) {
+		t.Fatalf("err = %v, want ErrSignalSetInactive", err)
+	}
+}
+
+func TestDriverStateTransitions(t *testing.T) {
+	// Exhaustive walk of the legal fig. 7 transitions.
+	set := NewSequenceSet("s", "only")
+	d := newSetDriver(set)
+	if d.State() != StateWaiting {
+		t.Fatal("not Waiting initially")
+	}
+	if _, last, err := d.getSignal(); err != nil || !last {
+		t.Fatalf("getSignal: last=%v err=%v", last, err)
+	}
+	if d.State() != StateGetSignal {
+		t.Fatalf("state = %s, want GetSignal", d.State())
+	}
+	if _, err := d.setResponse(Outcome{Name: "r"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.end()
+	if d.State() != StateEnd {
+		t.Fatalf("state = %s, want End", d.State())
+	}
+	if _, _, err := d.getSignal(); !errors.Is(err, ErrSignalSetInactive) {
+		t.Fatalf("getSignal after End: %v", err)
+	}
+	if _, err := d.getOutcome(); err != nil {
+		t.Fatalf("getOutcome in End: %v", err)
+	}
+}

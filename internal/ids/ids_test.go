@@ -1,0 +1,132 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsUnique(t *testing.T) {
+	g := NewGenerator()
+	seen := make(map[UID]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		u := g.New()
+		if seen[u] {
+			t.Fatalf("duplicate uid %s at iteration %d", u, i)
+		}
+		seen[u] = true
+	}
+}
+
+func TestNewNeverNil(t *testing.T) {
+	g := NewSeeded(0)
+	for i := 0; i < 100; i++ {
+		if u := g.New(); u.IsNil() {
+			t.Fatalf("generator produced nil uid at iteration %d", i)
+		}
+	}
+}
+
+func TestConcurrentUnique(t *testing.T) {
+	g := NewGenerator()
+	const (
+		workers = 8
+		each    = 2000
+	)
+	var (
+		mu  sync.Mutex
+		all = make(map[UID]bool, workers*each)
+		wg  sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]UID, 0, each)
+			for i := 0; i < each; i++ {
+				local = append(local, g.New())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, u := range local {
+				if all[u] {
+					t.Errorf("duplicate uid %s", u)
+				}
+				all[u] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(all) != workers*each {
+		t.Fatalf("got %d unique uids, want %d", len(all), workers*each)
+	}
+}
+
+func TestSeqMonotonic(t *testing.T) {
+	g := NewSeeded(42)
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		s := g.New().Seq()
+		if s <= prev {
+			t.Fatalf("seq not monotonic: %d after %d", s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	g := NewGenerator()
+	for i := 0; i < 100; i++ {
+		u := g.New()
+		p, err := Parse(u.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", u.String(), err)
+		}
+		if p != u {
+			t.Fatalf("round trip mismatch: %s != %s", p, u)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	tests := []string{
+		"",
+		"00",
+		"zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz",
+		"0123456789abcdef0123456789abcde",   // 31 chars
+		"0123456789abcdef0123456789abcdef0", // 33 chars
+	}
+	for _, tt := range tests {
+		if _, err := Parse(tt); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", tt)
+		}
+	}
+}
+
+func TestTextMarshalRoundTrip(t *testing.T) {
+	f := func(node, seq uint64) bool {
+		g := NewSeeded(node)
+		g.counter.Store(seq)
+		u := g.New()
+		b, err := u.MarshalText()
+		if err != nil {
+			return false
+		}
+		var v UID
+		if err := v.UnmarshalText(b); err != nil {
+			return false
+		}
+		return v == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortIsSuffix(t *testing.T) {
+	u := NewSeeded(7).New()
+	s, short := u.String(), u.Short()
+	if len(short) != 8 || s[len(s)-8:] != short {
+		t.Fatalf("Short %q is not the 8-char suffix of %q", short, s)
+	}
+}

@@ -1,0 +1,216 @@
+// Package lockmgr provides a read/write lock manager with per-owner lock
+// sets, reentrancy, read-to-write upgrade and timeout-based deadlock
+// breaking.
+//
+// Transactional resources (internal/ots test resources, the bulletin-board
+// example) take locks keyed by resource name, owned by a transaction or
+// activity identifier. The LRUOW performance phase (hls/lruow) acquires its
+// write locks here, reproducing the paper's "confirmed (committed) only if
+// suitable locks ... can be obtained" semantics (§4.3). Deadlocks are
+// resolved by acquisition timeout, the strategy classical transaction
+// monitors use.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	// Read locks are shared: any number of owners may hold them together.
+	Read Mode = iota + 1
+	// Write locks are exclusive.
+	Write
+)
+
+// String returns "read" or "write".
+func (m Mode) String() string {
+	switch m {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Lock manager errors.
+var (
+	// ErrTimeout reports that a lock could not be acquired in time; callers
+	// treat it as a (possible) deadlock and abort.
+	ErrTimeout = errors.New("lockmgr: acquisition timed out")
+	// ErrNotHeld reports releasing a lock the owner does not hold.
+	ErrNotHeld = errors.New("lockmgr: lock not held")
+)
+
+// entry tracks one resource's lock state.
+type entry struct {
+	mode    Mode
+	holders map[string]int // owner -> hold count (reentrancy)
+	waiters []chan struct{}
+}
+
+// Manager is a lock manager. The zero value is not usable; call New.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[string]*entry
+}
+
+// New returns an empty lock manager.
+func New() *Manager {
+	return &Manager{locks: make(map[string]*entry)}
+}
+
+// Acquire obtains a lock on resource for owner in the given mode, waiting
+// up to timeout. It supports reentrant acquisition and upgrades a read lock
+// to write when the owner is the sole holder.
+func (m *Manager) Acquire(owner, resource string, mode Mode, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		if m.tryGrant(owner, resource, mode) {
+			m.mu.Unlock()
+			return nil
+		}
+		// Register a waiter and block until a release wakes us or we time
+		// out. Waiters are woken broadcast-style and re-contend; fairness is
+		// not guaranteed, matching timeout-based deadlock breaking.
+		wait := make(chan struct{})
+		e := m.locks[resource]
+		e.waiters = append(e.waiters, wait)
+		m.mu.Unlock()
+
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			m.removeWaiter(resource, wait)
+			return fmt.Errorf("%w: %s lock on %q for %s", ErrTimeout, mode, resource, owner)
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-wait:
+			timer.Stop()
+		case <-timer.C:
+			m.removeWaiter(resource, wait)
+			return fmt.Errorf("%w: %s lock on %q for %s", ErrTimeout, mode, resource, owner)
+		}
+	}
+}
+
+// tryGrant attempts the grant under m.mu; reports success.
+func (m *Manager) tryGrant(owner, resource string, mode Mode) bool {
+	e, ok := m.locks[resource]
+	if !ok {
+		e = &entry{holders: make(map[string]int)}
+		m.locks[resource] = e
+	}
+	switch {
+	case len(e.holders) == 0:
+		e.mode = mode
+		e.holders[owner] = 1
+		return true
+	case e.holders[owner] > 0 && len(e.holders) == 1:
+		// Sole holder: reentrant grant, possibly upgrading read to write.
+		if mode == Write {
+			e.mode = Write
+		}
+		e.holders[owner]++
+		return true
+	case e.mode == Read && mode == Read:
+		e.holders[owner]++
+		return true
+	case e.holders[owner] > 0 && e.mode == Write:
+		// Reentrant under an exclusive lock we already hold.
+		e.holders[owner]++
+		return true
+	default:
+		return false
+	}
+}
+
+// Release gives up one hold of the lock on resource.
+func (m *Manager) Release(owner, resource string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.locks[resource]
+	if !ok || e.holders[owner] == 0 {
+		return fmt.Errorf("%w: %q by %s", ErrNotHeld, resource, owner)
+	}
+	e.holders[owner]--
+	if e.holders[owner] == 0 {
+		delete(e.holders, owner)
+	}
+	m.wakeLocked(e, resource)
+	return nil
+}
+
+// ReleaseAll drops every lock held by owner, returning the number of
+// resources released. Used at transaction/activity completion.
+func (m *Manager) ReleaseAll(owner string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for res, e := range m.locks {
+		if e.holders[owner] > 0 {
+			delete(e.holders, owner)
+			n++
+			m.wakeLocked(e, res)
+		}
+	}
+	return n
+}
+
+// wakeLocked wakes all waiters when the resource became free or readable.
+func (m *Manager) wakeLocked(e *entry, resource string) {
+	if len(e.holders) > 0 && e.mode == Write {
+		return
+	}
+	for _, w := range e.waiters {
+		close(w)
+	}
+	e.waiters = nil
+	if len(e.holders) == 0 && len(e.waiters) == 0 {
+		delete(m.locks, resource)
+	}
+}
+
+func (m *Manager) removeWaiter(resource string, wait chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.locks[resource]
+	if !ok {
+		return
+	}
+	for i, w := range e.waiters {
+		if w == wait {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			break
+		}
+	}
+}
+
+// Holds reports whether owner currently holds a lock on resource.
+func (m *Manager) Holds(owner, resource string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.locks[resource]
+	return ok && e.holders[owner] > 0
+}
+
+// HeldMode returns the current mode of the lock on resource and whether any
+// lock is held at all.
+func (m *Manager) HeldMode(resource string) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.locks[resource]
+	if !ok || len(e.holders) == 0 {
+		return 0, false
+	}
+	return e.mode, true
+}

@@ -1,0 +1,208 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const tick = 50 * time.Millisecond
+
+func TestSharedReads(t *testing.T) {
+	m := New()
+	if err := m.Acquire("t1", "r", Read, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("t2", "r", Read, tick); err != nil {
+		t.Fatalf("second reader blocked: %v", err)
+	}
+	if mode, held := m.HeldMode("r"); !held || mode != Read {
+		t.Fatalf("mode = %v held=%v", mode, held)
+	}
+}
+
+func TestWriteExcludesAll(t *testing.T) {
+	m := New()
+	if err := m.Acquire("t1", "r", Write, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("t2", "r", Read, tick); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("reader got in past writer: %v", err)
+	}
+	if err := m.Acquire("t2", "r", Write, tick); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("second writer got in: %v", err)
+	}
+}
+
+func TestReadBlocksWrite(t *testing.T) {
+	m := New()
+	if err := m.Acquire("t1", "r", Read, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("t2", "r", Write, tick); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("writer got in past reader: %v", err)
+	}
+}
+
+func TestReentrantAndUpgrade(t *testing.T) {
+	m := New()
+	if err := m.Acquire("t1", "r", Read, tick); err != nil {
+		t.Fatal(err)
+	}
+	// Reentrant read.
+	if err := m.Acquire("t1", "r", Read, tick); err != nil {
+		t.Fatalf("reentrant read: %v", err)
+	}
+	// Upgrade while sole holder.
+	if err := m.Acquire("t1", "r", Write, tick); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	if mode, _ := m.HeldMode("r"); mode != Write {
+		t.Fatalf("mode after upgrade = %v", mode)
+	}
+	// Reentrant write.
+	if err := m.Acquire("t1", "r", Write, tick); err != nil {
+		t.Fatalf("reentrant write: %v", err)
+	}
+	// Three releases later the lock is still held (4 holds).
+	for i := 0; i < 3; i++ {
+		if err := m.Release("t1", "r"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Holds("t1", "r") {
+		t.Fatal("lock dropped too early")
+	}
+	if err := m.Release("t1", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds("t1", "r") {
+		t.Fatal("lock still held after final release")
+	}
+}
+
+func TestUpgradeDeniedWithOtherReaders(t *testing.T) {
+	m := New()
+	if err := m.Acquire("t1", "r", Read, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("t2", "r", Read, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("t1", "r", Write, tick); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("upgrade with two readers: %v", err)
+	}
+}
+
+func TestWaiterWokenOnRelease(t *testing.T) {
+	m := New()
+	if err := m.Acquire("t1", "r", Write, tick); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Acquire("t2", "r", Write, 5*time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := m.Release("t1", "r"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+	if !m.Holds("t2", "r") {
+		t.Fatal("t2 does not hold the lock")
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	m := New()
+	for _, r := range []string{"a", "b", "c"} {
+		if err := m.Acquire("tx", r, Write, tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.ReleaseAll("tx"); n != 3 {
+		t.Fatalf("released %d, want 3", n)
+	}
+	for _, r := range []string{"a", "b", "c"} {
+		if m.Holds("tx", r) {
+			t.Fatalf("still holds %q", r)
+		}
+	}
+	if n := m.ReleaseAll("tx"); n != 0 {
+		t.Fatalf("second ReleaseAll freed %d", n)
+	}
+}
+
+func TestReleaseNotHeld(t *testing.T) {
+	m := New()
+	if err := m.Release("ghost", "r"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("err = %v, want ErrNotHeld", err)
+	}
+}
+
+func TestDeadlockBrokenByTimeout(t *testing.T) {
+	m := New()
+	// t1 holds a, t2 holds b; each wants the other: classic deadlock. Both
+	// must get ErrTimeout rather than hanging.
+	if err := m.Acquire("t1", "a", Write, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("t2", "b", Write, tick); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = m.Acquire("t1", "b", Write, tick) }()
+	go func() { defer wg.Done(); errs[1] = m.Acquire("t2", "a", Write, tick) }()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("leg %d: err = %v, want ErrTimeout", i, err)
+		}
+	}
+}
+
+func TestConcurrentMutualExclusion(t *testing.T) {
+	m := New()
+	var (
+		inside  atomic.Int32
+		maxSeen atomic.Int32
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			owner := string(rune('a' + id))
+			for i := 0; i < 50; i++ {
+				if err := m.Acquire(owner, "shared", Write, 10*time.Second); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				n := inside.Add(1)
+				if n > maxSeen.Load() {
+					maxSeen.Store(n)
+				}
+				inside.Add(-1)
+				if err := m.Release(owner, "shared"); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if maxSeen.Load() > 1 {
+		t.Fatalf("mutual exclusion violated: %d writers inside", maxSeen.Load())
+	}
+}

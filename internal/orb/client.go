@@ -1,0 +1,188 @@
+package orb
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+const dialTimeout = 5 * time.Second
+
+// clientConn multiplexes concurrent requests over one TCP connection.
+type clientConn struct {
+	endpoint string
+	conn     net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan reply
+	closed  bool
+}
+
+// invokeTCP performs a remote invocation over the pooled connection for
+// ref's endpoint.
+func (o *ORB) invokeTCP(ctx context.Context, ref IOR, op string, contexts []ServiceContext, body []byte) ([]byte, error) {
+	addr, ok := cutPrefix(ref.Endpoint, "tcp:")
+	if !ok {
+		return nil, Systemf(CodeNoImplement, "unreachable endpoint %q", ref.Endpoint)
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && o.callTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.callTimeout)
+		defer cancel()
+	}
+
+	c, err := o.getConn(addr, ref.Endpoint)
+	if err != nil {
+		return nil, err
+	}
+	reqID := o.reqID.Add(1)
+	ch := make(chan reply, 1)
+	if err := c.register(reqID, ch); err != nil {
+		return nil, err
+	}
+	defer c.unregister(reqID)
+
+	frame := encodeRequest(request{
+		requestID: reqID,
+		objectKey: ref.Key,
+		operation: op,
+		contexts:  contexts,
+		body:      body,
+	})
+	if err := c.send(frame); err != nil {
+		o.dropConn(c)
+		// The request never left (or partially left) this host: TRANSIENT.
+		return nil, Systemf(CodeTransient, "send to %s: %v", ref.Endpoint, err)
+	}
+
+	select {
+	case rep := <-ch:
+		return replyToResult(rep)
+	case <-ctx.Done():
+		return nil, Systemf(CodeTimeout, "invoking %s on %s: %v", op, ref.Endpoint, ctx.Err())
+	}
+}
+
+// getConn returns the pooled connection for endpoint, dialing if needed.
+func (o *ORB) getConn(addr, endpoint string) (*clientConn, error) {
+	o.connMu.Lock()
+	if c, ok := o.conns[endpoint]; ok {
+		o.connMu.Unlock()
+		return c, nil
+	}
+	o.connMu.Unlock()
+
+	nc, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, Systemf(CodeTransient, "dial %s: %v", addr, err)
+	}
+	c := &clientConn{
+		endpoint: endpoint,
+		conn:     nc,
+		pending:  make(map[uint64]chan reply),
+	}
+
+	o.connMu.Lock()
+	if existing, ok := o.conns[endpoint]; ok {
+		// Lost the dial race; use the winner.
+		o.connMu.Unlock()
+		nc.Close()
+		return existing, nil
+	}
+	o.conns[endpoint] = c
+	o.connMu.Unlock()
+
+	go c.readLoop(o)
+	return c, nil
+}
+
+// dropConn removes c from the pool and fails its pending calls.
+func (o *ORB) dropConn(c *clientConn) {
+	o.connMu.Lock()
+	if o.conns[c.endpoint] == c {
+		delete(o.conns, c.endpoint)
+	}
+	o.connMu.Unlock()
+	c.close(Systemf(CodeCommFailure, "connection to %s lost", c.endpoint))
+}
+
+func (c *clientConn) register(id uint64, ch chan reply) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Systemf(CodeTransient, "connection to %s closed", c.endpoint)
+	}
+	c.pending[id] = ch
+	return nil
+}
+
+func (c *clientConn) unregister(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.pending, id)
+}
+
+func (c *clientConn) send(frame []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.conn, frame)
+}
+
+// readLoop delivers replies to waiting callers until the connection dies.
+func (c *clientConn) readLoop(o *ORB) {
+	for {
+		frame, err := readFrame(c.conn)
+		if err != nil {
+			o.dropConn(c)
+			return
+		}
+		rep, err := decodeReply(frame)
+		if err != nil {
+			o.dropConn(c)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[rep.requestID]
+		if ok {
+			delete(c.pending, rep.requestID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- rep
+		}
+	}
+}
+
+// close fails every pending call with a COMM_FAILURE-style reply. A call
+// in flight when the connection dies has unknown completion.
+func (c *clientConn) close(cause *SystemError) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	pending := c.pending
+	c.pending = make(map[uint64]chan reply)
+	c.mu.Unlock()
+
+	c.conn.Close()
+	for id, ch := range pending {
+		ch <- reply{
+			requestID: id,
+			status:    replySystemErr,
+			errCode:   string(cause.Code),
+			errDetail: cause.Detail,
+		}
+	}
+}
+
+// endpointHost extracts the host:port from a "tcp:" endpoint, for tests
+// and tooling.
+func endpointHost(endpoint string) string {
+	return strings.TrimPrefix(endpoint, "tcp:")
+}

@@ -1,0 +1,66 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ExceptionCode identifies a system exception category, mirroring the CORBA
+// system exception minor set the Activity Service cares about.
+type ExceptionCode string
+
+// System exception codes.
+const (
+	// CodeObjectNotExist: the object key has no servant.
+	CodeObjectNotExist ExceptionCode = "OBJECT_NOT_EXIST"
+	// CodeBadOperation: the servant does not implement the operation.
+	CodeBadOperation ExceptionCode = "BAD_OPERATION"
+	// CodeCommFailure: the transport failed mid-call; completion unknown.
+	CodeCommFailure ExceptionCode = "COMM_FAILURE"
+	// CodeTransient: the request never reached the servant; safe to retry.
+	CodeTransient ExceptionCode = "TRANSIENT"
+	// CodeMarshal: the request or reply body could not be decoded.
+	CodeMarshal ExceptionCode = "MARSHAL"
+	// CodeNoImplement: no transport can reach the IOR.
+	CodeNoImplement ExceptionCode = "NO_IMPLEMENT"
+	// CodeTimeout: the invocation deadline passed.
+	CodeTimeout ExceptionCode = "TIMEOUT"
+	// codeApplication marks a user (servant-raised) error on the wire; it
+	// is unwrapped back to a plain error on the client side.
+	codeApplication ExceptionCode = "APPLICATION"
+)
+
+// SystemError is a CORBA-style system exception.
+type SystemError struct {
+	Code   ExceptionCode
+	Detail string
+}
+
+// Error implements error.
+func (e *SystemError) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("orb: %s", e.Code)
+	}
+	return fmt.Sprintf("orb: %s: %s", e.Code, e.Detail)
+}
+
+// Is matches two SystemErrors by code, enabling
+// errors.Is(err, &SystemError{Code: CodeTransient}).
+func (e *SystemError) Is(target error) bool {
+	var se *SystemError
+	if !errors.As(target, &se) {
+		return false
+	}
+	return se.Code == e.Code
+}
+
+// Systemf builds a SystemError with a formatted detail.
+func Systemf(code ExceptionCode, format string, args ...any) *SystemError {
+	return &SystemError{Code: code, Detail: fmt.Sprintf(format, args...)}
+}
+
+// IsSystem reports whether err is a SystemError with the given code.
+func IsSystem(err error, code ExceptionCode) bool {
+	var se *SystemError
+	return errors.As(err, &se) && se.Code == code
+}

@@ -1,0 +1,63 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+)
+
+// IOR is an interoperable object reference: everything a client needs to
+// invoke an object — its type, where it lives, and its key within the
+// object adapter there.
+type IOR struct {
+	// TypeID names the interface, e.g. "IDL:ActivityService/Action:1.0".
+	TypeID string
+	// Endpoint locates the hosting ORB: "inproc:<orb-id>" for same-process
+	// references or "tcp:host:port" for network references.
+	Endpoint string
+	// Key identifies the servant within its object adapter.
+	Key string
+}
+
+// ErrBadIOR reports an unparseable stringified IOR.
+var ErrBadIOR = errors.New("orb: malformed IOR")
+
+// IsZero reports whether the IOR is the zero reference (a "nil objref").
+func (r IOR) IsZero() bool { return r == IOR{} }
+
+// String renders the IOR in the stringified form
+// "IOR:<endpoint>|<typeid>|<key>".
+func (r IOR) String() string {
+	return fmt.Sprintf("IOR:%s|%s|%s", r.Endpoint, r.TypeID, r.Key)
+}
+
+// ParseIOR parses the stringified form produced by String.
+func ParseIOR(s string) (IOR, error) {
+	rest, ok := strings.CutPrefix(s, "IOR:")
+	if !ok {
+		return IOR{}, fmt.Errorf("%w: missing IOR: prefix", ErrBadIOR)
+	}
+	parts := strings.SplitN(rest, "|", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[2] == "" {
+		return IOR{}, fmt.Errorf("%w: %q", ErrBadIOR, s)
+	}
+	return IOR{Endpoint: parts[0], TypeID: parts[1], Key: parts[2]}, nil
+}
+
+// Encode writes the IOR to a CDR stream.
+func (r IOR) Encode(e *cdr.Encoder) {
+	e.WriteString(r.TypeID)
+	e.WriteString(r.Endpoint)
+	e.WriteString(r.Key)
+}
+
+// DecodeIOR reads an IOR from a CDR stream.
+func DecodeIOR(d *cdr.Decoder) IOR {
+	return IOR{
+		TypeID:   d.ReadString(),
+		Endpoint: d.ReadString(),
+		Key:      d.ReadString(),
+	}
+}

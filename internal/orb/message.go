@@ -1,0 +1,227 @@
+package orb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+)
+
+// Wire protocol ("GLOP" — GIOP-lite over plain TCP):
+//
+//	frame   = u32 length | payload               (length excludes itself)
+//	payload = "GLOP" | u8 version | u8 msgType | u16 reserved | content
+//
+// Request content: u64 requestID, string objectKey, string operation,
+// service-context list, bytes body.
+// Reply content:   u64 requestID, u8 status, service-context list, bytes
+// body (status OK) or string code + string detail (exception statuses).
+
+var protocolMagic = [4]byte{'G', 'L', 'O', 'P'}
+
+const (
+	protocolVersion = 1
+
+	msgRequest byte = 1
+	msgReply   byte = 2
+
+	replyOK        byte = 0
+	replySystemErr byte = 1
+	replyUserErr   byte = 2
+
+	// maxFrameSize guards against corrupt length prefixes.
+	maxFrameSize = 64 << 20
+)
+
+// ServiceContext is an out-of-band context entry carried with a request or
+// reply — the mechanism the Activity Service uses to propagate activity and
+// transaction context implicitly, as the CORBA specification prescribes.
+type ServiceContext struct {
+	ID   uint32
+	Data []byte
+}
+
+// Well-known service context IDs.
+const (
+	// ContextActivity carries the activity propagation context.
+	ContextActivity uint32 = 0x41435456 // "ACTV"
+	// ContextTransaction carries the OTS propagation context.
+	ContextTransaction uint32 = 0x4F545358 // "OTSX"
+)
+
+// request is a decoded request message.
+type request struct {
+	requestID uint64
+	objectKey string
+	operation string
+	contexts  []ServiceContext
+	body      []byte
+}
+
+// reply is a decoded reply message.
+type reply struct {
+	requestID uint64
+	status    byte
+	contexts  []ServiceContext
+	body      []byte // OK payload
+	errCode   string // exception code for non-OK
+	errDetail string
+}
+
+func encodeContexts(e *cdr.Encoder, ctxs []ServiceContext) {
+	e.WriteUint32(uint32(len(ctxs)))
+	for _, c := range ctxs {
+		e.WriteUint32(c.ID)
+		e.WriteBytes(c.Data)
+	}
+}
+
+func decodeContexts(d *cdr.Decoder) []ServiceContext {
+	n := d.ReadUint32()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	if int(n) > d.Remaining() {
+		return nil
+	}
+	out := make([]ServiceContext, 0, n)
+	for i := uint32(0); i < n; i++ {
+		c := ServiceContext{ID: d.ReadUint32(), Data: d.ReadBytes()}
+		if d.Err() != nil {
+			return nil
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func encodeRequest(r request) []byte {
+	e := cdr.NewEncoder(128 + len(r.body))
+	e.WriteRaw(protocolMagic[:])
+	e.WriteOctet(protocolVersion)
+	e.WriteOctet(msgRequest)
+	e.WriteUint16(0)
+	e.WriteUint64(r.requestID)
+	e.WriteString(r.objectKey)
+	e.WriteString(r.operation)
+	encodeContexts(e, r.contexts)
+	e.WriteBytes(r.body)
+	return e.Bytes()
+}
+
+func encodeReply(r reply) []byte {
+	e := cdr.NewEncoder(64 + len(r.body))
+	e.WriteRaw(protocolMagic[:])
+	e.WriteOctet(protocolVersion)
+	e.WriteOctet(msgReply)
+	e.WriteUint16(0)
+	e.WriteUint64(r.requestID)
+	e.WriteOctet(r.status)
+	encodeContexts(e, r.contexts)
+	if r.status == replyOK {
+		e.WriteBytes(r.body)
+	} else {
+		e.WriteString(r.errCode)
+		e.WriteString(r.errDetail)
+	}
+	return e.Bytes()
+}
+
+// decodeHeader validates magic and version and returns the message type.
+func decodeHeader(d *cdr.Decoder) (byte, error) {
+	var magic [4]byte
+	magic[0] = d.ReadOctet()
+	magic[1] = d.ReadOctet()
+	magic[2] = d.ReadOctet()
+	magic[3] = d.ReadOctet()
+	version := d.ReadOctet()
+	msgType := d.ReadOctet()
+	d.ReadUint16() // reserved
+	if err := d.Err(); err != nil {
+		return 0, Systemf(CodeMarshal, "short header: %v", err)
+	}
+	if magic != protocolMagic {
+		return 0, Systemf(CodeMarshal, "bad magic %q", magic[:])
+	}
+	if version != protocolVersion {
+		return 0, Systemf(CodeMarshal, "unsupported version %d", version)
+	}
+	return msgType, nil
+}
+
+func decodeRequest(b []byte) (request, error) {
+	d := cdr.NewDecoder(b)
+	msgType, err := decodeHeader(d)
+	if err != nil {
+		return request{}, err
+	}
+	if msgType != msgRequest {
+		return request{}, Systemf(CodeMarshal, "expected request, got type %d", msgType)
+	}
+	r := request{
+		requestID: d.ReadUint64(),
+		objectKey: d.ReadString(),
+		operation: d.ReadString(),
+	}
+	r.contexts = decodeContexts(d)
+	r.body = d.ReadBytes()
+	if err := d.Err(); err != nil {
+		return request{}, Systemf(CodeMarshal, "decode request: %v", err)
+	}
+	return r, nil
+}
+
+func decodeReply(b []byte) (reply, error) {
+	d := cdr.NewDecoder(b)
+	msgType, err := decodeHeader(d)
+	if err != nil {
+		return reply{}, err
+	}
+	if msgType != msgReply {
+		return reply{}, Systemf(CodeMarshal, "expected reply, got type %d", msgType)
+	}
+	r := reply{
+		requestID: d.ReadUint64(),
+		status:    d.ReadOctet(),
+	}
+	r.contexts = decodeContexts(d)
+	if r.status == replyOK {
+		r.body = d.ReadBytes()
+	} else {
+		r.errCode = d.ReadString()
+		r.errDetail = d.ReadString()
+	}
+	if err := d.Err(); err != nil {
+		return reply{}, Systemf(CodeMarshal, "decode reply: %v", err)
+	}
+	return r, nil
+}
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("orb: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,175 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+)
+
+// NameServiceTypeID is the interface id of the name service.
+const NameServiceTypeID = "IDL:GLOP/NameService:1.0"
+
+// ErrNotBound reports a name with no binding.
+var ErrNotBound = errors.New("orb: name not bound")
+
+// NameServer is the name service servant: a flat name → IOR registry,
+// standing in for CosNaming. Bind it into an ORB with Serve.
+type NameServer struct {
+	mu       sync.RWMutex
+	bindings map[string]IOR
+}
+
+// NewNameServer returns an empty name server.
+func NewNameServer() *NameServer {
+	return &NameServer{bindings: make(map[string]IOR)}
+}
+
+// Serve activates the name server on o under the well-known key "naming".
+func (n *NameServer) Serve(o *ORB) IOR {
+	return o.RegisterServantWithKey("naming", NameServiceTypeID, n)
+}
+
+// Bind binds name to ref locally (server side).
+func (n *NameServer) Bind(name string, ref IOR) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bindings[name] = ref
+}
+
+// Resolve looks a name up locally (server side).
+func (n *NameServer) Resolve(name string) (IOR, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ref, ok := n.bindings[name]
+	return ref, ok
+}
+
+// Dispatch implements Servant.
+func (n *NameServer) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byte, error) {
+	switch op {
+	case "bind":
+		name := in.ReadString()
+		ref := DecodeIOR(in)
+		if err := in.Err(); err != nil {
+			return nil, Systemf(CodeMarshal, "bind: %v", err)
+		}
+		n.Bind(name, ref)
+		return nil, nil
+	case "resolve":
+		name := in.ReadString()
+		if err := in.Err(); err != nil {
+			return nil, Systemf(CodeMarshal, "resolve: %v", err)
+		}
+		ref, ok := n.Resolve(name)
+		if !ok {
+			return nil, Systemf(CodeObjectNotExist, "name %q", name)
+		}
+		e := cdr.NewEncoder(64)
+		ref.Encode(e)
+		return e.Bytes(), nil
+	case "unbind":
+		name := in.ReadString()
+		if err := in.Err(); err != nil {
+			return nil, Systemf(CodeMarshal, "unbind: %v", err)
+		}
+		n.mu.Lock()
+		delete(n.bindings, name)
+		n.mu.Unlock()
+		return nil, nil
+	case "list":
+		n.mu.RLock()
+		names := make([]string, 0, len(n.bindings))
+		for k := range n.bindings {
+			names = append(names, k)
+		}
+		n.mu.RUnlock()
+		sort.Strings(names)
+		e := cdr.NewEncoder(64)
+		e.WriteUint32(uint32(len(names)))
+		for _, name := range names {
+			e.WriteString(name)
+		}
+		return e.Bytes(), nil
+	default:
+		return nil, Systemf(CodeBadOperation, "NameService has no operation %q", op)
+	}
+}
+
+// NameClient is the client-side proxy for a NameServer.
+type NameClient struct {
+	orb *ORB
+	ref IOR
+}
+
+// NewNameClient returns a proxy invoking the name service at ref through o.
+func NewNameClient(o *ORB, ref IOR) *NameClient {
+	return &NameClient{orb: o, ref: ref}
+}
+
+// NameServiceAt builds the IOR of the well-known name service on endpoint.
+func NameServiceAt(endpoint string) IOR {
+	return IOR{TypeID: NameServiceTypeID, Endpoint: endpoint, Key: "naming"}
+}
+
+// Bind binds name to ref.
+func (c *NameClient) Bind(ctx context.Context, name string, ref IOR) error {
+	e := cdr.NewEncoder(64)
+	e.WriteString(name)
+	ref.Encode(e)
+	_, err := c.orb.Invoke(ctx, c.ref, "bind", e.Bytes())
+	if err != nil {
+		return fmt.Errorf("naming bind %q: %w", name, err)
+	}
+	return nil
+}
+
+// Resolve returns the IOR bound to name.
+func (c *NameClient) Resolve(ctx context.Context, name string) (IOR, error) {
+	e := cdr.NewEncoder(32)
+	e.WriteString(name)
+	body, err := c.orb.Invoke(ctx, c.ref, "resolve", e.Bytes())
+	if err != nil {
+		if IsSystem(err, CodeObjectNotExist) {
+			return IOR{}, fmt.Errorf("%w: %q", ErrNotBound, name)
+		}
+		return IOR{}, fmt.Errorf("naming resolve %q: %w", name, err)
+	}
+	d := cdr.NewDecoder(body)
+	ref := DecodeIOR(d)
+	if err := d.Err(); err != nil {
+		return IOR{}, Systemf(CodeMarshal, "resolve reply: %v", err)
+	}
+	return ref, nil
+}
+
+// Unbind removes the binding for name.
+func (c *NameClient) Unbind(ctx context.Context, name string) error {
+	e := cdr.NewEncoder(32)
+	e.WriteString(name)
+	if _, err := c.orb.Invoke(ctx, c.ref, "unbind", e.Bytes()); err != nil {
+		return fmt.Errorf("naming unbind %q: %w", name, err)
+	}
+	return nil
+}
+
+// List returns all bound names in sorted order.
+func (c *NameClient) List(ctx context.Context) ([]string, error) {
+	body, err := c.orb.Invoke(ctx, c.ref, "list", nil)
+	if err != nil {
+		return nil, fmt.Errorf("naming list: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	n := d.ReadUint32()
+	names := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		names = append(names, d.ReadString())
+	}
+	if err := d.Err(); err != nil {
+		return nil, Systemf(CodeMarshal, "list reply: %v", err)
+	}
+	return names, nil
+}

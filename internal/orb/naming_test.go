@@ -1,0 +1,104 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func newNamingFixture(t *testing.T) (*ORB, *ORB, *NameClient) {
+	t.Helper()
+	server := New()
+	t.Cleanup(server.Shutdown)
+	ns := NewNameServer()
+	ns.Serve(server)
+	endpoint, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New()
+	t.Cleanup(client.Shutdown)
+	nc := NewNameClient(client, NameServiceAt(endpoint))
+	return server, client, nc
+}
+
+func TestNamingBindResolve(t *testing.T) {
+	server, _, nc := newNamingFixture(t)
+	ctx := context.Background()
+
+	target := server.RegisterServant("IDL:test/Echo:1.0", echoServant{})
+	target, _ = server.IOR(target.Key)
+	if err := nc.Bind(ctx, "services/echo", target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nc.Resolve(ctx, "services/echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != target {
+		t.Fatalf("resolved %+v, want %+v", got, target)
+	}
+}
+
+func TestNamingResolveUnbound(t *testing.T) {
+	_, _, nc := newNamingFixture(t)
+	_, err := nc.Resolve(context.Background(), "no/such/name")
+	if !errors.Is(err, ErrNotBound) {
+		t.Fatalf("err = %v, want ErrNotBound", err)
+	}
+}
+
+func TestNamingUnbind(t *testing.T) {
+	server, _, nc := newNamingFixture(t)
+	ctx := context.Background()
+	ref := server.RegisterServant("IDL:test/Echo:1.0", echoServant{})
+	if err := nc.Bind(ctx, "temp", ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Unbind(ctx, "temp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Resolve(ctx, "temp"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("err = %v after unbind", err)
+	}
+}
+
+func TestNamingList(t *testing.T) {
+	server, _, nc := newNamingFixture(t)
+	ctx := context.Background()
+	ref := server.RegisterServant("IDL:test/Echo:1.0", echoServant{})
+	for _, name := range []string{"zebra", "alpha", "mike"} {
+		if err := nc.Bind(ctx, name, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := nc.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mike", "zebra"}
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want sorted %v", names, want)
+		}
+	}
+}
+
+func TestNamingRebindReplaces(t *testing.T) {
+	server, _, nc := newNamingFixture(t)
+	ctx := context.Background()
+	r1 := server.RegisterServant("IDL:test/Echo:1.0", echoServant{})
+	r2 := server.RegisterServant("IDL:test/Echo:1.0", echoServant{})
+	_ = nc.Bind(ctx, "svc", r1)
+	_ = nc.Bind(ctx, "svc", r2)
+	got, err := nc.Resolve(ctx, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != r2.Key {
+		t.Fatalf("resolved key %q, want %q", got.Key, r2.Key)
+	}
+}

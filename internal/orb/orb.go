@@ -1,0 +1,330 @@
+// Package orb is the distribution substrate: a GIOP-lite object request
+// broker standing in for the CORBA ORB the paper assumes.
+//
+// It provides what the Activity Service needs from CORBA and nothing more:
+// interoperable object references (IOR), an object adapter dispatching
+// operations to servants, location-transparent invocation over an
+// in-process fast path or framed TCP, per-request service contexts (used
+// for implicit activity/transaction context propagation), client/server
+// interceptors, CORBA-style system exceptions, and a name service.
+//
+// The substitution is documented in DESIGN.md: the wire format is not IIOP,
+// but it preserves the properties the paper relies on — request/reply with
+// service contexts and the standard failure surface (TRANSIENT,
+// COMM_FAILURE, OBJECT_NOT_EXIST).
+package orb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/ids"
+)
+
+// Servant is an object implementation. Dispatch handles one operation,
+// decoding arguments from in and returning the encoded reply body.
+// Returning a *SystemError produces a system exception at the caller;
+// any other error arrives as a *RemoteError.
+type Servant interface {
+	Dispatch(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error)
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error)
+
+// Dispatch implements Servant.
+func (f ServantFunc) Dispatch(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error) {
+	return f(ctx, op, in)
+}
+
+// RemoteError is a user (application) error raised by a remote servant.
+type RemoteError struct {
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return e.Message }
+
+// ClientInterceptor runs before an outgoing invocation; it returns service
+// contexts to attach to the request (e.g. the current activity context).
+type ClientInterceptor func(ctx context.Context, ref IOR, op string) ([]ServiceContext, error)
+
+// ServerInterceptor runs before dispatch on the receiving side; it derives
+// the handler context from the request's service contexts (e.g. resuming
+// the propagated activity).
+type ServerInterceptor func(ctx context.Context, contexts []ServiceContext) (context.Context, error)
+
+// inprocRegistry locates ORBs in this process by id, so "inproc:" IORs work
+// across ORB instances without a network hop.
+var inprocRegistry sync.Map // string -> *ORB
+
+type servantEntry struct {
+	servant Servant
+	typeID  string
+}
+
+// ORB is an object request broker: object adapter, client and server
+// transports, and interceptor chains.
+type ORB struct {
+	id          string
+	gen         *ids.Generator
+	callTimeout time.Duration
+
+	mu       sync.RWMutex
+	servants map[string]servantEntry
+	clientIC []ClientInterceptor
+	serverIC []ServerInterceptor
+	bound    string // "tcp:host:port" once listening
+	shutdown bool
+
+	srv *server
+
+	connMu sync.Mutex
+	conns  map[string]*clientConn
+	reqID  atomic.Uint64
+}
+
+// ORBOption configures an ORB.
+type ORBOption interface {
+	apply(*ORB)
+}
+
+type orbOptionFunc func(*ORB)
+
+func (f orbOptionFunc) apply(o *ORB) { f(o) }
+
+// WithCallTimeout sets the default invocation deadline when the caller's
+// context carries none.
+func WithCallTimeout(d time.Duration) ORBOption {
+	return orbOptionFunc(func(o *ORB) { o.callTimeout = d })
+}
+
+// New returns a running ORB (in-process only until Listen is called).
+func New(opts ...ORBOption) *ORB {
+	gen := ids.NewGenerator()
+	o := &ORB{
+		id:          gen.New().String(),
+		gen:         gen,
+		callTimeout: 10 * time.Second,
+		servants:    make(map[string]servantEntry),
+		conns:       make(map[string]*clientConn),
+	}
+	for _, opt := range opts {
+		opt.apply(o)
+	}
+	inprocRegistry.Store(o.id, o)
+	return o
+}
+
+// ID returns the ORB's process-unique identifier.
+func (o *ORB) ID() string { return o.id }
+
+// AddClientInterceptor appends an interceptor to the outgoing chain.
+func (o *ORB) AddClientInterceptor(ic ClientInterceptor) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.clientIC = append(o.clientIC, ic)
+}
+
+// AddServerInterceptor appends an interceptor to the incoming chain.
+func (o *ORB) AddServerInterceptor(ic ServerInterceptor) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.serverIC = append(o.serverIC, ic)
+}
+
+// RegisterServant activates s under a fresh key and returns its IOR.
+func (o *ORB) RegisterServant(typeID string, s Servant) IOR {
+	return o.RegisterServantWithKey(o.gen.New().String(), typeID, s)
+}
+
+// RegisterServantWithKey activates s under the given key (stable keys
+// support recovery: a restarted server re-registers servants under the keys
+// embedded in persisted IORs).
+func (o *ORB) RegisterServantWithKey(key, typeID string, s Servant) IOR {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.servants[key] = servantEntry{servant: s, typeID: typeID}
+	return o.iorLocked(key, typeID)
+}
+
+// Deactivate removes the servant under key.
+func (o *ORB) Deactivate(key string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.servants, key)
+}
+
+// IOR returns the current reference for an activated key.
+func (o *ORB) IOR(key string) (IOR, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	e, ok := o.servants[key]
+	if !ok {
+		return IOR{}, false
+	}
+	return o.iorLocked(key, e.typeID), true
+}
+
+func (o *ORB) iorLocked(key, typeID string) IOR {
+	endpoint := "inproc:" + o.id
+	if o.bound != "" {
+		endpoint = o.bound
+	}
+	return IOR{TypeID: typeID, Endpoint: endpoint, Key: key}
+}
+
+// Endpoint returns the network endpoint ("tcp:host:port") once listening,
+// or the in-process endpoint otherwise.
+func (o *ORB) Endpoint() string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if o.bound != "" {
+		return o.bound
+	}
+	return "inproc:" + o.id
+}
+
+// Shutdown stops the server transport, closes client connections and
+// deactivates the ORB. It is idempotent.
+func (o *ORB) Shutdown() {
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		return
+	}
+	o.shutdown = true
+	srv := o.srv
+	o.srv = nil
+	o.mu.Unlock()
+
+	inprocRegistry.Delete(o.id)
+	if srv != nil {
+		srv.stop()
+	}
+	o.connMu.Lock()
+	conns := o.conns
+	o.conns = make(map[string]*clientConn)
+	o.connMu.Unlock()
+	for _, c := range conns {
+		c.close(Systemf(CodeCommFailure, "orb shut down"))
+	}
+}
+
+// Invoke calls operation op on the object ref with the given request body.
+// It chooses the in-process fast path when ref lives in this process and
+// TCP otherwise. The reply body is returned on success.
+func (o *ORB) Invoke(ctx context.Context, ref IOR, op string, body []byte) ([]byte, error) {
+	if ref.IsZero() {
+		return nil, Systemf(CodeObjectNotExist, "nil object reference")
+	}
+	o.mu.RLock()
+	ics := o.clientIC
+	down := o.shutdown
+	o.mu.RUnlock()
+	if down {
+		return nil, Systemf(CodeCommFailure, "orb shut down")
+	}
+
+	var contexts []ServiceContext
+	for _, ic := range ics {
+		cs, err := ic(ctx, ref, op)
+		if err != nil {
+			return nil, fmt.Errorf("orb: client interceptor: %w", err)
+		}
+		contexts = append(contexts, cs...)
+	}
+
+	if target, ok := o.localTarget(ref); ok {
+		rep := target.dispatch(ctx, request{
+			requestID: o.reqID.Add(1),
+			objectKey: ref.Key,
+			operation: op,
+			contexts:  contexts,
+			body:      body,
+		})
+		return replyToResult(rep)
+	}
+	return o.invokeTCP(ctx, ref, op, contexts, body)
+}
+
+// localTarget resolves ref to an ORB in this process, if possible.
+func (o *ORB) localTarget(ref IOR) (*ORB, bool) {
+	if id, ok := cutPrefix(ref.Endpoint, "inproc:"); ok {
+		if v, ok := inprocRegistry.Load(id); ok {
+			return v.(*ORB), true
+		}
+		return nil, false
+	}
+	// A TCP reference to our own bound endpoint short-circuits.
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if o.bound != "" && ref.Endpoint == o.bound {
+		return o, true
+	}
+	return nil, false
+}
+
+// dispatch runs a request against the local object adapter.
+func (o *ORB) dispatch(ctx context.Context, req request) reply {
+	o.mu.RLock()
+	entry, ok := o.servants[req.objectKey]
+	ics := o.serverIC
+	o.mu.RUnlock()
+	if !ok {
+		return errorReply(req.requestID, Systemf(CodeObjectNotExist, "key %q", req.objectKey))
+	}
+	for _, ic := range ics {
+		var err error
+		ctx, err = ic(ctx, req.contexts)
+		if err != nil {
+			return errorReply(req.requestID, Systemf(CodeTransient, "server interceptor: %v", err))
+		}
+	}
+	body, err := entry.servant.Dispatch(ctx, req.operation, cdr.NewDecoder(req.body))
+	if err != nil {
+		return errorReply(req.requestID, err)
+	}
+	return reply{requestID: req.requestID, status: replyOK, body: body}
+}
+
+// errorReply encodes an error into a reply message.
+func errorReply(requestID uint64, err error) reply {
+	if se, ok := err.(*SystemError); ok {
+		return reply{
+			requestID: requestID,
+			status:    replySystemErr,
+			errCode:   string(se.Code),
+			errDetail: se.Detail,
+		}
+	}
+	return reply{
+		requestID: requestID,
+		status:    replyUserErr,
+		errCode:   string(codeApplication),
+		errDetail: err.Error(),
+	}
+}
+
+// replyToResult converts a reply message back into (body, error).
+func replyToResult(rep reply) ([]byte, error) {
+	switch rep.status {
+	case replyOK:
+		return rep.body, nil
+	case replySystemErr:
+		return nil, &SystemError{Code: ExceptionCode(rep.errCode), Detail: rep.errDetail}
+	default:
+		return nil, &RemoteError{Message: rep.errDetail}
+	}
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}

@@ -1,0 +1,122 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// server is the TCP request transport.
+type server struct {
+	orb *ORB
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Listen starts accepting invocations on addr (e.g. "127.0.0.1:0") and
+// returns the bound endpoint in "tcp:host:port" form. IORs issued after
+// Listen carry the network endpoint.
+func (o *ORB) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("orb: listen %s: %w", addr, err)
+	}
+	srv := &server{
+		orb:   o,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	bound := "tcp:" + ln.Addr().String()
+
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		ln.Close()
+		return "", Systemf(CodeCommFailure, "orb shut down")
+	}
+	if o.srv != nil {
+		o.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("orb: already listening on %s", o.bound)
+	}
+	o.srv = srv
+	o.bound = bound
+	o.mu.Unlock()
+
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return bound, nil
+}
+
+func (s *server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			// Transient accept errors: keep serving until stopped.
+			continue
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := decodeRequest(frame)
+		if err != nil {
+			// Cannot correlate a reply for an undecodable request; drop the
+			// connection so the client fails fast.
+			return
+		}
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			rep := s.orb.dispatch(context.Background(), req)
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = writeFrame(conn, encodeReply(rep))
+		}()
+	}
+}
+
+// stop closes the listener and every live connection, then waits for
+// handlers to drain.
+func (s *server) stop() {
+	close(s.done)
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

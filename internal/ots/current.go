@@ -1,0 +1,95 @@
+package ots
+
+import (
+	"context"
+	"fmt"
+)
+
+// contextKey is the private key type for transaction propagation.
+type contextKey struct{}
+
+// WithTransaction returns a context carrying tx, the Go analogue of the
+// CORBA per-thread transaction Current.
+func WithTransaction(ctx context.Context, tx *Transaction) context.Context {
+	return context.WithValue(ctx, contextKey{}, tx)
+}
+
+// FromContext returns the transaction carried by ctx, if any. A context
+// whose transaction was popped by Current.Commit/Rollback carries none.
+func FromContext(ctx context.Context) (*Transaction, bool) {
+	tx, _ := ctx.Value(contextKey{}).(*Transaction)
+	return tx, tx != nil
+}
+
+// Current provides CosTransactions::Current-style demarcation over
+// context.Context: Begin nests automatically when the context already
+// carries a transaction.
+type Current struct {
+	svc *Service
+}
+
+// NewCurrent returns a Current bound to svc.
+func NewCurrent(svc *Service) *Current { return &Current{svc: svc} }
+
+// Begin starts a transaction. If ctx already carries one, the new
+// transaction is a subtransaction of it. The returned context carries the
+// new transaction.
+func (c *Current) Begin(ctx context.Context, opts ...BeginOption) (context.Context, *Transaction, error) {
+	if parent, ok := FromContext(ctx); ok {
+		sub, err := parent.BeginSubtransaction()
+		if err != nil {
+			return ctx, nil, err
+		}
+		return WithTransaction(ctx, sub), sub, nil
+	}
+	tx := c.svc.Begin(opts...)
+	return WithTransaction(ctx, tx), tx, nil
+}
+
+// Commit completes the context's transaction and returns a context
+// carrying its parent (or none for a top-level transaction).
+func (c *Current) Commit(ctx context.Context, reportHeuristics bool) (context.Context, error) {
+	tx, ok := FromContext(ctx)
+	if !ok {
+		return ctx, fmt.Errorf("%w: no transaction in context", ErrInactive)
+	}
+	err := tx.Commit(reportHeuristics)
+	return c.pop(ctx, tx), err
+}
+
+// Rollback undoes the context's transaction and returns a context carrying
+// its parent.
+func (c *Current) Rollback(ctx context.Context) (context.Context, error) {
+	tx, ok := FromContext(ctx)
+	if !ok {
+		return ctx, fmt.Errorf("%w: no transaction in context", ErrInactive)
+	}
+	err := tx.Rollback()
+	return c.pop(ctx, tx), err
+}
+
+// RollbackOnly marks the context's transaction rollback-only.
+func (c *Current) RollbackOnly(ctx context.Context) error {
+	tx, ok := FromContext(ctx)
+	if !ok {
+		return fmt.Errorf("%w: no transaction in context", ErrInactive)
+	}
+	return tx.RollbackOnly()
+}
+
+// Status returns the status of the context's transaction, or false when
+// the context carries none.
+func (c *Current) Status(ctx context.Context) (Status, bool) {
+	tx, ok := FromContext(ctx)
+	if !ok {
+		return 0, false
+	}
+	return tx.Status(), true
+}
+
+func (c *Current) pop(ctx context.Context, tx *Transaction) context.Context {
+	if tx.Parent() != nil {
+		return WithTransaction(ctx, tx.Parent())
+	}
+	return WithTransaction(ctx, nil)
+}

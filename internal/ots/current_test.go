@@ -1,0 +1,107 @@
+package ots
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestCurrentBeginCommit(t *testing.T) {
+	svc := NewService()
+	cur := NewCurrent(svc)
+	ctx := context.Background()
+
+	ctx, tx, err := cur.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := FromContext(ctx); !ok || got != tx {
+		t.Fatal("context does not carry the transaction")
+	}
+	if st, ok := cur.Status(ctx); !ok || st != StatusActive {
+		t.Fatalf("status = %v ok=%v", st, ok)
+	}
+	ctx, err = cur.Commit(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := FromContext(ctx); ok {
+		t.Fatal("context still carries a transaction after top-level commit")
+	}
+}
+
+func TestCurrentNestsAutomatically(t *testing.T) {
+	svc := NewService()
+	cur := NewCurrent(svc)
+	ctx := context.Background()
+
+	ctx, top, err := cur.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, sub, err := cur.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Parent() != top {
+		t.Fatal("second Begin did not nest")
+	}
+	ctx, err = cur.Commit(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Popped back to the parent.
+	if got, ok := FromContext(ctx); !ok || got != top {
+		t.Fatal("context does not carry the parent after nested commit")
+	}
+	if _, err := cur.Commit(ctx, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurrentRollbackPops(t *testing.T) {
+	svc := NewService()
+	cur := NewCurrent(svc)
+	ctx, top, _ := cur.Begin(context.Background())
+	ctx, _, _ = cur.Begin(ctx)
+	ctx, err := cur.Rollback(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := FromContext(ctx); got != top {
+		t.Fatal("rollback did not pop to parent")
+	}
+	if top.Status() != StatusActive {
+		t.Fatalf("parent status = %s", top.Status())
+	}
+}
+
+func TestCurrentNoTransaction(t *testing.T) {
+	svc := NewService()
+	cur := NewCurrent(svc)
+	ctx := context.Background()
+	if _, err := cur.Commit(ctx, true); !errors.Is(err, ErrInactive) {
+		t.Fatalf("commit err = %v", err)
+	}
+	if _, err := cur.Rollback(ctx); !errors.Is(err, ErrInactive) {
+		t.Fatalf("rollback err = %v", err)
+	}
+	if err := cur.RollbackOnly(ctx); !errors.Is(err, ErrInactive) {
+		t.Fatalf("rollback-only err = %v", err)
+	}
+	if _, ok := cur.Status(ctx); ok {
+		t.Fatal("status reported for empty context")
+	}
+}
+
+func TestCurrentRollbackOnly(t *testing.T) {
+	svc := NewService()
+	cur := NewCurrent(svc)
+	ctx, _, _ := cur.Begin(context.Background())
+	if err := cur.RollbackOnly(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Commit(ctx, true); !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("commit err = %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package ots
+
+import (
+	"fmt"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/ids"
+	"github.com/extendedtx/activityservice/internal/wal"
+)
+
+// Log record kinds used by the transaction service.
+const (
+	// RecordDecision is a durable commit decision: the transaction will
+	// commit, listing the recovery names of its prepared participants.
+	// Presumed abort means this is the only record that must be forced
+	// before phase two.
+	RecordDecision wal.Kind = 0x11
+	// RecordDone marks a decision as fully delivered, allowing the decision
+	// record to be garbage-collected at the next checkpoint.
+	RecordDone wal.Kind = 0x12
+)
+
+// decisionRecord is the decoded form of a RecordDecision entry.
+type decisionRecord struct {
+	tx    ids.UID
+	names []string
+}
+
+func encodeDecision(tx ids.UID, names []string) []byte {
+	e := cdr.NewEncoder(64)
+	e.WriteRaw(tx[:])
+	e.WriteUint32(uint32(len(names)))
+	for _, n := range names {
+		e.WriteString(n)
+	}
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func decodeDecision(b []byte) (decisionRecord, error) {
+	var rec decisionRecord
+	if len(b) < 16 {
+		return rec, fmt.Errorf("ots: decision record too short (%d bytes)", len(b))
+	}
+	copy(rec.tx[:], b[:16])
+	d := cdr.NewDecoder(b[16:])
+	n := d.ReadUint32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		rec.names = append(rec.names, d.ReadString())
+	}
+	if err := d.Err(); err != nil {
+		return rec, fmt.Errorf("ots: decode decision: %w", err)
+	}
+	return rec, nil
+}
+
+func encodeDone(tx ids.UID) []byte {
+	out := make([]byte, 16)
+	copy(out, tx[:])
+	return out
+}
+
+func decodeDone(b []byte) (ids.UID, error) {
+	var u ids.UID
+	if len(b) < 16 {
+		return u, fmt.Errorf("ots: done record too short (%d bytes)", len(b))
+	}
+	copy(u[:], b[:16])
+	return u, nil
+}
+
+// logDecision forces the commit decision for the prepared participants.
+// Without a log the service runs non-durably and the decision is a no-op.
+func (t *Transaction) logDecision(prepared []registeredResource) error {
+	if t.svc.log == nil {
+		return nil
+	}
+	names := make([]string, 0, len(prepared))
+	for _, p := range prepared {
+		if p.name != "" {
+			names = append(names, p.name)
+		}
+	}
+	_, err := t.svc.log.Append(RecordDecision, encodeDecision(t.id, names))
+	return err
+}
+
+// logDone marks the decision delivered; best-effort (losing it only causes
+// harmless re-delivery of idempotent commits on recovery).
+func (t *Transaction) logDone() {
+	if t.svc.log == nil {
+		return
+	}
+	_, _ = t.svc.log.Append(RecordDone, encodeDone(t.id))
+}

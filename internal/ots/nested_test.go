@@ -1,0 +1,238 @@
+package ots
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// awareResource records subtransaction callbacks in addition to the plain
+// Resource protocol.
+type awareResource struct {
+	fakeResource
+
+	subCommits   int
+	subRollbacks int
+	subCommitErr error
+	lastParent   *Transaction
+}
+
+func (a *awareResource) CommitSubtransaction(parent *Transaction) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.subCommits++
+	a.lastParent = parent
+	a.calls = append(a.calls, "commit_subtransaction")
+	return a.subCommitErr
+}
+
+func (a *awareResource) RollbackSubtransaction() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.subRollbacks++
+	a.calls = append(a.calls, "rollback_subtransaction")
+	return nil
+}
+
+func TestSubtransactionCommitPropagatesResources(t *testing.T) {
+	svc := NewService()
+	top := svc.Begin()
+	sub, err := top.BeginSubtransaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Depth() != 1 || sub.Parent() != top || sub.TopLevel() != top {
+		t.Fatal("hierarchy wiring wrong")
+	}
+	aware := &awareResource{fakeResource: fakeResource{name: "aw", vote: VoteCommit}}
+	plain := newFake("plain")
+	_ = sub.RegisterResource(aware)
+	_ = sub.RegisterResource(plain)
+
+	if err := sub.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Status() != StatusCommitted {
+		t.Fatalf("sub status = %s", sub.Status())
+	}
+	if aware.subCommits != 1 || aware.lastParent != top {
+		t.Fatalf("subCommits = %d parent ok=%v", aware.subCommits, aware.lastParent == top)
+	}
+	// Until the top level commits, nothing has prepared or committed.
+	for _, c := range plain.Calls() {
+		if c == "prepare" || c == "commit" {
+			t.Fatalf("plain resource saw %s before top-level completion", c)
+		}
+	}
+
+	// Top-level commit drives the inherited resources through 2PC.
+	if err := top.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	pc := plain.Calls()
+	if len(pc) != 2 || pc[0] != "prepare" || pc[1] != "commit" {
+		t.Fatalf("plain calls after top commit = %v", pc)
+	}
+}
+
+func TestSubtransactionRollbackIsIndependent(t *testing.T) {
+	svc := NewService()
+	top := svc.Begin()
+	sub, _ := top.BeginSubtransaction()
+	aware := &awareResource{fakeResource: fakeResource{name: "aw", vote: VoteCommit}}
+	plain := newFake("plain")
+	_ = sub.RegisterResource(aware)
+	_ = sub.RegisterResource(plain)
+
+	if err := sub.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if aware.subRollbacks != 1 {
+		t.Fatalf("subRollbacks = %d", aware.subRollbacks)
+	}
+	pc := plain.Calls()
+	if len(pc) != 1 || pc[0] != "rollback" {
+		t.Fatalf("plain calls = %v", pc)
+	}
+	// The parent continues unharmed: failure confinement (paper §1).
+	if top.Status() != StatusActive {
+		t.Fatalf("top status = %s", top.Status())
+	}
+	if err := top.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentRollbackCascades(t *testing.T) {
+	svc := NewService()
+	top := svc.Begin()
+	sub, _ := top.BeginSubtransaction()
+	subsub, _ := sub.BeginSubtransaction()
+	r := newFake("deep")
+	_ = subsub.RegisterResource(r)
+
+	if err := top.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Status() != StatusRolledBack || subsub.Status() != StatusRolledBack {
+		t.Fatalf("statuses: sub=%s subsub=%s", sub.Status(), subsub.Status())
+	}
+	calls := r.Calls()
+	if len(calls) != 1 || calls[0] != "rollback" {
+		t.Fatalf("calls = %v", calls)
+	}
+}
+
+func TestCommitWithOutstandingChildrenRollsBack(t *testing.T) {
+	svc := NewService()
+	top := svc.Begin()
+	sub, _ := top.BeginSubtransaction()
+	r := newFake("child-resource")
+	_ = sub.RegisterResource(r)
+
+	if err := top.Commit(true); !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("err = %v", err)
+	}
+	if sub.Status() != StatusRolledBack || top.Status() != StatusRolledBack {
+		t.Fatalf("statuses: top=%s sub=%s", top.Status(), sub.Status())
+	}
+}
+
+func TestSubCommitRefusalVetoes(t *testing.T) {
+	svc := NewService()
+	top := svc.Begin()
+	sub, _ := top.BeginSubtransaction()
+	aware := &awareResource{fakeResource: fakeResource{name: "aw", vote: VoteCommit}}
+	aware.subCommitErr = errors.New("refuse")
+	_ = sub.RegisterResource(aware)
+	if err := sub.Commit(true); !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("err = %v", err)
+	}
+	if sub.Status() != StatusRolledBack {
+		t.Fatalf("sub status = %s", sub.Status())
+	}
+	if top.Status() != StatusActive {
+		t.Fatalf("top status = %s", top.Status())
+	}
+}
+
+func TestDeepNestingCommitChain(t *testing.T) {
+	svc := NewService()
+	top := svc.Begin()
+	cur := top
+	const depth = 8
+	var leaves []*Transaction
+	for i := 0; i < depth; i++ {
+		sub, err := cur.BeginSubtransaction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves = append(leaves, sub)
+		cur = sub
+	}
+	r := newFake("leaf")
+	_ = cur.RegisterResource(r)
+	if cur.Depth() != depth {
+		t.Fatalf("depth = %d", cur.Depth())
+	}
+	// Commit innermost-out.
+	for i := len(leaves) - 1; i >= 0; i-- {
+		if err := leaves[i].Commit(true); err != nil {
+			t.Fatalf("commit depth %d: %v", i+1, err)
+		}
+	}
+	if err := top.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	calls := r.Calls()
+	if len(calls) != 1 || calls[0] != "commit_one_phase" {
+		t.Fatalf("leaf calls = %v", calls)
+	}
+}
+
+func TestConcurrentSiblingSubtransactions(t *testing.T) {
+	svc := NewService()
+	top := svc.Begin()
+	var wg sync.WaitGroup
+	const n = 16
+	resources := make([]*fakeResource, n)
+	for i := 0; i < n; i++ {
+		sub, err := top.BeginSubtransaction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resources[i] = newFake("r")
+		_ = sub.RegisterResource(resources[i])
+		wg.Add(1)
+		go func(s *Transaction, commit bool) {
+			defer wg.Done()
+			if commit {
+				_ = s.Commit(true)
+			} else {
+				_ = s.Rollback()
+			}
+		}(sub, i%2 == 0)
+	}
+	wg.Wait()
+	if err := top.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	// Every even resource committed at top level, every odd rolled back.
+	for i, r := range resources {
+		sawCommit, sawRollback := false, false
+		for _, c := range r.Calls() {
+			switch c {
+			case "commit", "commit_one_phase":
+				sawCommit = true
+			case "rollback":
+				sawRollback = true
+			}
+		}
+		if i%2 == 0 && !sawCommit {
+			t.Errorf("resource %d never committed: %v", i, r.Calls())
+		}
+		if i%2 == 1 && !sawRollback {
+			t.Errorf("resource %d never rolled back: %v", i, r.Calls())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package ots
+
+import (
+	"fmt"
+
+	"github.com/extendedtx/activityservice/internal/ids"
+	"github.com/extendedtx/activityservice/internal/wal"
+)
+
+// RecoveryStats summarises one recovery pass.
+type RecoveryStats struct {
+	// DecisionsReplayed counts commit decisions that were re-driven.
+	DecisionsReplayed int
+	// ResourcesCommitted counts participants that received commit.
+	ResourcesCommitted int
+	// ResourcesMissing counts participant names with no directory binding;
+	// their decisions stay in the log for a later pass.
+	ResourcesMissing int
+}
+
+// Recover replays the decision log after a restart: every transaction with
+// a durable commit decision but no done marker has commit re-delivered to
+// its named participants (participants must be idempotent — delivery is
+// at-least-once). Participants that were prepared but have no decision
+// record are presumed aborted; they learn that via ReplayCompletion.
+func (s *Service) Recover() (RecoveryStats, error) {
+	var stats RecoveryStats
+	if s.log == nil {
+		return stats, nil
+	}
+	decisions, done, err := s.scanLog()
+	if err != nil {
+		return stats, err
+	}
+	for tx, rec := range decisions {
+		if done[tx] {
+			continue
+		}
+		stats.DecisionsReplayed++
+		missing := false
+		for _, name := range rec.names {
+			r, ok := s.dir.Lookup(name)
+			if !ok {
+				missing = true
+				stats.ResourcesMissing++
+				continue
+			}
+			t := &Transaction{svc: s} // carrier for the retry policy
+			if err := t.deliverCommit(r); err != nil {
+				missing = true
+				continue
+			}
+			stats.ResourcesCommitted++
+		}
+		if !missing {
+			if _, err := s.log.Append(RecordDone, encodeDone(tx)); err != nil {
+				return stats, fmt.Errorf("ots: recovery done record: %w", err)
+			}
+		}
+	}
+	return stats, nil
+}
+
+// ReplayCompletion tells a prepared participant its transaction's outcome:
+// StatusCommitted when a durable commit decision names it, otherwise
+// StatusRolledBack (presumed abort).
+func (s *Service) ReplayCompletion(resourceName string) (Status, error) {
+	if s.log == nil {
+		return StatusRolledBack, nil
+	}
+	decisions, _, err := s.scanLog()
+	if err != nil {
+		return StatusRolledBack, err
+	}
+	for _, rec := range decisions {
+		for _, n := range rec.names {
+			if n == resourceName {
+				return StatusCommitted, nil
+			}
+		}
+	}
+	return StatusRolledBack, nil
+}
+
+// CheckpointLog compacts the decision log, dropping decisions whose done
+// marker is present.
+func (s *Service) CheckpointLog() error {
+	if s.log == nil {
+		return nil
+	}
+	_, done, err := s.scanLog()
+	if err != nil {
+		return err
+	}
+	return s.log.Checkpoint(func(r wal.Record) bool {
+		switch r.Kind {
+		case RecordDecision:
+			rec, err := decodeDecision(r.Data)
+			if err != nil {
+				return false
+			}
+			return !done[rec.tx]
+		case RecordDone:
+			tx, err := decodeDone(r.Data)
+			if err != nil {
+				return false
+			}
+			// A done marker is only needed while its decision remains.
+			return !done[tx]
+		default:
+			// Records owned by other subsystems sharing the log are kept.
+			return true
+		}
+	})
+}
+
+func (s *Service) scanLog() (map[ids.UID]decisionRecord, map[ids.UID]bool, error) {
+	decisions := make(map[ids.UID]decisionRecord)
+	done := make(map[ids.UID]bool)
+	err := s.log.Replay(func(r wal.Record) error {
+		switch r.Kind {
+		case RecordDecision:
+			rec, err := decodeDecision(r.Data)
+			if err != nil {
+				return err
+			}
+			decisions[rec.tx] = rec
+		case RecordDone:
+			tx, err := decodeDone(r.Data)
+			if err != nil {
+				return err
+			}
+			done[tx] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ots: scan log: %w", err)
+	}
+	return decisions, done, nil
+}

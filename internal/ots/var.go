@@ -1,0 +1,224 @@
+package ots
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/ids"
+	"github.com/extendedtx/activityservice/internal/lockmgr"
+)
+
+// ErrWriteConflict reports that a Var is locked by another transaction
+// family and the lock wait timed out.
+var ErrWriteConflict = errors.New("ots: write conflict")
+
+// Var is a transactional variable: strict two-phase-locked, with a
+// before-image for rollback. It enlists itself with a transaction on first
+// use and supports nesting (a subtransaction's update propagates to the
+// parent on provisional commit; locks are retained until top-level
+// completion, per the paper's retention semantics).
+type Var struct {
+	name  string
+	locks *lockmgr.Manager
+	wait  time.Duration
+
+	mu        sync.Mutex
+	committed []byte
+	pending   map[ids.UID][]byte // tx id -> uncommitted value
+	enlisted  map[ids.UID]bool   // tx ids with a registered varResource
+	families  map[string]int     // family owner -> live varResource count
+}
+
+// NewVar returns a Var named name holding initial, using locks for
+// isolation with the given lock wait budget.
+func NewVar(name string, initial []byte, locks *lockmgr.Manager, wait time.Duration) *Var {
+	return &Var{
+		name:      name,
+		locks:     locks,
+		wait:      wait,
+		committed: append([]byte(nil), initial...),
+		pending:   make(map[ids.UID][]byte),
+		enlisted:  make(map[ids.UID]bool),
+		families:  make(map[string]int),
+	}
+}
+
+// Name returns the variable name.
+func (v *Var) Name() string { return v.name }
+
+// Get reads the value as seen by tx: its own pending write, an ancestor's
+// pending write, or the committed value. A nil tx reads committed state
+// without locking.
+func (v *Var) Get(tx *Transaction) ([]byte, error) {
+	if tx != nil {
+		if err := v.locks.Acquire(familyOwner(tx), v.name, lockmgr.Read, v.wait); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWriteConflict, err)
+		}
+		if err := v.enlist(tx); err != nil {
+			return nil, err
+		}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for t := tx; t != nil; t = t.Parent() {
+		if val, ok := v.pending[t.ID()]; ok {
+			return append([]byte(nil), val...), nil
+		}
+	}
+	return append([]byte(nil), v.committed...), nil
+}
+
+// Set writes the value under tx, enlisting the Var with tx on first use.
+// Lock ownership is keyed by the top-level transaction so that nested
+// transactions of one family do not conflict with each other. A nil tx
+// writes committed state directly.
+func (v *Var) Set(tx *Transaction, value []byte) error {
+	if tx == nil {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		v.committed = append([]byte(nil), value...)
+		return nil
+	}
+	if err := v.locks.Acquire(familyOwner(tx), v.name, lockmgr.Write, v.wait); err != nil {
+		return fmt.Errorf("%w: %v", ErrWriteConflict, err)
+	}
+	if err := v.enlist(tx); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.pending[tx.ID()] = append([]byte(nil), value...)
+	return nil
+}
+
+// Committed returns the durably committed value.
+func (v *Var) Committed() []byte {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]byte(nil), v.committed...)
+}
+
+// enlist registers a varResource with tx exactly once.
+func (v *Var) enlist(tx *Transaction) error {
+	v.mu.Lock()
+	if v.enlisted[tx.ID()] {
+		v.mu.Unlock()
+		return nil
+	}
+	v.enlisted[tx.ID()] = true
+	v.families[familyOwner(tx)]++
+	v.mu.Unlock()
+	if err := tx.RegisterResource(&varResource{v: v, tx: tx}); err != nil {
+		v.mu.Lock()
+		delete(v.enlisted, tx.ID())
+		v.families[familyOwner(tx)]--
+		v.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// discharge decrements the family's live resource count and, when it
+// reaches zero, releases every lock the family holds on this variable.
+func (v *Var) discharge(family string) {
+	v.mu.Lock()
+	v.families[family]--
+	done := v.families[family] <= 0
+	if done {
+		delete(v.families, family)
+	}
+	v.mu.Unlock()
+	if !done {
+		return
+	}
+	for v.locks.Holds(family, v.name) {
+		if err := v.locks.Release(family, v.name); err != nil {
+			return
+		}
+	}
+}
+
+// familyOwner keys lock ownership by the top-level transaction.
+func familyOwner(tx *Transaction) string {
+	return tx.TopLevel().ID().String()
+}
+
+// varResource adapts one (Var, transaction) pair to the Resource protocol.
+type varResource struct {
+	v  *Var
+	tx *Transaction
+}
+
+var _ SubtransactionAwareResource = (*varResource)(nil)
+
+func (r *varResource) Prepare() (Vote, error) {
+	r.v.mu.Lock()
+	_, dirty := r.v.pending[r.tx.ID()]
+	if !dirty {
+		delete(r.v.enlisted, r.tx.ID())
+	}
+	r.v.mu.Unlock()
+	if !dirty {
+		// Read-only participants are finished at prepare; discharge so the
+		// family's locks can release once no writer remains.
+		r.v.discharge(familyOwner(r.tx))
+		return VoteReadOnly, nil
+	}
+	return VoteCommit, nil
+}
+
+func (r *varResource) Commit() error {
+	r.v.mu.Lock()
+	if val, ok := r.v.pending[r.tx.ID()]; ok {
+		r.v.committed = val
+		delete(r.v.pending, r.tx.ID())
+	}
+	delete(r.v.enlisted, r.tx.ID())
+	r.v.mu.Unlock()
+	r.v.discharge(familyOwner(r.tx))
+	return nil
+}
+
+func (r *varResource) Rollback() error {
+	r.v.mu.Lock()
+	delete(r.v.pending, r.tx.ID())
+	delete(r.v.enlisted, r.tx.ID())
+	r.v.mu.Unlock()
+	r.v.discharge(familyOwner(r.tx))
+	return nil
+}
+
+func (r *varResource) CommitOnePhase() error { return r.Commit() }
+
+func (r *varResource) Forget() error { return nil }
+
+// CommitSubtransaction re-keys the pending value to the parent, retaining
+// the write (and the family's locks) until the top level completes.
+func (r *varResource) CommitSubtransaction(parent *Transaction) error {
+	r.v.mu.Lock()
+	defer r.v.mu.Unlock()
+	if val, ok := r.v.pending[r.tx.ID()]; ok {
+		delete(r.v.pending, r.tx.ID())
+		r.v.pending[parent.ID()] = val
+	}
+	delete(r.v.enlisted, r.tx.ID())
+	// This resource instance is inherited by the parent; follow it so the
+	// top-level protocol applies the propagated value. The family resource
+	// count is unchanged: same family, same live resource.
+	r.v.enlisted[parent.ID()] = true
+	r.tx = parent
+	return nil
+}
+
+func (r *varResource) RollbackSubtransaction() error {
+	r.v.mu.Lock()
+	delete(r.v.pending, r.tx.ID())
+	delete(r.v.enlisted, r.tx.ID())
+	r.v.mu.Unlock()
+	// The family's other resources (if any) keep the locks; when this was
+	// the family's only interest the locks release immediately.
+	r.v.discharge(familyOwner(r.tx))
+	return nil
+}

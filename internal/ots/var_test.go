@@ -1,0 +1,204 @@
+package ots
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/lockmgr"
+)
+
+const lockWait = 50 * time.Millisecond
+
+func newTestVar(t *testing.T, initial string) (*Service, *Var) {
+	t.Helper()
+	return NewService(), NewVar("v", []byte(initial), lockmgr.New(), lockWait)
+}
+
+func TestVarCommitInstallsValue(t *testing.T) {
+	svc, v := newTestVar(t, "old")
+	tx := svc.Begin()
+	if err := v.Set(tx, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted: other observers still see the old value.
+	if got := v.Committed(); string(got) != "old" {
+		t.Fatalf("committed = %q before commit", got)
+	}
+	// The writer reads its own write.
+	got, err := v.Get(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("own read = %q", got)
+	}
+	if err := tx.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Committed(); string(got) != "new" {
+		t.Fatalf("committed = %q after commit", got)
+	}
+}
+
+func TestVarRollbackDiscards(t *testing.T) {
+	svc, v := newTestVar(t, "orig")
+	tx := svc.Begin()
+	_ = v.Set(tx, []byte("doomed"))
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Committed(); string(got) != "orig" {
+		t.Fatalf("committed = %q after rollback", got)
+	}
+}
+
+func TestVarWriteConflictTimesOut(t *testing.T) {
+	svc, v := newTestVar(t, "x")
+	t1 := svc.Begin()
+	t2 := svc.Begin()
+	if err := v.Set(t1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Set(t2, []byte("two")); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("err = %v, want ErrWriteConflict", err)
+	}
+	// After t1 finishes, t2 can write.
+	if err := t1.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Set(t2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Committed(); string(got) != "two" {
+		t.Fatalf("committed = %q", got)
+	}
+}
+
+func TestVarReadersBlockWriters(t *testing.T) {
+	svc, v := newTestVar(t, "x")
+	reader := svc.Begin()
+	if _, err := v.Get(reader); err != nil {
+		t.Fatal(err)
+	}
+	writer := svc.Begin()
+	if err := v.Set(writer, []byte("w")); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("err = %v, want conflict while read lock held", err)
+	}
+	// Reader holds the lock until completion (strict 2PL).
+	_ = reader.Rollback()
+}
+
+func TestVarNestedCommitPropagates(t *testing.T) {
+	svc, v := newTestVar(t, "base")
+	top := svc.Begin()
+	sub, err := top.BeginSubtransaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Set(sub, []byte("nested-write")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	// Provisional: not yet durable.
+	if got := v.Committed(); string(got) != "base" {
+		t.Fatalf("committed = %q after provisional commit", got)
+	}
+	// The parent now sees the child's write.
+	got, err := v.Get(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "nested-write" {
+		t.Fatalf("parent read = %q", got)
+	}
+	if err := top.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Committed(); string(got) != "nested-write" {
+		t.Fatalf("committed = %q after top commit", got)
+	}
+}
+
+func TestVarNestedRollbackConfined(t *testing.T) {
+	svc, v := newTestVar(t, "base")
+	top := svc.Begin()
+	_ = v.Set(top, []byte("parent-write"))
+	sub, _ := top.BeginSubtransaction()
+	_ = v.Set(sub, []byte("child-write"))
+	if err := sub.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// The parent's own write survives the child's failure.
+	got, err := v.Get(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "parent-write" {
+		t.Fatalf("parent read = %q", got)
+	}
+	if err := top.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Committed(); string(got) != "parent-write" {
+		t.Fatalf("committed = %q", got)
+	}
+}
+
+func TestVarSiblingsShareFamilyLock(t *testing.T) {
+	svc, v := newTestVar(t, "base")
+	top := svc.Begin()
+	s1, _ := top.BeginSubtransaction()
+	if err := v.Set(s1, []byte("s1")); err != nil {
+		t.Fatal(err)
+	}
+	_ = s1.Commit(true)
+	s2, _ := top.BeginSubtransaction()
+	// Same family: no conflict even though s1's lock is retained.
+	if err := v.Set(s2, []byte("s2")); err != nil {
+		t.Fatalf("sibling write conflicted: %v", err)
+	}
+	_ = s2.Commit(true)
+	if err := top.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Committed(); string(got) != "s2" {
+		t.Fatalf("committed = %q", got)
+	}
+}
+
+func TestVarLocksReleasedAfterCompletion(t *testing.T) {
+	svc, v := newTestVar(t, "x")
+	t1 := svc.Begin()
+	_ = v.Set(t1, []byte("a"))
+	_ = t1.Commit(true)
+	t2 := svc.Begin()
+	if err := v.Set(t2, []byte("b")); err != nil {
+		t.Fatalf("lock leaked after commit: %v", err)
+	}
+	_ = t2.Rollback()
+	t3 := svc.Begin()
+	if err := v.Set(t3, []byte("c")); err != nil {
+		t.Fatalf("lock leaked after rollback: %v", err)
+	}
+	_ = t3.Commit(true)
+}
+
+func TestVarNilTransactionDirectAccess(t *testing.T) {
+	_, v := newTestVar(t, "x")
+	if err := v.Set(nil, []byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Get(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "direct" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,55 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/extendedtx/activityservice/internal/core"
+	"github.com/extendedtx/activityservice/internal/orb"
+)
+
+// propagatedKey carries the decoded inbound activity context.
+type propagatedKey struct{}
+
+// InstallPropagation wires the implicit activity-context propagation onto
+// o: outgoing requests made from within an activity carry the activity's
+// PropagationContext in the ContextActivity service context, and inbound
+// requests expose it through PropagatedFrom. This is the Activity Service's
+// use of the ORB service-context mechanism (fig. 3).
+func InstallPropagation(o *orb.ORB) {
+	o.AddClientInterceptor(func(ctx context.Context, _ orb.IOR, _ string) ([]orb.ServiceContext, error) {
+		a, ok := core.FromContext(ctx)
+		if !ok {
+			return nil, nil
+		}
+		pc, err := a.PropagationContext()
+		if err != nil {
+			return nil, fmt.Errorf("remote: build propagation context: %w", err)
+		}
+		data, err := pc.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("remote: marshal propagation context: %w", err)
+		}
+		return []orb.ServiceContext{{ID: orb.ContextActivity, Data: data}}, nil
+	})
+	o.AddServerInterceptor(func(ctx context.Context, contexts []orb.ServiceContext) (context.Context, error) {
+		for _, sc := range contexts {
+			if sc.ID != orb.ContextActivity {
+				continue
+			}
+			pc, err := core.UnmarshalPropagationContext(sc.Data)
+			if err != nil {
+				return ctx, fmt.Errorf("remote: decode propagation context: %w", err)
+			}
+			return context.WithValue(ctx, propagatedKey{}, pc), nil
+		}
+		return ctx, nil
+	})
+}
+
+// PropagatedFrom returns the inbound activity context attached by the
+// server interceptor, if the request was made from within an activity.
+func PropagatedFrom(ctx context.Context) (*core.PropagationContext, bool) {
+	pc, _ := ctx.Value(propagatedKey{}).(*core.PropagationContext)
+	return pc, pc != nil
+}

@@ -1,0 +1,96 @@
+// Package remote bridges the Activity Service (internal/core) onto the ORB
+// (internal/orb), letting extended transactions "span a network of systems
+// connected indirectly by some distribution infrastructure" as the paper's
+// abstract puts it.
+//
+// It provides: Action servants and proxies (a coordinator on one node
+// signalling Actions on another), activity coordinator servants and proxies
+// (remote registration and completion), and interceptors that propagate the
+// activity context implicitly in a request's service context, mirroring how
+// the CORBA Activity Service rides on the ORB's service-context mechanism.
+package remote
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/core"
+	"github.com/extendedtx/activityservice/internal/orb"
+)
+
+// Interface type ids.
+const (
+	// ActionTypeID is the interface id of exported Actions.
+	ActionTypeID = "IDL:ActivityService/Action:1.0"
+	// CoordinatorTypeID is the interface id of exported activity
+	// coordinators.
+	CoordinatorTypeID = "IDL:ActivityService/ActivityCoordinator:1.0"
+)
+
+// actionServant adapts a core.Action to the ORB.
+type actionServant struct {
+	action core.Action
+}
+
+// Dispatch implements orb.Servant.
+func (s *actionServant) Dispatch(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error) {
+	if op != "process_signal" {
+		return nil, orb.Systemf(orb.CodeBadOperation, "Action has no operation %q", op)
+	}
+	sig, err := core.DecodeSignal(in)
+	if err != nil {
+		return nil, orb.Systemf(orb.CodeMarshal, "process_signal: %v", err)
+	}
+	out, err := s.action.ProcessSignal(ctx, sig)
+	if err != nil {
+		return nil, err // user errors surface as RemoteError at the caller
+	}
+	e := cdr.NewEncoder(64)
+	if err := out.Encode(e); err != nil {
+		return nil, orb.Systemf(orb.CodeMarshal, "encode outcome: %v", err)
+	}
+	return e.Bytes(), nil
+}
+
+// ExportAction activates action on o and returns its reference.
+func ExportAction(o *orb.ORB, action core.Action) orb.IOR {
+	return o.RegisterServant(ActionTypeID, &actionServant{action: action})
+}
+
+// ExportActionWithKey activates action under a stable key (for recovery).
+func ExportActionWithKey(o *orb.ORB, key string, action core.Action) orb.IOR {
+	return o.RegisterServantWithKey(key, ActionTypeID, &actionServant{action: action})
+}
+
+// remoteAction is the client-side proxy: a core.Action whose ProcessSignal
+// is a remote invocation.
+type remoteAction struct {
+	orb *orb.ORB
+	ref orb.IOR
+}
+
+// ImportAction returns a core.Action proxy for the Action at ref.
+func ImportAction(o *orb.ORB, ref orb.IOR) core.Action {
+	return &remoteAction{orb: o, ref: ref}
+}
+
+// ProcessSignal implements core.Action.
+func (r *remoteAction) ProcessSignal(ctx context.Context, sig Signal) (core.Outcome, error) {
+	e := cdr.NewEncoder(64)
+	if err := sig.Encode(e); err != nil {
+		return core.Outcome{}, fmt.Errorf("remote: encode signal: %w", err)
+	}
+	body, err := r.orb.Invoke(ctx, r.ref, "process_signal", e.Bytes())
+	if err != nil {
+		return core.Outcome{}, fmt.Errorf("remote: process_signal on %s: %w", r.ref.Key, err)
+	}
+	out, err := core.DecodeOutcome(cdr.NewDecoder(body))
+	if err != nil {
+		return core.Outcome{}, fmt.Errorf("remote: decode outcome: %w", err)
+	}
+	return out, nil
+}
+
+// Signal aliases core.Signal for the proxy signature.
+type Signal = core.Signal

@@ -1,0 +1,136 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/orb"
+	"github.com/extendedtx/activityservice/internal/ots"
+)
+
+// ResourceTypeID is the interface id of exported transaction resources.
+const ResourceTypeID = "IDL:CosTransactions/Resource:1.0"
+
+// resourceServant adapts an ots.Resource to the ORB, so a transaction
+// coordinator on one node can drive two-phase commit over participants on
+// other nodes — the distributed OTS deployment the paper's fig. 3 assumes.
+type resourceServant struct {
+	res ots.Resource
+}
+
+// Dispatch implements orb.Servant.
+func (s *resourceServant) Dispatch(_ context.Context, op string, _ *cdr.Decoder) ([]byte, error) {
+	switch op {
+	case "prepare":
+		vote, err := s.res.Prepare()
+		if err != nil {
+			return nil, err
+		}
+		e := cdr.NewEncoder(4)
+		e.WriteOctet(byte(vote))
+		return e.Bytes(), nil
+	case "commit":
+		return nil, s.res.Commit()
+	case "rollback":
+		return nil, s.res.Rollback()
+	case "commit_one_phase":
+		return nil, s.res.CommitOnePhase()
+	case "forget":
+		return nil, s.res.Forget()
+	default:
+		return nil, orb.Systemf(orb.CodeBadOperation, "Resource has no operation %q", op)
+	}
+}
+
+// ExportResource activates r on o and returns its reference.
+func ExportResource(o *orb.ORB, r ots.Resource) orb.IOR {
+	return o.RegisterServant(ResourceTypeID, &resourceServant{res: r})
+}
+
+// ExportResourceWithKey activates r under a stable key, so a restarted
+// server can re-register the resource at the reference persisted in a
+// coordinator's decision log.
+func ExportResourceWithKey(o *orb.ORB, key string, r ots.Resource) orb.IOR {
+	return o.RegisterServantWithKey(key, ResourceTypeID, &resourceServant{res: r})
+}
+
+// remoteResource is the coordinator-side proxy: an ots.Resource whose
+// protocol methods are remote invocations. Its recovery name is the
+// stringified IOR, so a logged commit decision can be re-driven against
+// the same object after a coordinator restart (see BindRemoteResources).
+type remoteResource struct {
+	orb *orb.ORB
+	ref orb.IOR
+}
+
+var _ ots.NamedResource = (*remoteResource)(nil)
+
+// ImportResource returns an ots.Resource proxy for the resource at ref.
+func ImportResource(o *orb.ORB, ref orb.IOR) ots.NamedResource {
+	return &remoteResource{orb: o, ref: ref}
+}
+
+// RecoveryName implements ots.NamedResource.
+func (r *remoteResource) RecoveryName() string { return r.ref.String() }
+
+func (r *remoteResource) invoke(op string) ([]byte, error) {
+	body, err := r.orb.Invoke(context.Background(), r.ref, op, nil)
+	if err != nil {
+		return nil, fmt.Errorf("remote: resource %s on %s: %w", op, r.ref.Key, err)
+	}
+	return body, nil
+}
+
+// Prepare implements ots.Resource.
+func (r *remoteResource) Prepare() (ots.Vote, error) {
+	body, err := r.invoke("prepare")
+	if err != nil {
+		return ots.VoteRollback, err
+	}
+	d := cdr.NewDecoder(body)
+	vote := ots.Vote(d.ReadOctet())
+	if err := d.Err(); err != nil {
+		return ots.VoteRollback, orb.Systemf(orb.CodeMarshal, "prepare reply: %v", err)
+	}
+	return vote, nil
+}
+
+// Commit implements ots.Resource.
+func (r *remoteResource) Commit() error {
+	_, err := r.invoke("commit")
+	return err
+}
+
+// Rollback implements ots.Resource.
+func (r *remoteResource) Rollback() error {
+	_, err := r.invoke("rollback")
+	return err
+}
+
+// CommitOnePhase implements ots.Resource.
+func (r *remoteResource) CommitOnePhase() error {
+	_, err := r.invoke("commit_one_phase")
+	return err
+}
+
+// Forget implements ots.Resource.
+func (r *remoteResource) Forget() error {
+	_, err := r.invoke("forget")
+	return err
+}
+
+// BindRemoteResources registers a directory resolver that turns the
+// stringified-IOR recovery names written by remoteResource back into live
+// proxies after a coordinator restart, so Service.Recover can re-drive
+// phase two across the network.
+func BindRemoteResources(o *orb.ORB, dir *ots.Directory, names []string) error {
+	for _, name := range names {
+		ref, err := orb.ParseIOR(name)
+		if err != nil {
+			return fmt.Errorf("remote: bind %q: %w", name, err)
+		}
+		dir.Register(name, ImportResource(o, ref))
+	}
+	return nil
+}

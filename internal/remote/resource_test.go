@@ -1,0 +1,182 @@
+package remote
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/extendedtx/activityservice/internal/orb"
+	"github.com/extendedtx/activityservice/internal/ots"
+	"github.com/extendedtx/activityservice/internal/wal"
+)
+
+// slotResource is a capacity-1 participant with observable state.
+type slotResource struct {
+	mu    sync.Mutex
+	vote  ots.Vote
+	state string
+}
+
+func (s *slotResource) set(v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = v
+}
+
+func (s *slotResource) State() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+func (s *slotResource) Prepare() (ots.Vote, error) {
+	s.set("prepared")
+	return s.vote, nil
+}
+
+func (s *slotResource) Commit() error         { s.set("committed"); return nil }
+func (s *slotResource) Rollback() error       { s.set("rolledback"); return nil }
+func (s *slotResource) CommitOnePhase() error { return s.Commit() }
+func (s *slotResource) Forget() error         { return nil }
+
+func TestDistributedOTSTwoPhaseCommit(t *testing.T) {
+	coordinatorORB := orb.New()
+	t.Cleanup(coordinatorORB.Shutdown)
+
+	var resources []*slotResource
+	var refs []orb.IOR
+	for i := 0; i < 3; i++ {
+		node := orb.New()
+		t.Cleanup(node.Shutdown)
+		r := &slotResource{vote: ots.VoteCommit}
+		resources = append(resources, r)
+		ref := ExportResource(node, r)
+		if _, err := node.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		ref, _ = node.IOR(ref.Key)
+		refs = append(refs, ref)
+	}
+
+	svc := ots.NewService()
+	tx := svc.Begin()
+	for _, ref := range refs {
+		if err := tx.RegisterResource(ImportResource(coordinatorORB, ref)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resources {
+		if r.State() != "committed" {
+			t.Fatalf("resource %d state = %q", i, r.State())
+		}
+	}
+}
+
+func TestDistributedOTSVetoRollsBack(t *testing.T) {
+	coordinatorORB := orb.New()
+	t.Cleanup(coordinatorORB.Shutdown)
+	node := orb.New()
+	t.Cleanup(node.Shutdown)
+
+	good := &slotResource{vote: ots.VoteCommit}
+	veto := &slotResource{vote: ots.VoteRollback}
+	goodRef := ExportResource(node, good)
+	vetoRef := ExportResource(node, veto)
+	if _, err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	goodRef, _ = node.IOR(goodRef.Key)
+	vetoRef, _ = node.IOR(vetoRef.Key)
+
+	svc := ots.NewService()
+	tx := svc.Begin()
+	_ = tx.RegisterResource(ImportResource(coordinatorORB, goodRef))
+	_ = tx.RegisterResource(ImportResource(coordinatorORB, vetoRef))
+	if err := tx.Commit(true); !errors.Is(err, ots.ErrRolledBack) {
+		t.Fatalf("err = %v", err)
+	}
+	if good.State() != "rolledback" {
+		t.Fatalf("good state = %q", good.State())
+	}
+}
+
+func TestRemoteResourceRecoveryNameIsIOR(t *testing.T) {
+	node := orb.New()
+	t.Cleanup(node.Shutdown)
+	ref := ExportResource(node, &slotResource{vote: ots.VoteCommit})
+	proxy := ImportResource(node, ref)
+	parsed, err := orb.ParseIOR(proxy.RecoveryName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != ref {
+		t.Fatalf("recovery name round trip: %+v != %+v", parsed, ref)
+	}
+}
+
+func TestDistributedRecoveryRedeliversCommit(t *testing.T) {
+	// Coordinator crash between decision and phase two, with the
+	// participant on another node: after restart, BindRemoteResources
+	// turns the logged IOR names back into proxies and Recover re-drives
+	// commit over the network.
+	participantORB := orb.New()
+	t.Cleanup(participantORB.Shutdown)
+	res := &slotResource{vote: ots.VoteCommit}
+	// Stable key: the participant re-registers at the same reference after
+	// its own restarts.
+	ref := ExportResourceWithKey(participantORB, "slot-1", res)
+	if _, err := participantORB.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ = participantORB.IOR(ref.Key)
+
+	log := wal.NewMemory()
+	coordORB := orb.New()
+	t.Cleanup(coordORB.Shutdown)
+	svc := ots.NewService(ots.WithLog(log))
+	tx := svc.Begin()
+	_ = tx.RegisterResource(ImportResource(coordORB, ref))
+	_ = tx.RegisterResource(ImportResource(coordORB, ref)) // two branches
+	if err := tx.Commit(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash image: decision only.
+	recs, err := log.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashLog := wal.NewMemory()
+	if _, err := crashLog.Append(recs[0].Kind, recs[0].Data); err != nil {
+		t.Fatal(err)
+	}
+	res.set("prepared") // phase two never happened from the new process' view
+
+	dir := ots.NewDirectory()
+	if err := BindRemoteResources(coordORB, dir, []string{ref.String()}); err != nil {
+		t.Fatal(err)
+	}
+	svc2 := ots.NewService(ots.WithLog(crashLog), ots.WithDirectory(dir))
+	stats, err := svc2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DecisionsReplayed != 1 || stats.ResourcesCommitted == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if res.State() != "committed" {
+		t.Fatalf("state = %q after recovery", res.State())
+	}
+}
+
+func TestBindRemoteResourcesRejectsGarbage(t *testing.T) {
+	node := orb.New()
+	t.Cleanup(node.Shutdown)
+	dir := ots.NewDirectory()
+	if err := BindRemoteResources(node, dir, []string{"not-an-ior"}); err == nil {
+		t.Fatal("garbage name accepted")
+	}
+}

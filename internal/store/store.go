@@ -1,0 +1,146 @@
+// Package store is the persistence service of the paper's fig. 3: a
+// versioned key-value object store.
+//
+// Recoverable application objects (the examples' bulletin boards, name
+// server databases and booking services) keep their committed state here.
+// Every Put returns a monotonically increasing version, which the LRUOW
+// model uses for its performance-phase consistency predicates, and
+// snapshots give transactions before-images for rollback.
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// Versioned is a value with its version number.
+type Versioned struct {
+	Value   []byte
+	Version uint64
+}
+
+// Store is an in-memory versioned KV store, safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string]Versioned
+	version uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string]Versioned)}
+}
+
+// Get returns the value and version for key, and whether it exists.
+func (s *Store) Get(key string) ([]byte, uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, 0, false
+	}
+	out := make([]byte, len(v.Value))
+	copy(out, v.Value)
+	return out, v.Version, true
+}
+
+// Put stores value under key and returns the new version.
+func (s *Store) Put(key string, value []byte) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.data[key] = Versioned{Value: v, Version: s.version}
+	return s.version
+}
+
+// CompareAndPut stores value only if the current version of key equals
+// expect (0 means "key absent"). It reports whether the write happened and
+// returns the resulting (or current) version.
+func (s *Store) CompareAndPut(key string, value []byte, expect uint64) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.data[key]
+	curVersion := uint64(0)
+	if ok {
+		curVersion = cur.Version
+	}
+	if curVersion != expect {
+		return curVersion, false
+	}
+	s.version++
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.data[key] = Versioned{Value: v, Version: s.version}
+	return s.version, true
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[key]; !ok {
+		return false
+	}
+	delete(s.data, key)
+	s.version++
+	return true
+}
+
+// Version returns the key's current version, 0 if absent.
+func (s *Store) Version(key string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[key].Version
+}
+
+// Keys returns all keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Snapshot returns a deep copy of the store contents, used as a
+// before-image set for rollback.
+func (s *Store) Snapshot() map[string]Versioned {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]Versioned, len(s.data))
+	for k, v := range s.data {
+		val := make([]byte, len(v.Value))
+		copy(val, v.Value)
+		out[k] = Versioned{Value: val, Version: v.Version}
+	}
+	return out
+}
+
+// Restore replaces the store contents with a snapshot.
+func (s *Store) Restore(snap map[string]Versioned) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string]Versioned, len(snap))
+	maxV := s.version
+	for k, v := range snap {
+		val := make([]byte, len(v.Value))
+		copy(val, v.Value)
+		s.data[k] = Versioned{Value: val, Version: v.Version}
+		if v.Version > maxV {
+			maxV = v.Version
+		}
+	}
+	s.version = maxV
+}

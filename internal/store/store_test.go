@@ -1,0 +1,175 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	v1 := s.Put("k", []byte("one"))
+	got, ver, ok := s.Get("k")
+	if !ok || !bytes.Equal(got, []byte("one")) || ver != v1 {
+		t.Fatalf("got %q ver %d ok %v", got, ver, ok)
+	}
+	if _, _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestVersionsIncrease(t *testing.T) {
+	s := New()
+	prev := uint64(0)
+	for i := 0; i < 10; i++ {
+		v := s.Put("k", []byte{byte(i)})
+		if v <= prev {
+			t.Fatalf("version %d not > %d", v, prev)
+		}
+		prev = v
+	}
+	other := s.Put("other", nil)
+	if other <= prev {
+		t.Fatal("global version not monotonic across keys")
+	}
+}
+
+func TestCompareAndPut(t *testing.T) {
+	s := New()
+	// Create when absent: expect 0.
+	v, ok := s.CompareAndPut("k", []byte("a"), 0)
+	if !ok || v == 0 {
+		t.Fatalf("create: v=%d ok=%v", v, ok)
+	}
+	// Stale expectation fails and reports current version.
+	cur, ok := s.CompareAndPut("k", []byte("b"), v+99)
+	if ok || cur != v {
+		t.Fatalf("stale CAS: cur=%d ok=%v", cur, ok)
+	}
+	// Correct expectation succeeds.
+	v2, ok := s.CompareAndPut("k", []byte("b"), v)
+	if !ok || v2 <= v {
+		t.Fatalf("CAS: v2=%d ok=%v", v2, ok)
+	}
+	got, _, _ := s.Get("k")
+	if string(got) != "b" {
+		t.Fatalf("value = %q", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("x"))
+	if !s.Delete("k") {
+		t.Fatal("delete existing returned false")
+	}
+	if s.Delete("k") {
+		t.Fatal("delete missing returned true")
+	}
+	if s.Version("k") != 0 {
+		t.Fatal("deleted key has version")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("abc"))
+	got, _, _ := s.Get("k")
+	got[0] = 'Z'
+	again, _, _ := s.Get("k")
+	if string(again) != "abc" {
+		t.Fatalf("store mutated through returned slice: %q", again)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		s.Put(k, nil)
+	}
+	keys := s.Keys()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v", keys)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	snap := s.Snapshot()
+
+	s.Put("a", []byte("dirty"))
+	s.Delete("b")
+	s.Put("c", []byte("3"))
+
+	s.Restore(snap)
+	if got, _, _ := s.Get("a"); string(got) != "1" {
+		t.Fatalf("a = %q after restore", got)
+	}
+	if got, _, ok := s.Get("b"); !ok || string(got) != "2" {
+		t.Fatalf("b = %q ok=%v after restore", got, ok)
+	}
+	if _, _, ok := s.Get("c"); ok {
+		t.Fatal("c survived restore")
+	}
+	// Versions must stay monotonic after restore.
+	before := s.Version("a")
+	v := s.Put("a", []byte("post"))
+	if v <= before {
+		t.Fatalf("version went backwards: %d <= %d", v, before)
+	}
+}
+
+func TestSnapshotIsDeep(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("orig"))
+	snap := s.Snapshot()
+	snap["k"].Value[0] = 'X'
+	if got, _, _ := s.Get("k"); string(got) != "orig" {
+		t.Fatalf("snapshot aliases store: %q", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", id)
+			for i := 0; i < 200; i++ {
+				s.Put(key, []byte{byte(i)})
+				if v, _, ok := s.Get(key); !ok || int(v[0]) > i {
+					t.Errorf("lost write on %s", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestQuickPutGetRoundTrip(t *testing.T) {
+	f := func(key string, val []byte) bool {
+		s := New()
+		s.Put(key, val)
+		got, _, ok := s.Get(key)
+		return ok && bytes.Equal(got, val)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

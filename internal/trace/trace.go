@@ -1,0 +1,197 @@
+// Package trace records the interactions between activity coordinators,
+// SignalSets and Actions as an ordered event stream.
+//
+// The paper's evaluation artifacts are sequence charts (figs. 8, 10, 11,
+// 12) and timelines (figs. 1, 2, 4). A Recorder captures each protocol step
+// as it happens; cmd/figures and the integration tests render or assert the
+// captured sequence against the paper's. Recording is optional everywhere —
+// a nil *Recorder is valid and drops all events.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a recorded event.
+type Kind int
+
+// Event kinds, in protocol vocabulary matching the paper's figures.
+const (
+	// KindGetSignal records the coordinator asking a SignalSet for a signal
+	// ("get_signal()" in fig. 8).
+	KindGetSignal Kind = iota + 1
+	// KindTransmit records a signal being sent to one action ("prepare" →
+	// Action arrows).
+	KindTransmit
+	// KindResponse records the action's outcome being fed back to the set
+	// ("set_response()").
+	KindResponse
+	// KindGetOutcome records the final collation ("get_outcome()").
+	KindGetOutcome
+	// KindBegin records an activity or transaction starting.
+	KindBegin
+	// KindComplete records an activity or transaction completing.
+	KindComplete
+	// KindNote records free-form scenario annotations ("t4 aborts").
+	KindNote
+)
+
+var kindNames = map[Kind]string{
+	KindGetSignal:  "get_signal",
+	KindTransmit:   "transmit",
+	KindResponse:   "set_response",
+	KindGetOutcome: "get_outcome",
+	KindBegin:      "begin",
+	KindComplete:   "complete",
+	KindNote:       "note",
+}
+
+// String returns the protocol name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded protocol step.
+type Event struct {
+	Seq    int       // position in the recorded order, starting at 0
+	At     time.Time // wall-clock capture time
+	Kind   Kind
+	Source string // emitting party (coordinator, activity, set)
+	Target string // receiving party (action, set), may be empty
+	Signal string // signal or outcome name, may be empty
+	Detail string // free-form annotation
+}
+
+// String renders the event in the arrow notation used by cmd/figures.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%3d %-12s %s", e.Seq, e.Kind, e.Source)
+	if e.Target != "" {
+		fmt.Fprintf(&b, " -> %s", e.Target)
+	}
+	if e.Signal != "" {
+		fmt.Fprintf(&b, " %q", e.Signal)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// Recorder accumulates events. The zero value is ready to use; a nil
+// *Recorder discards everything. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	now    func() time.Time
+}
+
+// New returns an empty Recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends an event. No-op on a nil receiver.
+func (r *Recorder) Record(kind Kind, source, target, signal, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now
+	if r.now != nil {
+		now = r.now
+	}
+	r.events = append(r.events, Event{
+		Seq:    len(r.events),
+		At:     now(),
+		Kind:   kind,
+		Source: source,
+		Target: target,
+		Signal: signal,
+		Detail: detail,
+	})
+}
+
+// Notef records a KindNote event with a formatted detail string.
+func (r *Recorder) Notef(source, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(KindNote, source, "", "", fmt.Sprintf(format, args...))
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// Render returns the whole sequence in arrow notation, one event per line.
+func (r *Recorder) Render() string {
+	evs := r.Events()
+	lines := make([]string, len(evs))
+	for i, e := range evs {
+		lines[i] = e.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Sequence returns the compact "kind:source->target:signal" forms, which
+// tests compare against the paper's charts ignoring timestamps and seq.
+func (r *Recorder) Sequence() []string {
+	evs := r.Events()
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = CompactEvent(e)
+	}
+	return out
+}
+
+// CompactEvent formats an event as "kind:source->target:signal" with empty
+// segments elided.
+func CompactEvent(e Event) string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	b.WriteByte(':')
+	b.WriteString(e.Source)
+	if e.Target != "" {
+		b.WriteString("->")
+		b.WriteString(e.Target)
+	}
+	if e.Signal != "" {
+		b.WriteByte(':')
+		b.WriteString(e.Signal)
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(KindTransmit, "a", "b", "prepare", "")
+	r.Notef("x", "hello %d", 1)
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder returned events: %v", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("nil recorder Len = %d", r.Len())
+	}
+	r.Reset()
+}
+
+func TestRecordOrder(t *testing.T) {
+	r := New()
+	r.Record(KindGetSignal, "coord", "set", "prepare", "")
+	r.Record(KindTransmit, "coord", "action1", "prepare", "")
+	r.Record(KindResponse, "action1", "set", "done", "")
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Errorf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+	if evs[1].Target != "action1" {
+		t.Errorf("event 1 target = %q", evs[1].Target)
+	}
+}
+
+func TestSequenceCompactForm(t *testing.T) {
+	r := New()
+	r.Record(KindGetSignal, "coord", "2pc", "", "")
+	r.Record(KindTransmit, "coord", "a1", "prepare", "")
+	got := r.Sequence()
+	want := []string{"get_signal:coord->2pc", "transmit:coord->a1:prepare"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("seq[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRenderContainsAllEvents(t *testing.T) {
+	r := New()
+	r.Record(KindBegin, "A", "", "", "top-level")
+	r.Record(KindComplete, "A", "", "", "success")
+	s := r.Render()
+	if !strings.Contains(s, "begin") || !strings.Contains(s, "complete") {
+		t.Fatalf("render missing events:\n%s", s)
+	}
+	if strings.Count(s, "\n") != 1 {
+		t.Fatalf("render should have exactly 2 lines:\n%s", s)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := New()
+	r.Record(KindNote, "x", "", "", "one")
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after reset = %d", r.Len())
+	}
+	r.Record(KindNote, "x", "", "", "two")
+	if evs := r.Events(); len(evs) != 1 || evs[0].Seq != 0 {
+		t.Fatalf("seq should restart at 0 after reset: %+v", evs)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(KindTransmit, "c", "a", "s", "")
+			}
+		}()
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != 4000 {
+		t.Fatalf("got %d events, want 4000", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindGetSignal.String() != "get_signal" {
+		t.Errorf("KindGetSignal = %q", KindGetSignal.String())
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind = %q", Kind(99).String())
+	}
+}
+
+func TestCompactEventElidesEmpty(t *testing.T) {
+	e := Event{Kind: KindNote, Source: "a"}
+	if got := CompactEvent(e); got != "note:a" {
+		t.Errorf("CompactEvent = %q", got)
+	}
+}

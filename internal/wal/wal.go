@@ -1,0 +1,353 @@
+// Package wal implements the logging service of the paper's fig. 3: a
+// checksummed append-only record log with replay.
+//
+// The transaction service writes its prepare and commit/rollback decision
+// records here (presumed abort needs only the commit decision to be
+// durable), and the activity service journals activity structure events so
+// that the activity tree can be rebuilt after a crash (§3.4 of the paper).
+//
+// The on-disk format is a sequence of records:
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//	payload = u64 LSN | u16 kind | data bytes
+//
+// Replay stops at the first torn or corrupt record, which models a crash
+// mid-write; everything before it is durable. Both a file-backed and an
+// in-memory backend are provided; the in-memory backend supports
+// deterministic crash injection for recovery tests.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Kind identifies the type of a log record. Kinds are assigned by the
+// client packages (OTS, activity service); the log does not interpret them.
+type Kind uint16
+
+// Record is one durable log entry.
+type Record struct {
+	LSN  uint64
+	Kind Kind
+	Data []byte
+}
+
+// Log errors.
+var (
+	// ErrClosed reports use of a closed log.
+	ErrClosed = errors.New("wal: log is closed")
+	// ErrCrashed reports that crash injection stopped an append.
+	ErrCrashed = errors.New("wal: simulated crash")
+)
+
+const headerSize = 8 // u32 length + u32 crc
+
+// backend abstracts the durable medium.
+type backend interface {
+	append(b []byte) error
+	sync() error
+	contents() ([]byte, error)
+	close() error
+}
+
+// Log is an append-only record log. Safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	be      backend
+	nextLSN uint64
+	closed  bool
+}
+
+// NewMemory returns an empty in-memory log.
+func NewMemory() *Log {
+	l, err := newLog(&memBackend{})
+	if err != nil {
+		// An empty memory backend cannot fail to replay.
+		panic(fmt.Sprintf("wal: NewMemory: %v", err))
+	}
+	return l
+}
+
+// OpenMemory returns an in-memory log initialised from a previous log's
+// Snapshot, simulating a process restart over the same durable state.
+func OpenMemory(data []byte) (*Log, error) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return newLog(&memBackend{buf: buf})
+}
+
+// OpenFile opens (creating if needed) a file-backed log and replays it to
+// establish the next LSN. A torn tail from a previous crash is truncated.
+func OpenFile(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l, err := newLog(&fileBackend{f: f})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+func newLog(be backend) (*Log, error) {
+	l := &Log{be: be, nextLSN: 1}
+	recs, valid, err := l.scan()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 {
+		l.nextLSN = recs[len(recs)-1].LSN + 1
+	}
+	// Drop a torn tail so subsequent appends produce a clean log.
+	if err := l.truncateTo(valid); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Append durably adds a record and returns its LSN. The record is written
+// and synced before Append returns.
+func (l *Log) Append(kind Kind, data []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	lsn := l.nextLSN
+	rec := encodeRecord(Record{LSN: lsn, Kind: kind, Data: data})
+	if err := l.be.append(rec); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.be.sync(); err != nil {
+		return 0, fmt.Errorf("wal: sync: %w", err)
+	}
+	l.nextLSN++
+	return lsn, nil
+}
+
+// Records returns a copy of all durable records in LSN order.
+func (l *Log) Records() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	recs, _, err := l.scan()
+	return recs, err
+}
+
+// Replay calls fn for every durable record in order, stopping at the first
+// error from fn.
+func (l *Log) Replay(fn func(Record) error) error {
+	recs, err := l.Records()
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint rewrites the log keeping only records for which keep returns
+// true. LSNs of kept records are preserved.
+func (l *Log) Checkpoint(keep func(Record) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	recs, _, err := l.scan()
+	if err != nil {
+		return err
+	}
+	var out []byte
+	for _, r := range recs {
+		if keep(r) {
+			out = append(out, encodeRecord(r)...)
+		}
+	}
+	if err := l.truncateTo(0); err != nil {
+		return err
+	}
+	if len(out) > 0 {
+		if err := l.be.append(out); err != nil {
+			return fmt.Errorf("wal: checkpoint rewrite: %w", err)
+		}
+	}
+	return l.be.sync()
+}
+
+// Snapshot returns a copy of the raw durable bytes, for simulated restarts.
+func (l *Log) Snapshot() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	b, err := l.be.contents()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// Close releases the backend. Further use returns ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.be.close()
+}
+
+// InjectCrashAfter arranges for the backend to fail all appends after n
+// more successful appends, simulating a crash. Only supported by the
+// in-memory backend; it reports whether injection is supported.
+func (l *Log) InjectCrashAfter(n int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	mb, ok := l.be.(*memBackend)
+	if !ok {
+		return false
+	}
+	mb.failAfter = n
+	mb.failArmed = true
+	return true
+}
+
+// scan parses the backend contents, returning the valid records and the
+// byte offset of the end of the last valid record.
+func (l *Log) scan() ([]Record, int, error) {
+	b, err := l.be.contents()
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: read: %w", err)
+	}
+	var (
+		recs  []Record
+		off   int
+		valid int
+	)
+	for {
+		if off+headerSize > len(b) {
+			break // torn or clean end
+		}
+		length := binary.BigEndian.Uint32(b[off : off+4])
+		sum := binary.BigEndian.Uint32(b[off+4 : off+8])
+		if length < 10 || off+headerSize+int(length) > len(b) {
+			break // torn tail
+		}
+		payload := b[off+headerSize : off+headerSize+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt tail
+		}
+		data := make([]byte, len(payload)-10)
+		copy(data, payload[10:])
+		recs = append(recs, Record{
+			LSN:  binary.BigEndian.Uint64(payload[0:8]),
+			Kind: Kind(binary.BigEndian.Uint16(payload[8:10])),
+			Data: data,
+		})
+		off += headerSize + int(length)
+		valid = off
+	}
+	return recs, valid, nil
+}
+
+func (l *Log) truncateTo(n int) error {
+	switch be := l.be.(type) {
+	case *memBackend:
+		if n < len(be.buf) {
+			be.buf = be.buf[:n]
+		}
+		return nil
+	case *fileBackend:
+		if err := be.f.Truncate(int64(n)); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+		if _, err := be.f.Seek(int64(n), io.SeekStart); err != nil {
+			return fmt.Errorf("wal: seek: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("wal: unknown backend %T", l.be)
+	}
+}
+
+func encodeRecord(r Record) []byte {
+	payload := make([]byte, 10+len(r.Data))
+	binary.BigEndian.PutUint64(payload[0:8], r.LSN)
+	binary.BigEndian.PutUint16(payload[8:10], uint16(r.Kind))
+	copy(payload[10:], r.Data)
+	out := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// memBackend keeps the log in memory with optional crash injection.
+type memBackend struct {
+	buf       []byte
+	failAfter int
+	failArmed bool
+}
+
+func (m *memBackend) append(b []byte) error {
+	if m.failArmed {
+		if m.failAfter <= 0 {
+			// Simulate a torn write: half the record reaches the medium.
+			m.buf = append(m.buf, b[:len(b)/2]...)
+			return ErrCrashed
+		}
+		m.failAfter--
+	}
+	m.buf = append(m.buf, b...)
+	return nil
+}
+
+func (m *memBackend) sync() error               { return nil }
+func (m *memBackend) contents() ([]byte, error) { return m.buf, nil }
+func (m *memBackend) close() error              { return nil }
+
+// fileBackend appends to a real file with fsync on Sync.
+type fileBackend struct {
+	f *os.File
+}
+
+func (fb *fileBackend) append(b []byte) error {
+	_, err := fb.f.Write(b)
+	return err
+}
+
+func (fb *fileBackend) sync() error { return fb.f.Sync() }
+
+func (fb *fileBackend) contents() ([]byte, error) {
+	if _, err := fb.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	b, err := io.ReadAll(fb.f)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fb.f.Seek(0, io.SeekEnd); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (fb *fileBackend) close() error { return fb.f.Close() }

@@ -1,0 +1,134 @@
+// Package orb is the public API of the distribution substrate: a GIOP-lite
+// object request broker standing in for the CORBA ORB the paper assumes
+// (see DESIGN.md for the substitution rationale).
+//
+// It provides object references (IOR), servants, in-process and TCP
+// transports, per-request service contexts, interceptors, a name service
+// and CORBA-style system exceptions. The remote halves of the Activity
+// Service — exported Actions, activity coordinator proxies, implicit
+// context propagation — are exposed here too.
+package orb
+
+import (
+	"github.com/extendedtx/activityservice/internal/core"
+	iorb "github.com/extendedtx/activityservice/internal/orb"
+	"github.com/extendedtx/activityservice/internal/ots"
+	"github.com/extendedtx/activityservice/internal/remote"
+)
+
+// ORB types.
+type (
+	// ORB is an object request broker.
+	ORB = iorb.ORB
+	// IOR is an interoperable object reference.
+	IOR = iorb.IOR
+	// Servant handles incoming invocations.
+	Servant = iorb.Servant
+	// ServantFunc adapts a function to Servant.
+	ServantFunc = iorb.ServantFunc
+	// ServiceContext is out-of-band request context.
+	ServiceContext = iorb.ServiceContext
+	// ClientInterceptor runs before outgoing invocations.
+	ClientInterceptor = iorb.ClientInterceptor
+	// ServerInterceptor runs before dispatch.
+	ServerInterceptor = iorb.ServerInterceptor
+	// SystemError is a CORBA-style system exception.
+	SystemError = iorb.SystemError
+	// RemoteError is a user error raised by a remote servant.
+	RemoteError = iorb.RemoteError
+	// ExceptionCode classifies system exceptions.
+	ExceptionCode = iorb.ExceptionCode
+	// NameServer is the name service servant.
+	NameServer = iorb.NameServer
+	// NameClient is the name service proxy.
+	NameClient = iorb.NameClient
+	// ORBOption configures an ORB.
+	ORBOption = iorb.ORBOption
+	// ActivityProxy is the client side of a remote activity coordinator.
+	ActivityProxy = remote.ActivityProxy
+)
+
+// System exception codes.
+const (
+	CodeObjectNotExist = iorb.CodeObjectNotExist
+	CodeBadOperation   = iorb.CodeBadOperation
+	CodeCommFailure    = iorb.CodeCommFailure
+	CodeTransient      = iorb.CodeTransient
+	CodeMarshal        = iorb.CodeMarshal
+	CodeNoImplement    = iorb.CodeNoImplement
+	CodeTimeout        = iorb.CodeTimeout
+)
+
+// Service context ids.
+const (
+	ContextActivity    = iorb.ContextActivity
+	ContextTransaction = iorb.ContextTransaction
+)
+
+// ErrNotBound reports a name with no binding.
+var ErrNotBound = iorb.ErrNotBound
+
+// ErrBadIOR reports an unparseable stringified IOR.
+var ErrBadIOR = iorb.ErrBadIOR
+
+// New returns a running ORB (in-process until Listen).
+func New(opts ...ORBOption) *ORB { return iorb.New(opts...) }
+
+// WithCallTimeout sets the default invocation deadline.
+var WithCallTimeout = iorb.WithCallTimeout
+
+// IsSystem reports whether err is a SystemError with the given code.
+var IsSystem = iorb.IsSystem
+
+// Systemf builds a SystemError.
+var Systemf = iorb.Systemf
+
+// ParseIOR parses a stringified IOR.
+var ParseIOR = iorb.ParseIOR
+
+// DecodeIOR reads an IOR from a CDR stream.
+var DecodeIOR = iorb.DecodeIOR
+
+// NewNameServer returns an empty name server.
+func NewNameServer() *NameServer { return iorb.NewNameServer() }
+
+// NewNameClient returns a proxy for the name service at ref.
+func NewNameClient(o *ORB, ref IOR) *NameClient { return iorb.NewNameClient(o, ref) }
+
+// NameServiceAt builds the IOR of the well-known name service on endpoint.
+var NameServiceAt = iorb.NameServiceAt
+
+// ExportAction activates a core Action on o and returns its reference.
+func ExportAction(o *ORB, action core.Action) IOR { return remote.ExportAction(o, action) }
+
+// ImportAction returns an Action proxy for the Action at ref.
+func ImportAction(o *ORB, ref IOR) core.Action { return remote.ImportAction(o, ref) }
+
+// ExportActivity activates a coordinator servant for an activity.
+func ExportActivity(o *ORB, a *core.Activity) IOR { return remote.ExportActivity(o, a) }
+
+// NewActivityProxy returns a proxy for a remote activity coordinator.
+func NewActivityProxy(o *ORB, ref IOR) *ActivityProxy { return remote.NewActivityProxy(o, ref) }
+
+// InstallPropagation wires implicit activity-context propagation onto o.
+var InstallPropagation = remote.InstallPropagation
+
+// PropagatedFrom returns the inbound activity context, if any.
+var PropagatedFrom = remote.PropagatedFrom
+
+// ExportResource activates a transaction-service resource on o, making it
+// a participant reachable by remote coordinators.
+func ExportResource(o *ORB, r ots.Resource) IOR { return remote.ExportResource(o, r) }
+
+// ExportResourceWithKey activates a resource under a stable key (recovery).
+func ExportResourceWithKey(o *ORB, key string, r ots.Resource) IOR {
+	return remote.ExportResourceWithKey(o, key, r)
+}
+
+// ImportResource returns an ots.Resource proxy for the resource at ref;
+// its recovery name is the stringified IOR.
+func ImportResource(o *ORB, ref IOR) ots.NamedResource { return remote.ImportResource(o, ref) }
+
+// BindRemoteResources re-binds logged IOR recovery names to live proxies
+// so ots recovery can re-drive phase two across the network.
+var BindRemoteResources = remote.BindRemoteResources

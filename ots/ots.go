@@ -1,0 +1,124 @@
+// Package ots is the public API of the transaction-service substrate: an
+// Object Transaction Service in the style of CosTransactions, with flat
+// and nested transactions, presumed-abort two-phase commit, a durable
+// decision log and crash recovery.
+//
+// The Activity Service uses it for transactional activities (fig. 4 of the
+// paper), exactly-once signal delivery (§3.4), and as the baseline in the
+// framework-overhead ablation. The implementation lives in internal/ots.
+package ots
+
+import (
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/lockmgr"
+	iots "github.com/extendedtx/activityservice/internal/ots"
+	"github.com/extendedtx/activityservice/internal/wal"
+)
+
+// Transaction service types.
+type (
+	// Service is the transaction factory and recovery home.
+	Service = iots.Service
+	// Transaction exposes the Control/Coordinator/Terminator surface.
+	Transaction = iots.Transaction
+	// Resource is a two-phase commit participant.
+	Resource = iots.Resource
+	// SubtransactionAwareResource also receives nested completion events.
+	SubtransactionAwareResource = iots.SubtransactionAwareResource
+	// NamedResource is a Resource with a stable recovery name.
+	NamedResource = iots.NamedResource
+	// Synchronization receives before/after completion callbacks.
+	Synchronization = iots.Synchronization
+	// Directory re-binds named resources during recovery.
+	Directory = iots.Directory
+	// Status is the transaction status.
+	Status = iots.Status
+	// Vote is a phase-one answer.
+	Vote = iots.Vote
+	// Current is context-based demarcation (CosTransactions::Current).
+	Current = iots.Current
+	// Var is a strict-2PL transactional variable.
+	Var = iots.Var
+	// RecoveryStats summarises a recovery pass.
+	RecoveryStats = iots.RecoveryStats
+	// Option configures a Service.
+	Option = iots.Option
+	// BeginOption configures one transaction.
+	BeginOption = iots.BeginOption
+)
+
+// Statuses.
+const (
+	StatusActive         = iots.StatusActive
+	StatusMarkedRollback = iots.StatusMarkedRollback
+	StatusPreparing      = iots.StatusPreparing
+	StatusPrepared       = iots.StatusPrepared
+	StatusCommitting     = iots.StatusCommitting
+	StatusCommitted      = iots.StatusCommitted
+	StatusRollingBack    = iots.StatusRollingBack
+	StatusRolledBack     = iots.StatusRolledBack
+)
+
+// Votes.
+const (
+	VoteCommit   = iots.VoteCommit
+	VoteRollback = iots.VoteRollback
+	VoteReadOnly = iots.VoteReadOnly
+)
+
+// Errors.
+var (
+	ErrInactive        = iots.ErrInactive
+	ErrRolledBack      = iots.ErrRolledBack
+	ErrHeuristicMixed  = iots.ErrHeuristicMixed
+	ErrHeuristicHazard = iots.ErrHeuristicHazard
+	ErrWriteConflict   = iots.ErrWriteConflict
+)
+
+// NewService returns a transaction service.
+func NewService(opts ...Option) *Service { return iots.NewService(opts...) }
+
+// NewDirectory returns an empty recovery directory.
+func NewDirectory() *Directory { return iots.NewDirectory() }
+
+// NewCurrent returns context-based demarcation over svc.
+func NewCurrent(svc *Service) *Current { return iots.NewCurrent(svc) }
+
+// WithLog makes commit decisions durable, enabling recovery.
+func WithLog(l *wal.Log) Option { return iots.WithLog(l) }
+
+// WithDirectory sets the recovery directory.
+func WithDirectory(d *Directory) Option { return iots.WithDirectory(d) }
+
+// WithRetryPolicy sets phase-two retry behaviour.
+func WithRetryPolicy(attempts int, delay time.Duration) Option {
+	return iots.WithRetryPolicy(attempts, delay)
+}
+
+// WithTimeout marks a transaction rollback-only after d.
+func WithTimeout(d time.Duration) BeginOption { return iots.WithTimeout(d) }
+
+// WithTransaction returns a context carrying tx.
+var WithTransaction = iots.WithTransaction
+
+// FromContext returns the transaction carried by a context.
+var FromContext = iots.FromContext
+
+// NewMemoryLog returns an in-memory decision log (tests, examples).
+func NewMemoryLog() *wal.Log { return wal.NewMemory() }
+
+// OpenFileLog opens (creating if needed) a file-backed decision log.
+func OpenFileLog(path string) (*wal.Log, error) { return wal.OpenFile(path) }
+
+// LockManager is the read/write lock manager used by Vars and the LRUOW
+// performance phase.
+type LockManager = lockmgr.Manager
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager { return lockmgr.New() }
+
+// NewVar returns a strict-2PL transactional variable named name.
+func NewVar(name string, initial []byte, locks *LockManager, wait time.Duration) *Var {
+	return iots.NewVar(name, initial, locks, wait)
+}
