@@ -136,6 +136,65 @@ func BenchmarkFig05SignalFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelFanout compares serial and parallel delivery of one
+// fig. 5 broadcast side by side, with and without simulated per-action
+// latency: the parallel engine's reason to exist is the latency-bound
+// regime, where serial delivery pays fanout×latency per signal and
+// parallel pays ~ceil(fanout/workers)×latency.
+func BenchmarkParallelFanout(b *testing.B) {
+	latencyAction := func(d time.Duration) activityservice.Action {
+		if d == 0 {
+			return noopAction()
+		}
+		return activityservice.ActionFunc(
+			func(ctx context.Context, _ activityservice.Signal) (activityservice.Outcome, error) {
+				select {
+				case <-ctx.Done():
+					return activityservice.Outcome{Name: "interrupted"}, nil
+				case <-time.After(d):
+					return activityservice.Outcome{Name: "ok"}, nil
+				}
+			})
+	}
+	policies := []struct {
+		name   string
+		policy activityservice.DeliveryPolicy
+	}{
+		{"serial", activityservice.DeliveryPolicy{Mode: activityservice.DeliverSerial}},
+		{"parallel", activityservice.Parallel()},
+	}
+	for _, fanout := range []int{8, 64, 512} {
+		for _, latency := range []time.Duration{0, 100 * time.Microsecond} {
+			for _, p := range policies {
+				name := fmt.Sprintf("fanout=%d/latency=%s/%s", fanout, latency, p.name)
+				b.Run(name, func(b *testing.B) {
+					svc := activityservice.New(activityservice.WithDelivery(p.policy))
+					ctx := context.Background()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						a := svc.Begin("fanout")
+						set := activityservice.NewSequenceSet("s", "ping")
+						if err := a.RegisterSignalSet(set); err != nil {
+							b.Fatal(err)
+						}
+						for j := 0; j < fanout; j++ {
+							if _, err := a.AddAction("s", latencyAction(latency)); err != nil {
+								b.Fatal(err)
+							}
+						}
+						if _, err := a.Signal(ctx, "s"); err != nil {
+							b.Fatal(err)
+						}
+						if _, err := a.Complete(ctx); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkFig08TwoPhaseCommit measures the fig. 8 protocol over a sweep
 // of participant counts.
 func BenchmarkFig08TwoPhaseCommit(b *testing.B) {

@@ -1,0 +1,3 @@
+module github.com/extendedtx/activityservice
+
+go 1.24

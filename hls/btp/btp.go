@@ -227,10 +227,17 @@ type Atom struct {
 }
 
 // NewAtom begins an atom as an activity with the two BTP signal sets.
+//
+// Both sets deliver in parallel by default: prepare and confirm/cancel are
+// pure broadcasts (neither set ever short-circuits), so concurrent fan-out
+// changes nothing observable except latency — responses are still collated
+// in enrollment order. Use SetDelivery to opt an atom back to serial.
 func NewAtom(svc *core.Service, name string) (*Atom, error) {
 	a := svc.Begin(name)
 	prep := newPrepareSet()
 	comp := newCompleteSet()
+	prep.SetDelivery(core.Parallel())
+	comp.SetDelivery(core.Parallel())
 	if err := a.RegisterSignalSet(prep); err != nil {
 		return nil, err
 	}
@@ -243,6 +250,12 @@ func NewAtom(svc *core.Service, name string) (*Atom, error) {
 
 // Name returns the atom's name.
 func (a *Atom) Name() string { return a.name }
+
+// SetDelivery overrides the delivery policy of both BTP signal sets.
+func (a *Atom) SetDelivery(p core.DeliveryPolicy) {
+	a.prep.SetDelivery(p)
+	a.complete.SetDelivery(p)
+}
 
 // Activity exposes the backing activity.
 func (a *Atom) Activity() *core.Activity { return a.activity }

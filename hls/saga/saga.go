@@ -138,11 +138,32 @@ type Saga struct {
 	svc   *core.Service
 	name  string
 	steps []Step
+
+	parallel   bool
+	maxWorkers int
 }
 
 // New returns a saga with the given steps.
 func New(svc *core.Service, name string, steps ...Step) *Saga {
 	return &Saga{svc: svc, name: name, steps: steps}
+}
+
+// Parallel opts the saga's forward stage into concurrent execution:
+// steps run simultaneously (bounded by maxWorkers; <=0 means one worker
+// per step), each still inside its own child activity. Compensation stays
+// deterministic — compensations are registered in declared step order and
+// run in reverse declared order, never in completion order, and each
+// "compensate" broadcast fans out with parallel delivery.
+//
+// Semantics differ from the serial saga only on mid-sequence failure: a
+// serial saga never starts the steps after the first failure, while a
+// parallel saga runs every step and compensates all that succeeded.
+// FailedStep always names the earliest failed step in declared order.
+// Returns s for chaining.
+func (s *Saga) Parallel(maxWorkers int) *Saga {
+	s.parallel = true
+	s.maxWorkers = maxWorkers
+	return s
 }
 
 // Execute runs the saga: steps execute in order, each inside a child
@@ -154,39 +175,17 @@ func (s *Saga) Execute(ctx context.Context) (Result, error) {
 	var (
 		result    Result
 		completed []*stepCompensation
+		failedAt  int
+		stepErr   error
+		err       error
 	)
-
-	failedAt := -1
-	var stepErr error
-	for i, step := range s.steps {
-		child, err := root.BeginChild(step.Name)
-		if err != nil {
-			return result, err
-		}
-		runErr := step.Run(core.NewContext(ctx, child))
-		cs := core.CompletionSuccess
-		if runErr != nil {
-			cs = core.CompletionFail
-		}
-		if _, err := child.CompleteWithStatus(ctx, cs); err != nil {
-			return result, err
-		}
-		if runErr != nil {
-			failedAt = i
-			stepErr = runErr
-			result.FailedStep = step.Name
-			break
-		}
-		// The committed step's compensation joins the saga's set; steps
-		// without a compensation enrol nothing.
-		if step.Compensate == nil {
-			continue
-		}
-		comp := &stepCompensation{index: len(completed), name: step.Name, run: step.Compensate}
-		if _, err := root.AddNamedAction(SetName, "C:"+step.Name, comp); err != nil {
-			return result, err
-		}
-		completed = append(completed, comp)
+	if s.parallel {
+		completed, failedAt, stepErr, err = s.runForwardParallel(ctx, root, &result)
+	} else {
+		completed, failedAt, stepErr, err = s.runForwardSerial(ctx, root, &result)
+	}
+	if err != nil {
+		return result, err
 	}
 
 	if failedAt < 0 {
@@ -198,7 +197,13 @@ func (s *Saga) Execute(ctx context.Context) (Result, error) {
 	}
 
 	// Backward recovery: drive the compensation set, then complete failed.
+	// Compensation order is deterministic under both forward modes: the
+	// set emits one signal per step index in descending declared order,
+	// regardless of how the broadcast of each signal is delivered.
 	set := newCompensationSet(len(completed))
+	if s.parallel {
+		set.SetDelivery(core.Parallel())
+	}
 	if err := root.RegisterSignalSet(set); err != nil {
 		return result, err
 	}
@@ -218,4 +223,110 @@ func (s *Saga) Execute(ctx context.Context) (Result, error) {
 		return result, err
 	}
 	return result, fmt.Errorf("%w: %s: %v", ErrStepFailed, result.FailedStep, stepErr)
+}
+
+// runStep executes one forward step inside its own child activity and
+// returns the step's application error (framework errors are returned
+// separately).
+func (s *Saga) runStep(ctx context.Context, root *core.Activity, step Step) (runErr, execErr error) {
+	child, err := root.BeginChild(step.Name)
+	if err != nil {
+		return nil, err
+	}
+	runErr = step.Run(core.NewContext(ctx, child))
+	cs := core.CompletionSuccess
+	if runErr != nil {
+		cs = core.CompletionFail
+	}
+	if _, err := child.CompleteWithStatus(ctx, cs); err != nil {
+		return runErr, err
+	}
+	return runErr, nil
+}
+
+// runForwardSerial executes steps in order, stopping at the first failure;
+// each committed step's compensation joins the saga's set as it completes.
+func (s *Saga) runForwardSerial(ctx context.Context, root *core.Activity, result *Result) ([]*stepCompensation, int, error, error) {
+	var completed []*stepCompensation
+	for i, step := range s.steps {
+		runErr, execErr := s.runStep(ctx, root, step)
+		if execErr != nil {
+			return completed, -1, nil, execErr
+		}
+		if runErr != nil {
+			result.FailedStep = step.Name
+			return completed, i, runErr, nil
+		}
+		// Steps without a compensation enrol nothing.
+		if step.Compensate == nil {
+			continue
+		}
+		comp := &stepCompensation{index: len(completed), name: step.Name, run: step.Compensate}
+		if _, err := root.AddNamedAction(SetName, "C:"+step.Name, comp); err != nil {
+			return completed, -1, nil, err
+		}
+		completed = append(completed, comp)
+	}
+	return completed, -1, nil, nil
+}
+
+// runForwardParallel executes every step concurrently through a bounded
+// worker pool, then registers the compensations of the successful steps in
+// declared order — so compensation indices (and therefore reverse-order
+// compensation) are deterministic no matter how the forward wave
+// interleaved.
+func (s *Saga) runForwardParallel(ctx context.Context, root *core.Activity, result *Result) ([]*stepCompensation, int, error, error) {
+	n := len(s.steps)
+	runErrs := make([]error, n)
+	execErrs := make([]error, n)
+
+	workers := s.maxWorkers
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runErrs[i], execErrs[i] = s.runStep(ctx, root, s.steps[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if execErrs[i] != nil {
+			return nil, -1, nil, execErrs[i]
+		}
+	}
+
+	var completed []*stepCompensation
+	failedAt := -1
+	var stepErr error
+	for i, step := range s.steps {
+		if runErrs[i] != nil {
+			if failedAt < 0 {
+				failedAt = i
+				stepErr = runErrs[i]
+				result.FailedStep = step.Name
+			}
+			continue
+		}
+		if step.Compensate == nil {
+			continue
+		}
+		comp := &stepCompensation{index: len(completed), name: step.Name, run: step.Compensate}
+		if _, err := root.AddNamedAction(SetName, "C:"+step.Name, comp); err != nil {
+			return completed, -1, nil, err
+		}
+		completed = append(completed, comp)
+	}
+	return completed, failedAt, stepErr, nil
 }

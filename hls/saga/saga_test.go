@@ -3,8 +3,11 @@ package saga
 import (
 	"context"
 	"errors"
+	"fmt"
+	"reflect"
 	"sync"
 	"testing"
+	"testing/quick"
 
 	"github.com/extendedtx/activityservice/internal/core"
 )
@@ -194,5 +197,143 @@ func TestCompensationFailureReported(t *testing.T) {
 		if c == "fragile" {
 			t.Fatal("failed compensation reported as done")
 		}
+	}
+}
+
+// TestParallelSagaCommitsAllSteps runs the happy path with a concurrent
+// forward stage.
+func TestParallelSagaCommitsAllSteps(t *testing.T) {
+	svc := core.New()
+	l := &ledger{}
+	s := New(svc, "booking",
+		step(l, "taxi", false),
+		step(l, "restaurant", false),
+		step(l, "theatre", false),
+	).Parallel(0)
+	res, err := s.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.FailedStep != "" || len(res.Compensated) != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := len(l.Entries()); got != 3 {
+		t.Fatalf("entries = %v", l.Entries())
+	}
+	if svc.Live() != 0 {
+		t.Fatalf("live activities = %d", svc.Live())
+	}
+}
+
+// TestParallelSagaDeterministicCompensationOrder verifies compensation
+// runs in reverse *declared* order, never completion order, when the
+// forward stage is parallel: the forward entries may interleave, but the
+// undo suffix is fixed.
+func TestParallelSagaDeterministicCompensationOrder(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		svc := core.New()
+		l := &ledger{}
+		s := New(svc, "booking",
+			step(l, "taxi", false),
+			step(l, "restaurant", false),
+			step(l, "theatre", false),
+			step(l, "hotel", true), // last step fails
+		).Parallel(0)
+		res, err := s.Execute(context.Background())
+		if !errors.Is(err, ErrStepFailed) {
+			t.Fatalf("err = %v", err)
+		}
+		if res.Committed || res.FailedStep != "hotel" {
+			t.Fatalf("result = %+v", res)
+		}
+		got := l.Entries()
+		if len(got) != 6 {
+			t.Fatalf("entries = %v", got)
+		}
+		// The last three entries are the compensations, in reverse declared
+		// order, regardless of forward interleaving.
+		undo := got[3:]
+		want := []string{"undo:theatre", "undo:restaurant", "undo:taxi"}
+		for i := range want {
+			if undo[i] != want[i] {
+				t.Fatalf("undo order = %v, want %v", undo, want)
+			}
+		}
+		if len(res.Compensated) != 3 ||
+			res.Compensated[0] != "theatre" ||
+			res.Compensated[1] != "restaurant" ||
+			res.Compensated[2] != "taxi" {
+			t.Fatalf("compensated = %v", res.Compensated)
+		}
+	}
+}
+
+// TestDifferentialSerialVsParallelSaga is the differential property test:
+// for random saga shapes (failure only at the last position, where serial
+// and parallel semantics coincide), both modes produce identical Results
+// and identical compensation order.
+func TestDifferentialSerialVsParallelSaga(t *testing.T) {
+	f := func(nSteps, compMask uint8, failLast bool) bool {
+		n := int(nSteps%6) + 1
+		build := func() []Step {
+			var steps []Step
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("s%d", i)
+				fail := failLast && i == n-1
+				st := Step{
+					Name: name,
+					Run: func(context.Context) error {
+						if fail {
+							return errors.New(name + " failed")
+						}
+						return nil
+					},
+				}
+				if compMask&(1<<uint(i)) != 0 {
+					st.Compensate = func(context.Context) error { return nil }
+				}
+				steps = append(steps, st)
+			}
+			return steps
+		}
+		serial, serr := New(core.New(), "diff", build()...).Execute(context.Background())
+		parallel, perr := New(core.New(), "diff", build()...).Parallel(0).Execute(context.Background())
+		if (serr == nil) != (perr == nil) {
+			t.Logf("error mismatch: serial=%v parallel=%v", serr, perr)
+			return false
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Logf("result mismatch:\nserial:   %+v\nparallel: %+v", serial, parallel)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelSagaMidFailureCompensatesAllSuccessful pins the documented
+// semantic difference: a mid-sequence failure still compensates every
+// successful step (all steps ran), in reverse declared order.
+func TestParallelSagaMidFailureCompensatesAllSuccessful(t *testing.T) {
+	svc := core.New()
+	l := &ledger{}
+	s := New(svc, "booking",
+		step(l, "taxi", false),
+		step(l, "hotel", true), // fails mid-sequence
+		step(l, "theatre", false),
+	).Parallel(2)
+	res, err := s.Execute(context.Background())
+	if !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.FailedStep != "hotel" {
+		t.Fatalf("failed step = %q", res.FailedStep)
+	}
+	// Unlike the serial saga, theatre ran and must be undone too.
+	if len(res.Compensated) != 2 ||
+		res.Compensated[0] != "theatre" || res.Compensated[1] != "taxi" {
+		t.Fatalf("compensated = %v", res.Compensated)
 	}
 }

@@ -181,12 +181,33 @@ func (a *ResourceAction) ProcessSignal(_ context.Context, sig core.Signal) (core
 
 // Coordinator runs activity-coordinated two-phase commits.
 type Coordinator struct {
-	svc *core.Service
+	svc      *core.Service
+	delivery core.DeliveryPolicy
+}
+
+// CoordinatorOption configures a Coordinator.
+type CoordinatorOption func(*Coordinator)
+
+// WithDelivery sets the delivery policy for every transaction's signal
+// set. With core.Parallel(), the prepare broadcast (and the phase-two
+// signal) goes to all participants concurrently while votes are still
+// collated in enlistment order, so the protocol outcome is identical to
+// serial delivery. Parallel delivery is speculative: participants enlisted
+// after an aborting voter may still be asked to prepare (the subsequent
+// rollback broadcast releases them), whereas serial delivery cuts the
+// prepare broadcast short — use the default serial policy when that
+// distinction matters.
+func WithDelivery(p core.DeliveryPolicy) CoordinatorOption {
+	return func(c *Coordinator) { c.delivery = p }
 }
 
 // NewCoordinator returns a Coordinator over svc.
-func NewCoordinator(svc *core.Service) *Coordinator {
-	return &Coordinator{svc: svc}
+func NewCoordinator(svc *core.Service, opts ...CoordinatorOption) *Coordinator {
+	c := &Coordinator{svc: svc}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Transaction is one activity-coordinated transaction.
@@ -199,6 +220,9 @@ type Transaction struct {
 func (c *Coordinator) Begin(name string) (*Transaction, error) {
 	a := c.svc.Begin(name)
 	set := NewSignalSet()
+	if c.delivery.Mode != 0 {
+		set.SetDelivery(c.delivery)
+	}
 	if err := a.RegisterSignalSet(set); err != nil {
 		return nil, err
 	}

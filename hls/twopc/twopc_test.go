@@ -314,3 +314,80 @@ func (f *failingResource) Commit() error         { return nil }
 func (f *failingResource) Rollback() error       { return nil }
 func (f *failingResource) CommitOnePhase() error { return nil }
 func (f *failingResource) Forget() error         { return nil }
+
+// TestParallelPrepareCommits drives 2PC with parallel delivery: every
+// participant votes concurrently, the outcome and each participant's call
+// sequence are identical to serial delivery.
+func TestParallelPrepareCommits(t *testing.T) {
+	svc := core.New()
+	coord := NewCoordinator(svc, WithDelivery(core.Parallel()))
+	tx, err := coord.Begin("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs []*scriptedResource
+	for i := 0; i < 16; i++ {
+		r := newResource(ots.VoteCommit)
+		rs = append(rs, r)
+		if err := tx.Enlist(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	committed, err := tx.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !committed {
+		t.Fatal("transaction did not commit")
+	}
+	for i, r := range rs {
+		calls := r.Calls()
+		if len(calls) != 2 || calls[0] != "prepare" || calls[1] != "commit" {
+			t.Fatalf("participant %d calls = %v", i, calls)
+		}
+	}
+}
+
+// TestParallelVetoRollsBack verifies the collated outcome of a vetoed
+// parallel 2PC matches serial: rolled back, with every prepared
+// participant released. (Parallel prepare is speculative, so unlike the
+// serial short-circuit, participants enlisted after the vetoer may also
+// have been asked to prepare — but all of them hear the rollback.)
+func TestParallelVetoRollsBack(t *testing.T) {
+	svc := core.New()
+	coord := NewCoordinator(svc, WithDelivery(core.Parallel()))
+	tx, err := coord.Begin("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := newResource(ots.VoteCommit)
+	veto := newResource(ots.VoteRollback)
+	late := newResource(ots.VoteCommit)
+	for _, r := range []*scriptedResource{good, veto, late} {
+		if err := tx.Enlist(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	committed, err := tx.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed {
+		t.Fatal("committed despite veto")
+	}
+	gc := good.Calls()
+	if len(gc) != 2 || gc[0] != "prepare" || gc[1] != "rollback" {
+		t.Fatalf("good calls = %v", gc)
+	}
+	// The vetoing resource rolled itself back at prepare: no second call.
+	vc := veto.Calls()
+	if len(vc) != 1 || vc[0] != "prepare" {
+		t.Fatalf("veto calls = %v", vc)
+	}
+	// late hears the rollback last, whether or not its speculative prepare
+	// landed first.
+	lc := late.Calls()
+	if len(lc) == 0 || lc[len(lc)-1] != "rollback" {
+		t.Fatalf("late calls = %v", lc)
+	}
+}

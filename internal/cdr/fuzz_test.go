@@ -1,0 +1,60 @@
+package cdr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAnyRoundTrip builds a nested any value from fuzz input and requires
+// it to survive Marshal/Unmarshal exactly (modulo the documented int64
+// widening, which the builder avoids by only using int64).
+func FuzzAnyRoundTrip(f *testing.F) {
+	f.Add("k", "v", int64(7), 3.5, true, []byte{1, 2, 3})
+	f.Add("", "", int64(-1), -0.0, false, []byte{})
+	f.Fuzz(func(t *testing.T, key, sval string, ival int64, fval float64, bval bool, raw []byte) {
+		v := map[string]any{
+			"s":    sval,
+			"n":    ival,
+			"f":    fval,
+			"b":    bval,
+			"raw":  append([]byte(nil), raw...),
+			"null": nil,
+			"seq":  []any{sval, ival, map[string]any{key: bval}},
+		}
+		b, err := MarshalAny(v)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, err := UnmarshalAny(b)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		b2, err := MarshalAny(got)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("any encoding not canonical:\n first: %x\nsecond: %x", b, b2)
+		}
+	})
+}
+
+// FuzzDecodeAny throws arbitrary bytes at the any decoder: errors are
+// fine, panics and unbounded recursion are not.
+func FuzzDecodeAny(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{byte(TCNull)})
+	f.Add([]byte{byte(TCMap), 0xff, 0xff, 0xff, 0xff})
+	if seed, err := MarshalAny(map[string]any{"k": []any{int64(1), "two"}}); err == nil {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := UnmarshalAny(data)
+		if err != nil {
+			return
+		}
+		if _, err := MarshalAny(v); err != nil {
+			t.Fatalf("decoded value fails to marshal: %v", err)
+		}
+	})
+}

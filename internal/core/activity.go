@@ -220,6 +220,13 @@ func (a *Activity) BeginChild(name string, opts ...BeginOption) (*Activity, erro
 	if a.state != ActivityActive {
 		st := a.state
 		a.mu.Unlock()
+		// The parent changed state while the child was being built (e.g. a
+		// concurrent Suspend or Complete): unwind the stillborn child so it
+		// does not leak in the live registry.
+		if child.timer != nil {
+			child.timer.Stop()
+		}
+		a.svc.forget(child)
 		return nil, fmt.Errorf("%w: cannot nest under %s in state %s", ErrActivityInactive, a.name, st)
 	}
 	a.children[child.id] = child

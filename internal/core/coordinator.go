@@ -40,10 +40,11 @@ type registration struct {
 // registered Actions in registration order, and feeds every response back
 // into the set.
 type Coordinator struct {
-	owner string // activity name, for traces
-	gen   *ids.Generator
-	rec   *trace.Recorder
-	retry RetryPolicy
+	owner    string // activity name, for traces
+	gen      *ids.Generator
+	rec      *trace.Recorder
+	retry    RetryPolicy
+	delivery DeliveryPolicy
 
 	mu      sync.Mutex
 	regs    map[string][]registration
@@ -51,17 +52,18 @@ type Coordinator struct {
 	seq     int
 }
 
-func newCoordinator(owner string, gen *ids.Generator, rec *trace.Recorder, retry RetryPolicy) *Coordinator {
+func newCoordinator(owner string, gen *ids.Generator, rec *trace.Recorder, retry RetryPolicy, delivery DeliveryPolicy) *Coordinator {
 	if retry.Attempts < 1 {
 		retry.Attempts = 1
 	}
 	return &Coordinator{
-		owner:   owner,
-		gen:     gen,
-		rec:     rec,
-		retry:   retry,
-		regs:    make(map[string][]registration),
-		drivers: make(map[SignalSet]*setDriver),
+		owner:    owner,
+		gen:      gen,
+		rec:      rec,
+		retry:    retry,
+		delivery: delivery,
+		regs:     make(map[string][]registration),
+		drivers:  make(map[SignalSet]*setDriver),
 	}
 }
 
@@ -144,9 +146,16 @@ func (c *Coordinator) SetState(set SignalSet) SetState {
 // signal, broadcast it to every action registered with the set's name,
 // feed responses back, repeat until the set ends, then collate the final
 // outcome with GetOutcome.
+//
+// Each broadcast is delivered per the resolved DeliveryPolicy — the set's
+// own (DeliveryPolicyProvider), else the Service-wide default, else serial.
+// Whatever the policy, responses reach the set in registration order, so
+// collation, advance short-circuiting and the recorded trace are identical
+// across policies.
 func (c *Coordinator) ProcessSignalSet(ctx context.Context, set SignalSet) (Outcome, error) {
 	driver := c.driverFor(set)
 	setName := set.Name()
+	policy := c.policyFor(set)
 	for {
 		sig, last, err := driver.getSignal()
 		if errors.Is(err, ErrExhausted) {
@@ -157,17 +166,18 @@ func (c *Coordinator) ProcessSignalSet(ctx context.Context, set SignalSet) (Outc
 		}
 		c.rec.Record(trace.KindGetSignal, c.owner, setName, sig.Name, "")
 
-		advance := false
-		for _, reg := range c.actions(setName) {
-			outcome, aerr := c.deliver(ctx, reg, sig)
-			adv, serr := driver.setResponse(outcome, aerr)
-			if serr != nil {
-				return Outcome{}, fmt.Errorf("core: set_response on %q: %w", setName, serr)
-			}
-			if adv {
-				advance = true
-				break
-			}
+		regs := c.actions(setName)
+		var (
+			advance bool
+			berr    error
+		)
+		if policy.Mode == DeliverParallel && len(regs) > 1 {
+			advance, berr = c.broadcastParallel(ctx, driver, regs, sig, policy)
+		} else {
+			advance, berr = c.broadcastSerial(ctx, driver, regs, sig)
+		}
+		if berr != nil {
+			return Outcome{}, fmt.Errorf("core: set_response on %q: %w", setName, berr)
 		}
 		if last && !advance {
 			driver.end()
@@ -182,31 +192,13 @@ func (c *Coordinator) ProcessSignalSet(ctx context.Context, set SignalSet) (Outc
 	return out, nil
 }
 
-// deliver transmits one signal to one action with at-least-once retry.
+// deliver transmits one signal to one action with at-least-once retry,
+// recording transmit events live and the response at the end (the same
+// event shape replayTrace reproduces for parallel deliveries).
 func (c *Coordinator) deliver(ctx context.Context, reg registration, sig Signal) (Outcome, error) {
-	var (
-		outcome Outcome
-		err     error
-	)
-	for attempt := 1; attempt <= c.retry.Attempts; attempt++ {
-		detail := ""
-		if attempt > 1 {
-			detail = fmt.Sprintf("retry %d", attempt-1)
-		}
-		c.rec.Record(trace.KindTransmit, c.owner, reg.label, sig.Name, detail)
-		outcome, err = reg.action.ProcessSignal(ctx, sig)
-		if err == nil {
-			c.rec.Record(trace.KindResponse, reg.label, sig.SetName, outcome.Name, "")
-			return outcome, nil
-		}
-		if c.retry.Backoff > 0 && attempt < c.retry.Attempts {
-			select {
-			case <-ctx.Done():
-				return Outcome{}, fmt.Errorf("core: delivery cancelled: %w", ctx.Err())
-			case <-time.After(c.retry.Backoff):
-			}
-		}
-	}
-	c.rec.Record(trace.KindResponse, reg.label, sig.SetName, "", fmt.Sprintf("error: %v", err))
-	return Outcome{}, err
+	r := c.runAttempts(ctx, reg, sig, func(attempt int) {
+		c.rec.Record(trace.KindTransmit, c.owner, reg.label, sig.Name, transmitDetail(attempt))
+	})
+	c.recordResponse(reg, sig, r)
+	return r.outcome, r.err
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/extendedtx/activityservice/internal/ids"
+)
+
+// FuzzPropagationContextRoundTrip builds a PropagationContext from fuzz
+// input, round-trips it through the CDR wire form and requires exact
+// structural equality — the §3.3 guarantee that an activity context and
+// its by-value property groups survive the ORB unchanged.
+func FuzzPropagationContextRoundTrip(f *testing.F) {
+	f.Add(uint8(1), "root", "locale", "en_GB", int64(7))
+	f.Add(uint8(3), "a/b/c", "", "", int64(-1))
+	f.Add(uint8(0), "", "k", "v", int64(0))
+	f.Fuzz(func(t *testing.T, depth uint8, name, key, sval string, ival int64) {
+		gen := ids.NewSeeded(42)
+		pc := &PropagationContext{}
+		for i := 0; i <= int(depth%6); i++ {
+			pc.Path = append(pc.Path, PropagationEntry{
+				ID:   gen.New(),
+				Name: fmt.Sprintf("%s-%d", name, i),
+			})
+		}
+		if key != "" {
+			pc.Properties = map[string]map[string]any{
+				"grp": {key: sval, key + "/n": ival},
+			}
+		}
+
+		b, err := pc.Marshal()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, err := UnmarshalPropagationContext(b)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !reflect.DeepEqual(pc.Path, got.Path) {
+			t.Fatalf("path mismatch:\n in: %+v\nout: %+v", pc.Path, got.Path)
+		}
+		if !reflect.DeepEqual(pc.Properties, got.Properties) {
+			t.Fatalf("properties mismatch:\n in: %+v\nout: %+v", pc.Properties, got.Properties)
+		}
+		if pc.ActivityID() != got.ActivityID() {
+			t.Fatalf("activity id mismatch: %s vs %s", pc.ActivityID(), got.ActivityID())
+		}
+		// A second marshal of the decoded context is byte-identical: the
+		// encoding is canonical.
+		b2, err := got.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("encoding not canonical:\n first: %x\nsecond: %x", b, b2)
+		}
+	})
+}
+
+// FuzzUnmarshalPropagationContext throws arbitrary bytes at the wire
+// decoder: it may reject them, but must never panic or hang.
+func FuzzUnmarshalPropagationContext(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	if seed, err := (&PropagationContext{
+		Path:       []PropagationEntry{{Name: "seed"}},
+		Properties: map[string]map[string]any{"g": {"k": "v"}},
+	}).Marshal(); err == nil {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pc, err := UnmarshalPropagationContext(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode.
+		if _, err := pc.Marshal(); err != nil {
+			t.Fatalf("decoded context fails to marshal: %v", err)
+		}
+	})
+}

@@ -14,14 +14,18 @@ import (
 // of recovery. One Service per process is typical (it plays the role the
 // per-ORB service plays in the CORBA architecture of fig. 3).
 type Service struct {
-	gen   *ids.Generator
-	rec   *trace.Recorder
-	retry RetryPolicy
+	gen      *ids.Generator
+	rec      *trace.Recorder
+	retry    RetryPolicy
+	delivery DeliveryPolicy
 
 	journal *journal
 
+	// live is striped (see shard.go) so concurrent Begin / Find / Complete
+	// from many goroutines do not serialize on one registry lock.
+	live *activityRegistry
+
 	mu        sync.Mutex
-	live      map[ids.UID]*Activity
 	setFacs   map[string]SignalSetFactory
 	actionFac map[string]ActionFactory
 }
@@ -46,6 +50,14 @@ func WithRetryPolicy(p RetryPolicy) Option {
 	return optionFunc(func(s *Service) { s.retry = p })
 }
 
+// WithDelivery sets the Service-wide default delivery policy for signal
+// broadcasts. Individual SignalSets override it by implementing
+// DeliveryPolicyProvider (e.g. via BaseSet.SetDelivery). The zero policy
+// delivers serially.
+func WithDelivery(p DeliveryPolicy) Option {
+	return optionFunc(func(s *Service) { s.delivery = p })
+}
+
 // WithJournal persists activity structure events to log so the activity
 // tree can be rebuilt after a crash (§3.4).
 func WithJournal(log *wal.Log) Option {
@@ -57,7 +69,7 @@ func New(opts ...Option) *Service {
 	s := &Service{
 		gen:       ids.NewGenerator(),
 		retry:     RetryPolicy{Attempts: 3},
-		live:      make(map[ids.UID]*Activity),
+		live:      newActivityRegistry(),
 		setFacs:   make(map[string]SignalSetFactory),
 		actionFac: make(map[string]ActionFactory),
 	}
@@ -118,33 +130,18 @@ func (s *Service) newActivity(name string, parent *Activity, opts ...BeginOption
 	for _, o := range opts {
 		o.applyBegin(a)
 	}
-	a.coord = newCoordinator(name, s.gen, s.rec, s.retry)
-	s.mu.Lock()
-	s.live[a.id] = a
-	s.mu.Unlock()
+	a.coord = newCoordinator(name, s.gen, s.rec, s.retry, s.delivery)
+	s.live.put(a)
 	return a
 }
 
 // Live returns the number of activities begun and not yet completed.
-func (s *Service) Live() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.live)
-}
+func (s *Service) Live() int { return s.live.size() }
 
 // Find returns a live activity by id.
-func (s *Service) Find(id ids.UID) (*Activity, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.live[id]
-	return a, ok
-}
+func (s *Service) Find(id ids.UID) (*Activity, bool) { return s.live.get(id) }
 
-func (s *Service) forget(a *Activity) {
-	s.mu.Lock()
-	delete(s.live, a.id)
-	s.mu.Unlock()
-}
+func (s *Service) forget(a *Activity) { s.live.delete(a.id) }
 
 // SignalSetFactory recreates a SignalSet from persisted parameters during
 // recovery.

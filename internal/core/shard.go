@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/extendedtx/activityservice/internal/ids"
+)
+
+// activityStripes is the shard count of the live-activity registry. A
+// power of two, so the UID's monotonically increasing counter byte
+// round-robins the stripes evenly.
+const activityStripes = 32
+
+type activityShard struct {
+	mu sync.RWMutex
+	m  map[ids.UID]*Activity
+}
+
+// activityRegistry is a striped-lock map of live activities, replacing the
+// Service's old single mutex-guarded map so concurrent Begin / Find /
+// Complete from many goroutines stop contending on one lock.
+type activityRegistry struct {
+	shards [activityStripes]activityShard
+}
+
+func newActivityRegistry() *activityRegistry {
+	r := &activityRegistry{}
+	for i := range r.shards {
+		r.shards[i].m = make(map[ids.UID]*Activity)
+	}
+	return r
+}
+
+func (r *activityRegistry) shard(id ids.UID) *activityShard {
+	// The UID tail is the generator's counter; its low byte round-robins.
+	return &r.shards[int(id[15])&(activityStripes-1)]
+}
+
+func (r *activityRegistry) put(a *Activity) {
+	s := r.shard(a.id)
+	s.mu.Lock()
+	s.m[a.id] = a
+	s.mu.Unlock()
+}
+
+func (r *activityRegistry) get(id ids.UID) (*Activity, bool) {
+	s := r.shard(id)
+	s.mu.RLock()
+	a, ok := s.m[id]
+	s.mu.RUnlock()
+	return a, ok
+}
+
+func (r *activityRegistry) delete(id ids.UID) {
+	s := r.shard(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+func (r *activityRegistry) size() int {
+	n := 0
+	for i := range r.shards {
+		r.shards[i].mu.RLock()
+		n += len(r.shards[i].m)
+		r.shards[i].mu.RUnlock()
+	}
+	return n
+}

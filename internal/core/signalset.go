@@ -167,12 +167,15 @@ func (d *setDriver) getOutcome() (Outcome, error) {
 
 // BaseSet provides the completion-status bookkeeping every SignalSet
 // needs; embed it (unexported-field style) via composition in model
-// implementations.
+// implementations. It also carries the set's delivery preference: a set
+// opted in with SetDelivery overrides the Service-wide policy for its own
+// broadcasts (it implements DeliveryPolicyProvider).
 type BaseSet struct {
 	name string
 
-	mu sync.Mutex
-	cs CompletionStatus
+	mu       sync.Mutex
+	cs       CompletionStatus
+	delivery DeliveryPolicy
 }
 
 // NewBaseSet returns a BaseSet with the given name and a Success status.
@@ -198,6 +201,22 @@ func (b *BaseSet) CompletionStatus() CompletionStatus {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.cs
+}
+
+// SetDelivery opts every broadcast of this set into the given delivery
+// policy, overriding the Service-wide default. The zero policy restores
+// "no preference" (inherit the Service's).
+func (b *BaseSet) SetDelivery(p DeliveryPolicy) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.delivery = p
+}
+
+// Delivery implements DeliveryPolicyProvider.
+func (b *BaseSet) Delivery() DeliveryPolicy {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.delivery
 }
 
 // SequenceSet is a ready-made SignalSet that sends a fixed sequence of

@@ -85,7 +85,11 @@ func (e Event) String() string {
 }
 
 // Recorder accumulates events. The zero value is ready to use; a nil
-// *Recorder discards everything. Safe for concurrent use.
+// *Recorder discards everything. Safe for concurrent use: recorders are
+// shared by every coordinator of a Service, and the parallel delivery
+// engine records from many broadcasts at once — Seq is assigned under the
+// recorder's lock, so the recorded order is a single total order even when
+// events race in from concurrent activities.
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -117,5 +118,37 @@ func TestCompactEventElidesEmpty(t *testing.T) {
 	e := Event{Kind: KindNote, Source: "a"}
 	if got := CompactEvent(e); got != "note:a" {
 		t.Errorf("CompactEvent = %q", got)
+	}
+}
+
+// TestConcurrentRecording hammers one Recorder from many goroutines (as
+// the parallel delivery engine does across concurrent activities) and
+// verifies every event lands with a unique, dense sequence number.
+func TestConcurrentRecording(t *testing.T) {
+	const (
+		goroutines = 8
+		events     = 200
+	)
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				r.Record(KindTransmit, fmt.Sprintf("g%d", g), "act", "sig", "")
+			}
+		}()
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != goroutines*events {
+		t.Fatalf("len = %d, want %d", len(evs), goroutines*events)
+	}
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("events[%d].Seq = %d; order not dense", i, e.Seq)
+		}
 	}
 }
