@@ -195,6 +195,73 @@ func BenchmarkParallelFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkRemoteFanout measures the distributed fig. 5 broadcast: one
+// signal fanned out to actions behind the ORB over TCP, across delivery
+// policy (serial vs parallel) and client connection pool size. Each remote
+// action holds its node for 100µs, so serial delivery pays
+// fanout×(RTT+100µs) per signal while parallel delivery through the pooled
+// transport overlaps the round trips — the regime ROADMAP queued behind
+// connection pooling.
+func BenchmarkRemoteFanout(b *testing.B) {
+	const actionLatency = 100 * time.Microsecond
+	policies := []struct {
+		name   string
+		policy activityservice.DeliveryPolicy
+	}{
+		{"serial", activityservice.DeliveryPolicy{Mode: activityservice.DeliverSerial}},
+		{"parallel", activityservice.Parallel()},
+	}
+	for _, fanout := range []int{8, 64} {
+		for _, pool := range []int{1, 4, 16} {
+			for _, p := range policies {
+				name := fmt.Sprintf("fanout=%d/pool=%d/%s", fanout, pool, p.name)
+				b.Run(name, func(b *testing.B) {
+					serverORB := orb.New()
+					defer serverORB.Shutdown()
+					if _, err := serverORB.Listen("127.0.0.1:0"); err != nil {
+						b.Fatal(err)
+					}
+					clientORB := orb.New(orb.WithPoolSize(pool))
+					defer clientORB.Shutdown()
+
+					actions := make([]activityservice.Action, fanout)
+					for i := range actions {
+						ref := orb.ExportAction(serverORB, activityservice.ActionFunc(
+							func(context.Context, activityservice.Signal) (activityservice.Outcome, error) {
+								time.Sleep(actionLatency)
+								return activityservice.Outcome{Name: "ok"}, nil
+							}))
+						ref, _ = serverORB.IOR(ref.Key)
+						actions[i] = orb.ImportAction(clientORB, ref)
+					}
+
+					svc := activityservice.New(activityservice.WithDelivery(p.policy))
+					ctx := context.Background()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						a := svc.Begin("remote-fanout")
+						set := activityservice.NewSequenceSet("s", "ping")
+						if err := a.RegisterSignalSet(set); err != nil {
+							b.Fatal(err)
+						}
+						for _, action := range actions {
+							if _, err := a.AddAction("s", action); err != nil {
+								b.Fatal(err)
+							}
+						}
+						if _, err := a.Signal(ctx, "s"); err != nil {
+							b.Fatal(err)
+						}
+						if _, err := a.Complete(ctx); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkFig08TwoPhaseCommit measures the fig. 8 protocol over a sweep
 // of participant counts.
 func BenchmarkFig08TwoPhaseCommit(b *testing.B) {

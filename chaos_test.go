@@ -1,0 +1,282 @@
+// Distributed failure-injection tests: chaos-transport scenarios driving
+// the extended-transaction models over a faulty network — the partitions,
+// resets and slow links that "a network of systems connected indirectly by
+// some distribution infrastructure" actually produces. Each scenario
+// asserts the model's documented outcome and recovery behaviour, and runs
+// deterministically (the faults are rule-driven, not probabilistic).
+package activityservice_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/extendedtx/activityservice"
+	"github.com/extendedtx/activityservice/hls/btp"
+	"github.com/extendedtx/activityservice/hls/twopc"
+	"github.com/extendedtx/activityservice/orb"
+	"github.com/extendedtx/activityservice/ots"
+)
+
+// chaosResource is a 2PC participant counting every protocol verb it sees.
+type chaosResource struct {
+	prepares, commits, rollbacks atomic.Int32
+}
+
+func (r *chaosResource) Prepare() (ots.Vote, error) { r.prepares.Add(1); return ots.VoteCommit, nil }
+func (r *chaosResource) Commit() error              { r.commits.Add(1); return nil }
+func (r *chaosResource) Rollback() error            { r.rollbacks.Add(1); return nil }
+func (r *chaosResource) CommitOnePhase() error      { r.commits.Add(1); return nil }
+func (r *chaosResource) Forget() error              { return nil }
+
+// exportChaosResource hosts a 2PC participant on its own node and returns
+// the reference a coordinator enlists.
+func exportChaosResource(t *testing.T, r *chaosResource) orb.IOR {
+	t.Helper()
+	node := orb.New()
+	t.Cleanup(node.Shutdown)
+	ref := orb.ExportAction(node, twopc.NewResourceAction(r))
+	if _, err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ = node.IOR(ref.Key)
+	return ref
+}
+
+// TestChaosResetBetweenPrepareAndCommit injects a connection reset exactly
+// between the two phases of a remote 2PC: both participants vote, then the
+// transport dies before the first commit signal leaves the coordinator.
+// Documented behaviour: the commit decision stands; at-least-once delivery
+// re-dials through the pool and re-drives phase two, so both participants
+// commit exactly once.
+func TestChaosResetBetweenPrepareAndCommit(t *testing.T) {
+	ctx := context.Background()
+	p1, p2 := &chaosResource{}, &chaosResource{}
+	ref1 := exportChaosResource(t, p1)
+	ref2 := exportChaosResource(t, p2)
+
+	chaos := orb.NewChaosTransport(nil)
+	clientORB := orb.New(orb.WithTransport(chaos), orb.WithCallTimeout(2*time.Second))
+	defer clientORB.Shutdown()
+	// The third process_signal request is the first commit (after the two
+	// prepares): reset the connection before it is sent.
+	fault := chaos.Inject(orb.ChaosRule{
+		Op: "process_signal", Stage: orb.StageRequest, After: 2, Count: 1, Reset: true,
+	})
+
+	svc := activityservice.New(activityservice.WithRetryPolicy(
+		activityservice.RetryPolicy{Attempts: 3, Backoff: 5 * time.Millisecond}))
+	coord := twopc.NewCoordinator(svc)
+	tx, err := coord.Begin("reset-between-phases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.EnlistAction(orb.ImportAction(clientORB, ref1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.EnlistAction(orb.ImportAction(clientORB, ref2)); err != nil {
+		t.Fatal(err)
+	}
+
+	committed, err := tx.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !committed {
+		t.Fatal("transaction rolled back; a reset between phases must not change the commit decision")
+	}
+	if fault.Hits() != 1 {
+		t.Fatalf("reset fired %d times, want exactly 1", fault.Hits())
+	}
+	for i, p := range []*chaosResource{p1, p2} {
+		if got := p.prepares.Load(); got != 1 {
+			t.Errorf("participant %d prepared %d times, want 1", i+1, got)
+		}
+		if got := p.commits.Load(); got != 1 {
+			t.Errorf("participant %d committed %d times, want 1 (retried delivery, not re-execution)", i+1, got)
+		}
+		if got := p.rollbacks.Load(); got != 0 {
+			t.Errorf("participant %d rolled back %d times, want 0", i+1, got)
+		}
+	}
+}
+
+// chaosBTPParticipant is a remote BTP participant speaking the btp signal
+// protocol directly, with idempotent confirm/cancel as the spec demands.
+type chaosBTPParticipant struct {
+	prepared, confirmed, cancelled atomic.Int32
+}
+
+func (p *chaosBTPParticipant) action() activityservice.Action {
+	return activityservice.ActionFunc(
+		func(_ context.Context, sig activityservice.Signal) (activityservice.Outcome, error) {
+			switch sig.Name {
+			case btp.SignalPrepare:
+				p.prepared.Add(1)
+				return activityservice.Outcome{Name: btp.OutcomePrepared}, nil
+			case btp.SignalConfirm:
+				p.confirmed.Add(1)
+				return activityservice.Outcome{Name: btp.OutcomeConfirmed}, nil
+			default:
+				p.cancelled.Add(1)
+				return activityservice.Outcome{Name: btp.OutcomeCancelled}, nil
+			}
+		})
+}
+
+// TestChaosPartitionDuringConfirm partitions the network in the
+// server→client direction while a prepared BTP atom confirms: confirm
+// requests reach the participants, every acknowledgement is lost, and the
+// coordinator's calls time out. Documented behaviour: confirm is
+// at-least-once and participant confirm is idempotent, so the atom still
+// reports confirmed, the participants converge on confirmed, and after the
+// partition heals the transport works again.
+func TestChaosPartitionDuringConfirm(t *testing.T) {
+	ctx := context.Background()
+	p1, p2 := &chaosBTPParticipant{}, &chaosBTPParticipant{}
+
+	node := orb.New()
+	defer node.Shutdown()
+	if _, err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]orb.IOR, 2)
+	for i, p := range []*chaosBTPParticipant{p1, p2} {
+		ref := orb.ExportAction(node, p.action())
+		refs[i], _ = node.IOR(ref.Key)
+	}
+
+	chaos := orb.NewChaosTransport(nil)
+	clientORB := orb.New(orb.WithTransport(chaos), orb.WithCallTimeout(100*time.Millisecond))
+	defer clientORB.Shutdown()
+
+	svc := activityservice.New(activityservice.WithRetryPolicy(
+		activityservice.RetryPolicy{Attempts: 2, Backoff: time.Millisecond}))
+	atom, err := btp.NewAtom(svc, "partitioned-confirm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atom.SetDelivery(activityservice.DeliveryPolicy{Mode: activityservice.DeliverSerial})
+	for i, label := range []string{"p1", "p2"} {
+		proxy := orb.ImportAction(clientORB, refs[i])
+		if _, err := atom.Activity().AddNamedAction(btp.PrepareSetName, label, proxy); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := atom.Activity().AddNamedAction(btp.CompleteSetName, label, proxy); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := atom.Prepare(ctx); err != nil {
+		t.Fatalf("prepare over healthy network: %v", err)
+	}
+
+	chaos.PartitionRecv(true)
+	start := time.Now()
+	if err := atom.Confirm(ctx); err != nil {
+		t.Fatalf("confirm during partition: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("confirm returned in %s; it should have waited out lost acknowledgements", elapsed)
+	}
+	if st := atom.State(); st != btp.AtomConfirmed {
+		t.Fatalf("atom state = %s, want confirmed", st)
+	}
+
+	// The requests crossed the partition even though the acks did not:
+	// participants converge on confirmed (possibly via idempotent
+	// redelivery).
+	deadline := time.Now().Add(2 * time.Second)
+	for _, p := range []*chaosBTPParticipant{p1, p2} {
+		for p.confirmed.Load() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("participant never saw confirm despite one-way partition")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := p.cancelled.Load(); got != 0 {
+			t.Fatalf("participant cancelled %d times during confirm", got)
+		}
+	}
+
+	// Recovery: heal the partition and run a fresh atom end to end.
+	chaos.Heal()
+	p3 := &chaosBTPParticipant{}
+	ref := orb.ExportAction(node, p3.action())
+	ref, _ = node.IOR(ref.Key)
+	atom2, err := btp.NewAtom(svc, "after-heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atom2.Activity().AddNamedAction(btp.PrepareSetName, "p3", orb.ImportAction(clientORB, ref)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atom2.Activity().AddNamedAction(btp.CompleteSetName, "p3", orb.ImportAction(clientORB, ref)); err != nil {
+		t.Fatal(err)
+	}
+	if err := atom2.Prepare(ctx); err != nil {
+		t.Fatalf("prepare after heal: %v", err)
+	}
+	if err := atom2.Confirm(ctx); err != nil {
+		t.Fatalf("confirm after heal: %v", err)
+	}
+	if p3.confirmed.Load() == 0 {
+		t.Fatal("post-heal participant never confirmed")
+	}
+}
+
+// TestChaosSlowParticipantTimeout runs a remote 2PC where one participant
+// sits behind a link slower than the call timeout. Documented behaviour:
+// its prepare times out, the delivery failure dooms the vote, and the
+// healthy participant is rolled back — the slow node never commits.
+func TestChaosSlowParticipantTimeout(t *testing.T) {
+	ctx := context.Background()
+	healthy, slow := &chaosResource{}, &chaosResource{}
+	healthyRef := exportChaosResource(t, healthy)
+	slowRef := exportChaosResource(t, slow)
+
+	healthyORB := orb.New()
+	defer healthyORB.Shutdown()
+	chaos := orb.NewChaosTransport(nil)
+	slowORB := orb.New(orb.WithTransport(chaos), orb.WithCallTimeout(100*time.Millisecond))
+	defer slowORB.Shutdown()
+	chaos.Inject(orb.ChaosRule{Latency: 400 * time.Millisecond}) // every request crawls
+
+	svc := activityservice.New(activityservice.WithRetryPolicy(
+		activityservice.RetryPolicy{Attempts: 2, Backoff: time.Millisecond}))
+	coord := twopc.NewCoordinator(svc)
+	tx, err := coord.Begin("slow-participant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.EnlistAction(orb.ImportAction(healthyORB, healthyRef)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.EnlistAction(orb.ImportAction(slowORB, slowRef)); err != nil {
+		t.Fatal(err)
+	}
+
+	committed, err := tx.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed {
+		t.Fatal("committed despite a participant slower than the call timeout")
+	}
+	if got := healthy.prepares.Load(); got != 1 {
+		t.Fatalf("healthy participant prepared %d times, want 1", got)
+	}
+	if got := healthy.rollbacks.Load(); got != 1 {
+		t.Fatalf("healthy participant rolled back %d times, want 1 (released after the doomed vote)", got)
+	}
+	if got := healthy.commits.Load(); got != 0 {
+		t.Fatalf("healthy participant committed %d times, want 0", got)
+	}
+	// The slow node's requests may still land late, but the commit decision
+	// never reaches it.
+	time.Sleep(500 * time.Millisecond)
+	if got := slow.commits.Load(); got != 0 {
+		t.Fatalf("slow participant committed %d times, want 0", got)
+	}
+}

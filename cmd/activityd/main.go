@@ -13,6 +13,8 @@
 //
 //	activityd -listen 127.0.0.1:7411        # serve until interrupted
 //	activityd -listen 127.0.0.1:0 -demo     # serve, run a self-test client, exit
+//	activityd -pool 8 -parallel             # 8 pooled conns per endpoint,
+//	                                        # parallel signal fan-out
 package main
 
 import (
@@ -34,8 +36,10 @@ const FactoryTypeID = "IDL:ActivityService/ActivityFactory:1.0"
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7411", "host:port to serve on")
 	demo := flag.Bool("demo", false, "run a self-test client and exit")
+	pool := flag.Int("pool", 0, "client connections pooled per endpoint (0 = default)")
+	parallel := flag.Bool("parallel", false, "fan signals out to enrolled actions in parallel")
 	flag.Parse()
-	if err := run(*listen, *demo); err != nil {
+	if err := run(*listen, *demo, *pool, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "activityd:", err)
 		os.Exit(1)
 	}
@@ -43,8 +47,9 @@ func main() {
 
 // factory creates activities on request and exports their coordinators.
 type factory struct {
-	svc *activityservice.Service
-	orb *orb.ORB
+	svc      *activityservice.Service
+	orb      *orb.ORB
+	parallel bool
 }
 
 // Dispatch implements orb.Servant: operation "begin" takes an activity
@@ -57,7 +62,13 @@ func (f *factory) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byt
 	if err := in.Err(); err != nil {
 		return nil, orb.Systemf(orb.CodeMarshal, "begin: %v", err)
 	}
-	a := f.svc.Begin(name)
+	var opts []activityservice.BeginOption
+	if f.parallel {
+		// Remotely created activities coordinate remote actions — the
+		// latency-bound regime parallel fan-out targets.
+		opts = append(opts, activityservice.WithActivityDelivery(activityservice.Parallel()))
+	}
+	a := f.svc.Begin(name, opts...)
 	// Activities created remotely complete through their default set; give
 	// them one so completion collates participant responses.
 	set := activityservice.NewSequenceSet(activityservice.DefaultCompletionSet, "complete").
@@ -74,13 +85,17 @@ func (f *factory) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byt
 	return e.Bytes(), nil
 }
 
-func run(listen string, demo bool) error {
-	node := orb.New()
+func run(listen string, demo bool, pool int, parallel bool) error {
+	var orbOpts []orb.ORBOption
+	if pool > 0 {
+		orbOpts = append(orbOpts, orb.WithPoolSize(pool))
+	}
+	node := orb.New(orbOpts...)
 	defer node.Shutdown()
 	orb.InstallPropagation(node)
 
 	svc := activityservice.New()
-	f := &factory{svc: svc, orb: node}
+	f := &factory{svc: svc, orb: node, parallel: parallel}
 	node.RegisterServantWithKey("activity-factory", FactoryTypeID, f)
 
 	ns := orb.NewNameServer()

@@ -6,7 +6,15 @@ import "testing"
 // the built-in client against it: factory resolution through naming,
 // remote activity creation, remote enlistment and remote completion.
 func TestDaemonDemoRoundTrip(t *testing.T) {
-	if err := run("127.0.0.1:0", true); err != nil {
+	if err := run("127.0.0.1:0", true, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonDemoPooledParallel runs the same round trip with a pooled
+// client transport and parallel signal fan-out enabled.
+func TestDaemonDemoPooledParallel(t *testing.T) {
+	if err := run("127.0.0.1:0", true, 8, true); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -8,7 +8,9 @@
 //
 //	benchsweep                 # all sweeps, default iteration count
 //	benchsweep -iters 2000
-//	benchsweep -sweep 2pc      # one sweep: 2pc | fanout | chain | delivery | remote
+//	benchsweep -sweep 2pc      # one sweep: 2pc | fanout | chain | delivery |
+//	                           #            remote | remotefanout
+//	benchsweep -sweep remotefanout -pool 8   # pin the client pool size
 package main
 
 import (
@@ -26,9 +28,14 @@ import (
 	"github.com/extendedtx/activityservice/ots"
 )
 
+// poolSize pins the client connection pool size for the remote sweeps;
+// 0 lets each sweep use its own defaults (remotefanout sweeps 1, 4, 16).
+var poolSize int
+
 func main() {
 	iters := flag.Int("iters", 500, "iterations per data point")
-	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote); empty = all")
+	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout); empty = all")
+	flag.IntVar(&poolSize, "pool", 0, "client connection pool size for remote sweeps (0 = sweep defaults)")
 	flag.Parse()
 	if err := run(*iters, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
@@ -37,11 +44,12 @@ func main() {
 }
 
 var sweeps = map[string]func(iters int) error{
-	"2pc":      sweep2PC,
-	"fanout":   sweepFanout,
-	"chain":    sweepChain,
-	"delivery": sweepDelivery,
-	"remote":   sweepRemote,
+	"2pc":          sweep2PC,
+	"fanout":       sweepFanout,
+	"chain":        sweepChain,
+	"delivery":     sweepDelivery,
+	"remote":       sweepRemote,
+	"remotefanout": sweepRemoteFanout,
 }
 
 func run(iters int, which string) error {
@@ -243,7 +251,7 @@ func sweepRemote(iters int) error {
 	ctx := context.Background()
 	for _, tcp := range []bool{false, true} {
 		serverORB := orb.New()
-		clientORB := orb.New()
+		clientORB := orb.New(clientPoolOptions()...)
 		refs := make([]orb.IOR, 2)
 		for i := range refs {
 			refs[i] = orb.ExportAction(serverORB, twopc.NewResourceAction(okResource{}))
@@ -285,6 +293,85 @@ func sweepRemote(iters int) error {
 			name = "tcp"
 		}
 		fmt.Printf("%-10s %14.0f\n", name, ns)
+	}
+	return nil
+}
+
+// clientPoolOptions applies the -pool knob to a client ORB.
+func clientPoolOptions() []orb.ORBOption {
+	if poolSize > 0 {
+		return []orb.ORBOption{orb.WithPoolSize(poolSize)}
+	}
+	return nil
+}
+
+// sweepRemoteFanout measures the distributed fig. 5 broadcast: one signal
+// fanned out over TCP to remote actions that each work for 100µs, serial
+// vs parallel delivery, across client pool sizes. The per-action latency
+// models a real participant; it is what makes the broadcast latency-bound,
+// the regime parallel delivery through the pooled transport targets.
+func sweepRemoteFanout(iters int) error {
+	slow := func() activityservice.Action {
+		return activityservice.ActionFunc(
+			func(context.Context, activityservice.Signal) (activityservice.Outcome, error) {
+				time.Sleep(100 * time.Microsecond)
+				return activityservice.Outcome{Name: "ok"}, nil
+			})
+	}
+	fmt.Println("\n== remote fan-out: ns/op vs pool size, serial vs parallel (fig. 5 over the ORB, 100µs actions) ==")
+	fmt.Printf("%-10s %-8s %14s %14s %10s\n", "fanout", "pool", "serial", "parallel", "speedup")
+	ctx := context.Background()
+	pools := []int{1, 4, 16}
+	if poolSize > 0 {
+		pools = []int{poolSize}
+	}
+	for _, fanout := range []int{8, 64} {
+		for _, pool := range pools {
+			var results [2]float64
+			for pi, policy := range []activityservice.DeliveryPolicy{
+				{Mode: activityservice.DeliverSerial},
+				activityservice.Parallel(),
+			} {
+				serverORB := orb.New()
+				if _, err := serverORB.Listen("127.0.0.1:0"); err != nil {
+					return err
+				}
+				clientORB := orb.New(orb.WithPoolSize(pool))
+				actions := make([]activityservice.Action, fanout)
+				for i := range actions {
+					ref := orb.ExportAction(serverORB, slow())
+					ref, _ = serverORB.IOR(ref.Key)
+					actions[i] = orb.ImportAction(clientORB, ref)
+				}
+				svc := activityservice.New(activityservice.WithDelivery(policy))
+				n := iters/fanout + 5 // network fan-out is slow; keep runtime sane
+				ns, err := measure(n, func() error {
+					a := svc.Begin("remote-fanout")
+					set := activityservice.NewSequenceSet("s", "ping")
+					if err := a.RegisterSignalSet(set); err != nil {
+						return err
+					}
+					for _, action := range actions {
+						if _, err := a.AddAction("s", action); err != nil {
+							return err
+						}
+					}
+					if _, err := a.Signal(ctx, "s"); err != nil {
+						return err
+					}
+					_, err := a.Complete(ctx)
+					return err
+				})
+				serverORB.Shutdown()
+				clientORB.Shutdown()
+				if err != nil {
+					return err
+				}
+				results[pi] = ns
+			}
+			fmt.Printf("%-10d %-8d %14.0f %14.0f %9.2fx\n",
+				fanout, pool, results[0], results[1], results[0]/results[1])
+		}
 	}
 	return nil
 }

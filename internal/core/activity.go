@@ -65,12 +65,13 @@ const DefaultCompletionSet = "completion"
 // Actions register interest in SignalSets; signals may be transmitted at
 // arbitrary points in its lifetime, not just completion.
 type Activity struct {
-	svc    *Service
-	id     ids.UID
-	name   string
-	parent *Activity
-	coord  *Coordinator
-	timer  *time.Timer
+	svc      *Service
+	id       ids.UID
+	name     string
+	parent   *Activity
+	coord    *Coordinator
+	timer    *time.Timer
+	delivery DeliveryPolicy // per-activity override (WithActivityDelivery)
 
 	mu            sync.Mutex
 	state         ActivityState

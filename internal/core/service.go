@@ -107,6 +107,15 @@ func withID(id ids.UID) BeginOption {
 	return beginOptionFunc(func(a *Activity) { a.id = id })
 }
 
+// WithActivityDelivery overrides the Service-wide delivery policy for one
+// activity's coordinator — the per-activity opt-in a host uses to fan
+// signals out in parallel for activities whose actions are remote (the
+// latency-bound regime the parallel engine targets) while local activities
+// keep the Service default. SignalSets choosing their own policy still win.
+func WithActivityDelivery(p DeliveryPolicy) BeginOption {
+	return beginOptionFunc(func(a *Activity) { a.delivery = p })
+}
+
 // Begin starts a new root activity.
 func (s *Service) Begin(name string, opts ...BeginOption) *Activity {
 	a := s.newActivity(name, nil, opts...)
@@ -130,7 +139,11 @@ func (s *Service) newActivity(name string, parent *Activity, opts ...BeginOption
 	for _, o := range opts {
 		o.applyBegin(a)
 	}
-	a.coord = newCoordinator(name, s.gen, s.rec, s.retry, s.delivery)
+	delivery := s.delivery
+	if a.delivery.Mode != 0 {
+		delivery = a.delivery
+	}
+	a.coord = newCoordinator(name, s.gen, s.rec, s.retry, delivery)
 	s.live.put(a)
 	return a
 }

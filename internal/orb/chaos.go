@@ -1,0 +1,309 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ChaosTransport wraps a Transport and injects faults into the frames that
+// cross it: added latency, dropped requests or replies, connection resets
+// and one-way partitions, all selectable per operation. It exists so the
+// failure modes the extended-transaction models are designed to survive —
+// a participant vanishing between prepare and commit, a confirm whose
+// acknowledgement never arrives, a link too slow to beat the call timeout —
+// can be produced deterministically in tests instead of hoping a real
+// network misbehaves on cue.
+//
+// Faults are expressed as an ordered list of ChaosRules (Inject); every
+// rule whose stage, operation and occurrence window match a frame
+// contributes its fault. Partitions (PartitionSend, PartitionRecv) drop
+// whole directions independently of the rule list, and ResetAll abruptly
+// closes every live connection. Heal removes everything.
+//
+// A ChaosTransport may be shared by many connections and is safe for
+// concurrent use. Injected latency is applied while the owning connection's
+// write lock is held, so it also models head-of-line blocking on a slow
+// link.
+type ChaosTransport struct {
+	base Transport
+
+	mu       sync.Mutex
+	rules    []*activeRule
+	partSend bool
+	partRecv bool
+	conns    map[*chaosConn]struct{}
+}
+
+// ChaosStage locates a fault in the request/reply exchange.
+type ChaosStage int
+
+// Fault stages.
+const (
+	// StageRequest faults the client→server frame before it is sent: the
+	// operation never reaches the servant.
+	StageRequest ChaosStage = iota
+	// StageReply faults the server→client frame before it is delivered:
+	// the operation ran, but the caller never learns its outcome.
+	StageReply
+)
+
+// String returns the stage name.
+func (s ChaosStage) String() string {
+	switch s {
+	case StageRequest:
+		return "request"
+	case StageReply:
+		return "reply"
+	default:
+		return fmt.Sprintf("ChaosStage(%d)", int(s))
+	}
+}
+
+// ChaosRule describes one injectable fault. The zero rule matches every
+// request frame and does nothing; set the fault fields to make it bite.
+type ChaosRule struct {
+	// Op matches the ORB operation name ("process_signal", "prepare",
+	// "commit", …). Empty matches every operation.
+	Op string
+	// Stage selects the frame direction the rule applies to.
+	Stage ChaosStage
+	// After skips the first After matching frames, so a fault can target
+	// e.g. the third delivery (the commit after two prepares).
+	After int
+	// Count bounds how many times the rule fires once active; 0 means
+	// every match.
+	Count int
+
+	// Latency delays the frame before it proceeds.
+	Latency time.Duration
+	// Drop swallows the frame: a lost request or a lost reply.
+	Drop bool
+	// Reset closes the connection instead of forwarding the frame — the
+	// peer-reset mid-protocol case.
+	Reset bool
+}
+
+// activeRule tracks a rule's occurrence counters.
+type activeRule struct {
+	ChaosRule
+	seen  int // matching frames observed (drives After)
+	fired int // faults actually applied (drives Count and Hits)
+}
+
+// InjectedFault is the handle for one injected rule.
+type InjectedFault struct {
+	t *ChaosTransport
+	r *activeRule
+}
+
+// Hits reports how many frames the fault has been applied to.
+func (f *InjectedFault) Hits() int {
+	f.t.mu.Lock()
+	defer f.t.mu.Unlock()
+	return f.r.fired
+}
+
+// Remove withdraws the rule.
+func (f *InjectedFault) Remove() {
+	f.t.mu.Lock()
+	defer f.t.mu.Unlock()
+	for i, r := range f.t.rules {
+		if r == f.r {
+			f.t.rules = append(f.t.rules[:i], f.t.rules[i+1:]...)
+			return
+		}
+	}
+}
+
+// NewChaosTransport wraps base (TCPTransport when nil).
+func NewChaosTransport(base Transport) *ChaosTransport {
+	if base == nil {
+		base = TCPTransport{}
+	}
+	return &ChaosTransport{base: base, conns: make(map[*chaosConn]struct{})}
+}
+
+// Inject adds a fault rule and returns its handle.
+func (t *ChaosTransport) Inject(r ChaosRule) *InjectedFault {
+	ar := &activeRule{ChaosRule: r}
+	t.mu.Lock()
+	t.rules = append(t.rules, ar)
+	t.mu.Unlock()
+	return &InjectedFault{t: t, r: ar}
+}
+
+// PartitionSend starts or stops a one-way partition in the client→server
+// direction: requests are consumed and silently discarded, so the servant
+// never runs and the caller times out.
+func (t *ChaosTransport) PartitionSend(on bool) {
+	t.mu.Lock()
+	t.partSend = on
+	t.mu.Unlock()
+}
+
+// PartitionRecv starts or stops a one-way partition in the server→client
+// direction: the servant runs, but its replies are discarded — the
+// "completion unknown" half of a partition.
+func (t *ChaosTransport) PartitionRecv(on bool) {
+	t.mu.Lock()
+	t.partRecv = on
+	t.mu.Unlock()
+}
+
+// Heal removes every rule and partition. Connections already reset stay
+// dead; new dials behave like the base transport.
+func (t *ChaosTransport) Heal() {
+	t.mu.Lock()
+	t.rules = nil
+	t.partSend = false
+	t.partRecv = false
+	t.mu.Unlock()
+}
+
+// ResetAll abruptly closes every live connection, as a link reset would.
+func (t *ChaosTransport) ResetAll() {
+	t.mu.Lock()
+	conns := make([]*chaosConn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Dial implements Transport.
+func (t *ChaosTransport) Dial(ctx context.Context, addr string) (Conn, error) {
+	bc, err := t.base.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &chaosConn{t: t, base: bc, ops: make(map[uint64]string)}
+	t.mu.Lock()
+	t.conns[c] = struct{}{}
+	t.mu.Unlock()
+	return c, nil
+}
+
+// verdict is the combined fault decision for one frame.
+type verdict struct {
+	latency time.Duration
+	drop    bool
+	reset   bool
+}
+
+// decide folds partitions and every matching rule into one verdict.
+func (t *ChaosTransport) decide(stage ChaosStage, op string) verdict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var v verdict
+	if stage == StageRequest && t.partSend {
+		v.drop = true
+	}
+	if stage == StageReply && t.partRecv {
+		v.drop = true
+	}
+	for _, r := range t.rules {
+		if r.Stage != stage {
+			continue
+		}
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		v.latency += r.Latency
+		v.drop = v.drop || r.Drop
+		v.reset = v.reset || r.Reset
+	}
+	return v
+}
+
+// chaosConn applies the transport's fault rules to one connection.
+type chaosConn struct {
+	t    *ChaosTransport
+	base Conn
+
+	mu  sync.Mutex
+	ops map[uint64]string // in-flight requestID → operation, for reply rules
+}
+
+// WriteFrame implements Conn, faulting client→server frames.
+func (c *chaosConn) WriteFrame(payload []byte) error {
+	op := ""
+	var reqID uint64
+	tracked := false
+	if req, err := decodeRequest(payload); err == nil {
+		op = req.operation
+		reqID = req.requestID
+		tracked = true
+		c.mu.Lock()
+		c.ops[reqID] = op
+		c.mu.Unlock()
+	}
+	v := c.t.decide(StageRequest, op)
+	if v.latency > 0 {
+		time.Sleep(v.latency)
+	}
+	if v.drop || v.reset {
+		// No reply will ever arrive for this request; forget its op so the
+		// in-flight map cannot grow without bound under a long partition.
+		if tracked {
+			c.mu.Lock()
+			delete(c.ops, reqID)
+			c.mu.Unlock()
+		}
+		if v.reset {
+			c.Close()
+			return fmt.Errorf("orb: chaos: connection reset before sending %q", op)
+		}
+		return nil // consumed, never sent
+	}
+	return c.base.WriteFrame(payload)
+}
+
+// ReadFrame implements Conn, faulting server→client frames.
+func (c *chaosConn) ReadFrame() ([]byte, error) {
+	for {
+		payload, err := c.base.ReadFrame()
+		if err != nil {
+			return nil, err
+		}
+		op := ""
+		if rep, err := decodeReply(payload); err == nil {
+			c.mu.Lock()
+			op = c.ops[rep.requestID]
+			delete(c.ops, rep.requestID)
+			c.mu.Unlock()
+		}
+		v := c.t.decide(StageReply, op)
+		if v.latency > 0 {
+			time.Sleep(v.latency)
+		}
+		if v.reset {
+			c.Close()
+			return nil, fmt.Errorf("orb: chaos: connection reset dropping reply to %q", op)
+		}
+		if v.drop {
+			continue
+		}
+		return payload, nil
+	}
+}
+
+// Close implements Conn.
+func (c *chaosConn) Close() error {
+	c.t.mu.Lock()
+	delete(c.t.conns, c)
+	c.t.mu.Unlock()
+	return c.base.Close()
+}

@@ -2,18 +2,56 @@ package orb
 
 import (
 	"context"
-	"net"
+	"math/rand/v2"
 	"strings"
 	"sync"
 	"time"
 )
 
-const dialTimeout = 5 * time.Second
+// Client transport defaults. All are per-ORB configurable (WithPoolSize,
+// WithDialTimeout, WithReconnectBackoff).
+const (
+	defaultDialTimeout = 5 * time.Second
+	defaultPoolSize    = 4
+	defaultBackoffMin  = 50 * time.Millisecond
+	defaultBackoffMax  = 2 * time.Second
+)
 
-// clientConn multiplexes concurrent requests over one TCP connection.
+// endpointPool is the client side of one endpoint: a bounded pool of
+// multiplexed connections with least-pending pick, automatic reconnect
+// under jittered exponential backoff, and a health gate so a dead peer
+// fails fast instead of being re-dialed on every call.
+//
+// Pool growth is caller-driven: an invoke that finds the pool below its
+// bound dials a new connection inline (concurrent callers fill the pool in
+// parallel, one dial each). A dial failure marks the endpoint down until a
+// backoff deadline; while it is down and no connection is live, calls fail
+// fast with TRANSIENT. The first call after the deadline probes again —
+// exactly one caller dials, the rest wait for its verdict.
+type endpointPool struct {
+	orb      *ORB
+	endpoint string // "tcp:host:port"
+	addr     string // "host:port"
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast on any conns/dialing/closed change
+	conns     []*clientConn
+	dialing   int
+	failures  int       // consecutive dial failures
+	downUntil time.Time // health gate: fail fast until then
+	closed    bool
+}
+
+func newEndpointPool(o *ORB, endpoint, addr string) *endpointPool {
+	p := &endpointPool{orb: o, endpoint: endpoint, addr: addr}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// clientConn multiplexes concurrent requests over one transport connection.
 type clientConn struct {
-	endpoint string
-	conn     net.Conn
+	pool *endpointPool
+	tc   Conn
 
 	writeMu sync.Mutex
 
@@ -22,7 +60,7 @@ type clientConn struct {
 	closed  bool
 }
 
-// invokeTCP performs a remote invocation over the pooled connection for
+// invokeTCP performs a remote invocation over the connection pool for
 // ref's endpoint.
 func (o *ORB) invokeTCP(ctx context.Context, ref IOR, op string, contexts []ServiceContext, body []byte) ([]byte, error) {
 	addr, ok := cutPrefix(ref.Endpoint, "tcp:")
@@ -35,14 +73,29 @@ func (o *ORB) invokeTCP(ctx context.Context, ref IOR, op string, contexts []Serv
 		defer cancel()
 	}
 
-	c, err := o.getConn(addr, ref.Endpoint)
+	pool, err := o.pool(addr, ref.Endpoint)
 	if err != nil {
 		return nil, err
 	}
 	reqID := o.reqID.Add(1)
 	ch := make(chan reply, 1)
-	if err := c.register(reqID, ch); err != nil {
-		return nil, err
+
+	// A connection picked from the pool can be torn down between the pick
+	// and the registration (its read loop may observe the peer dying at any
+	// moment); retry the pick until registration lands on a live one.
+	var c *clientConn
+	for attempt := 0; ; attempt++ {
+		var err error
+		c, err = pool.get(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err = c.register(reqID, ch); err == nil {
+			break
+		}
+		if attempt >= o.poolSize {
+			return nil, err
+		}
 	}
 	defer c.unregister(reqID)
 
@@ -54,7 +107,7 @@ func (o *ORB) invokeTCP(ctx context.Context, ref IOR, op string, contexts []Serv
 		body:      body,
 	})
 	if err := c.send(frame); err != nil {
-		o.dropConn(c)
+		pool.drop(c, Systemf(CodeCommFailure, "connection to %s lost", pool.endpoint))
 		// The request never left (or partially left) this host: TRANSIENT.
 		return nil, Systemf(CodeTransient, "send to %s: %v", ref.Endpoint, err)
 	}
@@ -67,54 +120,222 @@ func (o *ORB) invokeTCP(ctx context.Context, ref IOR, op string, contexts []Serv
 	}
 }
 
-// getConn returns the pooled connection for endpoint, dialing if needed.
-func (o *ORB) getConn(addr, endpoint string) (*clientConn, error) {
+// pool returns the endpoint's connection pool, creating it if needed. It
+// refuses after Shutdown, so an Invoke racing Shutdown cannot plant a live
+// pool in the swapped-out map where nothing would ever close it.
+func (o *ORB) pool(addr, endpoint string) (*endpointPool, error) {
 	o.connMu.Lock()
-	if c, ok := o.conns[endpoint]; ok {
-		o.connMu.Unlock()
-		return c, nil
+	defer o.connMu.Unlock()
+	if o.poolsClosed {
+		return nil, Systemf(CodeCommFailure, "orb shut down")
 	}
-	o.connMu.Unlock()
+	p, ok := o.pools[endpoint]
+	if !ok {
+		p = newEndpointPool(o, endpoint, addr)
+		o.pools[endpoint] = p
+	}
+	return p, nil
+}
 
-	nc, err := net.DialTimeout("tcp", addr, dialTimeout)
+// get returns a live connection: the least-pending one when the pool is at
+// its bound, a freshly dialed one while it is below. While the endpoint is
+// marked down and nothing is live, get fails fast without touching the
+// network.
+func (p *endpointPool) get(ctx context.Context) (*clientConn, error) {
+	// Wake this waiter if its context dies while it blocks in Wait below.
+	stopWake := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stopWake()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return nil, Systemf(CodeCommFailure, "orb shut down")
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, Systemf(CodeTransient, "awaiting connection to %s: %v", p.endpoint, err)
+		}
+		down := time.Now().Before(p.downUntil)
+		if down && len(p.conns) == 0 && p.dialing == 0 {
+			return nil, Systemf(CodeTransient,
+				"endpoint %s down after %d consecutive dial failures (next probe in %s)",
+				p.endpoint, p.failures, time.Until(p.downUntil).Round(time.Millisecond))
+		}
+		// Growth is allowed when the pool is below its bound — but while
+		// the endpoint is recovering from failures, the probe is
+		// single-flight: one caller dials, the rest wait for its verdict.
+		if !down && len(p.conns)+p.dialing < p.orb.poolSize && (p.failures == 0 || p.dialing == 0) {
+			p.dialing++
+			p.mu.Unlock()
+			c, err := p.dial(ctx)
+			p.mu.Lock()
+			if err == nil {
+				return c, nil
+			}
+			if len(p.conns) > 0 {
+				continue // growth failed; fall back to a live connection
+			}
+			return nil, err
+		}
+		if c := p.leastPendingLocked(); c != nil {
+			return c, nil
+		}
+		// Nothing live but a dial is in flight: wait for its verdict, or
+		// for this caller's own context to die (the AfterFunc above wakes
+		// us). The wait is otherwise bounded by the dialer's timeout.
+		p.cond.Wait()
+	}
+}
+
+// dial opens one connection and publishes the outcome to the pool. The
+// caller has already reserved a slot (p.dialing).
+func (p *endpointPool) dial(ctx context.Context) (*clientConn, error) {
+	// The dial timeout always applies; a sooner caller deadline still wins
+	// through context propagation.
+	dctx, cancel := context.WithTimeout(ctx, p.orb.dialTimeout)
+	defer cancel()
+	tc, err := p.orb.transport.Dial(dctx, p.addr)
+
+	p.mu.Lock()
+	p.dialing--
 	if err != nil {
-		return nil, Systemf(CodeTransient, "dial %s: %v", addr, err)
+		if ctx.Err() == nil {
+			// A real dial failure: penalize the endpoint. A dial aborted
+			// because the *caller* died (cancelled straggler, expired call
+			// deadline) says nothing about the peer's health and must not
+			// open the down window.
+			p.failures++
+			p.downUntil = time.Now().Add(p.backoffLocked())
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return nil, Systemf(CodeTransient, "dial %s: %v", p.addr, err)
 	}
-	c := &clientConn{
-		endpoint: endpoint,
-		conn:     nc,
-		pending:  make(map[uint64]chan reply),
+	if p.closed {
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		tc.Close()
+		return nil, Systemf(CodeCommFailure, "orb shut down")
 	}
+	c := &clientConn{pool: p, tc: tc, pending: make(map[uint64]chan reply)}
+	p.conns = append(p.conns, c)
+	p.failures = 0
+	p.downUntil = time.Time{}
+	p.cond.Broadcast()
+	p.mu.Unlock()
 
-	o.connMu.Lock()
-	if existing, ok := o.conns[endpoint]; ok {
-		// Lost the dial race; use the winner.
-		o.connMu.Unlock()
-		nc.Close()
-		return existing, nil
-	}
-	o.conns[endpoint] = c
-	o.connMu.Unlock()
-
-	go c.readLoop(o)
+	go c.readLoop()
 	return c, nil
 }
 
-// dropConn removes c from the pool and fails its pending calls.
-func (o *ORB) dropConn(c *clientConn) {
-	o.connMu.Lock()
-	if o.conns[c.endpoint] == c {
-		delete(o.conns, c.endpoint)
+// backoffLocked returns the jittered exponential backoff for the current
+// failure count: full jitter over [d/2, d] where d doubles per failure
+// between the configured bounds.
+func (p *endpointPool) backoffLocked() time.Duration {
+	d := p.orb.backoffMin
+	for i := 1; i < p.failures && d < p.orb.backoffMax; i++ {
+		d *= 2
 	}
+	if d > p.orb.backoffMax {
+		d = p.orb.backoffMax
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int64N(int64(half)+1))
+}
+
+// leastPendingLocked picks the live connection with the fewest in-flight
+// requests.
+func (p *endpointPool) leastPendingLocked() *clientConn {
+	var best *clientConn
+	bestLoad := 0
+	for _, c := range p.conns {
+		load := c.load()
+		if best == nil || load < bestLoad {
+			best, bestLoad = c, load
+		}
+	}
+	return best
+}
+
+// drop removes c from the pool and fails its pending calls.
+func (p *endpointPool) drop(c *clientConn, cause *SystemError) {
+	p.mu.Lock()
+	for i, pc := range p.conns {
+		if pc == c {
+			p.conns = append(p.conns[:i], p.conns[i+1:]...)
+			break
+		}
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	c.close(cause)
+}
+
+// closePool tears down every connection and rejects future gets.
+func (p *endpointPool) closePool(cause *SystemError) {
+	p.mu.Lock()
+	p.closed = true
+	conns := p.conns
+	p.conns = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.close(cause)
+	}
+}
+
+// EndpointStats is a snapshot of one endpoint pool's health, for tests,
+// tooling and operational introspection.
+type EndpointStats struct {
+	// Endpoint is the pooled endpoint ("tcp:host:port").
+	Endpoint string
+	// Conns is the number of live connections.
+	Conns int
+	// Pending is the total number of in-flight requests across them.
+	Pending int
+	// Dialing is the number of dials in flight.
+	Dialing int
+	// Failures is the consecutive dial-failure count.
+	Failures int
+	// Down reports whether the health gate is failing calls fast.
+	Down bool
+}
+
+// EndpointStats reports the pool state for endpoint, if one exists.
+func (o *ORB) EndpointStats(endpoint string) (EndpointStats, bool) {
+	o.connMu.Lock()
+	p, ok := o.pools[endpoint]
 	o.connMu.Unlock()
-	c.close(Systemf(CodeCommFailure, "connection to %s lost", c.endpoint))
+	if !ok {
+		return EndpointStats{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := EndpointStats{
+		Endpoint: p.endpoint,
+		Conns:    len(p.conns),
+		Dialing:  p.dialing,
+		Failures: p.failures,
+		Down:     time.Now().Before(p.downUntil),
+	}
+	for _, c := range p.conns {
+		st.Pending += c.load()
+	}
+	return st, ok
 }
 
 func (c *clientConn) register(id uint64, ch chan reply) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return Systemf(CodeTransient, "connection to %s closed", c.endpoint)
+		return Systemf(CodeTransient, "connection to %s closed", c.pool.endpoint)
 	}
 	c.pending[id] = ch
 	return nil
@@ -126,23 +347,30 @@ func (c *clientConn) unregister(id uint64) {
 	delete(c.pending, id)
 }
 
+// load counts in-flight requests (the least-pending pick key).
+func (c *clientConn) load() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
 func (c *clientConn) send(frame []byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return writeFrame(c.conn, frame)
+	return c.tc.WriteFrame(frame)
 }
 
 // readLoop delivers replies to waiting callers until the connection dies.
-func (c *clientConn) readLoop(o *ORB) {
+func (c *clientConn) readLoop() {
 	for {
-		frame, err := readFrame(c.conn)
+		frame, err := c.tc.ReadFrame()
 		if err != nil {
-			o.dropConn(c)
+			c.pool.drop(c, Systemf(CodeCommFailure, "connection to %s lost", c.pool.endpoint))
 			return
 		}
 		rep, err := decodeReply(frame)
 		if err != nil {
-			o.dropConn(c)
+			c.pool.drop(c, Systemf(CodeCommFailure, "connection to %s lost", c.pool.endpoint))
 			return
 		}
 		c.mu.Lock()
@@ -170,7 +398,7 @@ func (c *clientConn) close(cause *SystemError) {
 	c.pending = make(map[uint64]chan reply)
 	c.mu.Unlock()
 
-	c.conn.Close()
+	c.tc.Close()
 	for id, ch := range pending {
 		ch <- reply{
 			requestID: id,

@@ -12,6 +12,18 @@
 // but it preserves the properties the paper relies on — request/reply with
 // service contexts and the standard failure surface (TRANSIENT,
 // COMM_FAILURE, OBJECT_NOT_EXIST).
+//
+// # Client transport
+//
+// Outgoing TCP invocations run over a pluggable Transport (transport.go)
+// behind a per-endpoint connection pool (client.go): up to WithPoolSize
+// multiplexed connections per endpoint, least-pending pick, automatic
+// reconnect under jittered exponential backoff, and per-endpoint health
+// state so a dead peer fails fast (TRANSIENT) instead of being re-dialed
+// on every call. ChaosTransport (chaos.go) wraps any Transport with
+// injectable faults — latency, drops, resets, one-way partitions, per-op
+// rules — so the failure modes extended transactions exist to survive can
+// be exercised deterministically in tests.
 package orb
 
 import (
@@ -74,6 +86,13 @@ type ORB struct {
 	gen         *ids.Generator
 	callTimeout time.Duration
 
+	// Client transport configuration (see client.go).
+	transport   Transport
+	poolSize    int
+	dialTimeout time.Duration
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+
 	mu       sync.RWMutex
 	servants map[string]servantEntry
 	clientIC []ClientInterceptor
@@ -83,9 +102,10 @@ type ORB struct {
 
 	srv *server
 
-	connMu sync.Mutex
-	conns  map[string]*clientConn
-	reqID  atomic.Uint64
+	connMu      sync.Mutex
+	pools       map[string]*endpointPool
+	poolsClosed bool
+	reqID       atomic.Uint64
 }
 
 // ORBOption configures an ORB.
@@ -103,6 +123,57 @@ func WithCallTimeout(d time.Duration) ORBOption {
 	return orbOptionFunc(func(o *ORB) { o.callTimeout = d })
 }
 
+// WithTransport replaces the client transport used for outgoing TCP
+// invocations (the default is TCPTransport). Wrap the default in a
+// ChaosTransport to inject faults.
+func WithTransport(t Transport) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if t != nil {
+			o.transport = t
+		}
+	})
+}
+
+// WithPoolSize bounds the number of multiplexed client connections the ORB
+// keeps per endpoint. The default is 4; 1 reproduces the single-connection
+// behaviour of earlier versions.
+func WithPoolSize(n int) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if n > 0 {
+			o.poolSize = n
+		}
+	})
+}
+
+// WithDialTimeout bounds each connection attempt when the caller's context
+// carries no deadline.
+func WithDialTimeout(d time.Duration) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if d > 0 {
+			o.dialTimeout = d
+		}
+	})
+}
+
+// WithReconnectBackoff sets the jittered exponential backoff window
+// applied after consecutive dial failures: the first failure marks the
+// endpoint down for ~min, doubling per failure up to max. While an
+// endpoint is down, calls fail fast with TRANSIENT instead of re-dialing.
+// A max below min is raised to min.
+func WithReconnectBackoff(min, max time.Duration) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if min > 0 {
+			o.backoffMin = min
+		}
+		if max > 0 {
+			o.backoffMax = max
+		}
+		if o.backoffMax < o.backoffMin {
+			o.backoffMax = o.backoffMin
+		}
+	})
+}
+
 // New returns a running ORB (in-process only until Listen is called).
 func New(opts ...ORBOption) *ORB {
 	gen := ids.NewGenerator()
@@ -110,8 +181,13 @@ func New(opts ...ORBOption) *ORB {
 		id:          gen.New().String(),
 		gen:         gen,
 		callTimeout: 10 * time.Second,
+		transport:   TCPTransport{},
+		poolSize:    defaultPoolSize,
+		dialTimeout: defaultDialTimeout,
+		backoffMin:  defaultBackoffMin,
+		backoffMax:  defaultBackoffMax,
 		servants:    make(map[string]servantEntry),
-		conns:       make(map[string]*clientConn),
+		pools:       make(map[string]*endpointPool),
 	}
 	for _, opt := range opts {
 		opt.apply(o)
@@ -207,11 +283,12 @@ func (o *ORB) Shutdown() {
 		srv.stop()
 	}
 	o.connMu.Lock()
-	conns := o.conns
-	o.conns = make(map[string]*clientConn)
+	o.poolsClosed = true
+	pools := o.pools
+	o.pools = nil
 	o.connMu.Unlock()
-	for _, c := range conns {
-		c.close(Systemf(CodeCommFailure, "orb shut down"))
+	for _, p := range pools {
+		p.closePool(Systemf(CodeCommFailure, "orb shut down"))
 	}
 }
 

@@ -1,0 +1,60 @@
+package orb
+
+import (
+	"context"
+	"net"
+)
+
+// Transport dials the framed byte streams the ORB's client side runs on.
+// The ORB multiplexes concurrent requests over a bounded pool of transport
+// connections per endpoint (see client.go); a Transport only supplies the
+// connections themselves, so the pooling, reconnect and health machinery is
+// shared by every implementation.
+//
+// TCPTransport is the production implementation. ChaosTransport (chaos.go)
+// wraps any Transport to inject faults — latency, drops, resets, one-way
+// partitions — for resilience testing; the failure surface the wrapped
+// transport produces is exactly what a flaky network would produce, so the
+// client stack above it cannot tell the difference.
+type Transport interface {
+	// Dial opens a framed connection to addr ("host:port"). It honours
+	// ctx's deadline and cancellation.
+	Dial(ctx context.Context, addr string) (Conn, error)
+}
+
+// Conn is one framed, full-duplex transport connection. ReadFrame may be
+// called concurrently with WriteFrame (the reply reader runs while callers
+// send), but the ORB serializes WriteFrame calls on one connection itself.
+// Close must unblock both directions.
+type Conn interface {
+	// WriteFrame sends one frame (the payload, excluding the length
+	// prefix).
+	WriteFrame(payload []byte) error
+	// ReadFrame receives the next frame.
+	ReadFrame() ([]byte, error)
+	// Close tears the connection down.
+	Close() error
+}
+
+// TCPTransport is the real client transport: length-prefixed GLOP frames
+// over plain TCP. The zero value is ready to use.
+type TCPTransport struct{}
+
+// Dial implements Transport.
+func (TCPTransport) Dial(ctx context.Context, addr string) (Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return tcpConn{c: nc}, nil
+}
+
+// tcpConn frames a net.Conn.
+type tcpConn struct {
+	c net.Conn
+}
+
+func (c tcpConn) WriteFrame(payload []byte) error { return writeFrame(c.c, payload) }
+func (c tcpConn) ReadFrame() ([]byte, error)      { return readFrame(c.c) }
+func (c tcpConn) Close() error                    { return c.c.Close() }

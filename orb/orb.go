@@ -7,6 +7,13 @@
 // and CORBA-style system exceptions. The remote halves of the Activity
 // Service — exported Actions, activity coordinator proxies, implicit
 // context propagation — are exposed here too.
+//
+// Outgoing invocations run over a pluggable Transport behind a bounded
+// per-endpoint connection pool with automatic reconnect and fail-fast
+// health state (WithTransport, WithPoolSize, WithReconnectBackoff,
+// EndpointStats). ChaosTransport wraps any Transport with injectable
+// faults — latency, drops, resets, one-way partitions, per-operation
+// rules — for deterministic resilience testing; see examples/chaos.
 package orb
 
 import (
@@ -46,6 +53,28 @@ type (
 	ORBOption = iorb.ORBOption
 	// ActivityProxy is the client side of a remote activity coordinator.
 	ActivityProxy = remote.ActivityProxy
+	// Transport dials the framed client connections the ORB pools.
+	Transport = iorb.Transport
+	// Conn is one framed transport connection.
+	Conn = iorb.Conn
+	// TCPTransport is the production client transport.
+	TCPTransport = iorb.TCPTransport
+	// ChaosTransport wraps a Transport with injectable faults.
+	ChaosTransport = iorb.ChaosTransport
+	// ChaosRule describes one injectable fault.
+	ChaosRule = iorb.ChaosRule
+	// ChaosStage locates a fault in the request/reply exchange.
+	ChaosStage = iorb.ChaosStage
+	// InjectedFault is the handle of an injected ChaosRule.
+	InjectedFault = iorb.InjectedFault
+	// EndpointStats is a snapshot of one endpoint pool's health.
+	EndpointStats = iorb.EndpointStats
+)
+
+// Chaos fault stages.
+const (
+	StageRequest = iorb.StageRequest
+	StageReply   = iorb.StageReply
 )
 
 // System exception codes.
@@ -76,6 +105,22 @@ func New(opts ...ORBOption) *ORB { return iorb.New(opts...) }
 
 // WithCallTimeout sets the default invocation deadline.
 var WithCallTimeout = iorb.WithCallTimeout
+
+// WithTransport replaces the client transport (default TCPTransport).
+var WithTransport = iorb.WithTransport
+
+// WithPoolSize bounds the multiplexed client connections per endpoint.
+var WithPoolSize = iorb.WithPoolSize
+
+// WithDialTimeout bounds each connection attempt.
+var WithDialTimeout = iorb.WithDialTimeout
+
+// WithReconnectBackoff sets the jittered reconnect backoff window.
+var WithReconnectBackoff = iorb.WithReconnectBackoff
+
+// NewChaosTransport wraps base (TCPTransport when nil) with fault
+// injection.
+var NewChaosTransport = iorb.NewChaosTransport
 
 // IsSystem reports whether err is a SystemError with the given code.
 var IsSystem = iorb.IsSystem
