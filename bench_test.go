@@ -10,6 +10,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +24,7 @@ import (
 	"github.com/extendedtx/activityservice/hls/saga"
 	"github.com/extendedtx/activityservice/hls/twopc"
 	"github.com/extendedtx/activityservice/hls/workflow"
+	"github.com/extendedtx/activityservice/internal/cdr"
 	"github.com/extendedtx/activityservice/internal/lockmgr"
 	"github.com/extendedtx/activityservice/internal/store"
 	"github.com/extendedtx/activityservice/internal/wal"
@@ -728,6 +733,116 @@ func BenchmarkOTSNestedCommit(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// watchGoroutinePeak samples the process goroutine count every
+// millisecond until the returned stop function is called, recording the
+// peak. Shared by the saturation benchmark and chaos test.
+func watchGoroutinePeak() (*atomic.Int64, func()) {
+	peak := &atomic.Int64{}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+				peak.Store(g)
+			}
+		}
+	}()
+	return peak, func() { close(stop); <-done }
+}
+
+// BenchmarkOverload measures the admission controller at saturation: a
+// servant with fixed work time behind a bounded server, hammered by a
+// fixed fan-in of closed-loop callers. Reported per configuration: p99
+// client-observed latency across all responses (successes and sheds — the
+// responsiveness a caller sees) and the peak goroutine count. Unbounded
+// dispatch buys nothing at saturation but pays for it in goroutines and
+// tail latency; the admission-bounded server keeps both flat by shedding
+// the excess fast.
+func BenchmarkOverload(b *testing.B) {
+	const (
+		fanIn       = 64
+		servantWork = 200 * time.Microsecond
+	)
+	run := func(b *testing.B, opts ...orb.ORBOption) {
+		node := orb.New(opts...)
+		defer node.Shutdown()
+		ref := node.RegisterServant("IDL:bench/Slow:1.0", orb.ServantFunc(
+			func(ctx context.Context, op string, _ *cdr.Decoder) ([]byte, error) {
+				select {
+				case <-time.After(servantWork):
+				case <-ctx.Done():
+				}
+				return nil, nil
+			}))
+		if _, err := node.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		ref, _ = node.IOR(ref.Key)
+		client := orb.New(orb.WithPoolSize(8), orb.WithCallTimeout(10*time.Second))
+		defer client.Shutdown()
+
+		peak, stopWatch := watchGoroutinePeak()
+
+		// Closed loop: fanIn workers share b.N calls; every latency —
+		// shed or served — lands in the percentile pool.
+		var next atomic.Int64
+		latencies := make([]time.Duration, b.N)
+		var shed atomic.Int64
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < fanIn; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx := context.Background()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(b.N) {
+						return
+					}
+					start := time.Now()
+					_, err := client.Invoke(ctx, ref, "work", nil)
+					latencies[i] = time.Since(start)
+					if err != nil {
+						if !orb.IsSystem(err, orb.CodeTransient) {
+							b.Error(err)
+							return
+						}
+						shed.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		stopWatch()
+
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		p99 := latencies[len(latencies)*99/100]
+		b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+		b.ReportMetric(float64(peak.Load()), "peak-goroutines")
+		b.ReportMetric(float64(shed.Load())/float64(b.N)*100, "shed-%")
+	}
+
+	b.Run(fmt.Sprintf("fanin=%d/unbounded", fanIn), func(b *testing.B) {
+		run(b)
+	})
+	for _, limit := range []int{8, 16} {
+		b.Run(fmt.Sprintf("fanin=%d/maxinflight=%d", fanIn, limit), func(b *testing.B) {
+			run(b,
+				orb.WithMaxInflight(limit),
+				orb.WithAdmissionQueue(limit, 5*time.Millisecond),
+			)
 		})
 	}
 }

@@ -8,6 +8,9 @@ package activityservice_test
 
 import (
 	"context"
+	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -15,6 +18,7 @@ import (
 	"github.com/extendedtx/activityservice"
 	"github.com/extendedtx/activityservice/hls/btp"
 	"github.com/extendedtx/activityservice/hls/twopc"
+	"github.com/extendedtx/activityservice/internal/cdr"
 	"github.com/extendedtx/activityservice/orb"
 	"github.com/extendedtx/activityservice/ots"
 )
@@ -278,5 +282,269 @@ func TestChaosSlowParticipantTimeout(t *testing.T) {
 	time.Sleep(500 * time.Millisecond)
 	if got := slow.commits.Load(); got != 0 {
 		t.Fatalf("slow participant committed %d times, want 0", got)
+	}
+}
+
+// TestChaosSaturationShedsFastAndConverges is the overload scenario the
+// admission controller exists for: a slow servant behind a dispatch-bounded
+// server takes fan-in far above its limit. Documented behaviour: the bound
+// holds (in-flight dispatches never exceed it), excess callers are shed
+// fast with TRANSIENT instead of queueing behind the slow work, the
+// server's goroutine count stays bounded instead of growing with fan-in —
+// and once the load drops, a 2PC on the same node still converges cleanly.
+func TestChaosSaturationShedsFastAndConverges(t *testing.T) {
+	const (
+		maxInflight = 4
+		queueDepth  = 4
+		fanIn       = 64
+		servantWork = 100 * time.Millisecond
+	)
+	node := orb.New(
+		orb.WithMaxInflight(maxInflight),
+		orb.WithAdmissionQueue(queueDepth, 50*time.Millisecond),
+	)
+	defer node.Shutdown()
+	// The servant gauges its own dispatch concurrency: the ground truth
+	// the admission bound must hold end to end.
+	var cur, peakConcurrent atomic.Int32
+	slowRef := node.RegisterServant("IDL:test/Slow:1.0", orb.ServantFunc(
+		func(ctx context.Context, op string, _ *cdr.Decoder) ([]byte, error) {
+			c := cur.Add(1)
+			defer cur.Add(-1)
+			for {
+				p := peakConcurrent.Load()
+				if c <= p || peakConcurrent.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			select {
+			case <-time.After(servantWork):
+			case <-ctx.Done():
+			}
+			return []byte("done"), nil
+		}))
+	p1, p2 := &chaosResource{}, &chaosResource{}
+	refs := make([]orb.IOR, 2)
+	for i, p := range []*chaosResource{p1, p2} {
+		ref := orb.ExportAction(node, twopc.NewResourceAction(p))
+		refs[i] = ref
+	}
+	if _, err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	slowRef, _ = node.IOR(slowRef.Key)
+	for i := range refs {
+		refs[i], _ = node.IOR(refs[i].Key)
+	}
+
+	client := orb.New(orb.WithPoolSize(8), orb.WithCallTimeout(5*time.Second))
+	defer client.Shutdown()
+
+	g0 := runtime.NumGoroutine()
+	peakGoroutines, stopWatch := watchGoroutinePeak()
+
+	type result struct {
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]result, fanIn)
+	var wg sync.WaitGroup
+	for i := 0; i < fanIn; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			_, err := client.Invoke(context.Background(), slowRef, "work", nil)
+			results[i] = result{err: err, elapsed: time.Since(start)}
+		}()
+	}
+	wg.Wait()
+	stopWatch()
+
+	succ, shed := 0, 0
+	for i, r := range results {
+		switch {
+		case r.err == nil:
+			succ++
+		case orb.IsSystem(r.err, orb.CodeTransient):
+			shed++
+			if !strings.Contains(r.err.Error(), "overloaded") {
+				t.Errorf("call %d: shed error %v, want admission shed detail", i, r.err)
+			}
+			if r.elapsed >= servantWork {
+				t.Errorf("call %d: shed after %s, want rejection faster than the %s servant",
+					i, r.elapsed, servantWork)
+			}
+		default:
+			t.Errorf("call %d: unexpected error %v", i, r.err)
+		}
+	}
+	if succ == 0 || shed == 0 {
+		t.Fatalf("successes = %d, sheds = %d, want both > 0 at saturation", succ, shed)
+	}
+	if peak := peakConcurrent.Load(); peak > maxInflight {
+		t.Fatalf("servant saw %d concurrent dispatches, want <= %d", peak, maxInflight)
+	}
+	// The goroutine guard: with admission the server adds at most
+	// maxInflight+queueDepth handlers plus one shed writer per connection
+	// on top of the fan-in's caller goroutines and the connection read
+	// loops (~fanIn + 40 total); without admission, every one of the fanIn
+	// requests would hold a dispatch goroutine for the full servant
+	// latency (~2×fanIn + 25).
+	if peak := peakGoroutines.Load(); peak >= int64(g0+2*fanIn) {
+		t.Fatalf("goroutines peaked at %d (baseline %d): dispatch pile-up at saturation", peak, g0)
+	}
+
+	// Load has dropped: coordinator outcomes on the same node converge.
+	svc := activityservice.New(activityservice.WithRetryPolicy(
+		activityservice.RetryPolicy{Attempts: 3, Backoff: 5 * time.Millisecond}))
+	coord := twopc.NewCoordinator(svc)
+	tx, err := coord.Begin("after-saturation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range refs {
+		if err := tx.EnlistAction(orb.ImportAction(client, ref)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	committed, err := tx.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !committed {
+		t.Fatal("2PC after saturation rolled back; admission must not poison the node")
+	}
+	for i, p := range []*chaosResource{p1, p2} {
+		if got := p.commits.Load(); got != 1 {
+			t.Errorf("participant %d committed %d times, want 1", i+1, got)
+		}
+	}
+}
+
+// TestChaosFlappingEndpointBreakerCapsProbes is the flap scenario the
+// retry budget and circuit breaker exist for: both participants of a 2PC
+// vote commit, then the network eats every request (a one-way flap) while
+// at-least-once delivery retries phase two. Documented behaviour: after
+// the breaker's threshold the retries stop reaching the network — probe
+// traffic is capped at one per half-open window (asserted via
+// EndpointStats) instead of one per retry — and when the flap heals, the
+// commit decision still redelivers: both participants commit exactly once.
+func TestChaosFlappingEndpointBreakerCapsProbes(t *testing.T) {
+	const (
+		openFor   = 80 * time.Millisecond
+		downFor   = 350 * time.Millisecond
+		threshold = 2
+	)
+	ctx := context.Background()
+	p1, p2 := &chaosResource{}, &chaosResource{}
+
+	node := orb.New()
+	defer node.Shutdown()
+	refs := make([]orb.IOR, 2)
+	for i, p := range []*chaosResource{p1, p2} {
+		ref := orb.ExportAction(node, twopc.NewResourceAction(p))
+		refs[i] = ref
+	}
+	if _, err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range refs {
+		refs[i], _ = node.IOR(refs[i].Key)
+	}
+
+	chaos := orb.NewChaosTransport(nil)
+	clientORB := orb.New(
+		orb.WithTransport(chaos),
+		orb.WithCallTimeout(50*time.Millisecond),
+		orb.WithCircuitBreaker(threshold, openFor),
+		orb.WithRetryBudget(100, 5),
+		orb.WithReconnectBackoff(time.Millisecond, 5*time.Millisecond),
+	)
+	defer clientORB.Shutdown()
+	// The first two process_signal requests are the prepares; everything
+	// after them vanishes into the flap until it heals.
+	fault := chaos.Inject(orb.ChaosRule{
+		Op: "process_signal", Stage: orb.StageRequest, After: 2, Drop: true,
+	})
+
+	svc := activityservice.New(activityservice.WithRetryPolicy(
+		activityservice.RetryPolicy{Attempts: 60, Backoff: 20 * time.Millisecond}))
+	coord := twopc.NewCoordinator(svc)
+	tx, err := coord.Begin("flapping-endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range refs {
+		if err := tx.EnlistAction(orb.ImportAction(clientORB, ref)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type outcome struct {
+		committed bool
+		err       error
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		committed, err := tx.Commit(ctx)
+		done <- outcome{committed, err}
+	}()
+
+	// Let phase two grind against the flap, then heal it.
+	time.Sleep(downFor)
+	fault.Remove()
+
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("2PC never converged after the flap healed")
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if !out.committed {
+		t.Fatal("transaction rolled back; a flap during phase two must not change the decision")
+	}
+	elapsed := time.Since(start)
+
+	for i, p := range []*chaosResource{p1, p2} {
+		if got := p.prepares.Load(); got != 1 {
+			t.Errorf("participant %d prepared %d times, want 1", i+1, got)
+		}
+		if got := p.commits.Load(); got != 1 {
+			t.Errorf("participant %d committed %d times, want 1 (redelivered after the flap)", i+1, got)
+		}
+		if got := p.rollbacks.Load(); got != 0 {
+			t.Errorf("participant %d rolled back %d times, want 0", i+1, got)
+		}
+	}
+
+	st, ok := clientORB.EndpointStats(refs[0].Endpoint)
+	if !ok {
+		t.Fatal("no endpoint stats for the flapping endpoint")
+	}
+	if st.BreakerOpens == 0 {
+		t.Fatalf("stats = %+v, want the breaker to have opened during the flap", st)
+	}
+	if st.Breaker != orb.BreakerClosed {
+		t.Fatalf("stats = %+v, want a closed breaker after recovery", st)
+	}
+	// The probe cap: at most one admitted probe per half-open window over
+	// the whole run (plus slack for the closing probe), instead of one
+	// network attempt per retry.
+	maxProbes := uint64(elapsed/openFor) + 2
+	if st.BreakerProbes == 0 || st.BreakerProbes > maxProbes {
+		t.Fatalf("breaker admitted %d probes over %s, want 1..%d (<= 1 per %s window)",
+			st.BreakerProbes, elapsed.Round(time.Millisecond), maxProbes, openFor)
+	}
+	// And the wire agrees: the flap ate the pre-breaker attempts and the
+	// in-flap probes, not a retry storm.
+	if hits := fault.Hits(); hits > threshold+int(maxProbes) {
+		t.Fatalf("%d requests reached the flapping link, want <= threshold+probes = %d",
+			hits, threshold+int(maxProbes))
 	}
 }

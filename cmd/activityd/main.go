@@ -15,6 +15,12 @@
 //	activityd -listen 127.0.0.1:0 -demo     # serve, run a self-test client, exit
 //	activityd -pool 8 -parallel             # 8 pooled conns per endpoint,
 //	                                        # parallel signal fan-out
+//	activityd -max-inflight 64 -shed-after 50ms   # overload protection:
+//	                                        # bound concurrent dispatches,
+//	                                        # shed the excess with TRANSIENT
+//	activityd -breaker 5 -breaker-open 1s -retry-rate 10 -retry-burst 5
+//	                                        # client-side breaker + retry
+//	                                        # budget for outgoing calls
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/extendedtx/activityservice"
 	"github.com/extendedtx/activityservice/internal/cdr"
@@ -33,13 +40,57 @@ import (
 // FactoryTypeID is the activity factory interface id.
 const FactoryTypeID = "IDL:ActivityService/ActivityFactory:1.0"
 
+// orbConfig collects the transport knobs forwarded to orb.New.
+type orbConfig struct {
+	pool        int
+	warm        int
+	maxInflight int
+	admitQueue  int
+	shedAfter   time.Duration
+	breaker     int
+	breakerOpen time.Duration
+	retryRate   float64
+	retryBurst  int
+}
+
+// options translates the flag values into ORB options, skipping unset ones.
+func (c orbConfig) options() []orb.ORBOption {
+	var opts []orb.ORBOption
+	if c.pool > 0 {
+		opts = append(opts, orb.WithPoolSize(c.pool))
+	}
+	if c.warm > 0 {
+		opts = append(opts, orb.WithPoolWarm(c.warm))
+	}
+	if c.maxInflight > 0 {
+		opts = append(opts, orb.WithMaxInflight(c.maxInflight))
+		opts = append(opts, orb.WithAdmissionQueue(c.admitQueue, c.shedAfter))
+	}
+	if c.breaker > 0 {
+		opts = append(opts, orb.WithCircuitBreaker(c.breaker, c.breakerOpen))
+	}
+	if c.retryBurst > 0 {
+		opts = append(opts, orb.WithRetryBudget(c.retryRate, c.retryBurst))
+	}
+	return opts
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7411", "host:port to serve on")
 	demo := flag.Bool("demo", false, "run a self-test client and exit")
-	pool := flag.Int("pool", 0, "client connections pooled per endpoint (0 = default)")
 	parallel := flag.Bool("parallel", false, "fan signals out to enrolled actions in parallel")
+	var cfg orbConfig
+	flag.IntVar(&cfg.pool, "pool", 0, "client connections pooled per endpoint (0 = default)")
+	flag.IntVar(&cfg.warm, "warm", 0, "connections to pre-dial per endpoint on first use (0 = off)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "max concurrent server dispatches; excess is queued then shed with TRANSIENT (0 = unbounded)")
+	flag.IntVar(&cfg.admitQueue, "admit-queue", 0, "admission queue depth behind -max-inflight (0 = 2x max-inflight)")
+	flag.DurationVar(&cfg.shedAfter, "shed-after", 0, "max queue wait before an admitted request is shed (0 = default)")
+	flag.IntVar(&cfg.breaker, "breaker", 0, "consecutive call failures before an endpoint's circuit opens (0 = off)")
+	flag.DurationVar(&cfg.breakerOpen, "breaker-open", 0, "open-circuit window before a half-open probe (0 = default)")
+	flag.Float64Var(&cfg.retryRate, "retry-rate", 0, "retry-budget refill rate in tokens/second")
+	flag.IntVar(&cfg.retryBurst, "retry-burst", 0, "retry-budget bucket size; attempts against a failing endpoint beyond it fail fast (0 = off)")
 	flag.Parse()
-	if err := run(*listen, *demo, *pool, *parallel); err != nil {
+	if err := run(*listen, *demo, cfg, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "activityd:", err)
 		os.Exit(1)
 	}
@@ -85,12 +136,8 @@ func (f *factory) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byt
 	return e.Bytes(), nil
 }
 
-func run(listen string, demo bool, pool int, parallel bool) error {
-	var orbOpts []orb.ORBOption
-	if pool > 0 {
-		orbOpts = append(orbOpts, orb.WithPoolSize(pool))
-	}
-	node := orb.New(orbOpts...)
+func run(listen string, demo bool, cfg orbConfig, parallel bool) error {
+	node := orb.New(cfg.options()...)
 	defer node.Shutdown()
 	orb.InstallPropagation(node)
 

@@ -1,12 +1,15 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestDaemonDemoRoundTrip boots the daemon on an ephemeral port and runs
 // the built-in client against it: factory resolution through naming,
 // remote activity creation, remote enlistment and remote completion.
 func TestDaemonDemoRoundTrip(t *testing.T) {
-	if err := run("127.0.0.1:0", true, 0, false); err != nil {
+	if err := run("127.0.0.1:0", true, orbConfig{}, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -14,7 +17,28 @@ func TestDaemonDemoRoundTrip(t *testing.T) {
 // TestDaemonDemoPooledParallel runs the same round trip with a pooled
 // client transport and parallel signal fan-out enabled.
 func TestDaemonDemoPooledParallel(t *testing.T) {
-	if err := run("127.0.0.1:0", true, 8, true); err != nil {
+	if err := run("127.0.0.1:0", true, orbConfig{pool: 8}, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonDemoOverloadProtected runs the round trip with the full
+// overload-protection surface switched on: admission control and pool
+// warm-up on the daemon, breaker and retry budget active for its outgoing
+// calls. A healthy round trip must be untouched by all of it.
+func TestDaemonDemoOverloadProtected(t *testing.T) {
+	cfg := orbConfig{
+		pool:        4,
+		warm:        2,
+		maxInflight: 32,
+		admitQueue:  16,
+		shedAfter:   50 * time.Millisecond,
+		breaker:     5,
+		breakerOpen: time.Second,
+		retryRate:   10,
+		retryBurst:  5,
+	}
+	if err := run("127.0.0.1:0", true, cfg, false); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -9,8 +9,10 @@
 //	benchsweep                 # all sweeps, default iteration count
 //	benchsweep -iters 2000
 //	benchsweep -sweep 2pc      # one sweep: 2pc | fanout | chain | delivery |
-//	                           #            remote | remotefanout
+//	                           #            remote | remotefanout | overload
 //	benchsweep -sweep remotefanout -pool 8   # pin the client pool size
+//	benchsweep -sweep overload               # admission control at saturation:
+//	                                         # p50/p99/shed vs -max-inflight
 package main
 
 import (
@@ -18,12 +20,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/extendedtx/activityservice"
 	"github.com/extendedtx/activityservice/hls/twopc"
 	"github.com/extendedtx/activityservice/hls/workflow"
+	"github.com/extendedtx/activityservice/internal/cdr"
 	"github.com/extendedtx/activityservice/orb"
 	"github.com/extendedtx/activityservice/ots"
 )
@@ -34,7 +40,7 @@ var poolSize int
 
 func main() {
 	iters := flag.Int("iters", 500, "iterations per data point")
-	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout); empty = all")
+	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout|overload); empty = all")
 	flag.IntVar(&poolSize, "pool", 0, "client connection pool size for remote sweeps (0 = sweep defaults)")
 	flag.Parse()
 	if err := run(*iters, *sweep); err != nil {
@@ -50,6 +56,7 @@ var sweeps = map[string]func(iters int) error{
 	"delivery":     sweepDelivery,
 	"remote":       sweepRemote,
 	"remotefanout": sweepRemoteFanout,
+	"overload":     sweepOverload,
 }
 
 func run(iters int, which string) error {
@@ -372,6 +379,109 @@ func sweepRemoteFanout(iters int) error {
 			fmt.Printf("%-10d %-8d %14.0f %14.0f %9.2fx\n",
 				fanout, pool, results[0], results[1], results[0]/results[1])
 		}
+	}
+	return nil
+}
+
+// sweepOverload measures the admission controller at saturation: a fixed
+// fan-in of closed-loop callers against a slow servant, across dispatch
+// bounds. Per bound it reports client-observed p50 and p99 (successes and
+// sheds both count — a shed is a real, fast answer) plus the shed rate and
+// the peak goroutine count, showing what the bound buys: flat tails and a
+// flat goroutine profile for the price of explicit rejections.
+func sweepOverload(iters int) error {
+	const (
+		fanIn       = 64
+		servantWork = 200 * time.Microsecond
+	)
+	fmt.Println("\n== overload: admission control at saturation (64 callers, 200µs servant) ==")
+	fmt.Printf("%-14s %12s %12s %10s %16s\n", "max-inflight", "p50", "p99", "shed", "peak-goroutines")
+	for _, limit := range []int{0, 4, 8, 16, 32} {
+		var opts []orb.ORBOption
+		if limit > 0 {
+			opts = append(opts,
+				orb.WithMaxInflight(limit),
+				orb.WithAdmissionQueue(limit, 5*time.Millisecond),
+			)
+		}
+		node := orb.New(opts...)
+		ref := node.RegisterServant("IDL:sweep/Slow:1.0", orb.ServantFunc(
+			func(ctx context.Context, op string, _ *cdr.Decoder) ([]byte, error) {
+				select {
+				case <-time.After(servantWork):
+				case <-ctx.Done():
+				}
+				return nil, nil
+			}))
+		if _, err := node.Listen("127.0.0.1:0"); err != nil {
+			node.Shutdown()
+			return err
+		}
+		ref, _ = node.IOR(ref.Key)
+		client := orb.New(orb.WithPoolSize(8), orb.WithCallTimeout(10*time.Second))
+
+		total := iters * 4
+		latencies := make([]time.Duration, total)
+		var next, shed, peak atomic.Int64
+		stop := make(chan struct{})
+		watched := make(chan struct{})
+		go func() {
+			defer close(watched)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(time.Millisecond):
+				}
+				if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+					peak.Store(g)
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		var callErr atomic.Value
+		for w := 0; w < fanIn; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx := context.Background()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(total) {
+						return
+					}
+					start := time.Now()
+					_, err := client.Invoke(ctx, ref, "work", nil)
+					latencies[i] = time.Since(start)
+					if err != nil {
+						if !orb.IsSystem(err, orb.CodeTransient) {
+							callErr.Store(err)
+							return
+						}
+						shed.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(stop)
+		<-watched
+		client.Shutdown()
+		node.Shutdown()
+		if err, ok := callErr.Load().(error); ok {
+			return err
+		}
+
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		p50 := latencies[total/2]
+		p99 := latencies[total*99/100]
+		name := "unbounded"
+		if limit > 0 {
+			name = fmt.Sprintf("%d", limit)
+		}
+		fmt.Printf("%-14s %12s %12s %9.1f%% %16d\n",
+			name, p50.Round(time.Microsecond), p99.Round(time.Microsecond),
+			float64(shed.Load())/float64(total)*100, peak.Load())
 	}
 	return nil
 }

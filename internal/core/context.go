@@ -26,7 +26,9 @@ func FromContext(ctx context.Context) (*Activity, bool) {
 // PropagationEntry is one level of the activity lineage carried in a
 // propagation context.
 type PropagationEntry struct {
-	ID   ids.UID
+	// ID is the activity's unique id.
+	ID ids.UID
+	// Name is the activity's human-readable name.
 	Name string
 }
 
@@ -35,7 +37,10 @@ type PropagationEntry struct {
 // made from within an activity. It holds the activity lineage from root to
 // current plus snapshots of the by-value property groups (§3.3).
 type PropagationContext struct {
-	Path       []PropagationEntry
+	// Path is the activity lineage, root first.
+	Path []PropagationEntry
+	// Properties holds by-value property-group snapshots, keyed by group
+	// name then property key.
 	Properties map[string]map[string]any
 }
 

@@ -23,8 +23,10 @@ var ErrUnknownSignalSet = errors.New("core: unknown signal set")
 // ProcessSignal is retried up to Attempts times with Backoff between tries.
 // Actions must therefore be idempotent (or wrapped with Idempotent).
 type RetryPolicy struct {
+	// Attempts bounds deliveries of one signal to one action.
 	Attempts int
-	Backoff  time.Duration
+	// Backoff is the pause between attempts.
+	Backoff time.Duration
 }
 
 // registration pairs an Action with its identity and trace label.

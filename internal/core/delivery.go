@@ -81,6 +81,7 @@ func (p DeliveryPolicy) workers(n int) int {
 // of that set. BaseSet provides the plumbing: any set embedding it can opt
 // in with SetDelivery.
 type DeliveryPolicyProvider interface {
+	// Delivery returns the set's chosen policy (zero = no preference).
 	Delivery() DeliveryPolicy
 }
 

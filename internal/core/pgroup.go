@@ -40,6 +40,7 @@ type PropertyGroup interface {
 // ChildDeriver is implemented by property groups that produce a distinct
 // view for nested activities; groups without it are shared with children.
 type ChildDeriver interface {
+	// DeriveChild returns the view a nested activity receives.
 	DeriveChild() PropertyGroup
 }
 

@@ -31,9 +31,12 @@ import (
 // Data must be cdr-any codable (nil, bool, int64, float64, string, []byte,
 // []any, map[string]any) so signals can cross the ORB unchanged.
 type Signal struct {
-	Name    string
+	// Name is the signal's name within its set ("prepare", "commit", ...).
+	Name string
+	// SetName is the producing SignalSet.
 	SetName string
-	Data    any
+	// Data is the application-specific payload (cdr-any codable).
+	Data any
 }
 
 // String renders "set/name" for traces.
@@ -65,7 +68,9 @@ func DecodeSignal(d *cdr.Decoder) (Signal, error) {
 // Outcome is an Action's response to a Signal, and also the collated final
 // result a SignalSet produces for a whole protocol run.
 type Outcome struct {
+	// Name is the outcome's name ("prepared", "committed", ...).
 	Name string
+	// Data is the application-specific payload (cdr-any codable).
 	Data any
 }
 
@@ -132,6 +137,7 @@ func (c CompletionStatus) String() string {
 // Signal delivery is at least once (§3.4): implementations must make
 // ProcessSignal idempotent, or be wrapped with Idempotent.
 type Action interface {
+	// ProcessSignal reacts to one delivered signal.
 	ProcessSignal(ctx context.Context, sig Signal) (Outcome, error)
 }
 

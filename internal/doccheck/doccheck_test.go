@@ -1,0 +1,164 @@
+// Package doccheck enforces the repo's documentation contract: every
+// exported identifier in the packages whose API surface operators and
+// integrators touch (internal/orb, internal/core) must carry a doc
+// comment, so `go doc` is always usable. It runs as an ordinary test,
+// which makes the CI docs job a plain `go test ./internal/doccheck`.
+package doccheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkedPackages are the directories whose exported surface must be
+// fully documented, relative to this package.
+var checkedPackages = []string{"../orb", "../core"}
+
+// TestExportedIdentifiersHaveDocComments parses each checked package
+// (tests excluded) and fails with one line per undocumented exported
+// type, function, method, package-level const/var, struct field or
+// interface method.
+func TestExportedIdentifiersHaveDocComments(t *testing.T) {
+	for _, dir := range checkedPackages {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			var missing []string
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go")
+			}, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hasPackageDoc := false
+			for _, pkg := range pkgs {
+				for _, file := range pkg.Files {
+					if file.Doc != nil {
+						hasPackageDoc = true
+					}
+					for _, decl := range file.Decls {
+						missing = append(missing, checkDecl(fset, decl)...)
+					}
+				}
+			}
+			if !hasPackageDoc {
+				missing = append(missing, fmt.Sprintf("%s: no package doc comment", dir))
+			}
+			for _, m := range missing {
+				t.Errorf("undocumented: %s", m)
+			}
+		})
+	}
+}
+
+// checkDecl returns a description per undocumented exported identifier in
+// one top-level declaration.
+func checkDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var missing []string
+	at := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s", filepath.Base(p.Filename), p.Line, fmt.Sprintf(format, args...)))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return nil
+		}
+		if d.Doc == nil {
+			at(d.Pos(), "func %s", d.Name.Name)
+		}
+	case *ast.GenDecl:
+		// A doc comment on the grouped declaration covers every spec in it
+		// (the idiomatic const-block style); otherwise each exported spec
+		// needs its own.
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				if !groupDoc && s.Doc == nil {
+					at(s.Pos(), "type %s", s.Name.Name)
+				}
+				missing = append(missing, checkTypeMembers(fset, s)...)
+			case *ast.ValueSpec:
+				var exported []string
+				for _, n := range s.Names {
+					if n.IsExported() {
+						exported = append(exported, n.Name)
+					}
+				}
+				if len(exported) == 0 {
+					continue
+				}
+				if !groupDoc && s.Doc == nil && s.Comment == nil {
+					at(s.Pos(), "%s %s", d.Tok, strings.Join(exported, ", "))
+				}
+			}
+		}
+	}
+	return missing
+}
+
+// checkTypeMembers covers the members godoc renders under a type: struct
+// fields and interface methods. A doc comment or a trailing line comment
+// both count.
+func checkTypeMembers(fset *token.FileSet, s *ast.TypeSpec) []string {
+	var missing []string
+	at := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s", filepath.Base(p.Filename), p.Line, fmt.Sprintf(format, args...)))
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			var exported []string
+			for _, n := range f.Names {
+				if n.IsExported() {
+					exported = append(exported, n.Name)
+				}
+			}
+			if len(exported) == 0 || f.Doc != nil || f.Comment != nil {
+				continue
+			}
+			at(f.Pos(), "field %s.%s", s.Name.Name, strings.Join(exported, ", "))
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			for _, n := range m.Names {
+				if n.IsExported() && m.Doc == nil && m.Comment == nil {
+					at(m.Pos(), "method %s.%s", s.Name.Name, n.Name)
+				}
+			}
+		}
+	}
+	return missing
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the surfaced API).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.IndexExpr: // generic receiver
+			t = rt.X
+		case *ast.Ident:
+			return rt.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package orb
+
+import (
+	"sync"
+	"time"
+)
+
+// Server admission defaults, applied when WithMaxInflight is set without a
+// matching WithAdmissionQueue.
+const (
+	// defaultShedAfter bounds how long an admitted-but-queued request may
+	// wait for a dispatch slot before it is shed with TRANSIENT.
+	defaultShedAfter = 100 * time.Millisecond
+	// shedBuffer bounds the per-connection backlog of shed replies waiting
+	// on the connection's write lock; overflow is dropped (the client is
+	// not draining its socket).
+	shedBuffer = 256
+)
+
+// admission is the server-side overload gate: a fixed pool of dispatch
+// slots plus a bounded wait queue with deadline-aware shedding. A request
+// that cannot get a slot immediately waits in the queue for at most
+// shedAfter; if the queue is full or the deadline passes, the request is
+// shed with a TRANSIENT system exception instead of silently piling up.
+// TRANSIENT tells the caller the servant never ran, so at-least-once
+// retries stay safe.
+//
+// The gate also bounds the server's handler goroutines: at most
+// maxInflight dispatches plus queueMax waiters exist at any moment, plus
+// one shed-writer goroutine per connection draining a bounded reply
+// buffer; if that buffer fills behind a client that has stopped draining
+// its socket, further shed replies are dropped outright (see serveConn).
+type admission struct {
+	slots     chan struct{} // buffered to maxInflight; len = in-flight dispatches
+	queueMax  int
+	shedAfter time.Duration
+
+	mu         sync.Mutex
+	queued     int
+	shed       uint64
+	dispatched uint64
+}
+
+// newAdmission builds the gate; maxInflight <= 0 disables admission control
+// (nil gate, unbounded dispatch — the pre-admission behaviour).
+func newAdmission(maxInflight, queueMax int, shedAfter time.Duration) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if queueMax <= 0 {
+		queueMax = 2 * maxInflight
+	}
+	if shedAfter <= 0 {
+		shedAfter = defaultShedAfter
+	}
+	return &admission{
+		slots:     make(chan struct{}, maxInflight),
+		queueMax:  queueMax,
+		shedAfter: shedAfter,
+	}
+}
+
+// tryAcquire grabs a dispatch slot without waiting.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.dispatched++
+		a.mu.Unlock()
+		return true
+	default:
+		return false
+	}
+}
+
+// enqueue reserves a queue seat for a request that found every slot busy.
+// It reports false — shedding the request — when the queue is already full.
+func (a *admission) enqueue() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queued >= a.queueMax {
+		a.shed++
+		return false
+	}
+	a.queued++
+	return true
+}
+
+// await blocks a queued request until a slot frees, the shed deadline
+// passes, or the server stops. It reports whether a slot was acquired; on
+// false the request must be shed. The queue seat is released either way.
+func (a *admission) await(done <-chan struct{}) bool {
+	timer := time.NewTimer(a.shedAfter)
+	defer timer.Stop()
+	ok := false
+	select {
+	case a.slots <- struct{}{}:
+		ok = true
+	case <-timer.C:
+	case <-done:
+	}
+	a.mu.Lock()
+	a.queued--
+	if ok {
+		a.dispatched++
+	} else {
+		a.shed++
+	}
+	a.mu.Unlock()
+	return ok
+}
+
+// release frees a dispatch slot.
+func (a *admission) release() {
+	<-a.slots
+}
+
+// shedError is the reply body for a shed request. TRANSIENT: the servant
+// never ran, so the caller may safely retry (ideally elsewhere, or later).
+func (a *admission) shedError() *SystemError {
+	a.mu.Lock()
+	queued := a.queued
+	a.mu.Unlock()
+	return Systemf(CodeTransient,
+		"server overloaded: %d dispatches in flight, %d/%d queued (shed after %s)",
+		len(a.slots), queued, a.queueMax, a.shedAfter)
+}
+
+// ServerStats is a snapshot of the server transport's admission state, the
+// server-side sibling of EndpointStats. The cumulative counters cover the
+// network transport only; in-process fast-path dispatches bypass admission.
+type ServerStats struct {
+	// Endpoint is the bound listen endpoint ("tcp:host:port").
+	Endpoint string
+	// Conns is the number of live inbound connections.
+	Conns int
+	// Inflight is the number of dispatches currently running.
+	Inflight int
+	// Queued is the number of requests waiting for a dispatch slot.
+	Queued int
+	// Shed is the cumulative count of requests shed with TRANSIENT.
+	Shed uint64
+	// Dispatched is the cumulative count of requests admitted to dispatch.
+	Dispatched uint64
+	// MaxInflight is the configured dispatch bound (0 = unbounded).
+	MaxInflight int
+	// QueueDepth is the configured wait-queue bound.
+	QueueDepth int
+	// ShedAfter is the configured maximum queue wait.
+	ShedAfter time.Duration
+}
+
+// ServerStats reports the server transport's admission state. It returns
+// false until Listen has been called.
+func (o *ORB) ServerStats() (ServerStats, bool) {
+	o.mu.RLock()
+	srv := o.srv
+	bound := o.bound
+	o.mu.RUnlock()
+	if srv == nil {
+		return ServerStats{}, false
+	}
+	st := ServerStats{Endpoint: bound}
+	srv.mu.Lock()
+	st.Conns = len(srv.conns)
+	srv.mu.Unlock()
+	if a := srv.adm; a != nil {
+		a.mu.Lock()
+		st.Queued = a.queued
+		st.Shed = a.shed
+		st.Dispatched = a.dispatched
+		a.mu.Unlock()
+		st.Inflight = len(a.slots)
+		st.MaxInflight = cap(a.slots)
+		st.QueueDepth = a.queueMax
+		st.ShedAfter = a.shedAfter
+	}
+	return st, true
+}

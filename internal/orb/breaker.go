@@ -1,0 +1,268 @@
+package orb
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// defaultBreakerOpenFor is the open-circuit window used when
+// WithCircuitBreaker is given an openFor of 0.
+const defaultBreakerOpenFor = time.Second
+
+// defaultRetryRate is the refill rate used when WithRetryBudget is given
+// a rate <= 0. A zero rate would be a trap: once the bucket empties during
+// an outage, no call could ever be admitted again — and clearing the debt
+// requires an admitted call to succeed — so the endpoint would stay
+// bricked after the peer recovered.
+const defaultRetryRate = 1.0
+
+// BreakerState is the circuit breaker position for one endpoint, exposed
+// through EndpointStats.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerInactive means no breaker is configured for the ORB.
+	BreakerInactive BreakerState = iota
+	// BreakerClosed is the healthy state: calls flow normally while the
+	// breaker counts consecutive failures.
+	BreakerClosed
+	// BreakerOpen means the failure threshold was crossed: every call fails
+	// fast with TRANSIENT until the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen means the open window has elapsed: exactly one probe
+	// call is admitted; its outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+// String returns the state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerInactive:
+		return "inactive"
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "BreakerState(?)"
+	}
+}
+
+// breaker is the per-endpoint three-state circuit breaker configured by
+// WithCircuitBreaker. It sits above the dial health gate: the gate
+// throttles re-dialing a peer that refuses connections, while the breaker
+// stops whole calls — including ones that would ride an existing
+// connection — once the endpoint has failed threshold times in a row, and
+// rations recovery to one probe per half-open window.
+type breaker struct {
+	endpoint  string
+	threshold int
+	openFor   time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState // Closed, Open or HalfOpen
+	failures int          // consecutive failures while closed
+	openedAt time.Time
+	probing  bool   // a half-open probe is in flight
+	probes   uint64 // cumulative probes admitted
+	opens    uint64 // cumulative transitions to open
+}
+
+// newBreaker builds a breaker; threshold <= 0 disables it (nil breaker).
+func newBreaker(endpoint string, threshold int, openFor time.Duration) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if openFor <= 0 {
+		openFor = defaultBreakerOpenFor
+	}
+	return &breaker{endpoint: endpoint, threshold: threshold, openFor: openFor, state: BreakerClosed}
+}
+
+// stateLocked derives the effective state at now: an open circuit whose
+// window has elapsed is half-open.
+func (b *breaker) stateLocked(now time.Time) BreakerState {
+	if b.state == BreakerOpen && !now.Before(b.openedAt.Add(b.openFor)) {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// admit decides whether one call may proceed at now. In the half-open
+// state it admits a single probe (reported through the first return);
+// every other caller fails fast.
+func (b *breaker) admit(now time.Time) (probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked(now) {
+	case BreakerOpen:
+		return false, Systemf(CodeTransient,
+			"circuit breaker for %s open (%d consecutive failures; next probe in %s)",
+			b.endpoint, b.threshold, time.Until(b.openedAt.Add(b.openFor)).Round(time.Millisecond))
+	case BreakerHalfOpen:
+		if b.probing {
+			return false, Systemf(CodeTransient,
+				"circuit breaker for %s half-open: probe already in flight", b.endpoint)
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.probes++
+		return true, nil
+	}
+	return false, nil
+}
+
+// abortProbe releases a probe slot whose call was rejected by a later gate
+// before it could launch, so the next admitted caller can probe instead.
+func (b *breaker) abortProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing {
+		b.probing = false
+		b.probes--
+	}
+}
+
+// releaseProbe clears the probe-in-flight flag for a probe whose outcome
+// will never be observed (its caller died mid-call): the circuit stays
+// half-open and the next admitted caller probes again. Unlike abortProbe
+// the probe did launch, so it stays counted.
+func (b *breaker) releaseProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// onSuccess records a successful round trip: the circuit closes and the
+// failure count resets.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// onFailure records a failed call: crossing the threshold — or failing the
+// half-open probe — opens the circuit for a fresh window.
+func (b *breaker) onFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked(now) {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openLocked(now)
+		}
+	case BreakerHalfOpen:
+		// The probe (or a straggler from before the circuit opened) failed:
+		// back to open for another full window.
+		b.probing = false
+		b.openLocked(now)
+	}
+}
+
+func (b *breaker) openLocked(now time.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.opens++
+}
+
+// retryBudget is the per-endpoint token bucket configured by
+// WithRetryBudget. While the endpoint's last call failed (the pool is "in
+// debt"), every call withdraws a token; an empty bucket fails the call
+// fast with TRANSIENT. The bucket holds burst tokens and refills at rate
+// tokens per second; a successful call clears the debt and calls become
+// free again. It bounds the aggregate attempt rate that at-least-once
+// retry loops — which the ORB cannot tell apart from fresh calls — can
+// aim at a failing endpoint.
+type retryBudget struct {
+	endpoint string
+	rate     float64 // tokens per second
+	burst    float64
+
+	mu        sync.Mutex
+	tokens    float64
+	last      time.Time
+	inDebt    bool
+	exhausted uint64 // cumulative fail-fasts on an empty bucket
+}
+
+// newRetryBudget builds a budget; burst <= 0 disables it (nil budget), and
+// a rate <= 0 is raised to defaultRetryRate so recovery is always possible.
+func newRetryBudget(endpoint string, rate float64, burst int) *retryBudget {
+	if burst <= 0 {
+		return nil
+	}
+	if rate <= 0 {
+		rate = defaultRetryRate
+	}
+	return &retryBudget{endpoint: endpoint, rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// admit charges one call at now: free while the endpoint is healthy, one
+// token while it is in debt.
+func (b *retryBudget) admit(now time.Time) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.inDebt {
+		return nil
+	}
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return nil
+	}
+	b.exhausted++
+	return Systemf(CodeTransient,
+		"retry budget for %s exhausted (refills at %.3g tokens/s)", b.endpoint, b.rate)
+}
+
+// observe records the call outcome: failure enters debt, success clears it
+// and refills the bucket.
+func (b *retryBudget) observe(failed bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if failed {
+		if !b.inDebt {
+			b.inDebt = true
+			b.last = now
+		}
+		return
+	}
+	b.inDebt = false
+	b.tokens = b.burst
+}
+
+// transportFailure classifies a call outcome for the breaker and retry
+// budget: true for errors that say the endpoint is unreachable or
+// overloaded (dial and send failures, lost connections, timeouts, and
+// TRANSIENT — which covers server-side admission shed and the local
+// health gate's fail-fast verdicts, both deliberate: "this endpoint is
+// not serving you right now" is exactly the signal the gates ration
+// traffic on). Decoded user and application-level system errors prove a
+// healthy round trip and count as success.
+func transportFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *SystemError
+	if !errors.As(err, &se) {
+		return false
+	}
+	switch se.Code {
+	case CodeCommFailure, CodeTimeout, CodeTransient:
+		return true
+	}
+	return false
+}

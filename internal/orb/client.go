@@ -33,6 +33,11 @@ type endpointPool struct {
 	endpoint string // "tcp:host:port"
 	addr     string // "host:port"
 
+	// Overload protection above the health gate (breaker.go); either may
+	// be nil when the corresponding option is unset.
+	brk    *breaker
+	budget *retryBudget
+
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast on any conns/dialing/closed change
 	conns     []*clientConn
@@ -43,9 +48,83 @@ type endpointPool struct {
 }
 
 func newEndpointPool(o *ORB, endpoint, addr string) *endpointPool {
-	p := &endpointPool{orb: o, endpoint: endpoint, addr: addr}
+	p := &endpointPool{
+		orb:      o,
+		endpoint: endpoint,
+		addr:     addr,
+		brk:      newBreaker(endpoint, o.brkThreshold, o.brkOpenFor),
+		budget:   newRetryBudget(endpoint, o.retryRate, o.retryBurst),
+	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// admitCall runs the pre-flight overload gates: the breaker first, so its
+// fail-fast rejections never drain the retry budget, then the budget. A
+// call admitted as the half-open probe but rejected by the budget releases
+// the probe slot, so an exhausted budget cannot eat the recovery probe.
+// The first return reports whether this call holds the probe slot.
+func (p *endpointPool) admitCall(now time.Time) (bool, error) {
+	var probe bool
+	if p.brk != nil {
+		var err error
+		if probe, err = p.brk.admit(now); err != nil {
+			return false, err
+		}
+	}
+	if p.budget != nil {
+		if err := p.budget.admit(now); err != nil {
+			if probe {
+				p.brk.abortProbe()
+			}
+			return false, err
+		}
+	}
+	return probe, nil
+}
+
+// observeCall feeds a finished call's outcome back to the breaker and the
+// retry budget. Fail-fast rejections from admitCall never reach here, so
+// the budget and breaker cannot feed on their own output. Health-gate
+// fail-fasts DO reach here and count as failures deliberately: they are
+// the endpoint's last known state, and requiring real dials to trip the
+// breaker would let the gate's own backoff spacing delay it indefinitely.
+func (p *endpointPool) observeCall(err error) {
+	failed := transportFailure(err)
+	now := time.Now()
+	if p.brk != nil {
+		if failed {
+			p.brk.onFailure(now)
+		} else {
+			p.brk.onSuccess()
+		}
+	}
+	if p.budget != nil {
+		p.budget.observe(failed, now)
+	}
+}
+
+// warm pre-dials up to n connections sequentially (WithPoolWarm), stopping
+// at the pool bound, the first failure, or close. Sequential dials avoid a
+// thundering herd on the peer; concurrent callers still grow the pool
+// inline in parallel through get.
+func (p *endpointPool) warm(n int) {
+	if n > p.orb.poolSize {
+		n = p.orb.poolSize
+	}
+	for {
+		p.mu.Lock()
+		if p.closed || p.failures > 0 || time.Now().Before(p.downUntil) ||
+			len(p.conns)+p.dialing >= n {
+			p.mu.Unlock()
+			return
+		}
+		p.dialing++
+		p.mu.Unlock()
+		if _, err := p.dial(context.Background()); err != nil {
+			return
+		}
+	}
 }
 
 // clientConn multiplexes concurrent requests over one transport connection.
@@ -67,6 +146,7 @@ func (o *ORB) invokeTCP(ctx context.Context, ref IOR, op string, contexts []Serv
 	if !ok {
 		return nil, Systemf(CodeNoImplement, "unreachable endpoint %q", ref.Endpoint)
 	}
+	callerCtx := ctx
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline && o.callTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.callTimeout)
@@ -77,6 +157,31 @@ func (o *ORB) invokeTCP(ctx context.Context, ref IOR, op string, contexts []Serv
 	if err != nil {
 		return nil, err
 	}
+	probe, err := pool.admitCall(time.Now())
+	if err != nil {
+		return nil, err
+	}
+	body, err = o.invokeOverPool(ctx, pool, ref, op, contexts, body)
+	// A call abandoned because the *caller* died (a cancelled parallel
+	// straggler, an expired caller deadline) says nothing about the
+	// endpoint's health and must not feed the breaker or retry budget —
+	// the same exemption dial applies to the health gate. An ORB-installed
+	// call timeout firing is not the caller dying: it still counts.
+	switch {
+	case err == nil || callerCtx.Err() == nil:
+		pool.observeCall(err)
+	case probe:
+		// The half-open probe's outcome was discarded with its caller;
+		// release the slot so the next caller can probe, or the circuit
+		// would stay latched on a probe that can never report back.
+		pool.brk.releaseProbe()
+	}
+	return body, err
+}
+
+// invokeOverPool performs one admitted invocation through the endpoint's
+// connection pool.
+func (o *ORB) invokeOverPool(ctx context.Context, pool *endpointPool, ref IOR, op string, contexts []ServiceContext, body []byte) ([]byte, error) {
 	reqID := o.reqID.Add(1)
 	ch := make(chan reply, 1)
 
@@ -133,6 +238,11 @@ func (o *ORB) pool(addr, endpoint string) (*endpointPool, error) {
 	if !ok {
 		p = newEndpointPool(o, endpoint, addr)
 		o.pools[endpoint] = p
+		if o.warmConns > 0 {
+			// First use of this endpoint: pre-dial toward the bound in the
+			// background so a following burst finds connections ready.
+			go p.warm(o.warmConns)
+		}
 	}
 	return p, nil
 }
@@ -306,6 +416,17 @@ type EndpointStats struct {
 	Failures int
 	// Down reports whether the health gate is failing calls fast.
 	Down bool
+	// Breaker is the circuit breaker state (BreakerInactive when no
+	// breaker is configured; see WithCircuitBreaker).
+	Breaker BreakerState
+	// BreakerProbes is the cumulative number of half-open probes admitted.
+	BreakerProbes uint64
+	// BreakerOpens is the cumulative number of transitions to the open
+	// state.
+	BreakerOpens uint64
+	// RetryExhausted is the cumulative number of calls failed fast by an
+	// empty retry budget (see WithRetryBudget).
+	RetryExhausted uint64
 }
 
 // EndpointStats reports the pool state for endpoint, if one exists.
@@ -327,6 +448,19 @@ func (o *ORB) EndpointStats(endpoint string) (EndpointStats, bool) {
 	}
 	for _, c := range p.conns {
 		st.Pending += c.load()
+	}
+	if b := p.brk; b != nil {
+		now := time.Now()
+		b.mu.Lock()
+		st.Breaker = b.stateLocked(now)
+		st.BreakerProbes = b.probes
+		st.BreakerOpens = b.opens
+		b.mu.Unlock()
+	}
+	if rb := p.budget; rb != nil {
+		rb.mu.Lock()
+		st.RetryExhausted = rb.exhausted
+		rb.mu.Unlock()
 	}
 	return st, ok
 }

@@ -32,7 +32,9 @@ const (
 
 // SystemError is a CORBA-style system exception.
 type SystemError struct {
-	Code   ExceptionCode
+	// Code classifies the failure (TRANSIENT, COMM_FAILURE, ...).
+	Code ExceptionCode
+	// Detail is the human-readable cause.
 	Detail string
 }
 

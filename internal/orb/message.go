@@ -38,7 +38,9 @@ const (
 // reply — the mechanism the Activity Service uses to propagate activity and
 // transaction context implicitly, as the CORBA specification prescribes.
 type ServiceContext struct {
-	ID   uint32
+	// ID names the context slot (see the well-known IDs below).
+	ID uint32
+	// Data is the opaque encoded payload.
 	Data []byte
 }
 

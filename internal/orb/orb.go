@@ -24,6 +24,19 @@
 // injectable faults — latency, drops, resets, one-way partitions, per-op
 // rules — so the failure modes extended transactions exist to survive can
 // be exercised deterministically in tests.
+//
+// # Overload protection
+//
+// Above the health gate the client side layers a per-endpoint retry
+// budget (WithRetryBudget) and a three-state circuit breaker
+// (WithCircuitBreaker), so at-least-once retry loops cannot turn a
+// failing or flapping endpoint into a retry storm; EndpointStats exposes
+// the breaker state. The server side is guarded by admission control
+// (WithMaxInflight, WithAdmissionQueue): a bounded number of concurrent
+// dispatches plus a bounded, deadline-aware wait queue, with the excess
+// shed fast as TRANSIENT instead of piling up goroutines behind a slow
+// servant; ServerStats exposes the gauges. See docs/ARCHITECTURE.md for
+// the failure-semantics table tying the four mechanisms together.
 package orb
 
 import (
@@ -42,6 +55,7 @@ import (
 // Returning a *SystemError produces a system exception at the caller;
 // any other error arrives as a *RemoteError.
 type Servant interface {
+	// Dispatch handles one operation against this object.
 	Dispatch(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error)
 }
 
@@ -55,6 +69,7 @@ func (f ServantFunc) Dispatch(ctx context.Context, op string, in *cdr.Decoder) (
 
 // RemoteError is a user (application) error raised by a remote servant.
 type RemoteError struct {
+	// Message is the servant's error text.
 	Message string
 }
 
@@ -86,12 +101,22 @@ type ORB struct {
 	gen         *ids.Generator
 	callTimeout time.Duration
 
-	// Client transport configuration (see client.go).
-	transport   Transport
-	poolSize    int
-	dialTimeout time.Duration
-	backoffMin  time.Duration
-	backoffMax  time.Duration
+	// Client transport configuration (see client.go, breaker.go).
+	transport    Transport
+	poolSize     int
+	warmConns    int
+	dialTimeout  time.Duration
+	backoffMin   time.Duration
+	backoffMax   time.Duration
+	brkThreshold int
+	brkOpenFor   time.Duration
+	retryRate    float64
+	retryBurst   int
+
+	// Server admission configuration (see admission.go).
+	maxInflight int
+	admitQueue  int
+	shedAfter   time.Duration
 
 	mu       sync.RWMutex
 	servants map[string]servantEntry
@@ -170,6 +195,88 @@ func WithReconnectBackoff(min, max time.Duration) ORBOption {
 		}
 		if o.backoffMax < o.backoffMin {
 			o.backoffMax = o.backoffMin
+		}
+	})
+}
+
+// WithPoolWarm pre-dials up to n connections (capped at the pool bound)
+// in the background the first time an endpoint's pool is created, so the
+// first burst of calls does not pay n inline dial round trips. Warm-up
+// stops at the first dial failure and hands the endpoint to the normal
+// health-gate machinery. The default is 0 (no warm-up; growth is entirely
+// caller-driven).
+func WithPoolWarm(n int) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if n > 0 {
+			o.warmConns = n
+		}
+	})
+}
+
+// WithCircuitBreaker layers a per-endpoint three-state circuit breaker
+// (closed / open / half-open) above the dial health gate: after threshold
+// consecutive call failures the endpoint's circuit opens and every call
+// fails fast with TRANSIENT for openFor; the first call after the window
+// is admitted as a single probe (concurrent callers fail fast while it is
+// in flight), and the probe's outcome closes or re-opens the circuit. An
+// openFor of 0 selects the default window. The breaker is off unless
+// threshold > 0.
+func WithCircuitBreaker(threshold int, openFor time.Duration) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if threshold > 0 {
+			o.brkThreshold = threshold
+			o.brkOpenFor = openFor
+		}
+	})
+}
+
+// WithRetryBudget bounds how hard this ORB hammers a failing endpoint: a
+// per-endpoint token bucket holding burst tokens that refills at rate
+// tokens per second. While an endpoint's last call failed, every further
+// call must withdraw a token; with the bucket empty the call fails fast
+// with TRANSIENT instead of touching the network. A success resets the
+// endpoint to the free (healthy) regime. This is what keeps at-least-once
+// retry loops from turning a flapping endpoint's recovery into a retry
+// storm. The budget is off unless burst > 0; a rate <= 0 selects a
+// default refill of one token per second (a zero rate could never admit
+// a recovery attempt once exhausted).
+func WithRetryBudget(rate float64, burst int) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if burst > 0 {
+			o.retryRate = rate
+			o.retryBurst = burst
+		}
+	})
+}
+
+// WithMaxInflight bounds the number of concurrently dispatched requests on
+// the server transport. Excess requests wait in a bounded queue (see
+// WithAdmissionQueue) and are shed with a TRANSIENT system exception when
+// the queue is full or the shed deadline passes, so a slow servant under
+// high fan-in degrades into fast, explicit rejections instead of an
+// unbounded goroutine pile-up. The default is 0 (unbounded, the historic
+// behaviour).
+func WithMaxInflight(n int) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if n > 0 {
+			o.maxInflight = n
+		}
+	})
+}
+
+// WithAdmissionQueue tunes the server admission queue that backs
+// WithMaxInflight: depth bounds how many requests may wait for a dispatch
+// slot (default 2×WithMaxInflight), and shedAfter bounds how long any of
+// them waits before being shed with TRANSIENT (default 100ms). Values <= 0
+// keep the defaults. The option has no effect unless WithMaxInflight is
+// set.
+func WithAdmissionQueue(depth int, shedAfter time.Duration) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if depth > 0 {
+			o.admitQueue = depth
+		}
+		if shedAfter > 0 {
+			o.shedAfter = shedAfter
 		}
 	})
 }

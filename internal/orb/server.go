@@ -11,6 +11,7 @@ import (
 type server struct {
 	orb *ORB
 	ln  net.Listener
+	adm *admission // nil = unbounded dispatch
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -29,6 +30,7 @@ func (o *ORB) Listen(addr string) (string, error) {
 	srv := &server{
 		orb:   o,
 		ln:    ln,
+		adm:   newAdmission(o.maxInflight, o.admitQueue, o.shedAfter),
 		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
 	}
@@ -86,6 +88,29 @@ func (s *server) serveConn(conn net.Conn) {
 	var writeMu sync.Mutex
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
+	send := func(rep reply) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		_ = writeFrame(conn, encodeReply(rep))
+	}
+	// Queue-full sheds go through one dedicated writer goroutine behind a
+	// bounded buffer, so the read loop never takes writeMu itself: a reply
+	// write stalled on a client that has stopped draining its socket must
+	// not stop frame reads (and with them the fast shedding) for the whole
+	// connection. The deferred close runs before reqWG.Wait above (LIFO),
+	// letting the writer drain and exit.
+	var shedCh chan uint64
+	if s.adm != nil {
+		shedCh = make(chan uint64, shedBuffer)
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			for id := range shedCh {
+				send(errorReply(id, s.adm.shedError()))
+			}
+		}()
+		defer close(shedCh)
+	}
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
@@ -97,14 +122,43 @@ func (s *server) serveConn(conn net.Conn) {
 			// connection so the client fails fast.
 			return
 		}
-		reqWG.Add(1)
-		go func() {
-			defer reqWG.Done()
-			rep := s.orb.dispatch(context.Background(), req)
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			_ = writeFrame(conn, encodeReply(rep))
-		}()
+		// Admission: a request either takes a dispatch slot now, waits in
+		// the bounded queue (its own goroutine, shed at the deadline), or —
+		// when the queue is full — is shed through the connection's shed
+		// writer without spawning anything. Handler goroutines are
+		// therefore bounded by maxInflight + queue (+ one shed writer per
+		// connection).
+		switch {
+		case s.adm == nil || s.adm.tryAcquire():
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				if s.adm != nil {
+					defer s.adm.release()
+				}
+				send(s.orb.dispatch(context.Background(), req))
+			}()
+		case s.adm.enqueue():
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				if !s.adm.await(s.done) {
+					send(errorReply(req.requestID, s.adm.shedError()))
+					return
+				}
+				defer s.adm.release()
+				send(s.orb.dispatch(context.Background(), req))
+			}()
+		default:
+			select {
+			case shedCh <- req.requestID:
+			default:
+				// The shed buffer is full behind a stalled reply write:
+				// the client is not draining its socket, so this reply
+				// could never be delivered anyway. Drop it (the shed is
+				// already counted) and let the caller time out.
+			}
+		}
 	}
 }
 

@@ -69,6 +69,18 @@ type (
 	InjectedFault = iorb.InjectedFault
 	// EndpointStats is a snapshot of one endpoint pool's health.
 	EndpointStats = iorb.EndpointStats
+	// ServerStats is a snapshot of the server transport's admission state.
+	ServerStats = iorb.ServerStats
+	// BreakerState is the circuit breaker position for one endpoint.
+	BreakerState = iorb.BreakerState
+)
+
+// Circuit breaker states (see WithCircuitBreaker).
+const (
+	BreakerInactive = iorb.BreakerInactive
+	BreakerClosed   = iorb.BreakerClosed
+	BreakerOpen     = iorb.BreakerOpen
+	BreakerHalfOpen = iorb.BreakerHalfOpen
 )
 
 // Chaos fault stages.
@@ -118,6 +130,24 @@ var WithDialTimeout = iorb.WithDialTimeout
 // WithReconnectBackoff sets the jittered reconnect backoff window.
 var WithReconnectBackoff = iorb.WithReconnectBackoff
 
+// WithPoolWarm pre-dials up to n connections on first pool use.
+var WithPoolWarm = iorb.WithPoolWarm
+
+// WithCircuitBreaker layers a three-state circuit breaker above the
+// per-endpoint health gate.
+var WithCircuitBreaker = iorb.WithCircuitBreaker
+
+// WithRetryBudget bounds call attempts against a failing endpoint with a
+// token bucket.
+var WithRetryBudget = iorb.WithRetryBudget
+
+// WithMaxInflight bounds concurrent server-side dispatches (admission
+// control).
+var WithMaxInflight = iorb.WithMaxInflight
+
+// WithAdmissionQueue tunes the admission wait queue and shed deadline.
+var WithAdmissionQueue = iorb.WithAdmissionQueue
+
 // NewChaosTransport wraps base (TCPTransport when nil) with fault
 // injection.
 var NewChaosTransport = iorb.NewChaosTransport
@@ -145,6 +175,12 @@ var NameServiceAt = iorb.NameServiceAt
 
 // ExportAction activates a core Action on o and returns its reference.
 func ExportAction(o *ORB, action core.Action) IOR { return remote.ExportAction(o, action) }
+
+// ExportActionWithKey activates a core Action under a stable key, so a
+// restarted server can re-register it behind IORs already handed out.
+func ExportActionWithKey(o *ORB, key string, action core.Action) IOR {
+	return remote.ExportActionWithKey(o, key, action)
+}
 
 // ImportAction returns an Action proxy for the Action at ref.
 func ImportAction(o *ORB, ref IOR) core.Action { return remote.ImportAction(o, ref) }
