@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"sort"
 	"sync"
@@ -788,7 +789,8 @@ func BenchmarkOverload(b *testing.B) {
 			b.Fatal(err)
 		}
 		ref, _ = node.IOR(ref.Key)
-		client := orb.New(orb.WithPoolSize(8), orb.WithCallTimeout(10*time.Second))
+		client := orb.New(orb.WithHealthRegistry(orb.NewHealthRegistry()),
+			orb.WithPoolSize(8), orb.WithCallTimeout(10*time.Second))
 		defer client.Shutdown()
 
 		peak, stopWatch := watchGoroutinePeak()
@@ -845,4 +847,86 @@ func BenchmarkOverload(b *testing.B) {
 			)
 		})
 	}
+}
+
+// BenchmarkFailover prices the multi-profile endpoint selector against the
+// PR-3 single-endpoint invoke path. "single-profile" is the baseline (a
+// one-profile reference takes the historic fast path); "two-profile/steady"
+// adds the full selector — affinity lookup, shared health verdicts,
+// profile ranking — with a healthy primary; "two-profile/primary-down"
+// shows the steady state after a failover: the dead profile's shared
+// health verdict routes every call straight to the backup, with p50 and
+// p99 reported so the selector's tail is visible too. The redesign's
+// budget: steady-state selector overhead within 5% of the baseline.
+func BenchmarkFailover(b *testing.B) {
+	ctx := context.Background()
+	startNode := func(b *testing.B) (*orb.ORB, string) {
+		b.Helper()
+		node := orb.New()
+		node.RegisterServantWithKey("bench-obj", "IDL:bench/Echo:1.0", orb.ServantFunc(
+			func(context.Context, string, *cdr.Decoder) ([]byte, error) {
+				return nil, nil
+			}))
+		ep, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return node, ep
+	}
+	// deadBenchEndpoint reserves a port with nothing listening on it.
+	deadBenchEndpoint := func(b *testing.B) string {
+		b.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return "tcp:" + addr
+	}
+	run := func(b *testing.B, ref orb.IOR) {
+		client := orb.New(
+			orb.WithHealthRegistry(orb.NewHealthRegistry()),
+			// Keep a dead profile's down window open across the whole run,
+			// so the bench measures the selector's steady state rather
+			// than periodic re-probes.
+			orb.WithReconnectBackoff(time.Minute, time.Minute),
+		)
+		defer client.Shutdown()
+		// Warm: establish connections, health verdicts and affinity.
+		if _, err := client.Invoke(ctx, ref, "ping", nil); err != nil {
+			b.Fatal(err)
+		}
+		latencies := make([]time.Duration, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, err := client.Invoke(ctx, ref, "ping", nil); err != nil {
+				b.Fatal(err)
+			}
+			latencies[i] = time.Since(start)
+		}
+		b.StopTimer()
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		b.ReportMetric(float64(latencies[len(latencies)/2].Nanoseconds()), "p50-ns")
+		b.ReportMetric(float64(latencies[len(latencies)*99/100].Nanoseconds()), "p99-ns")
+	}
+
+	b.Run("single-profile", func(b *testing.B) {
+		node, ep := startNode(b)
+		defer node.Shutdown()
+		run(b, orb.NewIOR("IDL:bench/Echo:1.0", "bench-obj", ep))
+	})
+	b.Run("two-profile/steady", func(b *testing.B) {
+		node, ep := startNode(b)
+		defer node.Shutdown()
+		backupNode, backupEp := startNode(b)
+		defer backupNode.Shutdown()
+		run(b, orb.NewIOR("IDL:bench/Echo:1.0", "bench-obj", ep, backupEp))
+	})
+	b.Run("two-profile/primary-down", func(b *testing.B) {
+		node, ep := startNode(b)
+		defer node.Shutdown()
+		run(b, orb.NewIOR("IDL:bench/Echo:1.0", "bench-obj", deadBenchEndpoint(b), ep))
+	})
 }

@@ -61,7 +61,8 @@ func TestChaosResetBetweenPrepareAndCommit(t *testing.T) {
 	ref2 := exportChaosResource(t, p2)
 
 	chaos := orb.NewChaosTransport(nil)
-	clientORB := orb.New(orb.WithTransport(chaos), orb.WithCallTimeout(2*time.Second))
+	clientORB := orb.New(orb.WithHealthRegistry(orb.NewHealthRegistry()),
+		orb.WithTransport(chaos), orb.WithCallTimeout(2*time.Second))
 	defer clientORB.Shutdown()
 	// The third process_signal request is the first commit (after the two
 	// prepares): reset the connection before it is sent.
@@ -152,7 +153,8 @@ func TestChaosPartitionDuringConfirm(t *testing.T) {
 	}
 
 	chaos := orb.NewChaosTransport(nil)
-	clientORB := orb.New(orb.WithTransport(chaos), orb.WithCallTimeout(100*time.Millisecond))
+	clientORB := orb.New(orb.WithHealthRegistry(orb.NewHealthRegistry()),
+		orb.WithTransport(chaos), orb.WithCallTimeout(100*time.Millisecond))
 	defer clientORB.Shutdown()
 
 	svc := activityservice.New(activityservice.WithRetryPolicy(
@@ -243,7 +245,8 @@ func TestChaosSlowParticipantTimeout(t *testing.T) {
 	healthyORB := orb.New()
 	defer healthyORB.Shutdown()
 	chaos := orb.NewChaosTransport(nil)
-	slowORB := orb.New(orb.WithTransport(chaos), orb.WithCallTimeout(100*time.Millisecond))
+	slowORB := orb.New(orb.WithHealthRegistry(orb.NewHealthRegistry()),
+		orb.WithTransport(chaos), orb.WithCallTimeout(100*time.Millisecond))
 	defer slowORB.Shutdown()
 	chaos.Inject(orb.ChaosRule{Latency: 400 * time.Millisecond}) // every request crawls
 
@@ -337,7 +340,8 @@ func TestChaosSaturationShedsFastAndConverges(t *testing.T) {
 		refs[i], _ = node.IOR(refs[i].Key)
 	}
 
-	client := orb.New(orb.WithPoolSize(8), orb.WithCallTimeout(5*time.Second))
+	client := orb.New(orb.WithHealthRegistry(orb.NewHealthRegistry()),
+		orb.WithPoolSize(8), orb.WithCallTimeout(5*time.Second))
 	defer client.Shutdown()
 
 	g0 := runtime.NumGoroutine()
@@ -456,6 +460,7 @@ func TestChaosFlappingEndpointBreakerCapsProbes(t *testing.T) {
 
 	chaos := orb.NewChaosTransport(nil)
 	clientORB := orb.New(
+		orb.WithHealthRegistry(orb.NewHealthRegistry()),
 		orb.WithTransport(chaos),
 		orb.WithCallTimeout(50*time.Millisecond),
 		orb.WithCircuitBreaker(threshold, openFor),
@@ -523,7 +528,7 @@ func TestChaosFlappingEndpointBreakerCapsProbes(t *testing.T) {
 		}
 	}
 
-	st, ok := clientORB.EndpointStats(refs[0].Endpoint)
+	st, ok := clientORB.EndpointStats(refs[0].Endpoint())
 	if !ok {
 		t.Fatal("no endpoint stats for the flapping endpoint")
 	}
@@ -546,5 +551,134 @@ func TestChaosFlappingEndpointBreakerCapsProbes(t *testing.T) {
 	if hits := fault.Hits(); hits > threshold+int(maxProbes) {
 		t.Fatalf("%d requests reached the flapping link, want <= threshold+probes = %d",
 			hits, threshold+int(maxProbes))
+	}
+}
+
+// TestChaosFailoverCommitConvergesViaBackupProfile is the multi-profile
+// failover scenario the IOR redesign exists for: both 2PC participants are
+// replicated behind two-profile references (a primary and a backup node
+// serving the same servant keys), the primary endpoint is hard-reset
+// between prepare and commit — every further frame toward it kills the
+// connection — and the commit must converge through the backup profile
+// within the same Invoke. Documented behaviour: the commit decision
+// stands, each participant commits exactly once (the reset happened
+// before any commit was delivered, so failover cannot duplicate), the
+// client's breaker opens on the dead profile only, and the backup profile
+// stays clean.
+func TestChaosFailoverCommitConvergesViaBackupProfile(t *testing.T) {
+	ctx := context.Background()
+	r1, r2 := &chaosResource{}, &chaosResource{}
+
+	// Two nodes serving the same participants under the same keys: the
+	// replicated-participant deployment the ROADMAP points at. The action
+	// state (including the recorded vote) is shared between the nodes, as
+	// a real replicated participant's durable state would be — the wire
+	// endpoints are what differ.
+	a1, a2 := twopc.NewResourceAction(r1), twopc.NewResourceAction(r2)
+	newNode := func() *orb.ORB {
+		node := orb.New()
+		t.Cleanup(node.Shutdown)
+		orb.ExportActionWithKey(node, "part-1", a1)
+		orb.ExportActionWithKey(node, "part-2", a2)
+		return node
+	}
+	primary, backup := newNode(), newNode()
+	ep1, err := primary.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := backup.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref1 := orb.NewIOR("IDL:ActivityService/Action:1.0", "part-1", ep1, ep2)
+	ref2 := orb.NewIOR("IDL:ActivityService/Action:1.0", "part-2", ep1, ep2)
+
+	chaos := orb.NewChaosTransport(nil)
+	clientORB := orb.New(
+		orb.WithTransport(chaos),
+		orb.WithHealthRegistry(orb.NewHealthRegistry()),
+		orb.WithCallTimeout(2*time.Second),
+		orb.WithCircuitBreaker(2, 5*time.Second),
+	)
+	defer clientORB.Shutdown()
+	// The first two process_signal requests toward the primary are the
+	// prepares; after them, the primary endpoint is hard-reset: every
+	// further frame kills its connection before leaving.
+	fault := chaos.Inject(orb.ChaosRule{
+		Op: "process_signal", Addr: ep1, Stage: orb.StageRequest, After: 2, Reset: true,
+	})
+
+	svc := activityservice.New(activityservice.WithRetryPolicy(
+		activityservice.RetryPolicy{Attempts: 3, Backoff: 5 * time.Millisecond}))
+	coord := twopc.NewCoordinator(svc)
+	tx, err := coord.Begin("failover-between-phases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.EnlistAction(orb.ImportAction(clientORB, ref1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.EnlistAction(orb.ImportAction(clientORB, ref2)); err != nil {
+		t.Fatal(err)
+	}
+
+	committed, err := tx.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !committed {
+		t.Fatal("transaction rolled back; losing the primary endpoint between phases must not change the decision")
+	}
+	if fault.Hits() == 0 {
+		t.Fatal("the reset rule never fired: the scenario did not exercise failover")
+	}
+	for i, r := range []*chaosResource{r1, r2} {
+		if got := r.prepares.Load(); got != 1 {
+			t.Errorf("participant %d prepared %d times, want 1", i+1, got)
+		}
+		if got := r.commits.Load(); got != 1 {
+			t.Errorf("participant %d committed %d times, want exactly 1 (failover, not duplication)", i+1, got)
+		}
+		if got := r.rollbacks.Load(); got != 0 {
+			t.Errorf("participant %d rolled back %d times, want 0", i+1, got)
+		}
+	}
+
+	// The breaker verdict localizes the failure to the dead profile.
+	pst, ok := clientORB.EndpointStats(ep1)
+	if !ok || pst.BreakerOpens == 0 {
+		t.Fatalf("primary endpoint stats = %+v, want the breaker to have opened on the dead profile", pst)
+	}
+	bst, ok := clientORB.EndpointStats(ep2)
+	if !ok {
+		t.Fatal("no stats for the backup endpoint")
+	}
+	if bst.BreakerOpens != 0 || bst.Breaker == orb.BreakerOpen || bst.Down {
+		t.Fatalf("backup endpoint stats = %+v, want a clean healthy profile", bst)
+	}
+
+	// And the failover is sticky: a fresh 2PC on the same references runs
+	// entirely through the backup, without touching the dead primary.
+	hitsBefore := fault.Hits()
+	tx2, err := coord.Begin("after-failover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.EnlistAction(orb.ImportAction(clientORB, ref1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.EnlistAction(orb.ImportAction(clientORB, ref2)); err != nil {
+		t.Fatal(err)
+	}
+	committed, err = tx2.Commit(ctx)
+	if err != nil || !committed {
+		t.Fatalf("post-failover 2PC: committed=%v err=%v", committed, err)
+	}
+	if got := fault.Hits(); got != hitsBefore {
+		t.Fatalf("post-failover 2PC sent %d frames at the dead primary, want 0 (sticky affinity)", got-hitsBefore)
+	}
+	if got := r1.commits.Load(); got != 2 {
+		t.Fatalf("participant 1 committed %d times after second tx, want 2", got)
 	}
 }

@@ -13,6 +13,15 @@
 //
 //	activityd -listen 127.0.0.1:7411        # serve until interrupted
 //	activityd -listen 127.0.0.1:0 -demo     # serve, run a self-test client, exit
+//	activityd -listen 127.0.0.1:7411 -listen 127.0.0.1:7412
+//	                                        # two listeners: issued IORs carry
+//	                                        # both endpoints as profiles and
+//	                                        # clients fail over between them
+//	activityd -advertise host1:7411 -advertise host2:7411
+//	                                        # endpoints minted into IORs
+//	                                        # (NAT / load-balancer fronting)
+//	activityd -admin                        # serve ServerStats/EndpointStats
+//	                                        # on the well-known "orb-admin" key
 //	activityd -pool 8 -parallel             # 8 pooled conns per endpoint,
 //	                                        # parallel signal fan-out
 //	activityd -max-inflight 64 -shed-after 50ms   # overload protection:
@@ -25,10 +34,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,8 +51,24 @@ import (
 // FactoryTypeID is the activity factory interface id.
 const FactoryTypeID = "IDL:ActivityService/ActivityFactory:1.0"
 
+// listFlag collects a repeatable string flag ("-listen a -listen b").
+type listFlag []string
+
+// String implements flag.Value.
+func (f *listFlag) String() string { return strings.Join(*f, ",") }
+
+// Set implements flag.Value, appending one occurrence.
+func (f *listFlag) Set(v string) error {
+	if v == "" {
+		return errors.New("empty value")
+	}
+	*f = append(*f, v)
+	return nil
+}
+
 // orbConfig collects the transport knobs forwarded to orb.New.
 type orbConfig struct {
+	advertise   listFlag
 	pool        int
 	warm        int
 	maxInflight int
@@ -72,14 +99,20 @@ func (c orbConfig) options() []orb.ORBOption {
 	if c.retryBurst > 0 {
 		opts = append(opts, orb.WithRetryBudget(c.retryRate, c.retryBurst))
 	}
+	if len(c.advertise) > 0 {
+		opts = append(opts, orb.WithAdvertised(c.advertise...))
+	}
 	return opts
 }
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7411", "host:port to serve on")
+	var listens listFlag
+	flag.Var(&listens, "listen", "host:port to serve on; repeat for multiple listeners (default 127.0.0.1:7411)")
 	demo := flag.Bool("demo", false, "run a self-test client and exit")
 	parallel := flag.Bool("parallel", false, "fan signals out to enrolled actions in parallel")
+	admin := flag.Bool("admin", false, "serve ServerStats/EndpointStats on the well-known orb-admin key")
 	var cfg orbConfig
+	flag.Var(&cfg.advertise, "advertise", "endpoint minted into issued IORs instead of the bound address; repeatable")
 	flag.IntVar(&cfg.pool, "pool", 0, "client connections pooled per endpoint (0 = default)")
 	flag.IntVar(&cfg.warm, "warm", 0, "connections to pre-dial per endpoint on first use (0 = off)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "max concurrent server dispatches; excess is queued then shed with TRANSIENT (0 = unbounded)")
@@ -90,7 +123,10 @@ func main() {
 	flag.Float64Var(&cfg.retryRate, "retry-rate", 0, "retry-budget refill rate in tokens/second")
 	flag.IntVar(&cfg.retryBurst, "retry-burst", 0, "retry-budget bucket size; attempts against a failing endpoint beyond it fail fast (0 = off)")
 	flag.Parse()
-	if err := run(*listen, *demo, cfg, *parallel); err != nil {
+	if len(listens) == 0 {
+		listens = listFlag{"127.0.0.1:7411"}
+	}
+	if err := run(listens, *demo, cfg, *parallel, *admin); err != nil {
 		fmt.Fprintln(os.Stderr, "activityd:", err)
 		os.Exit(1)
 	}
@@ -136,7 +172,13 @@ func (f *factory) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byt
 	return e.Bytes(), nil
 }
 
-func run(listen string, demo bool, cfg orbConfig, parallel bool) error {
+func run(listens []string, demo bool, cfg orbConfig, parallel, admin bool) error {
+	if demo && len(cfg.advertise) > 0 {
+		// The demo drives a loopback client against the daemon's own
+		// references; references minted from advertised (externally
+		// routed) endpoints would send it off-box.
+		return errors.New("-demo drives a local client and cannot be combined with -advertise")
+	}
 	node := orb.New(cfg.options()...)
 	defer node.Shutdown()
 	orb.InstallPropagation(node)
@@ -147,18 +189,28 @@ func run(listen string, demo bool, cfg orbConfig, parallel bool) error {
 
 	ns := orb.NewNameServer()
 	ns.Serve(node)
+	if admin {
+		orb.ServeAdmin(node)
+	}
 
-	endpoint, err := node.Listen(listen)
-	if err != nil {
-		return err
+	// Every listener serves the same adapter; IORs issued after the last
+	// Listen carry all bound endpoints as profiles.
+	for _, listen := range listens {
+		endpoint, err := node.Listen(listen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("activityd: serving at %s\n", endpoint)
 	}
 	factoryRef, _ := node.IOR("activity-factory")
 	ns.Bind("activityservice", factoryRef)
-	fmt.Printf("activityd: serving at %s\n", endpoint)
 	fmt.Printf("activityd: factory IOR %s\n", factoryRef)
+	if admin {
+		fmt.Printf("activityd: admin servant at key %q\n", orb.AdminKey)
+	}
 
 	if demo {
-		return runDemo(endpoint)
+		return runDemo(node.Endpoints())
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -169,7 +221,7 @@ func run(listen string, demo bool, cfg orbConfig, parallel bool) error {
 
 // runDemo exercises the daemon from a separate client ORB: resolve the
 // factory, create an activity, enroll a local action, complete remotely.
-func runDemo(endpoint string) error {
+func runDemo(endpoints []string) error {
 	ctx := context.Background()
 	client := orb.New()
 	defer client.Shutdown()
@@ -177,7 +229,7 @@ func runDemo(endpoint string) error {
 		return err
 	}
 
-	naming := orb.NewNameClient(client, orb.NameServiceAt(endpoint))
+	naming := orb.NewNameClient(client, orb.NameServiceAt(endpoints...))
 	factoryRef, err := naming.Resolve(ctx, "activityservice")
 	if err != nil {
 		return err

@@ -9,7 +9,7 @@ import (
 // the built-in client against it: factory resolution through naming,
 // remote activity creation, remote enlistment and remote completion.
 func TestDaemonDemoRoundTrip(t *testing.T) {
-	if err := run("127.0.0.1:0", true, orbConfig{}, false); err != nil {
+	if err := run([]string{"127.0.0.1:0"}, true, orbConfig{}, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -17,7 +17,16 @@ func TestDaemonDemoRoundTrip(t *testing.T) {
 // TestDaemonDemoPooledParallel runs the same round trip with a pooled
 // client transport and parallel signal fan-out enabled.
 func TestDaemonDemoPooledParallel(t *testing.T) {
-	if err := run("127.0.0.1:0", true, orbConfig{pool: 8}, true); err != nil {
+	if err := run([]string{"127.0.0.1:0"}, true, orbConfig{pool: 8}, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonDemoMultiListenerAdmin runs the round trip against a daemon
+// with two listeners (issued IORs carry both endpoints as profiles) and
+// the admin servant enabled.
+func TestDaemonDemoMultiListenerAdmin(t *testing.T) {
+	if err := run([]string{"127.0.0.1:0", "127.0.0.1:0"}, true, orbConfig{}, false, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,7 +47,7 @@ func TestDaemonDemoOverloadProtected(t *testing.T) {
 		retryRate:   10,
 		retryBurst:  5,
 	}
-	if err := run("127.0.0.1:0", true, cfg, false); err != nil {
+	if err := run([]string{"127.0.0.1:0"}, true, cfg, false, false); err != nil {
 		t.Fatal(err)
 	}
 }

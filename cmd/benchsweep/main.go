@@ -9,16 +9,21 @@
 //	benchsweep                 # all sweeps, default iteration count
 //	benchsweep -iters 2000
 //	benchsweep -sweep 2pc      # one sweep: 2pc | fanout | chain | delivery |
-//	                           #            remote | remotefanout | overload
+//	                           #            remote | remotefanout | overload |
+//	                           #            failover
 //	benchsweep -sweep remotefanout -pool 8   # pin the client pool size
 //	benchsweep -sweep overload               # admission control at saturation:
 //	                                         # p50/p99/shed vs -max-inflight
+//	benchsweep -sweep failover               # multi-profile selector cost:
+//	                                         # single vs multi-profile refs,
+//	                                         # healthy vs downed primary
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"sort"
@@ -40,7 +45,7 @@ var poolSize int
 
 func main() {
 	iters := flag.Int("iters", 500, "iterations per data point")
-	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout|overload); empty = all")
+	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout|overload|failover); empty = all")
 	flag.IntVar(&poolSize, "pool", 0, "client connection pool size for remote sweeps (0 = sweep defaults)")
 	flag.Parse()
 	if err := run(*iters, *sweep); err != nil {
@@ -57,6 +62,7 @@ var sweeps = map[string]func(iters int) error{
 	"remote":       sweepRemote,
 	"remotefanout": sweepRemoteFanout,
 	"overload":     sweepOverload,
+	"failover":     sweepFailover,
 }
 
 func run(iters int, which string) error {
@@ -483,5 +489,102 @@ func sweepOverload(iters int) error {
 			name, p50.Round(time.Microsecond), p99.Round(time.Microsecond),
 			float64(shed.Load())/float64(total)*100, peak.Load())
 	}
+	return nil
+}
+
+// sweepFailover prices the multi-profile endpoint selector: a no-op echo
+// invocation through a single-profile reference (the PR-3-era invoke
+// path), through a two-profile reference with a healthy primary (the full
+// selector: affinity, shared health verdicts, ranking), and through a
+// two-profile reference whose primary is down (the post-failover steady
+// state: the shared verdict routes every call straight to the backup). A
+// "first-failover" row reports the one-off cost of the invoke that
+// discovers the dead primary and rides over to the backup mid-call.
+func sweepFailover(iters int) error {
+	fmt.Println("\n== failover: multi-profile selector cost (no-op servant) ==")
+	fmt.Printf("%-26s %14s\n", "reference", "ns/op")
+	ctx := context.Background()
+
+	startNode := func() (*orb.ORB, string, error) {
+		node := orb.New()
+		node.RegisterServantWithKey("obj", "IDL:sweep/Echo:1.0", orb.ServantFunc(
+			func(context.Context, string, *cdr.Decoder) ([]byte, error) {
+				return nil, nil
+			}))
+		ep, err := node.Listen("127.0.0.1:0")
+		return node, ep, err
+	}
+	deadEndpoint := func() (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return "tcp:" + addr, nil
+	}
+	newClient := func() *orb.ORB {
+		return orb.New(
+			orb.WithHealthRegistry(orb.NewHealthRegistry()),
+			orb.WithReconnectBackoff(time.Minute, time.Minute),
+		)
+	}
+	steady := func(name string, endpoints ...string) error {
+		client := newClient()
+		defer client.Shutdown()
+		ref := orb.NewIOR("IDL:sweep/Echo:1.0", "obj", endpoints...)
+		ns, err := measure(iters, func() error {
+			_, err := client.Invoke(ctx, ref, "ping", nil)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("%-26s %14.0f\n", name, ns)
+		return nil
+	}
+
+	primary, ep1, err := startNode()
+	if err != nil {
+		return err
+	}
+	defer primary.Shutdown()
+	backup, ep2, err := startNode()
+	if err != nil {
+		return err
+	}
+	defer backup.Shutdown()
+	dead, err := deadEndpoint()
+	if err != nil {
+		return err
+	}
+
+	if err := steady("single-profile", ep1); err != nil {
+		return err
+	}
+	if err := steady("two-profile steady", ep1, ep2); err != nil {
+		return err
+	}
+	if err := steady("two-profile primary-down", dead, ep2); err != nil {
+		return err
+	}
+
+	// The one-off discovery cost: a fresh client per iteration, so every
+	// invoke pays the dead dial plus the mid-call ride to the backup.
+	n := iters / 50
+	if n < 10 {
+		n = 10
+	}
+	ref := orb.NewIOR("IDL:sweep/Echo:1.0", "obj", dead, ep2)
+	ns, err := measure(n, func() error {
+		client := newClient()
+		defer client.Shutdown()
+		_, err := client.Invoke(ctx, ref, "ping", nil)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("first-failover: %w", err)
+	}
+	fmt.Printf("%-26s %14.0f\n", "first-failover (cold)", ns)
 	return nil
 }

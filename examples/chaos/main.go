@@ -86,7 +86,7 @@ func main() {
 			fmt.Printf("  %-10s totals: prepares=%d commits=%d rollbacks=%d\n",
 				r.name, r.prepares.Load(), r.commits.Load(), r.rollbacks.Load())
 		}
-		if st, ok := client.EndpointStats(refs[0].Endpoint); ok {
+		if st, ok := client.EndpointStats(refs[0].Endpoint()); ok {
 			fmt.Printf("  pool: conns=%d pending=%d failures=%d down=%v\n",
 				st.Conns, st.Pending, st.Failures, st.Down)
 		}
@@ -119,7 +119,7 @@ func main() {
 		fmt.Printf("%-28s failed fast in %s\n  (%v)\n", "dead peer, second call:",
 			time.Since(start).Round(time.Microsecond), err)
 	}
-	if st, ok := client.EndpointStats(refs[0].Endpoint); ok {
+	if st, ok := client.EndpointStats(refs[0].Endpoint()); ok {
 		fmt.Printf("  pool: conns=%d failures=%d down=%v\n", st.Conns, st.Failures, st.Down)
 	}
 }

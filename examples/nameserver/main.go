@@ -40,8 +40,8 @@ func run() error {
 	fmt.Println("name service listening at", endpoint)
 
 	// Bind two replicas of a persistent object.
-	replica1 := orb.IOR{TypeID: "IDL:App/Account:1.0", Endpoint: "tcp:10.0.0.1:9001", Key: "acct-r1"}
-	replica2 := orb.IOR{TypeID: "IDL:App/Account:1.0", Endpoint: "tcp:10.0.0.2:9001", Key: "acct-r2"}
+	replica1 := orb.NewIOR("IDL:App/Account:1.0", "acct-r1", "tcp:10.0.0.1:9001", "tcp:10.0.0.3:9001")
+	replica2 := orb.NewIOR("IDL:App/Account:1.0", "acct-r2", "tcp:10.0.0.2:9001")
 
 	clientORB := orb.New()
 	defer clientORB.Shutdown()

@@ -195,6 +195,55 @@ func (d *Decoder) ReadUint32() uint32 {
 	return binary.BigEndian.Uint32(b)
 }
 
+// PeekUint32 returns the next aligned uint32 without consuming it: the
+// following aligned 4-byte read sees the same value. Decoders use it to
+// discriminate versioned wire layouts (e.g. legacy vs multi-profile IORs)
+// before committing to one. Peeking past the end of the stream records the
+// usual truncation error.
+func (d *Decoder) PeekUint32() uint32 {
+	off := d.off
+	v := d.ReadUint32()
+	if d.err == nil {
+		d.off = off
+	}
+	return v
+}
+
+// Fail records err as the decoder's sticky error (the first failure wins),
+// letting layered decoders report structural errors — an unsupported wire
+// version, an implausible element count — through the same channel as
+// primitive read failures.
+func (d *Decoder) Fail(err error) { d.fail(err) }
+
+// ReadStringList reads a uint32-counted list of strings. A count the
+// remaining bytes cannot possibly hold (every string costs at least its
+// 4-byte length prefix plus a NUL) is rejected before it can size an
+// allocation, so a corrupt or hostile stream cannot OOM the decoder.
+func (d *Decoder) ReadStringList() []string {
+	n := d.ReadUint32()
+	if d.err != nil {
+		return nil
+	}
+	if int64(n) > int64(d.Remaining())/5 {
+		d.fail(fmt.Errorf("%w: list of %d strings in %d bytes", ErrTooLong, n, d.Remaining()))
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		out = append(out, d.ReadString())
+	}
+	return out
+}
+
+// WriteStringList appends a uint32-counted list of strings, the encoding
+// ReadStringList reads.
+func (e *Encoder) WriteStringList(ss []string) {
+	e.WriteUint32(uint32(len(ss)))
+	for _, s := range ss {
+		e.WriteString(s)
+	}
+}
+
 // ReadUint64 reads an aligned big-endian uint64.
 func (d *Decoder) ReadUint64() uint64 {
 	d.align(8)

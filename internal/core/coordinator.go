@@ -47,6 +47,7 @@ type Coordinator struct {
 	rec      *trace.Recorder
 	retry    RetryPolicy
 	delivery DeliveryPolicy
+	counters *deliveryCounters // service-wide speculative accounting, may be nil
 
 	mu      sync.Mutex
 	regs    map[string][]registration
@@ -54,7 +55,7 @@ type Coordinator struct {
 	seq     int
 }
 
-func newCoordinator(owner string, gen *ids.Generator, rec *trace.Recorder, retry RetryPolicy, delivery DeliveryPolicy) *Coordinator {
+func newCoordinator(owner string, gen *ids.Generator, rec *trace.Recorder, retry RetryPolicy, delivery DeliveryPolicy, counters *deliveryCounters) *Coordinator {
 	if retry.Attempts < 1 {
 		retry.Attempts = 1
 	}
@@ -64,6 +65,7 @@ func newCoordinator(owner string, gen *ids.Generator, rec *trace.Recorder, retry
 		rec:      rec,
 		retry:    retry,
 		delivery: delivery,
+		counters: counters,
 		regs:     make(map[string][]registration),
 		drivers:  make(map[SignalSet]*setDriver),
 	}

@@ -45,7 +45,7 @@ func (c *collectingAction) Signals() []Signal {
 
 func TestCoordinatorBroadcastsToAllActionsInOrder(t *testing.T) {
 	rec := trace.New()
-	coord := newCoordinator("A", testGen(), rec, RetryPolicy{Attempts: 1}, DeliveryPolicy{})
+	coord := newCoordinator("A", testGen(), rec, RetryPolicy{Attempts: 1}, DeliveryPolicy{}, nil)
 	var order []string
 	var mu sync.Mutex
 	for _, name := range []string{"a1", "a2", "a3"} {
@@ -73,7 +73,7 @@ func TestCoordinatorBroadcastsToAllActionsInOrder(t *testing.T) {
 }
 
 func TestCoordinatorFeedsEveryResponse(t *testing.T) {
-	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{})
+	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{}, nil)
 	for i := 0; i < 4; i++ {
 		coord.AddAction("set", &collectingAction{name: fmt.Sprintf("a%d", i)})
 	}
@@ -126,7 +126,7 @@ func (s *advanceSet) GetOutcome() (Outcome, error) {
 }
 
 func TestCoordinatorHonoursEarlyAdvance(t *testing.T) {
-	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{})
+	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{}, nil)
 	a1 := &collectingAction{name: "a1"}
 	a2 := &collectingAction{name: "a2"}
 	coord.AddNamedAction("adv", "a1", a1)
@@ -149,7 +149,7 @@ func TestCoordinatorHonoursEarlyAdvance(t *testing.T) {
 }
 
 func TestCoordinatorAtLeastOnceRetry(t *testing.T) {
-	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 3}, DeliveryPolicy{})
+	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 3}, DeliveryPolicy{}, nil)
 	flaky := &collectingAction{name: "flaky", fail: 2}
 	coord.AddAction("set", flaky)
 	set := NewSequenceSet("set", "ping")
@@ -166,7 +166,7 @@ func TestCoordinatorAtLeastOnceRetry(t *testing.T) {
 }
 
 func TestCoordinatorDeliveryFailureReachesSet(t *testing.T) {
-	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 2}, DeliveryPolicy{})
+	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 2}, DeliveryPolicy{}, nil)
 	dead := &collectingAction{name: "dead", fail: 99}
 	coord.AddAction("set", dead)
 	set := NewSequenceSet("set", "ping")
@@ -180,7 +180,7 @@ func TestCoordinatorDeliveryFailureReachesSet(t *testing.T) {
 }
 
 func TestRemoveAction(t *testing.T) {
-	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{})
+	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{}, nil)
 	a := &collectingAction{name: "a"}
 	id := coord.AddAction("set", a)
 	if coord.ActionCount("set") != 1 {
@@ -204,7 +204,7 @@ func TestRemoveAction(t *testing.T) {
 func TestActionsRegisterWithSetsNotSignals(t *testing.T) {
 	// Fig. 6 multiplicity: one action may register with several sets, and
 	// an activity may use several sets over its lifetime.
-	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{})
+	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{}, nil)
 	shared := &collectingAction{name: "shared"}
 	coord.AddAction("setA", shared)
 	coord.AddAction("setB", shared)
@@ -224,7 +224,7 @@ func TestActionsRegisterWithSetsNotSignals(t *testing.T) {
 // get_outcome.
 func TestFig8TwoPhaseCommitTrace(t *testing.T) {
 	rec := trace.New()
-	coord := newCoordinator("coordinator", testGen(), rec, RetryPolicy{Attempts: 1}, DeliveryPolicy{})
+	coord := newCoordinator("coordinator", testGen(), rec, RetryPolicy{Attempts: 1}, DeliveryPolicy{}, nil)
 	for _, n := range []string{"action1", "action2"} {
 		coord.AddNamedAction("2pc", n, ActionFunc(func(context.Context, Signal) (Outcome, error) {
 			return Outcome{Name: "done"}, nil
@@ -259,7 +259,7 @@ func TestFig8TwoPhaseCommitTrace(t *testing.T) {
 }
 
 func TestCoordinatorErrorOnBrokenSet(t *testing.T) {
-	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{})
+	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{}, nil)
 	set := &brokenSet{BaseSet: NewBaseSet("broken")}
 	if _, err := coord.ProcessSignalSet(context.Background(), set); err == nil {
 		t.Fatal("broken set did not error")

@@ -76,6 +76,65 @@ func (p DeliveryPolicy) workers(n int) int {
 	return w
 }
 
+// deliveryCounters aggregates speculative parallel-delivery accounting
+// for one Service: every coordinator feeds it, DeliveryStats snapshots it.
+type deliveryCounters struct {
+	discarded atomic.Uint64
+	skipped   atomic.Uint64
+	cancelled atomic.Uint64
+}
+
+// snapshot returns the counters as a DeliveryStats value.
+func (c *deliveryCounters) snapshot() DeliveryStats {
+	return DeliveryStats{
+		DiscardedResponses:  c.discarded.Load(),
+		SkippedDeliveries:   c.skipped.Load(),
+		CancelledDeliveries: c.cancelled.Load(),
+	}
+}
+
+// DeliveryStats is a snapshot of a Service's speculative-delivery
+// accounting (Service.DeliveryStats): what parallel fan-out delivered —or
+// started to deliver— that an advance then discarded. Serial delivery
+// never contributes: it stops transmitting the moment a response advances
+// the set.
+type DeliveryStats struct {
+	// DiscardedResponses counts deliveries that ran to completion — a
+	// response, or a final failure after exhausting retries — whose
+	// results were discarded because an earlier response in registration
+	// order advanced the set. Either way the action consumed real work
+	// that the advance threw away, which is what this gauge is for.
+	DiscardedResponses uint64
+	// SkippedDeliveries counts deliveries short-circuited before their
+	// first transmit by an advance: queued work that never ran.
+	SkippedDeliveries uint64
+	// CancelledDeliveries counts deliveries cancelled mid-flight (between
+	// retry attempts) by an advance.
+	CancelledDeliveries uint64
+}
+
+// Total returns the total number of deliveries affected by advance
+// short-circuits.
+func (s DeliveryStats) Total() uint64 {
+	return s.DiscardedResponses + s.SkippedDeliveries + s.CancelledDeliveries
+}
+
+// countSpeculative classifies one parallel delivery discarded by an
+// advance into the service-wide counters.
+func (c *Coordinator) countSpeculative(r attemptResult) {
+	if c.counters == nil {
+		return
+	}
+	switch {
+	case r.skipped:
+		c.counters.skipped.Add(1)
+	case r.cancelled:
+		c.counters.cancelled.Add(1)
+	default:
+		c.counters.discarded.Add(1)
+	}
+}
+
 // DeliveryPolicyProvider is implemented by SignalSets that choose their own
 // delivery policy, overriding the Service-wide default for every broadcast
 // of that set. BaseSet provides the plumbing: any set embedding it can opt
@@ -233,7 +292,12 @@ func (c *Coordinator) broadcastParallel(ctx context.Context, driver *setDriver, 
 	for i := 0; i < n; i++ {
 		<-ready[i]
 		if advance || feedErr != nil {
-			continue // discard speculative responses past the short-circuit
+			// Discard speculative responses past the short-circuit,
+			// counting the ones an advance (not a feed error) threw away.
+			if advance {
+				c.countSpeculative(results[i])
+			}
+			continue
 		}
 		r := results[i]
 		if r.skipped {

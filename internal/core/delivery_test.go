@@ -20,7 +20,7 @@ import (
 func runBroadcast(t *testing.T, policy DeliveryPolicy, nSignals, nActions int, latency func(i int) time.Duration) ([]byte, []string) {
 	t.Helper()
 	rec := trace.New()
-	coord := newCoordinator("A", testGen(), rec, RetryPolicy{Attempts: 1}, policy)
+	coord := newCoordinator("A", testGen(), rec, RetryPolicy{Attempts: 1}, policy, nil)
 	for i := 0; i < nActions; i++ {
 		i := i
 		coord.AddNamedAction("s", fmt.Sprintf("act%d", i), ActionFunc(
@@ -125,7 +125,7 @@ func (s *voteAdvanceSet) GetOutcome() (Outcome, error) {
 // responses, and cancels in-flight stragglers through their context.
 func TestParallelAdvanceShortCircuit(t *testing.T) {
 	rec := trace.New()
-	coord := newCoordinator("A", testGen(), rec, RetryPolicy{Attempts: 1}, Parallel())
+	coord := newCoordinator("A", testGen(), rec, RetryPolicy{Attempts: 1}, Parallel(), nil)
 	var cancelled atomic.Int32
 	// act0 aborts immediately; the rest block until their context dies.
 	coord.AddNamedAction("adv", "act0", ActionFunc(
@@ -177,7 +177,7 @@ func TestParallelAdvanceShortCircuit(t *testing.T) {
 func TestParallelRetryTraceMatchesSerial(t *testing.T) {
 	run := func(policy DeliveryPolicy) []string {
 		rec := trace.New()
-		coord := newCoordinator("A", testGen(), rec, RetryPolicy{Attempts: 3}, policy)
+		coord := newCoordinator("A", testGen(), rec, RetryPolicy{Attempts: 3}, policy, nil)
 		for i := 0; i < 3; i++ {
 			var failures atomic.Int32
 			coord.AddNamedAction("s", fmt.Sprintf("act%d", i), ActionFunc(
@@ -266,7 +266,7 @@ func TestDeliveryPolicyResolution(t *testing.T) {
 // TestParallelWorkerBound verifies MaxWorkers caps in-flight deliveries.
 func TestParallelWorkerBound(t *testing.T) {
 	coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1},
-		DeliveryPolicy{Mode: DeliverParallel, MaxWorkers: 3})
+		DeliveryPolicy{Mode: DeliverParallel, MaxWorkers: 3}, nil)
 	probe := &concurrencyProbe{}
 	for i := 0; i < 16; i++ {
 		coord.AddAction("s", probe.action())
@@ -303,7 +303,7 @@ func TestPolicyWorkersResolution(t *testing.T) {
 // set as a delivery error under parallel mode, exactly like serial.
 func TestParallelDeliveryErrorFeedsSet(t *testing.T) {
 	for _, policy := range []DeliveryPolicy{{Mode: DeliverSerial}, Parallel()} {
-		coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, policy)
+		coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, policy, nil)
 		coord.AddNamedAction("s", "good", ActionFunc(
 			func(context.Context, Signal) (Outcome, error) {
 				return Outcome{Name: "ok"}, nil
@@ -323,5 +323,78 @@ func TestParallelDeliveryErrorFeedsSet(t *testing.T) {
 		if resp[0].Name != "ok" || resp[1].Name != "delivery-error" {
 			t.Fatalf("%s: responses = %v", policy.Mode, resp)
 		}
+	}
+}
+
+// TestSpeculativeDeliveryAccounting verifies the Service-wide accounting
+// of parallel deliveries discarded by an advance: an advancing vote with
+// three stragglers already in flight counts exactly three discarded
+// responses, and serial delivery (which never speculates) adds nothing.
+func TestSpeculativeDeliveryAccounting(t *testing.T) {
+	const stragglers = 3
+	svc := New(WithDelivery(Parallel()))
+	a := svc.Begin("speculative")
+	set := newVoteAdvanceSet()
+	if err := a.RegisterSignalSet(set); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, stragglers)
+	// act0 advances the set — but only after every straggler has received
+	// the signal, so the discard count is deterministic.
+	if _, err := a.AddNamedAction("adv", "act0", ActionFunc(
+		func(context.Context, Signal) (Outcome, error) {
+			for i := 0; i < stragglers; i++ {
+				<-started
+			}
+			return Outcome{Name: "abort"}, nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= stragglers; i++ {
+		if _, err := a.AddNamedAction("adv", fmt.Sprintf("act%d", i), ActionFunc(
+			func(ctx context.Context, _ Signal) (Outcome, error) {
+				started <- struct{}{}
+				<-ctx.Done() // run until the advance cancels the broadcast
+				return Outcome{Name: "late"}, nil
+			})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Signal(context.Background(), "adv"); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.DeliveryStats()
+	if st.DiscardedResponses != stragglers || st.SkippedDeliveries != 0 || st.CancelledDeliveries != 0 {
+		t.Fatalf("stats = %+v, want exactly %d discarded responses", st, stragglers)
+	}
+	if st.Total() != stragglers {
+		t.Fatalf("Total() = %d, want %d", st.Total(), stragglers)
+	}
+
+	// Serial delivery stops transmitting at the advance: nothing
+	// speculative to account for.
+	b := svc.Begin("serial", WithActivityDelivery(DeliveryPolicy{Mode: DeliverSerial}))
+	sset := newVoteAdvanceSet()
+	if err := b.RegisterSignalSet(sset); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddNamedAction("adv", "abort0", ActionFunc(
+		func(context.Context, Signal) (Outcome, error) {
+			return Outcome{Name: "abort"}, nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddNamedAction("adv", "never", ActionFunc(
+		func(context.Context, Signal) (Outcome, error) {
+			t.Error("serial delivery transmitted past an advance")
+			return Outcome{}, nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Signal(context.Background(), "adv"); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.DeliveryStats(); got != st {
+		t.Fatalf("serial broadcast changed stats: %+v -> %+v", st, got)
 	}
 }

@@ -21,6 +21,10 @@ type Service struct {
 
 	journal *journal
 
+	// counters aggregates speculative-delivery accounting across every
+	// coordinator of this Service (see DeliveryStats).
+	counters deliveryCounters
+
 	// live is striped (see shard.go) so concurrent Begin / Find / Complete
 	// from many goroutines do not serialize on one registry lock.
 	live *activityRegistry
@@ -81,6 +85,16 @@ func New(opts ...Option) *Service {
 
 // Trace returns the service's trace recorder (nil when tracing is off).
 func (s *Service) Trace() *trace.Recorder { return s.rec }
+
+// DeliveryStats returns a snapshot of the speculative-delivery accounting
+// aggregated across every coordinator of this Service: how much parallel
+// fan-out work an advance threw away. A high discard rate on an
+// advance-heavy workload says the set should deliver serially (or with a
+// tighter worker bound); all-zero counters say parallel delivery is pure
+// win.
+func (s *Service) DeliveryStats() DeliveryStats {
+	return s.counters.snapshot()
+}
 
 // BeginOption configures one activity.
 type BeginOption interface {
@@ -143,7 +157,7 @@ func (s *Service) newActivity(name string, parent *Activity, opts ...BeginOption
 	if a.delivery.Mode != 0 {
 		delivery = a.delivery
 	}
-	a.coord = newCoordinator(name, s.gen, s.rec, s.retry, delivery)
+	a.coord = newCoordinator(name, s.gen, s.rec, s.retry, delivery, &s.counters)
 	s.live.put(a)
 	return a
 }

@@ -83,7 +83,7 @@ func TestStressConcurrentLifecycle(t *testing.T) {
 func TestStressAddRemoveDuringBroadcast(t *testing.T) {
 	for _, policy := range []DeliveryPolicy{{Mode: DeliverSerial}, Parallel()} {
 		t.Run(policy.Mode.String(), func(t *testing.T) {
-			coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, policy)
+			coord := newCoordinator("A", testGen(), nil, RetryPolicy{Attempts: 1}, policy, nil)
 			var delivered atomic.Int32
 			slowAction := ActionFunc(func(context.Context, Signal) (Outcome, error) {
 				delivered.Add(1)

@@ -1,0 +1,198 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+)
+
+// Admin servant identity: remote tooling reaches any ORB's operational
+// stats through the well-known AdminKey, the same way the name service is
+// reached through "naming".
+const (
+	// AdminTypeID is the interface id of the ORB admin servant.
+	AdminTypeID = "IDL:GLOP/ORBAdmin:1.0"
+	// AdminKey is the well-known object key the admin servant serves
+	// under.
+	AdminKey = "orb-admin"
+)
+
+// adminServant exposes the hosting ORB's ServerStats and EndpointStats so
+// remote tooling can scrape them over the ORB itself — the operational
+// introspection surface the overload and failover machinery reports into.
+// Requests for AdminKey bypass server admission control (server.go), so
+// the stats stay scrapeable exactly while the gate is shedding.
+type adminServant struct {
+	orb *ORB
+}
+
+// ServeAdmin activates an admin servant for o under AdminKey and returns
+// its reference. Scrape it with an AdminClient (AdminAt builds the
+// well-known reference from the daemon's endpoints).
+func ServeAdmin(o *ORB) IOR {
+	return o.RegisterServantWithKey(AdminKey, AdminTypeID, &adminServant{orb: o})
+}
+
+// Dispatch implements Servant.
+func (s *adminServant) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byte, error) {
+	switch op {
+	case "server_stats":
+		st, ok := s.orb.ServerStats()
+		e := cdr.NewEncoder(128)
+		e.WriteBool(ok)
+		if ok {
+			encodeServerStats(e, st)
+		}
+		return e.Bytes(), nil
+	case "endpoint_stats":
+		endpoint := in.ReadString()
+		if err := in.Err(); err != nil {
+			return nil, Systemf(CodeMarshal, "endpoint_stats: %v", err)
+		}
+		st, ok := s.orb.EndpointStats(endpoint)
+		e := cdr.NewEncoder(128)
+		e.WriteBool(ok)
+		if ok {
+			encodeEndpointStats(e, st)
+		}
+		return e.Bytes(), nil
+	case "endpoints":
+		e := cdr.NewEncoder(64)
+		e.WriteStringList(s.orb.PooledEndpoints())
+		return e.Bytes(), nil
+	default:
+		return nil, Systemf(CodeBadOperation, "ORBAdmin has no operation %q", op)
+	}
+}
+
+// AdminClient is the client-side proxy for a remote ORB's admin servant,
+// the NameClient-style scrape helper operational tooling embeds.
+type AdminClient struct {
+	orb *ORB
+	ref IOR
+}
+
+// NewAdminClient returns a proxy invoking the admin servant at ref
+// through o.
+func NewAdminClient(o *ORB, ref IOR) *AdminClient {
+	return &AdminClient{orb: o, ref: ref}
+}
+
+// AdminAt builds the IOR of the well-known admin servant reachable at the
+// given endpoints (profiles, in preference order).
+func AdminAt(endpoints ...string) IOR {
+	return NewIOR(AdminTypeID, AdminKey, endpoints...)
+}
+
+// ServerStats scrapes the remote ORB's server-side admission state. The
+// second return is false when the remote ORB is not listening (which, for
+// a scrape that travelled over TCP, indicates a race with its shutdown).
+func (c *AdminClient) ServerStats(ctx context.Context) (ServerStats, bool, error) {
+	body, err := c.orb.Invoke(ctx, c.ref, "server_stats", nil)
+	if err != nil {
+		return ServerStats{}, false, fmt.Errorf("admin server_stats: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	ok := d.ReadBool()
+	var st ServerStats
+	if ok {
+		st = decodeServerStats(d)
+	}
+	if err := d.Err(); err != nil {
+		return ServerStats{}, false, Systemf(CodeMarshal, "server_stats reply: %v", err)
+	}
+	return st, ok, nil
+}
+
+// EndpointStats scrapes the remote ORB's client-side pool state for one
+// endpoint. The second return is false when the remote ORB holds no pool
+// for it.
+func (c *AdminClient) EndpointStats(ctx context.Context, endpoint string) (EndpointStats, bool, error) {
+	e := cdr.NewEncoder(64)
+	e.WriteString(endpoint)
+	body, err := c.orb.Invoke(ctx, c.ref, "endpoint_stats", e.Bytes())
+	if err != nil {
+		return EndpointStats{}, false, fmt.Errorf("admin endpoint_stats %q: %w", endpoint, err)
+	}
+	d := cdr.NewDecoder(body)
+	ok := d.ReadBool()
+	var st EndpointStats
+	if ok {
+		st = decodeEndpointStats(d)
+	}
+	if err := d.Err(); err != nil {
+		return EndpointStats{}, false, Systemf(CodeMarshal, "endpoint_stats reply: %v", err)
+	}
+	return st, ok, nil
+}
+
+// Endpoints scrapes the list of endpoints the remote ORB holds client
+// pools for, sorted.
+func (c *AdminClient) Endpoints(ctx context.Context) ([]string, error) {
+	body, err := c.orb.Invoke(ctx, c.ref, "endpoints", nil)
+	if err != nil {
+		return nil, fmt.Errorf("admin endpoints: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	eps := d.ReadStringList()
+	if err := d.Err(); err != nil {
+		return nil, Systemf(CodeMarshal, "endpoints reply: %v", err)
+	}
+	return eps, nil
+}
+
+func encodeServerStats(e *cdr.Encoder, st ServerStats) {
+	e.WriteString(st.Endpoint)
+	e.WriteStringList(st.Endpoints)
+	e.WriteUint32(uint32(st.Conns))
+	e.WriteUint32(uint32(st.Inflight))
+	e.WriteUint32(uint32(st.Queued))
+	e.WriteUint64(st.Shed)
+	e.WriteUint64(st.Dispatched)
+	e.WriteUint32(uint32(st.MaxInflight))
+	e.WriteUint32(uint32(st.QueueDepth))
+	e.WriteInt64(int64(st.ShedAfter))
+}
+
+func decodeServerStats(d *cdr.Decoder) ServerStats {
+	st := ServerStats{Endpoint: d.ReadString()}
+	st.Endpoints = d.ReadStringList()
+	st.Conns = int(d.ReadUint32())
+	st.Inflight = int(d.ReadUint32())
+	st.Queued = int(d.ReadUint32())
+	st.Shed = d.ReadUint64()
+	st.Dispatched = d.ReadUint64()
+	st.MaxInflight = int(d.ReadUint32())
+	st.QueueDepth = int(d.ReadUint32())
+	st.ShedAfter = time.Duration(d.ReadInt64())
+	return st
+}
+
+func encodeEndpointStats(e *cdr.Encoder, st EndpointStats) {
+	e.WriteString(st.Endpoint)
+	e.WriteUint32(uint32(st.Conns))
+	e.WriteUint32(uint32(st.Pending))
+	e.WriteUint32(uint32(st.Dialing))
+	e.WriteUint32(uint32(st.Failures))
+	e.WriteBool(st.Down)
+	e.WriteUint32(uint32(st.Breaker))
+	e.WriteUint64(st.BreakerProbes)
+	e.WriteUint64(st.BreakerOpens)
+	e.WriteUint64(st.RetryExhausted)
+}
+
+func decodeEndpointStats(d *cdr.Decoder) EndpointStats {
+	st := EndpointStats{Endpoint: d.ReadString()}
+	st.Conns = int(d.ReadUint32())
+	st.Pending = int(d.ReadUint32())
+	st.Dialing = int(d.ReadUint32())
+	st.Failures = int(d.ReadUint32())
+	st.Down = d.ReadBool()
+	st.Breaker = BreakerState(d.ReadUint32())
+	st.BreakerProbes = d.ReadUint64()
+	st.BreakerOpens = d.ReadUint64()
+	st.RetryExhausted = d.ReadUint64()
+	return st
+}

@@ -130,9 +130,14 @@ func (a *admission) shedError() *SystemError {
 // server-side sibling of EndpointStats. The cumulative counters cover the
 // network transport only; in-process fast-path dispatches bypass admission.
 type ServerStats struct {
-	// Endpoint is the bound listen endpoint ("tcp:host:port").
+	// Endpoint is the primary bound listen endpoint ("tcp:host:port").
 	Endpoint string
-	// Conns is the number of live inbound connections.
+	// Endpoints lists every bound listener endpoint, in Listen order; the
+	// admission gauges below aggregate over all of them (the gate is
+	// shared).
+	Endpoints []string
+	// Conns is the number of live inbound connections across every
+	// listener.
 	Conns int
 	// Inflight is the number of dispatches currently running.
 	Inflight int
@@ -150,21 +155,24 @@ type ServerStats struct {
 	ShedAfter time.Duration
 }
 
-// ServerStats reports the server transport's admission state. It returns
-// false until Listen has been called.
+// ServerStats reports the server transport's admission state, aggregated
+// over every listener. It returns false until Listen has been called.
 func (o *ORB) ServerStats() (ServerStats, bool) {
 	o.mu.RLock()
-	srv := o.srv
-	bound := o.bound
+	srvs := o.srvs
+	bound := append([]string(nil), o.bound...)
+	adm := o.adm
 	o.mu.RUnlock()
-	if srv == nil {
+	if len(srvs) == 0 {
 		return ServerStats{}, false
 	}
-	st := ServerStats{Endpoint: bound}
-	srv.mu.Lock()
-	st.Conns = len(srv.conns)
-	srv.mu.Unlock()
-	if a := srv.adm; a != nil {
+	st := ServerStats{Endpoint: bound[0], Endpoints: bound}
+	for _, srv := range srvs {
+		srv.mu.Lock()
+		st.Conns += len(srv.conns)
+		srv.mu.Unlock()
+	}
+	if a := adm; a != nil {
 		a.mu.Lock()
 		st.Queued = a.queued
 		st.Shed = a.shed

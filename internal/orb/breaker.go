@@ -166,6 +166,18 @@ func (b *breaker) onFailure(now time.Time) {
 	}
 }
 
+// window reports whether the circuit is open at now and, if so, when the
+// open window ends — the verdict the pool publishes to the shared
+// HealthRegistry for endpoint selection.
+func (b *breaker) window(now time.Time) (until time.Time, open bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stateLocked(now) == BreakerOpen {
+		return b.openedAt.Add(b.openFor), true
+	}
+	return time.Time{}, false
+}
+
 func (b *breaker) openLocked(now time.Time) {
 	b.state = BreakerOpen
 	b.openedAt = now

@@ -15,6 +15,7 @@ func TestBreakerOpensAfterThreshold(t *testing.T) {
 	ref := deadEndpoint(t)
 	transport := &blockingFailTransport{}
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(transport),
 		WithCircuitBreaker(2, time.Minute),
 		WithReconnectBackoff(time.Millisecond, time.Millisecond),
@@ -38,7 +39,7 @@ func TestBreakerOpensAfterThreshold(t *testing.T) {
 	if got := transport.dialCount(); got != dialsWhenOpened {
 		t.Fatalf("open circuit still dialed (%d -> %d dials)", dialsWhenOpened, got)
 	}
-	st, _ := client.EndpointStats(ref.Endpoint)
+	st, _ := client.EndpointStats(ref.Endpoint())
 	if st.Breaker != BreakerOpen || st.BreakerOpens != 1 {
 		t.Fatalf("stats = %+v, want open breaker with one open transition", st)
 	}
@@ -51,6 +52,7 @@ func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
 	ref := deadEndpoint(t)
 	transport := &blockingFailTransport{delay: 50 * time.Millisecond}
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(transport),
 		WithCircuitBreaker(1, 60*time.Millisecond),
 		WithReconnectBackoff(time.Millisecond, time.Millisecond),
@@ -79,7 +81,7 @@ func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
 	if got := transport.dialCount(); got != 2 {
 		t.Fatalf("dials = %d, want 2 (the opening failure + one half-open probe)", got)
 	}
-	st, _ := client.EndpointStats(ref.Endpoint)
+	st, _ := client.EndpointStats(ref.Endpoint())
 	if st.BreakerProbes != 1 {
 		t.Fatalf("stats = %+v, want exactly one probe admitted", st)
 	}
@@ -96,6 +98,7 @@ func TestBreakerStateTransitions(t *testing.T) {
 	_, ref := startServer(t, &countingServant{})
 	flaky := &flakyTransport{failures: 2}
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(flaky),
 		WithCircuitBreaker(2, 80*time.Millisecond),
 		WithReconnectBackoff(time.Millisecond, time.Millisecond),
@@ -107,7 +110,7 @@ func TestBreakerStateTransitions(t *testing.T) {
 	if _, err := client.Invoke(ctx, ref, "ping", nil); !IsSystem(err, CodeTransient) {
 		t.Fatalf("failure 1: %v", err)
 	}
-	st, _ := client.EndpointStats(ref.Endpoint)
+	st, _ := client.EndpointStats(ref.Endpoint())
 	if st.Breaker != BreakerClosed || !st.Down {
 		t.Fatalf("after failure 1: stats = %+v, want closed breaker + down health gate", st)
 	}
@@ -117,14 +120,14 @@ func TestBreakerStateTransitions(t *testing.T) {
 	if _, err := client.Invoke(ctx, ref, "ping", nil); !IsSystem(err, CodeTransient) {
 		t.Fatalf("failure 2: %v", err)
 	}
-	st, _ = client.EndpointStats(ref.Endpoint)
+	st, _ = client.EndpointStats(ref.Endpoint())
 	if st.Breaker != BreakerOpen {
 		t.Fatalf("after failure 2: stats = %+v, want open breaker", st)
 	}
 
 	// The open window lapses: stats report half-open before any call.
 	time.Sleep(100 * time.Millisecond)
-	st, _ = client.EndpointStats(ref.Endpoint)
+	st, _ = client.EndpointStats(ref.Endpoint())
 	if st.Breaker != BreakerHalfOpen {
 		t.Fatalf("after window: stats = %+v, want half-open breaker", st)
 	}
@@ -134,7 +137,7 @@ func TestBreakerStateTransitions(t *testing.T) {
 	if err != nil || string(body) != "pong" {
 		t.Fatalf("probe: body = %q, err = %v", body, err)
 	}
-	st, _ = client.EndpointStats(ref.Endpoint)
+	st, _ = client.EndpointStats(ref.Endpoint())
 	if st.Breaker != BreakerClosed || st.Down || st.Failures != 0 {
 		t.Fatalf("after probe success: stats = %+v, want closed + recovered", st)
 	}
@@ -185,6 +188,7 @@ func TestBreakerProbeAbandonedByCallerReleasesSlot(t *testing.T) {
 	_, ref := startServer(t, &countingServant{})
 	tr := &switchableTransport{fail: true, delay: 100 * time.Millisecond}
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(tr),
 		WithCircuitBreaker(1, 30*time.Millisecond),
 		WithReconnectBackoff(time.Millisecond, time.Millisecond),
@@ -214,12 +218,12 @@ func TestBreakerProbeAbandonedByCallerReleasesSlot(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			st, _ := client.EndpointStats(ref.Endpoint)
+			st, _ := client.EndpointStats(ref.Endpoint())
 			t.Fatalf("endpoint never recovered after abandoned probe; stats = %+v", st)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if st, _ := client.EndpointStats(ref.Endpoint); st.Breaker != BreakerClosed {
+	if st, _ := client.EndpointStats(ref.Endpoint()); st.Breaker != BreakerClosed {
 		t.Fatalf("stats = %+v, want closed circuit after recovery", st)
 	}
 }
@@ -229,7 +233,7 @@ func TestBreakerProbeAbandonedByCallerReleasesSlot(t *testing.T) {
 // not count against a healthy endpoint: the circuit stays closed.
 func TestBreakerIgnoresCallerCancellation(t *testing.T) {
 	_, ref := startServer(t, &countingServant{delay: 200 * time.Millisecond})
-	client := New(WithCircuitBreaker(1, time.Minute))
+	client := New(WithHealthRegistry(NewHealthRegistry()), WithCircuitBreaker(1, time.Minute))
 	defer client.Shutdown()
 
 	for i := 0; i < 3; i++ {
@@ -240,7 +244,7 @@ func TestBreakerIgnoresCallerCancellation(t *testing.T) {
 			t.Fatalf("impatient call %d: err = %v", i, err)
 		}
 	}
-	st, _ := client.EndpointStats(ref.Endpoint)
+	st, _ := client.EndpointStats(ref.Endpoint())
 	if st.Breaker != BreakerClosed || st.BreakerOpens != 0 {
 		t.Fatalf("stats = %+v; caller cancellations must not open the circuit", st)
 	}
@@ -256,6 +260,7 @@ func TestBreakerIgnoresCallerCancellation(t *testing.T) {
 func TestBreakerRejectionsDoNotDrainRetryBudget(t *testing.T) {
 	ref := deadEndpoint(t)
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(&blockingFailTransport{}),
 		WithCircuitBreaker(1, time.Minute),
 		WithRetryBudget(0.001, 2), // ~no refill within the test: any drain is visible
@@ -275,7 +280,7 @@ func TestBreakerRejectionsDoNotDrainRetryBudget(t *testing.T) {
 			t.Fatalf("open-circuit call %d: err = %v, want breaker rejection", i, err)
 		}
 	}
-	st, _ := client.EndpointStats(ref.Endpoint)
+	st, _ := client.EndpointStats(ref.Endpoint())
 	if st.RetryExhausted != 0 {
 		t.Fatalf("stats = %+v; breaker rejections must not drain the retry budget", st)
 	}
@@ -285,12 +290,12 @@ func TestBreakerRejectionsDoNotDrainRetryBudget(t *testing.T) {
 // stats and no breaker interference.
 func TestBreakerInactiveWithoutOption(t *testing.T) {
 	_, ref := startServer(t, &countingServant{})
-	client := New()
+	client := New(WithHealthRegistry(NewHealthRegistry()))
 	defer client.Shutdown()
 	if _, err := client.Invoke(context.Background(), ref, "ping", nil); err != nil {
 		t.Fatal(err)
 	}
-	if st, _ := client.EndpointStats(ref.Endpoint); st.Breaker != BreakerInactive {
+	if st, _ := client.EndpointStats(ref.Endpoint()); st.Breaker != BreakerInactive {
 		t.Fatalf("stats = %+v, want inactive breaker by default", st)
 	}
 }
@@ -303,6 +308,7 @@ func TestRetryBudgetFailsFastWhenExhausted(t *testing.T) {
 	ref := deadEndpoint(t)
 	transport := &blockingFailTransport{}
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(transport),
 		WithRetryBudget(0.001, 2), // ~no refill within the test: 2 post-failure attempts
 		WithReconnectBackoff(time.Minute, time.Minute),
@@ -329,7 +335,7 @@ func TestRetryBudgetFailsFastWhenExhausted(t *testing.T) {
 	if got := transport.dialCount(); got != 1 {
 		t.Fatalf("dials = %d, want 1 (debt attempts gated before the network)", got)
 	}
-	st, _ := client.EndpointStats(ref.Endpoint)
+	st, _ := client.EndpointStats(ref.Endpoint())
 	if st.RetryExhausted == 0 {
 		t.Fatalf("stats = %+v, want exhausted rejections recorded", st)
 	}
@@ -342,6 +348,7 @@ func TestRetryBudgetRefillsAndClearsOnSuccess(t *testing.T) {
 	_, ref := startServer(t, &countingServant{})
 	flaky := &flakyTransport{failures: 1}
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(flaky),
 		WithRetryBudget(100, 1), // one token, refills every 10ms
 		WithReconnectBackoff(time.Millisecond, time.Millisecond),
@@ -389,6 +396,7 @@ func TestPoolWarmPreDials(t *testing.T) {
 	_, ref := startServer(t, &countingServant{})
 	counter := &flakyTransport{} // counts dials, never fails
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(counter),
 		WithPoolSize(3),
 		WithPoolWarm(3),
@@ -400,7 +408,7 @@ func TestPoolWarmPreDials(t *testing.T) {
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		st, _ := client.EndpointStats(ref.Endpoint)
+		st, _ := client.EndpointStats(ref.Endpoint())
 		if st.Conns == 3 {
 			break
 		}
@@ -419,7 +427,7 @@ func TestPoolWarmPreDials(t *testing.T) {
 // TestPoolWarmCapsAtPoolSize pins the warm target clamp.
 func TestPoolWarmCapsAtPoolSize(t *testing.T) {
 	_, ref := startServer(t, &countingServant{})
-	client := New(WithPoolSize(2), WithPoolWarm(8))
+	client := New(WithHealthRegistry(NewHealthRegistry()), WithPoolSize(2), WithPoolWarm(8))
 	defer client.Shutdown()
 
 	if _, err := client.Invoke(context.Background(), ref, "ping", nil); err != nil {
@@ -427,7 +435,7 @@ func TestPoolWarmCapsAtPoolSize(t *testing.T) {
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		st, _ := client.EndpointStats(ref.Endpoint)
+		st, _ := client.EndpointStats(ref.Endpoint())
 		if st.Conns == 2 && st.Dialing == 0 {
 			break
 		}
@@ -437,7 +445,7 @@ func TestPoolWarmCapsAtPoolSize(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	time.Sleep(20 * time.Millisecond)
-	if st, _ := client.EndpointStats(ref.Endpoint); st.Conns != 2 {
+	if st, _ := client.EndpointStats(ref.Endpoint()); st.Conns != 2 {
 		t.Fatalf("pool holds %d conns, want the bound of 2", st.Conns)
 	}
 }
@@ -448,6 +456,7 @@ func TestPoolWarmStopsOnDialFailure(t *testing.T) {
 	ref := deadEndpoint(t)
 	transport := &blockingFailTransport{}
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(transport),
 		WithPoolSize(4),
 		WithPoolWarm(4),

@@ -67,6 +67,11 @@ type ChaosRule struct {
 	// Op matches the ORB operation name ("process_signal", "prepare",
 	// "commit", …). Empty matches every operation.
 	Op string
+	// Addr matches the dialed endpoint address, with or without the "tcp:"
+	// prefix, so a fault can target one endpoint of a multi-profile
+	// reference (e.g. hard-reset the primary while the backup stays
+	// healthy). Empty matches every address.
+	Addr string
 	// Stage selects the frame direction the rule applies to.
 	Stage ChaosStage
 	// After skips the first After matching frames, so a fault can target
@@ -181,7 +186,7 @@ func (t *ChaosTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &chaosConn{t: t, base: bc, ops: make(map[uint64]string)}
+	c := &chaosConn{t: t, base: bc, addr: addr, ops: make(map[uint64]string)}
 	t.mu.Lock()
 	t.conns[c] = struct{}{}
 	t.mu.Unlock()
@@ -196,7 +201,7 @@ type verdict struct {
 }
 
 // decide folds partitions and every matching rule into one verdict.
-func (t *ChaosTransport) decide(stage ChaosStage, op string) verdict {
+func (t *ChaosTransport) decide(stage ChaosStage, op, addr string) verdict {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var v verdict
@@ -211,6 +216,9 @@ func (t *ChaosTransport) decide(stage ChaosStage, op string) verdict {
 			continue
 		}
 		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Addr != "" && endpointHost(r.Addr) != addr {
 			continue
 		}
 		r.seen++
@@ -232,6 +240,7 @@ func (t *ChaosTransport) decide(stage ChaosStage, op string) verdict {
 type chaosConn struct {
 	t    *ChaosTransport
 	base Conn
+	addr string // dialed "host:port", for Addr rules
 
 	mu  sync.Mutex
 	ops map[uint64]string // in-flight requestID → operation, for reply rules
@@ -250,7 +259,7 @@ func (c *chaosConn) WriteFrame(payload []byte) error {
 		c.ops[reqID] = op
 		c.mu.Unlock()
 	}
-	v := c.t.decide(StageRequest, op)
+	v := c.t.decide(StageRequest, op, c.addr)
 	if v.latency > 0 {
 		time.Sleep(v.latency)
 	}
@@ -285,7 +294,7 @@ func (c *chaosConn) ReadFrame() ([]byte, error) {
 			delete(c.ops, rep.requestID)
 			c.mu.Unlock()
 		}
-		v := c.t.decide(StageReply, op)
+		v := c.t.decide(StageReply, op, c.addr)
 		if v.latency > 0 {
 			time.Sleep(v.latency)
 		}

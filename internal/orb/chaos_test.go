@@ -91,7 +91,7 @@ func TestChaosResetRuleThenReconnect(t *testing.T) {
 	if fault.Hits() != 1 {
 		t.Fatalf("fault hits = %d, want 1", fault.Hits())
 	}
-	if st, _ := client.EndpointStats(ref.Endpoint); st.Conns == 0 {
+	if st, _ := client.EndpointStats(ref.Endpoint()); st.Conns == 0 {
 		t.Fatalf("no live connection after reconnect: %+v", st)
 	}
 }
@@ -282,7 +282,7 @@ func TestChaosPoolStressConcurrentResets(t *testing.T) {
 				break
 			}
 			if time.Now().After(deadline) {
-				t.Fatalf("endpoint %s never recovered after chaos stopped", ref.Endpoint)
+				t.Fatalf("endpoint %s never recovered after chaos stopped", ref.Endpoint())
 			}
 			time.Sleep(5 * time.Millisecond)
 		}

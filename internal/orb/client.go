@@ -3,6 +3,7 @@ package orb
 import (
 	"context"
 	"math/rand/v2"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -20,7 +21,11 @@ const (
 // endpointPool is the client side of one endpoint: a bounded pool of
 // multiplexed connections with least-pending pick, automatic reconnect
 // under jittered exponential backoff, and a health gate so a dead peer
-// fails fast instead of being re-dialed on every call.
+// fails fast instead of being re-dialed on every call. The gate's state
+// (consecutive failures, down-until deadline) lives in the ORB's
+// HealthRegistry, so every client ORB sharing the registry shares the
+// verdict: one pool discovering a dead endpoint fails the whole process
+// fast against it.
 //
 // Pool growth is caller-driven: an invoke that finds the pool below its
 // bound dials a new connection inline (concurrent callers fill the pool in
@@ -33,18 +38,20 @@ type endpointPool struct {
 	endpoint string // "tcp:host:port"
 	addr     string // "host:port"
 
+	// health is the shared dial-gate record for this endpoint in the ORB's
+	// HealthRegistry.
+	health *endpointHealth
+
 	// Overload protection above the health gate (breaker.go); either may
 	// be nil when the corresponding option is unset.
 	brk    *breaker
 	budget *retryBudget
 
-	mu        sync.Mutex
-	cond      *sync.Cond // broadcast on any conns/dialing/closed change
-	conns     []*clientConn
-	dialing   int
-	failures  int       // consecutive dial failures
-	downUntil time.Time // health gate: fail fast until then
-	closed    bool
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on any conns/dialing/closed change
+	conns   []*clientConn
+	dialing int
+	closed  bool
 }
 
 func newEndpointPool(o *ORB, endpoint, addr string) *endpointPool {
@@ -52,6 +59,7 @@ func newEndpointPool(o *ORB, endpoint, addr string) *endpointPool {
 		orb:      o,
 		endpoint: endpoint,
 		addr:     addr,
+		health:   o.health.acquire(endpoint), // released in closePool
 		brk:      newBreaker(endpoint, o.brkThreshold, o.brkOpenFor),
 		budget:   newRetryBudget(endpoint, o.retryRate, o.retryBurst),
 	}
@@ -84,8 +92,10 @@ func (p *endpointPool) admitCall(now time.Time) (bool, error) {
 }
 
 // observeCall feeds a finished call's outcome back to the breaker and the
-// retry budget. Fail-fast rejections from admitCall never reach here, so
-// the budget and breaker cannot feed on their own output. Health-gate
+// retry budget, and publishes the breaker's verdict to the shared health
+// registry so other ORBs' selectors deprioritize the endpoint while it is
+// open. Fail-fast rejections from admitCall never reach here, so the
+// budget and breaker cannot feed on their own output. Health-gate
 // fail-fasts DO reach here and count as failures deliberately: they are
 // the endpoint's last known state, and requiring real dials to trip the
 // breaker would let the gate's own backoff spacing delay it indefinitely.
@@ -95,8 +105,15 @@ func (p *endpointPool) observeCall(err error) {
 	if p.brk != nil {
 		if failed {
 			p.brk.onFailure(now)
+			if until, open := p.brk.window(now); open {
+				p.health.reportBreakerOpen(until)
+			}
+			// A failure that did not open THIS breaker says nothing about
+			// a window another ORB published; only a proven-healthy round
+			// trip may clear the shared verdict.
 		} else {
 			p.brk.onSuccess()
+			p.health.reportBreakerClosed()
 		}
 	}
 	if p.budget != nil {
@@ -114,8 +131,12 @@ func (p *endpointPool) warm(n int) {
 	}
 	for {
 		p.mu.Lock()
-		if p.closed || p.failures > 0 || time.Now().Before(p.downUntil) ||
-			len(p.conns)+p.dialing >= n {
+		// Gate on the down window, not the shared lifetime failure count: a
+		// stale count from another ORB's old outage (the window long
+		// expired) must not disable warming for every pool created after
+		// it. This loop's own dial failure still stops it below.
+		down, _, _ := p.health.gate(time.Now())
+		if p.closed || down || len(p.conns)+p.dialing >= n {
 			p.mu.Unlock()
 			return
 		}
@@ -139,12 +160,25 @@ type clientConn struct {
 	closed  bool
 }
 
-// invokeTCP performs a remote invocation over the connection pool for
-// ref's endpoint.
-func (o *ORB) invokeTCP(ctx context.Context, ref IOR, op string, contexts []ServiceContext, body []byte) ([]byte, error) {
-	addr, ok := cutPrefix(ref.Endpoint, "tcp:")
-	if !ok {
-		return nil, Systemf(CodeNoImplement, "unreachable endpoint %q", ref.Endpoint)
+// invokeRemote performs a remote invocation against ref: the endpoint
+// selector orders the reference's profiles by sticky affinity and shared
+// health, and the call fails over to the next profile on any TRANSIENT
+// outcome (dial failure, health gate, breaker, budget, admission shed —
+// all of which guarantee the servant never ran) while the caller's
+// deadline lasts. Non-TRANSIENT failures (timeouts, lost connections with
+// the request possibly delivered) are returned to the caller: completion
+// is unknown, so transparently re-running the operation elsewhere could
+// break exactly-once expectations.
+func (o *ORB) invokeRemote(ctx context.Context, ref IOR, op string, contexts []ServiceContext, body []byte) ([]byte, error) {
+	var affKey string
+	if len(ref.Profiles) > 1 {
+		// Affinity only matters when there is a choice; the dominant
+		// single-profile path skips the key construction entirely.
+		affKey = affinityKey(ref)
+	}
+	eps, affinity := o.selectEndpoints(ref, affKey)
+	if len(eps) == 0 {
+		return nil, Systemf(CodeNoImplement, "object %q has no reachable profile (endpoints %v)", ref.Key, ref.Endpoints())
 	}
 	callerCtx := ctx
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline && o.callTimeout > 0 {
@@ -152,8 +186,31 @@ func (o *ORB) invokeTCP(ctx context.Context, ref IOR, op string, contexts []Serv
 		ctx, cancel = context.WithTimeout(ctx, o.callTimeout)
 		defer cancel()
 	}
+	var lastErr error
+	for _, ep := range eps {
+		out, err := o.invokeEndpoint(ctx, callerCtx, ep, ref, op, contexts, body)
+		if err == nil {
+			if len(eps) > 1 && ep != affinity {
+				o.recordAffinity(ep, affKey)
+			}
+			return out, nil
+		}
+		lastErr = err
+		if !IsSystem(err, CodeTransient) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
 
-	pool, err := o.pool(addr, ref.Endpoint)
+// invokeEndpoint performs one invocation attempt over the connection pool
+// for a single endpoint.
+func (o *ORB) invokeEndpoint(ctx, callerCtx context.Context, endpoint string, ref IOR, op string, contexts []ServiceContext, body []byte) ([]byte, error) {
+	addr, ok := strings.CutPrefix(endpoint, "tcp:")
+	if !ok {
+		return nil, Systemf(CodeNoImplement, "unreachable endpoint %q", endpoint)
+	}
+	pool, err := o.pool(addr, endpoint)
 	if err != nil {
 		return nil, err
 	}
@@ -177,6 +234,93 @@ func (o *ORB) invokeTCP(ctx context.Context, ref IOR, op string, contexts []Serv
 		pool.brk.releaseProbe()
 	}
 	return body, err
+}
+
+// affinityKey identifies one logical object for stickiness: the servant
+// key scoped by the reference's primary network profile, so well-known
+// keys ("naming", "orb-admin") on different server groups do not clobber
+// each other's affinity. The primary profile is taken from the reference
+// as written, not the selector's reordering, so the key is stable across
+// calls.
+func affinityKey(ref IOR) string {
+	for _, p := range ref.Profiles {
+		if strings.HasPrefix(p.Endpoint, "tcp:") {
+			return p.Endpoint + "|" + ref.Key
+		}
+	}
+	return ref.Key
+}
+
+// selectEndpoints orders ref's network profiles for one invocation and
+// returns the sticky-affinity endpoint it consulted (so the caller can
+// skip re-recording an unchanged affinity). A single-profile reference
+// skips all ranking work — the historic single-endpoint fast path. With
+// several profiles the order is: the sticky-affinity endpoint for affKey
+// first while it looks healthy (so a coordinated protocol keeps landing
+// on the replica that answered its earlier phases), then the remaining
+// profiles the shared HealthRegistry considers healthy in reference
+// order, then the unhealthy ones in reference order (still tried last — a
+// stale verdict must not make an object unreachable).
+func (o *ORB) selectEndpoints(ref IOR, affKey string) ([]string, string) {
+	var eps []string
+	for _, p := range ref.Profiles {
+		if strings.HasPrefix(p.Endpoint, "tcp:") {
+			eps = append(eps, p.Endpoint)
+		}
+	}
+	if len(eps) <= 1 {
+		return eps, ""
+	}
+	now := time.Now()
+	affinity := o.affinityFor(affKey)
+	records := o.health.entriesFor(eps) // one registry lock for all profiles
+	ordered := make([]string, 0, len(eps))
+	var unhealthy []string
+	if affinity != "" {
+		for i, ep := range eps {
+			if ep == affinity && records[i].preferred(now) {
+				ordered = append(ordered, ep)
+				break
+			}
+		}
+	}
+	for i, ep := range eps {
+		if len(ordered) > 0 && ep == ordered[0] {
+			continue
+		}
+		if records[i].preferred(now) {
+			ordered = append(ordered, ep)
+		} else {
+			unhealthy = append(unhealthy, ep)
+		}
+	}
+	return append(ordered, unhealthy...), affinity
+}
+
+// maxAffinityEntries bounds the sticky-affinity map. Long-lived clients
+// invoking short-lived per-activity objects would otherwise accumulate
+// one entry per key forever; affinity is only a routing hint, so when the
+// bound is hit the map is simply reset — the worst case is one re-ranked
+// pick per live key.
+const maxAffinityEntries = 4096
+
+// affinityFor returns the endpoint that last served key, if any.
+func (o *ORB) affinityFor(key string) string {
+	o.affMu.Lock()
+	defer o.affMu.Unlock()
+	return o.affinity[key]
+}
+
+// recordAffinity pins key to the endpoint that just served it.
+func (o *ORB) recordAffinity(endpoint, key string) {
+	o.affMu.Lock()
+	if o.affinity == nil {
+		o.affinity = make(map[string]string)
+	} else if _, ok := o.affinity[key]; !ok && len(o.affinity) >= maxAffinityEntries {
+		o.affinity = make(map[string]string)
+	}
+	o.affinity[key] = endpoint
+	o.affMu.Unlock()
 }
 
 // invokeOverPool performs one admitted invocation through the endpoint's
@@ -214,14 +358,14 @@ func (o *ORB) invokeOverPool(ctx context.Context, pool *endpointPool, ref IOR, o
 	if err := c.send(frame); err != nil {
 		pool.drop(c, Systemf(CodeCommFailure, "connection to %s lost", pool.endpoint))
 		// The request never left (or partially left) this host: TRANSIENT.
-		return nil, Systemf(CodeTransient, "send to %s: %v", ref.Endpoint, err)
+		return nil, Systemf(CodeTransient, "send to %s: %v", pool.endpoint, err)
 	}
 
 	select {
 	case rep := <-ch:
 		return replyToResult(rep)
 	case <-ctx.Done():
-		return nil, Systemf(CodeTimeout, "invoking %s on %s: %v", op, ref.Endpoint, ctx.Err())
+		return nil, Systemf(CodeTimeout, "invoking %s on %s: %v", op, pool.endpoint, ctx.Err())
 	}
 }
 
@@ -247,10 +391,23 @@ func (o *ORB) pool(addr, endpoint string) (*endpointPool, error) {
 	return p, nil
 }
 
+// PooledEndpoints returns the endpoints this ORB holds client pools for,
+// sorted — the scrape surface the admin servant iterates.
+func (o *ORB) PooledEndpoints() []string {
+	o.connMu.Lock()
+	eps := make([]string, 0, len(o.pools))
+	for ep := range o.pools {
+		eps = append(eps, ep)
+	}
+	o.connMu.Unlock()
+	sort.Strings(eps)
+	return eps
+}
+
 // get returns a live connection: the least-pending one when the pool is at
 // its bound, a freshly dialed one while it is below. While the endpoint is
-// marked down and nothing is live, get fails fast without touching the
-// network.
+// marked down (in the shared health registry — possibly by another ORB's
+// pool) and nothing is live, get fails fast without touching the network.
 func (p *endpointPool) get(ctx context.Context) (*clientConn, error) {
 	// Wake this waiter if its context dies while it blocks in Wait below.
 	stopWake := context.AfterFunc(ctx, func() {
@@ -269,16 +426,16 @@ func (p *endpointPool) get(ctx context.Context) (*clientConn, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, Systemf(CodeTransient, "awaiting connection to %s: %v", p.endpoint, err)
 		}
-		down := time.Now().Before(p.downUntil)
+		down, failures, downUntil := p.health.gate(time.Now())
 		if down && len(p.conns) == 0 && p.dialing == 0 {
 			return nil, Systemf(CodeTransient,
 				"endpoint %s down after %d consecutive dial failures (next probe in %s)",
-				p.endpoint, p.failures, time.Until(p.downUntil).Round(time.Millisecond))
+				p.endpoint, failures, time.Until(downUntil).Round(time.Millisecond))
 		}
 		// Growth is allowed when the pool is below its bound — but while
 		// the endpoint is recovering from failures, the probe is
 		// single-flight: one caller dials, the rest wait for its verdict.
-		if !down && len(p.conns)+p.dialing < p.orb.poolSize && (p.failures == 0 || p.dialing == 0) {
+		if !down && len(p.conns)+p.dialing < p.orb.poolSize && (failures == 0 || p.dialing == 0) {
 			p.dialing++
 			p.mu.Unlock()
 			c, err := p.dial(ctx)
@@ -301,8 +458,9 @@ func (p *endpointPool) get(ctx context.Context) (*clientConn, error) {
 	}
 }
 
-// dial opens one connection and publishes the outcome to the pool. The
-// caller has already reserved a slot (p.dialing).
+// dial opens one connection and publishes the outcome to the pool and the
+// shared health registry. The caller has already reserved a slot
+// (p.dialing).
 func (p *endpointPool) dial(ctx context.Context) (*clientConn, error) {
 	// The dial timeout always applies; a sooner caller deadline still wins
 	// through context propagation.
@@ -314,12 +472,12 @@ func (p *endpointPool) dial(ctx context.Context) (*clientConn, error) {
 	p.dialing--
 	if err != nil {
 		if ctx.Err() == nil {
-			// A real dial failure: penalize the endpoint. A dial aborted
-			// because the *caller* died (cancelled straggler, expired call
-			// deadline) says nothing about the peer's health and must not
-			// open the down window.
-			p.failures++
-			p.downUntil = time.Now().Add(p.backoffLocked())
+			// A real dial failure: penalize the endpoint for every ORB
+			// sharing the registry. A dial aborted because the *caller*
+			// died (cancelled straggler, expired call deadline) says
+			// nothing about the peer's health and must not open the down
+			// window.
+			p.health.dialFailed(time.Now(), p.backoffFor)
 		}
 		p.cond.Broadcast()
 		p.mu.Unlock()
@@ -333,8 +491,7 @@ func (p *endpointPool) dial(ctx context.Context) (*clientConn, error) {
 	}
 	c := &clientConn{pool: p, tc: tc, pending: make(map[uint64]chan reply)}
 	p.conns = append(p.conns, c)
-	p.failures = 0
-	p.downUntil = time.Time{}
+	p.health.dialOK()
 	p.cond.Broadcast()
 	p.mu.Unlock()
 
@@ -342,12 +499,12 @@ func (p *endpointPool) dial(ctx context.Context) (*clientConn, error) {
 	return c, nil
 }
 
-// backoffLocked returns the jittered exponential backoff for the current
-// failure count: full jitter over [d/2, d] where d doubles per failure
-// between the configured bounds.
-func (p *endpointPool) backoffLocked() time.Duration {
+// backoffFor returns the jittered exponential backoff for the given
+// consecutive-failure count: full jitter over [d/2, d] where d doubles per
+// failure between the configured bounds.
+func (p *endpointPool) backoffFor(failures int) time.Duration {
 	d := p.orb.backoffMin
-	for i := 1; i < p.failures && d < p.orb.backoffMax; i++ {
+	for i := 1; i < failures && d < p.orb.backoffMax; i++ {
 		d *= 2
 	}
 	if d > p.orb.backoffMax {
@@ -388,7 +545,8 @@ func (p *endpointPool) drop(c *clientConn, cause *SystemError) {
 	c.close(cause)
 }
 
-// closePool tears down every connection and rejects future gets.
+// closePool tears down every connection, rejects future gets, and unpins
+// the pool's shared health record.
 func (p *endpointPool) closePool(cause *SystemError) {
 	p.mu.Lock()
 	p.closed = true
@@ -399,6 +557,7 @@ func (p *endpointPool) closePool(cause *SystemError) {
 	for _, c := range conns {
 		c.close(cause)
 	}
+	p.health.release()
 }
 
 // EndpointStats is a snapshot of one endpoint pool's health, for tests,
@@ -412,7 +571,8 @@ type EndpointStats struct {
 	Pending int
 	// Dialing is the number of dials in flight.
 	Dialing int
-	// Failures is the consecutive dial-failure count.
+	// Failures is the consecutive dial-failure count, shared through the
+	// HealthRegistry with every ORB dialing the same endpoint.
 	Failures int
 	// Down reports whether the health gate is failing calls fast.
 	Down bool
@@ -439,12 +599,13 @@ func (o *ORB) EndpointStats(endpoint string) (EndpointStats, bool) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	down, failures, _ := p.health.gate(time.Now())
 	st := EndpointStats{
 		Endpoint: p.endpoint,
 		Conns:    len(p.conns),
 		Dialing:  p.dialing,
-		Failures: p.failures,
-		Down:     time.Now().Before(p.downUntil),
+		Failures: failures,
+		Down:     down,
 	}
 	for _, c := range p.conns {
 		st.Pending += c.load()

@@ -1,0 +1,230 @@
+package orb
+
+import (
+	"sync"
+	"time"
+)
+
+// HealthRegistry shares per-endpoint health verdicts across every client
+// ORB wired to it. The dial health gate (consecutive-failure count and
+// down-until deadline) lives here, so when one ORB's pool discovers a dead
+// endpoint, every other ORB in the process fails fast against that
+// endpoint instead of re-learning the verdict with its own dials; circuit
+// breakers remain per-ORB (their thresholds are per-ORB configuration) but
+// publish their open windows here, so every ORB's endpoint selector can
+// deprioritize a profile some breaker has opened on.
+//
+// All ORBs in a process share ProcessHealthRegistry unless
+// WithHealthRegistry gives them a private one. Tests (and any host that
+// wants verdict isolation between tenants) should pass
+// WithHealthRegistry(NewHealthRegistry()): with the shared default, a
+// down window learned for an endpoint outlives the ORB that learned it,
+// which is the point in production and a surprise in a test that reuses
+// the address. A HealthRegistry is safe for concurrent use.
+type HealthRegistry struct {
+	mu  sync.Mutex
+	eps map[string]*endpointHealth
+}
+
+// ProcessHealthRegistry is the process-wide default registry every ORB
+// consults unless overridden with WithHealthRegistry: the "many
+// coordinators on one node share dial verdicts" deployment.
+var ProcessHealthRegistry = NewHealthRegistry()
+
+// NewHealthRegistry returns an empty registry.
+func NewHealthRegistry() *HealthRegistry {
+	return &HealthRegistry{eps: make(map[string]*endpointHealth)}
+}
+
+// maxHealthEntries bounds the registry before an eviction sweep runs, so
+// a long-lived process contacting churning endpoints (ephemeral ports,
+// autoscaled replicas) cannot grow it without bound.
+const maxHealthEntries = 4096
+
+// entry returns the shared record for endpoint, creating it on first use.
+// At the size bound, unpinned records indistinguishable from a fresh one
+// (no failures, no open windows) are evicted first — losing them is
+// lossless, since a re-created record carries the same verdict. Records
+// pinned by live pools (acquire) are never evicted, so a pool's gate and
+// the registry's readers always share one record.
+func (h *HealthRegistry) entry(endpoint string) *endpointHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.entryLocked(endpoint)
+}
+
+// entriesFor returns the shared records for every endpoint in eps under a
+// single registry lock acquisition — the endpoint selector's batch lookup,
+// so a multi-profile invoke does not hit the process-global mutex once
+// per profile.
+func (h *HealthRegistry) entriesFor(eps []string) []*endpointHealth {
+	out := make([]*endpointHealth, len(eps))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, ep := range eps {
+		out[i] = h.entryLocked(ep)
+	}
+	return out
+}
+
+func (h *HealthRegistry) entryLocked(endpoint string) *endpointHealth {
+	e, ok := h.eps[endpoint]
+	if !ok {
+		if len(h.eps) >= maxHealthEntries {
+			h.evictCleanLocked(time.Now())
+			if len(h.eps) >= maxHealthEntries {
+				// Everything left is dirty (a wide outage with endpoint
+				// churn): keep only the records live pools pin and drop
+				// the rest rather than grow without bound. Lossy for the
+				// dropped verdicts — down windows re-learn at one failed
+				// dial apiece — but the next maxHealthEntries inserts are
+				// sweep-free, so the cost amortizes.
+				kept := make(map[string]*endpointHealth)
+				for ep, rec := range h.eps {
+					rec.mu.Lock()
+					pinned := rec.refs > 0
+					rec.mu.Unlock()
+					if pinned {
+						kept[ep] = rec
+					}
+				}
+				h.eps = kept
+			}
+		}
+		e = &endpointHealth{}
+		h.eps[endpoint] = e
+	}
+	return e
+}
+
+// evictCleanLocked drops every unpinned record whose verdict equals a
+// fresh record's — a lossless eviction: no live pool feeds the record,
+// and a re-created record carries the same (clean) verdict.
+func (h *HealthRegistry) evictCleanLocked(now time.Time) {
+	for ep, e := range h.eps {
+		e.mu.Lock()
+		clean := e.refs == 0 && e.failures == 0 &&
+			!now.Before(e.downUntil) && !now.Before(e.breakerOpenUntil)
+		e.mu.Unlock()
+		if clean {
+			delete(h.eps, ep)
+		}
+	}
+}
+
+// HealthVerdict is a snapshot of one endpoint's shared health record, for
+// tooling and tests.
+type HealthVerdict struct {
+	// Endpoint is the endpoint the verdict describes ("tcp:host:port").
+	Endpoint string
+	// Failures is the consecutive dial-failure count across every ORB
+	// sharing the registry.
+	Failures int
+	// Down reports whether the dial health gate is currently failing calls
+	// fast for this endpoint.
+	Down bool
+	// BreakerOpen reports whether some ORB's circuit breaker currently
+	// holds this endpoint open.
+	BreakerOpen bool
+}
+
+// Verdict reports the current shared verdict for endpoint. The zero
+// verdict (healthy) is returned for endpoints the registry has never seen.
+func (h *HealthRegistry) Verdict(endpoint string) HealthVerdict {
+	h.mu.Lock()
+	e, ok := h.eps[endpoint]
+	h.mu.Unlock()
+	v := HealthVerdict{Endpoint: endpoint}
+	if !ok {
+		return v
+	}
+	now := time.Now()
+	e.mu.Lock()
+	v.Failures = e.failures
+	v.Down = now.Before(e.downUntil)
+	v.BreakerOpen = now.Before(e.breakerOpenUntil)
+	e.mu.Unlock()
+	return v
+}
+
+// endpointHealth is the shared health record for one endpoint. Its mutex
+// is a leaf lock: no other lock is ever acquired while it is held.
+type endpointHealth struct {
+	mu               sync.Mutex
+	refs             int       // live pools pinning this record (see acquire)
+	failures         int       // consecutive dial failures, all ORBs
+	downUntil        time.Time // dial gate: fail fast until then
+	breakerOpenUntil time.Time // latest breaker-open window reported
+}
+
+// acquire returns the record for endpoint pinned against eviction; pools
+// hold their record for their whole lifetime, and evicting a record some
+// pool still feeds would split the verdict between that pool and every
+// later reader of the registry. release undoes the pin.
+func (h *HealthRegistry) acquire(endpoint string) *endpointHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.entryLocked(endpoint)
+	e.mu.Lock()
+	e.refs++
+	e.mu.Unlock()
+	return e
+}
+
+// release unpins a record acquired with acquire.
+func (e *endpointHealth) release() {
+	e.mu.Lock()
+	e.refs--
+	e.mu.Unlock()
+}
+
+// dialFailed records one dial failure and opens the down window for the
+// backoff the caller computes from the updated failure count.
+func (e *endpointHealth) dialFailed(now time.Time, backoff func(failures int) time.Duration) {
+	e.mu.Lock()
+	e.failures++
+	e.downUntil = now.Add(backoff(e.failures))
+	e.mu.Unlock()
+}
+
+// dialOK clears the dial gate after a successful dial.
+func (e *endpointHealth) dialOK() {
+	e.mu.Lock()
+	e.failures = 0
+	e.downUntil = time.Time{}
+	e.mu.Unlock()
+}
+
+// gate reports the dial gate's state at now: whether the endpoint is down,
+// the shared consecutive-failure count, and the down-until deadline.
+func (e *endpointHealth) gate(now time.Time) (down bool, failures int, until time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return now.Before(e.downUntil), e.failures, e.downUntil
+}
+
+// reportBreakerOpen publishes a breaker-open window ending at until.
+func (e *endpointHealth) reportBreakerOpen(until time.Time) {
+	e.mu.Lock()
+	if until.After(e.breakerOpenUntil) {
+		e.breakerOpenUntil = until
+	}
+	e.mu.Unlock()
+}
+
+// reportBreakerClosed withdraws any published breaker-open window. With
+// several ORBs sharing the registry the last report wins — the shared
+// verdict is a selection heuristic, not a correctness gate.
+func (e *endpointHealth) reportBreakerClosed() {
+	e.mu.Lock()
+	e.breakerOpenUntil = time.Time{}
+	e.mu.Unlock()
+}
+
+// preferred reports whether the endpoint looks healthy for selection: dial
+// gate closed and no published breaker-open window.
+func (e *endpointHealth) preferred(now time.Time) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !now.Before(e.downUntil) && !now.Before(e.breakerOpenUntil)
+}

@@ -8,33 +8,122 @@ import (
 	"github.com/extendedtx/activityservice/internal/cdr"
 )
 
+// Profile is one tagged endpoint of an object reference: a place the
+// object can be invoked. Real CORBA IORs carry an ordered list of tagged
+// profiles so a reference survives the loss of a single endpoint; ours
+// carry the same idea with the endpoint forms this ORB speaks.
+type Profile struct {
+	// Endpoint locates a hosting ORB: "inproc:<orb-id>" for same-process
+	// references or "tcp:host:port" for network references.
+	Endpoint string
+}
+
 // IOR is an interoperable object reference: everything a client needs to
-// invoke an object — its type, where it lives, and its key within the
-// object adapter there.
+// invoke an object — its type, its key within the object adapter, and an
+// ordered list of endpoint profiles it can be reached through. The first
+// profile is the primary; the invoke path prefers healthy profiles and
+// fails over along the list (see the endpoint selector in client.go).
 type IOR struct {
 	// TypeID names the interface, e.g. "IDL:ActivityService/Action:1.0".
 	TypeID string
-	// Endpoint locates the hosting ORB: "inproc:<orb-id>" for same-process
-	// references or "tcp:host:port" for network references.
-	Endpoint string
 	// Key identifies the servant within its object adapter.
 	Key string
+	// Profiles lists the endpoints the object is reachable through, in
+	// preference order. A reference with one profile is exactly the
+	// single-endpoint reference earlier versions carried.
+	Profiles []Profile
 }
 
 // ErrBadIOR reports an unparseable stringified IOR.
 var ErrBadIOR = errors.New("orb: malformed IOR")
 
-// IsZero reports whether the IOR is the zero reference (a "nil objref").
-func (r IOR) IsZero() bool { return r == IOR{} }
+// iorWireMagic tags the multi-profile CDR layout. Legacy streams begin
+// with the TypeID string's length prefix, which can never plausibly equal
+// this value, so one aligned peek discriminates the two layouts.
+const iorWireMagic = 0x494F5232 // "IOR2"
 
-// String renders the IOR in the stringified form
-// "IOR:<endpoint>|<typeid>|<key>".
-func (r IOR) String() string {
-	return fmt.Sprintf("IOR:%s|%s|%s", r.Endpoint, r.TypeID, r.Key)
+// iorWireVersion is the multi-profile CDR layout version written after the
+// magic.
+const iorWireVersion = 2
+
+// NewIOR builds a reference to key with the given interface type and
+// endpoint profiles, in preference order. Empty endpoints are dropped.
+func NewIOR(typeID, key string, endpoints ...string) IOR {
+	r := IOR{TypeID: typeID, Key: key}
+	for _, ep := range endpoints {
+		if ep != "" {
+			r.Profiles = append(r.Profiles, Profile{Endpoint: ep})
+		}
+	}
+	return r
 }
 
-// ParseIOR parses the stringified form produced by String.
+// IsZero reports whether the IOR is the zero reference (a "nil objref").
+func (r IOR) IsZero() bool {
+	return r.TypeID == "" && r.Key == "" && len(r.Profiles) == 0
+}
+
+// Equal reports whether two references are structurally identical: same
+// type, key, and profile list in the same order.
+func (r IOR) Equal(o IOR) bool {
+	if r.TypeID != o.TypeID || r.Key != o.Key || len(r.Profiles) != len(o.Profiles) {
+		return false
+	}
+	for i := range r.Profiles {
+		if r.Profiles[i] != o.Profiles[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Endpoint returns the primary (first) profile's endpoint, or "" for a
+// reference with no profiles.
+func (r IOR) Endpoint() string {
+	if len(r.Profiles) == 0 {
+		return ""
+	}
+	return r.Profiles[0].Endpoint
+}
+
+// Endpoints returns every profile endpoint in preference order.
+func (r IOR) Endpoints() []string {
+	eps := make([]string, len(r.Profiles))
+	for i, p := range r.Profiles {
+		eps[i] = p.Endpoint
+	}
+	return eps
+}
+
+// String renders the IOR in stringified form. References with at most one
+// profile use the historic "IOR:<endpoint>|<typeid>|<key>" layout, so
+// single-profile references interoperate with parsers that predate
+// multi-profile support; references with more use
+// "IOR2:<endpoint>,<endpoint>,...|<typeid>|<key>".
+func (r IOR) String() string {
+	if len(r.Profiles) <= 1 {
+		return fmt.Sprintf("IOR:%s|%s|%s", r.Endpoint(), r.TypeID, r.Key)
+	}
+	return fmt.Sprintf("IOR2:%s|%s|%s", strings.Join(r.Endpoints(), ","), r.TypeID, r.Key)
+}
+
+// ParseIOR parses both stringified forms produced by String: the historic
+// single-endpoint "IOR:" layout and the multi-profile "IOR2:" layout.
 func ParseIOR(s string) (IOR, error) {
+	if rest, ok := strings.CutPrefix(s, "IOR2:"); ok {
+		parts := strings.SplitN(rest, "|", 3)
+		if len(parts) != 3 || parts[0] == "" || parts[2] == "" {
+			return IOR{}, fmt.Errorf("%w: %q", ErrBadIOR, s)
+		}
+		r := IOR{TypeID: parts[1], Key: parts[2]}
+		for _, ep := range strings.Split(parts[0], ",") {
+			if ep == "" {
+				return IOR{}, fmt.Errorf("%w: empty profile in %q", ErrBadIOR, s)
+			}
+			r.Profiles = append(r.Profiles, Profile{Endpoint: ep})
+		}
+		return r, nil
+	}
 	rest, ok := strings.CutPrefix(s, "IOR:")
 	if !ok {
 		return IOR{}, fmt.Errorf("%w: missing IOR: prefix", ErrBadIOR)
@@ -43,21 +132,63 @@ func ParseIOR(s string) (IOR, error) {
 	if len(parts) != 3 || parts[0] == "" || parts[2] == "" {
 		return IOR{}, fmt.Errorf("%w: %q", ErrBadIOR, s)
 	}
-	return IOR{Endpoint: parts[0], TypeID: parts[1], Key: parts[2]}, nil
-}
-
-// Encode writes the IOR to a CDR stream.
-func (r IOR) Encode(e *cdr.Encoder) {
-	e.WriteString(r.TypeID)
-	e.WriteString(r.Endpoint)
-	e.WriteString(r.Key)
-}
-
-// DecodeIOR reads an IOR from a CDR stream.
-func DecodeIOR(d *cdr.Decoder) IOR {
-	return IOR{
-		TypeID:   d.ReadString(),
-		Endpoint: d.ReadString(),
-		Key:      d.ReadString(),
+	if strings.Contains(parts[0], ",") {
+		return IOR{}, fmt.Errorf("%w: multi-profile endpoint list needs the IOR2: prefix: %q", ErrBadIOR, s)
 	}
+	return IOR{TypeID: parts[1], Key: parts[2], Profiles: []Profile{{Endpoint: parts[0]}}}, nil
+}
+
+// Encode writes the IOR to a CDR stream. References with at most one
+// profile use the historic three-string layout (TypeID, endpoint, key) so
+// decoders that predate multi-profile support keep working; references
+// with more use the versioned multi-profile layout DecodeIOR discriminates
+// by its leading magic.
+func (r IOR) Encode(e *cdr.Encoder) {
+	if len(r.Profiles) <= 1 {
+		e.WriteString(r.TypeID)
+		e.WriteString(r.Endpoint())
+		e.WriteString(r.Key)
+		return
+	}
+	e.WriteUint32(iorWireMagic)
+	e.WriteUint32(iorWireVersion)
+	e.WriteString(r.TypeID)
+	e.WriteString(r.Key)
+	e.WriteStringList(r.Endpoints())
+}
+
+// DecodeIOR reads an IOR from a CDR stream, accepting both the historic
+// single-endpoint layout and the versioned multi-profile layout.
+func DecodeIOR(d *cdr.Decoder) IOR {
+	if d.PeekUint32() == iorWireMagic {
+		d.ReadUint32() // the magic itself
+		if v := d.ReadUint32(); v != iorWireVersion {
+			d.Fail(fmt.Errorf("%w: unsupported wire version %d", ErrBadIOR, v))
+			return IOR{}
+		}
+		r := IOR{TypeID: d.ReadString(), Key: d.ReadString()}
+		eps := d.ReadStringList() // hostile profile counts rejected inside
+		if d.Err() != nil {
+			return IOR{}
+		}
+		for _, ep := range eps {
+			// Empty endpoints are dropped on every ingestion path (NewIOR,
+			// ParseIOR, the legacy layout below); accepting one here would
+			// produce a reference that re-encodes lossily.
+			if ep != "" {
+				r.Profiles = append(r.Profiles, Profile{Endpoint: ep})
+			}
+		}
+		return r
+	}
+	r := IOR{TypeID: d.ReadString()}
+	ep := d.ReadString()
+	r.Key = d.ReadString()
+	if d.Err() != nil {
+		return IOR{}
+	}
+	if ep != "" {
+		r.Profiles = []Profile{{Endpoint: ep}}
+	}
+	return r
 }

@@ -110,9 +110,10 @@ func NewNameClient(o *ORB, ref IOR) *NameClient {
 	return &NameClient{orb: o, ref: ref}
 }
 
-// NameServiceAt builds the IOR of the well-known name service on endpoint.
-func NameServiceAt(endpoint string) IOR {
-	return IOR{TypeID: NameServiceTypeID, Endpoint: endpoint, Key: "naming"}
+// NameServiceAt builds the IOR of the well-known name service reachable
+// at the given endpoints (profiles, in preference order).
+func NameServiceAt(endpoints ...string) IOR {
+	return NewIOR(NameServiceTypeID, "naming", endpoints...)
 }
 
 // Bind binds name to ref.

@@ -35,7 +35,7 @@ func TestNamingBindResolve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != target {
+	if !got.Equal(target) {
 		t.Fatalf("resolved %+v, want %+v", got, target)
 	}
 }

@@ -13,6 +13,17 @@
 // service contexts and the standard failure surface (TRANSIENT,
 // COMM_FAILURE, OBJECT_NOT_EXIST).
 //
+// # Object references
+//
+// IORs carry an ordered list of endpoint profiles (ior.go), like real
+// CORBA IORs carry tagged profiles, so a reference survives the loss of a
+// single endpoint. An ORB listening on several addresses (Listen may be
+// called repeatedly) mints every bound endpoint into its references;
+// WithAdvertised overrides the list for NAT or load-balancer fronting.
+// Single-profile references keep the historic stringified and CDR wire
+// forms, and both parsers accept the old layouts, so mixed fleets
+// interoperate.
+//
 // # Client transport
 //
 // Outgoing TCP invocations run over a pluggable Transport (transport.go)
@@ -20,10 +31,16 @@
 // multiplexed connections per endpoint, least-pending pick, automatic
 // reconnect under jittered exponential backoff, and per-endpoint health
 // state so a dead peer fails fast (TRANSIENT) instead of being re-dialed
-// on every call. ChaosTransport (chaos.go) wraps any Transport with
+// on every call. The health state lives in a HealthRegistry (health.go)
+// shared by every client ORB in the process, so one ORB's dial verdicts
+// and breaker windows steer them all. Above the pool, an endpoint
+// selector orders a reference's profiles — sticky (endpoint, key)
+// affinity first, then profiles with clean shared verdicts — and fails
+// the call over to the next profile on any TRANSIENT outcome, within the
+// caller's deadline. ChaosTransport (chaos.go) wraps any Transport with
 // injectable faults — latency, drops, resets, one-way partitions, per-op
-// rules — so the failure modes extended transactions exist to survive can
-// be exercised deterministically in tests.
+// and per-address rules — so the failure modes extended transactions
+// exist to survive can be exercised deterministically in tests.
 //
 // # Overload protection
 //
@@ -33,15 +50,18 @@
 // failing or flapping endpoint into a retry storm; EndpointStats exposes
 // the breaker state. The server side is guarded by admission control
 // (WithMaxInflight, WithAdmissionQueue): a bounded number of concurrent
-// dispatches plus a bounded, deadline-aware wait queue, with the excess
-// shed fast as TRANSIENT instead of piling up goroutines behind a slow
-// servant; ServerStats exposes the gauges. See docs/ARCHITECTURE.md for
-// the failure-semantics table tying the four mechanisms together.
+// dispatches plus a bounded, deadline-aware wait queue shared by every
+// listener, with the excess shed fast as TRANSIENT instead of piling up
+// goroutines behind a slow servant; ServerStats exposes the gauges, and
+// the well-known orb-admin servant (admin.go) exports both stats
+// surfaces to remote scrape tooling. See docs/ARCHITECTURE.md for the
+// failure-semantics table tying the mechanisms together.
 package orb
 
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +74,14 @@ import (
 // decoding arguments from in and returning the encoded reply body.
 // Returning a *SystemError produces a system exception at the caller;
 // any other error arrives as a *RemoteError.
+//
+// CodeTransient carries a contract: it asserts the operation had no
+// effect ("the servant did not run"), which is what lets the client both
+// retry and transparently fail a multi-profile invocation over to
+// another replica. A servant must not return a bare TRANSIENT
+// *SystemError after performing side effects — use any other error (or a
+// wrapped one, which crosses the wire as a RemoteError) for
+// partially-completed work.
 type Servant interface {
 	// Dispatch handles one operation against this object.
 	Dispatch(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error)
@@ -101,8 +129,10 @@ type ORB struct {
 	gen         *ids.Generator
 	callTimeout time.Duration
 
-	// Client transport configuration (see client.go, breaker.go).
+	// Client transport configuration (see client.go, breaker.go,
+	// health.go).
 	transport    Transport
+	health       *HealthRegistry
 	poolSize     int
 	warmConns    int
 	dialTimeout  time.Duration
@@ -118,19 +148,27 @@ type ORB struct {
 	admitQueue  int
 	shedAfter   time.Duration
 
-	mu       sync.RWMutex
-	servants map[string]servantEntry
-	clientIC []ClientInterceptor
-	serverIC []ServerInterceptor
-	bound    string // "tcp:host:port" once listening
-	shutdown bool
+	mu         sync.RWMutex
+	servants   map[string]servantEntry
+	clientIC   []ClientInterceptor
+	serverIC   []ServerInterceptor
+	bound      []string // "tcp:host:port" per listener, in Listen order
+	advertised []string // endpoints minted into IORs instead of bound
+	shutdown   bool
 
-	srv *server
+	srvs []*server
+	adm  *admission // shared by every listener; nil = unbounded dispatch
 
 	connMu      sync.Mutex
 	pools       map[string]*endpointPool
 	poolsClosed bool
 	reqID       atomic.Uint64
+
+	// affMu guards affinity, the sticky (key → endpoint) map the endpoint
+	// selector consults so multi-profile invocations for one object keep
+	// landing on the replica that served it last (see client.go).
+	affMu    sync.Mutex
+	affinity map[string]string
 }
 
 // ORBOption configures an ORB.
@@ -155,6 +193,38 @@ func WithTransport(t Transport) ORBOption {
 	return orbOptionFunc(func(o *ORB) {
 		if t != nil {
 			o.transport = t
+		}
+	})
+}
+
+// WithHealthRegistry wires the ORB to a specific shared health registry.
+// By default every ORB shares ProcessHealthRegistry, so dial verdicts and
+// breaker windows learned by one client ORB steer the endpoint selectors
+// of all the others in the process; tests (or tenancy-isolated hosts) pass
+// their own registry to opt out of the sharing.
+func WithHealthRegistry(h *HealthRegistry) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if h != nil {
+			o.health = h
+		}
+	})
+}
+
+// WithAdvertised overrides the endpoints minted into this ORB's object
+// references: references carry the given endpoints, in order, instead of
+// the locally bound listener addresses. Hosts behind NAT or a load
+// balancer advertise their externally reachable addresses this way.
+// Endpoints without a scheme prefix are taken as "tcp:host:port".
+func WithAdvertised(endpoints ...string) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		for _, ep := range endpoints {
+			if ep == "" {
+				continue
+			}
+			if !strings.HasPrefix(ep, "tcp:") && !strings.HasPrefix(ep, "inproc:") {
+				ep = "tcp:" + ep
+			}
+			o.advertised = append(o.advertised, ep)
 		}
 	})
 }
@@ -289,6 +359,7 @@ func New(opts ...ORBOption) *ORB {
 		gen:         gen,
 		callTimeout: 10 * time.Second,
 		transport:   TCPTransport{},
+		health:      ProcessHealthRegistry,
 		poolSize:    defaultPoolSize,
 		dialTimeout: defaultDialTimeout,
 		backoffMin:  defaultBackoffMin,
@@ -335,6 +406,14 @@ func (o *ORB) RegisterServantWithKey(key, typeID string, s Servant) IOR {
 	return o.iorLocked(key, typeID)
 }
 
+// hasServant reports whether a servant is active under key.
+func (o *ORB) hasServant(key string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	_, ok := o.servants[key]
+	return ok
+}
+
 // Deactivate removes the servant under key.
 func (o *ORB) Deactivate(key string) {
 	o.mu.Lock()
@@ -354,22 +433,38 @@ func (o *ORB) IOR(key string) (IOR, bool) {
 }
 
 func (o *ORB) iorLocked(key, typeID string) IOR {
-	endpoint := "inproc:" + o.id
-	if o.bound != "" {
-		endpoint = o.bound
+	eps := o.advertised
+	if len(eps) == 0 {
+		eps = o.bound
 	}
-	return IOR{TypeID: typeID, Endpoint: endpoint, Key: key}
+	if len(eps) == 0 {
+		eps = []string{"inproc:" + o.id}
+	}
+	return NewIOR(typeID, key, eps...)
 }
 
-// Endpoint returns the network endpoint ("tcp:host:port") once listening,
-// or the in-process endpoint otherwise.
+// Endpoint returns the primary network endpoint ("tcp:host:port") once
+// listening, or the in-process endpoint otherwise.
 func (o *ORB) Endpoint() string {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
-	if o.bound != "" {
-		return o.bound
+	if len(o.bound) > 0 {
+		return o.bound[0]
 	}
 	return "inproc:" + o.id
+}
+
+// Endpoints returns every bound listener endpoint in Listen order, or the
+// in-process endpoint when the ORB is not listening. References minted by
+// the ORB carry all of them as profiles (unless WithAdvertised overrides
+// the list), so clients ride over the loss of any single listener.
+func (o *ORB) Endpoints() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if len(o.bound) > 0 {
+		return append([]string(nil), o.bound...)
+	}
+	return []string{"inproc:" + o.id}
 }
 
 // Shutdown stops the server transport, closes client connections and
@@ -381,12 +476,12 @@ func (o *ORB) Shutdown() {
 		return
 	}
 	o.shutdown = true
-	srv := o.srv
-	o.srv = nil
+	srvs := o.srvs
+	o.srvs = nil
 	o.mu.Unlock()
 
 	inprocRegistry.Delete(o.id)
-	if srv != nil {
+	for _, srv := range srvs {
 		srv.stop()
 	}
 	o.connMu.Lock()
@@ -433,22 +528,29 @@ func (o *ORB) Invoke(ctx context.Context, ref IOR, op string, body []byte) ([]by
 		})
 		return replyToResult(rep)
 	}
-	return o.invokeTCP(ctx, ref, op, contexts, body)
+	return o.invokeRemote(ctx, ref, op, contexts, body)
 }
 
-// localTarget resolves ref to an ORB in this process, if possible.
+// localTarget resolves ref to an ORB in this process, if any of its
+// profiles allows it: an "inproc:" profile naming a live local ORB, or a
+// TCP profile matching one of this ORB's own bound endpoints (the
+// self-reference short circuit).
 func (o *ORB) localTarget(ref IOR) (*ORB, bool) {
-	if id, ok := cutPrefix(ref.Endpoint, "inproc:"); ok {
-		if v, ok := inprocRegistry.Load(id); ok {
-			return v.(*ORB), true
+	for _, p := range ref.Profiles {
+		if id, ok := strings.CutPrefix(p.Endpoint, "inproc:"); ok {
+			if v, ok := inprocRegistry.Load(id); ok {
+				return v.(*ORB), true
+			}
+			continue
 		}
-		return nil, false
-	}
-	// A TCP reference to our own bound endpoint short-circuits.
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	if o.bound != "" && ref.Endpoint == o.bound {
-		return o, true
+		o.mu.RLock()
+		for _, bound := range o.bound {
+			if p.Endpoint == bound {
+				o.mu.RUnlock()
+				return o, true
+			}
+		}
+		o.mu.RUnlock()
 	}
 	return nil, false
 }
@@ -504,11 +606,4 @@ func replyToResult(rep reply) ([]byte, error) {
 	default:
 		return nil, &RemoteError{Message: rep.errDetail}
 	}
-}
-
-func cutPrefix(s, prefix string) (string, bool) {
-	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
-		return s[len(prefix):], true
-	}
-	return "", false
 }

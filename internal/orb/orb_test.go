@@ -99,8 +99,8 @@ func TestTCPInvoke(t *testing.T) {
 	}
 	// IORs minted after Listen carry the TCP endpoint.
 	ref2, ok := server.IOR(ref.Key)
-	if !ok || ref2.Endpoint != endpoint {
-		t.Fatalf("IOR endpoint = %q, want %q", ref2.Endpoint, endpoint)
+	if !ok || ref2.Endpoint() != endpoint {
+		t.Fatalf("IOR endpoint = %q, want %q", ref2.Endpoint(), endpoint)
 	}
 
 	client := New()
@@ -168,7 +168,7 @@ func TestSystemErrorCrossesWire(t *testing.T) {
 func TestObjectNotExist(t *testing.T) {
 	o := New()
 	defer o.Shutdown()
-	ref := IOR{TypeID: "IDL:test/Ghost:1.0", Endpoint: "inproc:" + o.ID(), Key: "missing"}
+	ref := NewIOR("IDL:test/Ghost:1.0", "missing", "inproc:"+o.ID())
 	_, err := o.Invoke(context.Background(), ref, "echo", nil)
 	if !IsSystem(err, CodeObjectNotExist) {
 		t.Fatalf("err = %v, want OBJECT_NOT_EXIST", err)
@@ -314,18 +314,18 @@ func TestShutdownIdempotent(t *testing.T) {
 	o := New()
 	o.Shutdown()
 	o.Shutdown()
-	if _, err := o.Invoke(context.Background(), IOR{TypeID: "x", Endpoint: "inproc:z", Key: "k"}, "op", nil); !IsSystem(err, CodeCommFailure) {
+	if _, err := o.Invoke(context.Background(), NewIOR("x", "k", "inproc:z"), "op", nil); !IsSystem(err, CodeCommFailure) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestIORStringRoundTrip(t *testing.T) {
-	ref := IOR{TypeID: "IDL:test/Echo:1.0", Endpoint: "tcp:127.0.0.1:9099", Key: "abc123"}
+	ref := NewIOR("IDL:test/Echo:1.0", "abc123", "tcp:127.0.0.1:9099")
 	parsed, err := ParseIOR(ref.String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if parsed != ref {
+	if !parsed.Equal(ref) {
 		t.Fatalf("round trip: %+v != %+v", parsed, ref)
 	}
 	for _, bad := range []string{"", "IOR:", "nonsense", "IOR:onlyone", "IOR:a|b"} {
@@ -336,12 +336,12 @@ func TestIORStringRoundTrip(t *testing.T) {
 }
 
 func TestIORCDRRoundTrip(t *testing.T) {
-	ref := IOR{TypeID: "IDL:test/T:1.0", Endpoint: "inproc:xyz", Key: "k1"}
+	ref := NewIOR("IDL:test/T:1.0", "k1", "inproc:xyz")
 	e := cdr.NewEncoder(0)
 	ref.Encode(e)
 	d := cdr.NewDecoder(e.Bytes())
 	got := DecodeIOR(d)
-	if d.Err() != nil || got != ref {
+	if d.Err() != nil || !got.Equal(ref) {
 		t.Fatalf("got %+v err %v", got, d.Err())
 	}
 }

@@ -7,11 +7,18 @@ import (
 	"sync"
 )
 
+// adminInflight bounds concurrent admission-bypassing admin dispatches
+// per listener; admin requests beyond it fall through to the normal
+// admission gate, so a flood of "orb-admin" frames cannot void the
+// bounded-goroutine guarantee WithMaxInflight provides.
+const adminInflight = 4
+
 // server is the TCP request transport.
 type server struct {
-	orb *ORB
-	ln  net.Listener
-	adm *admission // nil = unbounded dispatch
+	orb      *ORB
+	ln       net.Listener
+	adm      *admission    // nil = unbounded dispatch
+	adminSem chan struct{} // bypass slots for admin scrapes (see serveConn)
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -20,19 +27,15 @@ type server struct {
 }
 
 // Listen starts accepting invocations on addr (e.g. "127.0.0.1:0") and
-// returns the bound endpoint in "tcp:host:port" form. IORs issued after
-// Listen carry the network endpoint.
+// returns the bound endpoint in "tcp:host:port" form. Listen may be called
+// multiple times: every listener serves the same object adapter, all of
+// them share one admission gate (WithMaxInflight bounds the ORB, not each
+// listener), and IORs issued after the calls carry every bound endpoint as
+// a profile — the multi-profile references clients fail over across.
 func (o *ORB) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("orb: listen %s: %w", addr, err)
-	}
-	srv := &server{
-		orb:   o,
-		ln:    ln,
-		adm:   newAdmission(o.maxInflight, o.admitQueue, o.shedAfter),
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
 	}
 	bound := "tcp:" + ln.Addr().String()
 
@@ -42,13 +45,19 @@ func (o *ORB) Listen(addr string) (string, error) {
 		ln.Close()
 		return "", Systemf(CodeCommFailure, "orb shut down")
 	}
-	if o.srv != nil {
-		o.mu.Unlock()
-		ln.Close()
-		return "", fmt.Errorf("orb: already listening on %s", o.bound)
+	if len(o.srvs) == 0 {
+		o.adm = newAdmission(o.maxInflight, o.admitQueue, o.shedAfter)
 	}
-	o.srv = srv
-	o.bound = bound
+	srv := &server{
+		orb:      o,
+		ln:       ln,
+		adm:      o.adm,
+		adminSem: make(chan struct{}, adminInflight),
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	o.srvs = append(o.srvs, srv)
+	o.bound = append(o.bound, bound)
 	o.mu.Unlock()
 
 	srv.wg.Add(1)
@@ -127,15 +136,33 @@ func (s *server) serveConn(conn net.Conn) {
 		// when the queue is full — is shed through the connection's shed
 		// writer without spawning anything. Handler goroutines are
 		// therefore bounded by maxInflight + queue (+ one shed writer per
-		// connection).
+		// connection). Admin scrapes for a registered admin servant bypass
+		// the gate through a small dedicated slot pool: the stats servant
+		// must stay answerable exactly while the gate is shedding, which
+		// is when an operator reads it — but the bypass is bounded
+		// (adminInflight) and requires ServeAdmin to have run, so a flood
+		// of client-chosen "orb-admin" keys cannot recreate the pile-up
+		// the gate prevents; overflow admin traffic queues like anything
+		// else.
 		switch {
-		case s.adm == nil || s.adm.tryAcquire():
+		case s.adm == nil:
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
-				if s.adm != nil {
-					defer s.adm.release()
-				}
+				send(s.orb.dispatch(context.Background(), req))
+			}()
+		case req.objectKey == AdminKey && s.orb.hasServant(AdminKey) && s.tryAdminSlot():
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				defer func() { <-s.adminSem }()
+				send(s.orb.dispatch(context.Background(), req))
+			}()
+		case s.adm.tryAcquire():
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				defer s.adm.release()
 				send(s.orb.dispatch(context.Background(), req))
 			}()
 		case s.adm.enqueue():
@@ -159,6 +186,16 @@ func (s *server) serveConn(conn net.Conn) {
 				// already counted) and let the caller time out.
 			}
 		}
+	}
+}
+
+// tryAdminSlot grabs one admission-bypass slot without waiting.
+func (s *server) tryAdminSlot() bool {
+	select {
+	case s.adminSem <- struct{}{}:
+		return true
+	default:
+		return false
 	}
 }
 

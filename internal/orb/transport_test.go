@@ -63,7 +63,7 @@ func TestPoolGrowsToBoundAndMultiplexes(t *testing.T) {
 				return
 			case <-time.After(time.Millisecond):
 			}
-			if st, ok := client.EndpointStats(ref.Endpoint); ok && st.Conns > 3 {
+			if st, ok := client.EndpointStats(ref.Endpoint()); ok && st.Conns > 3 {
 				over.Store(true)
 			}
 		}
@@ -92,7 +92,7 @@ func TestPoolGrowsToBoundAndMultiplexes(t *testing.T) {
 	if over.Load() {
 		t.Fatal("pool exceeded its bound of 3 connections")
 	}
-	st, ok := client.EndpointStats(ref.Endpoint)
+	st, ok := client.EndpointStats(ref.Endpoint())
 	if !ok {
 		t.Fatal("no pool stats for endpoint")
 	}
@@ -122,7 +122,7 @@ func TestPoolSizeOneKeepsSingleConnection(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if st, _ := client.EndpointStats(ref.Endpoint); st.Conns != 1 {
+	if st, _ := client.EndpointStats(ref.Endpoint()); st.Conns != 1 {
 		t.Fatalf("pool holds %d conns, want exactly 1", st.Conns)
 	}
 }
@@ -136,7 +136,7 @@ func deadEndpoint(t *testing.T) IOR {
 	}
 	addr := ln.Addr().String()
 	ln.Close()
-	return IOR{TypeID: "IDL:test/Echo:1.0", Endpoint: "tcp:" + addr, Key: "nobody"}
+	return NewIOR("IDL:test/Echo:1.0", "nobody", "tcp:"+addr)
 }
 
 // TestPoolFailsFastWhileEndpointDown checks the health gate: after a dial
@@ -144,7 +144,10 @@ func deadEndpoint(t *testing.T) IOR {
 // re-dialing.
 func TestPoolFailsFastWhileEndpointDown(t *testing.T) {
 	ref := deadEndpoint(t)
-	client := New(WithReconnectBackoff(500*time.Millisecond, 500*time.Millisecond))
+	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
+		WithReconnectBackoff(500*time.Millisecond, 500*time.Millisecond),
+	)
 	defer client.Shutdown()
 	ctx := context.Background()
 
@@ -159,7 +162,7 @@ func TestPoolFailsFastWhileEndpointDown(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
 		t.Fatalf("second call took %s; the health gate should fail fast", elapsed)
 	}
-	st, ok := client.EndpointStats(ref.Endpoint)
+	st, ok := client.EndpointStats(ref.Endpoint())
 	if !ok || !st.Down || st.Failures == 0 {
 		t.Fatalf("stats = %+v, want down with failures recorded", st)
 	}
@@ -200,6 +203,7 @@ func TestPoolReconnectsAfterBackoffWindow(t *testing.T) {
 	_, ref := startServer(t, &countingServant{})
 	flaky := &flakyTransport{failures: 1}
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(flaky),
 		WithReconnectBackoff(30*time.Millisecond, 30*time.Millisecond),
 	)
@@ -227,7 +231,7 @@ func TestPoolReconnectsAfterBackoffWindow(t *testing.T) {
 	if got := flaky.dialCount(); got != 2 {
 		t.Fatalf("dials after recovery = %d, want 2", got)
 	}
-	if st, _ := client.EndpointStats(ref.Endpoint); st.Down || st.Failures != 0 {
+	if st, _ := client.EndpointStats(ref.Endpoint()); st.Down || st.Failures != 0 {
 		t.Fatalf("stats after recovery = %+v, want healthy", st)
 	}
 }
@@ -260,6 +264,7 @@ func TestPoolProbeIsSingleFlight(t *testing.T) {
 	ref := deadEndpoint(t)
 	transport := &blockingFailTransport{delay: 30 * time.Millisecond}
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(transport),
 		WithReconnectBackoff(30*time.Millisecond, 30*time.Millisecond),
 	)
@@ -293,6 +298,7 @@ func TestPoolProbeIsSingleFlight(t *testing.T) {
 func TestPoolWaiterHonorsContextDeadline(t *testing.T) {
 	ref := deadEndpoint(t)
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(&blockingFailTransport{delay: 2 * time.Second}),
 		WithPoolSize(1),
 	)
@@ -352,7 +358,7 @@ func TestPoolCanceledCallerDoesNotPoisonHealth(t *testing.T) {
 	if _, err := client.Invoke(context.Background(), ref, "ping", nil); err != nil {
 		t.Fatalf("next caller against a healthy endpoint: %v", err)
 	}
-	if st, _ := client.EndpointStats(ref.Endpoint); st.Down || st.Failures != 0 {
+	if st, _ := client.EndpointStats(ref.Endpoint()); st.Down || st.Failures != 0 {
 		t.Fatalf("stats = %+v; a caller's cancellation must not open the down window", st)
 	}
 }
@@ -362,6 +368,7 @@ func TestPoolCanceledCallerDoesNotPoisonHealth(t *testing.T) {
 func TestDialTimeoutAppliesUnderCallTimeout(t *testing.T) {
 	ref := deadEndpoint(t)
 	client := New(
+		WithHealthRegistry(NewHealthRegistry()),
 		WithTransport(slowDialTransport{delay: 30 * time.Second}),
 		WithDialTimeout(50*time.Millisecond),
 		WithCallTimeout(20*time.Second),
@@ -421,7 +428,7 @@ func TestPoolLeastPendingPrefersIdleConn(t *testing.T) {
 	// Wait until both connections exist and carry load.
 	deadline := time.Now().Add(time.Second)
 	for {
-		st, _ := client.EndpointStats(ref.Endpoint)
+		st, _ := client.EndpointStats(ref.Endpoint())
 		if st.Conns == 2 {
 			break
 		}
@@ -430,7 +437,7 @@ func TestPoolLeastPendingPrefersIdleConn(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	pool, err := client.pool(endpointHost(ref.Endpoint), ref.Endpoint)
+	pool, err := client.pool(endpointHost(ref.Endpoint()), ref.Endpoint())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,9 +499,8 @@ func TestBackoffGrowsAndCaps(t *testing.T) {
 		3: 160 * time.Millisecond,
 		9: 160 * time.Millisecond, // capped
 	} {
-		p.failures = failures
 		for i := 0; i < 20; i++ {
-			d := p.backoffLocked()
+			d := p.backoffFor(failures)
 			if d < want/2 || d > want {
 				t.Fatalf("failures=%d: backoff %s outside [%s, %s]", failures, d, want/2, want)
 			}
@@ -526,7 +532,7 @@ func TestPoolConcurrentEndpoints(t *testing.T) {
 	}
 	wg.Wait()
 	for i, ref := range refs {
-		st, ok := client.EndpointStats(ref.Endpoint)
+		st, ok := client.EndpointStats(ref.Endpoint())
 		if !ok || st.Conns == 0 || st.Conns > 2 {
 			t.Fatalf("endpoint %d stats = %+v, want 1..2 conns", i, st)
 		}

@@ -8,6 +8,12 @@
 // (remote registration and completion), and interceptors that propagate the
 // activity context implicitly in a request's service context, mirroring how
 // the CORBA Activity Service rides on the ORB's service-context mechanism.
+//
+// Every reference exported here (actions, coordinators, resources)
+// inherits the ORB's multi-profile IORs: a host listening on several
+// addresses hands out references that stay invocable — with transparent
+// failover in the client ORB — while any one endpoint survives, which is
+// what lets coordinated recovery keep converging while replicas move.
 package remote
 
 import (

@@ -112,7 +112,7 @@ func TestRemoteResourceRecoveryNameIsIOR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if parsed != ref {
+	if !parsed.Equal(ref) {
 		t.Fatalf("recovery name round trip: %+v != %+v", parsed, ref)
 	}
 }

@@ -8,12 +8,18 @@
 // Service — exported Actions, activity coordinator proxies, implicit
 // context propagation — are exposed here too.
 //
-// Outgoing invocations run over a pluggable Transport behind a bounded
-// per-endpoint connection pool with automatic reconnect and fail-fast
-// health state (WithTransport, WithPoolSize, WithReconnectBackoff,
-// EndpointStats). ChaosTransport wraps any Transport with injectable
-// faults — latency, drops, resets, one-way partitions, per-operation
-// rules — for deterministic resilience testing; see examples/chaos.
+// Object references carry an ordered list of endpoint profiles (NewIOR;
+// an ORB with several listeners mints them automatically), and outgoing
+// invocations select among them per call: sticky (endpoint, key)
+// affinity, health verdicts shared process-wide through a HealthRegistry,
+// and transparent failover to the next profile on TRANSIENT outcomes.
+// The pool below provides automatic reconnect and fail-fast health state
+// (WithTransport, WithPoolSize, WithReconnectBackoff, EndpointStats).
+// ChaosTransport wraps any Transport with injectable faults — latency,
+// drops, resets, one-way partitions, per-operation and per-address rules
+// — for deterministic resilience testing; see examples/chaos. ServeAdmin
+// exposes ServerStats/EndpointStats on the well-known "orb-admin" key for
+// remote scraping (AdminClient).
 package orb
 
 import (
@@ -27,8 +33,11 @@ import (
 type (
 	// ORB is an object request broker.
 	ORB = iorb.ORB
-	// IOR is an interoperable object reference.
+	// IOR is an interoperable object reference carrying an ordered list
+	// of endpoint profiles.
 	IOR = iorb.IOR
+	// Profile is one tagged endpoint of a multi-profile reference.
+	Profile = iorb.Profile
 	// Servant handles incoming invocations.
 	Servant = iorb.Servant
 	// ServantFunc adapts a function to Servant.
@@ -73,6 +82,14 @@ type (
 	ServerStats = iorb.ServerStats
 	// BreakerState is the circuit breaker position for one endpoint.
 	BreakerState = iorb.BreakerState
+	// HealthRegistry shares per-endpoint health verdicts across client
+	// ORBs (see WithHealthRegistry; the default is process-wide sharing).
+	HealthRegistry = iorb.HealthRegistry
+	// HealthVerdict is a snapshot of one endpoint's shared health record.
+	HealthVerdict = iorb.HealthVerdict
+	// AdminClient scrapes a remote ORB's ServerStats/EndpointStats through
+	// its well-known admin servant.
+	AdminClient = iorb.AdminClient
 )
 
 // Circuit breaker states (see WithCircuitBreaker).
@@ -158,11 +175,50 @@ var IsSystem = iorb.IsSystem
 // Systemf builds a SystemError.
 var Systemf = iorb.Systemf
 
-// ParseIOR parses a stringified IOR.
+// NewIOR builds a reference from a type id, key and endpoint profiles in
+// preference order.
+var NewIOR = iorb.NewIOR
+
+// ParseIOR parses a stringified IOR (both the single-endpoint "IOR:" form
+// and the multi-profile "IOR2:" form).
 var ParseIOR = iorb.ParseIOR
 
-// DecodeIOR reads an IOR from a CDR stream.
+// DecodeIOR reads an IOR from a CDR stream (legacy or multi-profile
+// layout).
 var DecodeIOR = iorb.DecodeIOR
+
+// NewHealthRegistry returns an empty shared health registry (see
+// WithHealthRegistry).
+var NewHealthRegistry = iorb.NewHealthRegistry
+
+// ProcessHealthRegistry is the process-wide registry every ORB shares by
+// default; tooling can read verdicts from it directly.
+var ProcessHealthRegistry = iorb.ProcessHealthRegistry
+
+// WithHealthRegistry wires an ORB to a specific shared health registry
+// instead of the process-wide default.
+var WithHealthRegistry = iorb.WithHealthRegistry
+
+// WithAdvertised overrides the endpoints minted into the ORB's object
+// references (hosts behind NAT or a load balancer).
+var WithAdvertised = iorb.WithAdvertised
+
+// ServeAdmin activates the well-known "orb-admin" servant exposing
+// ServerStats/EndpointStats to remote scrape tooling.
+var ServeAdmin = iorb.ServeAdmin
+
+// NewAdminClient returns a scrape proxy for the admin servant at ref.
+func NewAdminClient(o *ORB, ref IOR) *AdminClient { return iorb.NewAdminClient(o, ref) }
+
+// AdminAt builds the IOR of the well-known admin servant at the given
+// endpoints.
+var AdminAt = iorb.AdminAt
+
+// AdminTypeID is the interface id of the ORB admin servant.
+const AdminTypeID = iorb.AdminTypeID
+
+// AdminKey is the well-known object key of the ORB admin servant.
+const AdminKey = iorb.AdminKey
 
 // NewNameServer returns an empty name server.
 func NewNameServer() *NameServer { return iorb.NewNameServer() }

@@ -33,8 +33,8 @@ func TestPublicServantRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref, _ = server.IOR(ref.Key)
-	if ref.Endpoint != endpoint {
-		t.Fatalf("endpoint = %q", ref.Endpoint)
+	if ref.Endpoint() != endpoint {
+		t.Fatalf("endpoint = %q", ref.Endpoint())
 	}
 
 	client := orb.New()
@@ -54,7 +54,7 @@ func TestPublicServantRoundTrip(t *testing.T) {
 func TestPublicSystemExceptions(t *testing.T) {
 	o := orb.New()
 	defer o.Shutdown()
-	ref := orb.IOR{TypeID: "x", Endpoint: "inproc:" + o.ID(), Key: "ghost"}
+	ref := orb.NewIOR("x", "ghost", "inproc:"+o.ID())
 	_, err := o.Invoke(context.Background(), ref, "op", nil)
 	if !orb.IsSystem(err, orb.CodeObjectNotExist) {
 		t.Fatalf("err = %v", err)
@@ -79,7 +79,7 @@ func TestPublicNaming(t *testing.T) {
 	naming := orb.NewNameClient(client, orb.NameServiceAt(endpoint))
 	ctx := context.Background()
 
-	target := orb.IOR{TypeID: "IDL:x:1.0", Endpoint: endpoint, Key: "svc-1"}
+	target := orb.NewIOR("IDL:x:1.0", "svc-1", endpoint)
 	if err := naming.Bind(ctx, "services/x", target); err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestPublicNaming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != target {
+	if !got.Equal(target) {
 		t.Fatalf("resolved %+v", got)
 	}
 	if _, err := naming.Resolve(ctx, "nope"); !errors.Is(err, orb.ErrNotBound) {
@@ -96,9 +96,9 @@ func TestPublicNaming(t *testing.T) {
 }
 
 func TestPublicIORStringForms(t *testing.T) {
-	ref := orb.IOR{TypeID: "IDL:a:1.0", Endpoint: "tcp:1.2.3.4:5", Key: "k"}
+	ref := orb.NewIOR("IDL:a:1.0", "k", "tcp:1.2.3.4:5")
 	parsed, err := orb.ParseIOR(ref.String())
-	if err != nil || parsed != ref {
+	if err != nil || !parsed.Equal(ref) {
 		t.Fatalf("parsed=%+v err=%v", parsed, err)
 	}
 	if _, err := orb.ParseIOR("garbage"); !errors.Is(err, orb.ErrBadIOR) {
