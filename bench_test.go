@@ -55,8 +55,10 @@ func (okResource) Forget() error              { return nil }
 // BenchmarkFig01LongRunningChain measures fig. 1: a long-running activity
 // as a chain of n coordinated short units.
 func BenchmarkFig01LongRunningChain(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{2, 6, 16} {
 		b.Run(fmt.Sprintf("steps=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			svc := activityservice.New()
 			engine := workflow.New(svc)
 			ok := func(context.Context) error { return nil }
@@ -83,6 +85,7 @@ func BenchmarkFig01LongRunningChain(b *testing.B) {
 // BenchmarkFig02CompensationChain measures fig. 2: the chain with a step-4
 // failure, one compensation and two alternatives.
 func BenchmarkFig02CompensationChain(b *testing.B) {
+	b.ReportAllocs()
 	svc := activityservice.New()
 	engine := workflow.New(svc)
 	ok := func(context.Context) error { return nil }
@@ -115,8 +118,10 @@ func BenchmarkFig02CompensationChain(b *testing.B) {
 // BenchmarkFig05SignalFanout measures the fig. 5 broadcast: one signal set
 // delivering to n registered actions.
 func BenchmarkFig05SignalFanout(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{1, 4, 16, 64, 256} {
 		b.Run(fmt.Sprintf("actions=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			svc := activityservice.New()
 			ctx := context.Background()
 			b.ResetTimer()
@@ -148,6 +153,7 @@ func BenchmarkFig05SignalFanout(b *testing.B) {
 // regime, where serial delivery pays fanout×latency per signal and
 // parallel pays ~ceil(fanout/workers)×latency.
 func BenchmarkParallelFanout(b *testing.B) {
+	b.ReportAllocs()
 	latencyAction := func(d time.Duration) activityservice.Action {
 		if d == 0 {
 			return noopAction()
@@ -174,6 +180,7 @@ func BenchmarkParallelFanout(b *testing.B) {
 			for _, p := range policies {
 				name := fmt.Sprintf("fanout=%d/latency=%s/%s", fanout, latency, p.name)
 				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
 					svc := activityservice.New(activityservice.WithDelivery(p.policy))
 					ctx := context.Background()
 					b.ResetTimer()
@@ -209,6 +216,7 @@ func BenchmarkParallelFanout(b *testing.B) {
 // transport overlaps the round trips — the regime ROADMAP queued behind
 // connection pooling.
 func BenchmarkRemoteFanout(b *testing.B) {
+	b.ReportAllocs()
 	const actionLatency = 100 * time.Microsecond
 	policies := []struct {
 		name   string
@@ -222,6 +230,7 @@ func BenchmarkRemoteFanout(b *testing.B) {
 			for _, p := range policies {
 				name := fmt.Sprintf("fanout=%d/pool=%d/%s", fanout, pool, p.name)
 				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
 					serverORB := orb.New()
 					defer serverORB.Shutdown()
 					if _, err := serverORB.Listen("127.0.0.1:0"); err != nil {
@@ -271,8 +280,10 @@ func BenchmarkRemoteFanout(b *testing.B) {
 // BenchmarkFig08TwoPhaseCommit measures the fig. 8 protocol over a sweep
 // of participant counts.
 func BenchmarkFig08TwoPhaseCommit(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{1, 2, 8, 32, 128} {
 		b.Run(fmt.Sprintf("participants=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			svc := activityservice.New()
 			coord := twopc.NewCoordinator(svc)
 			ctx := context.Background()
@@ -299,12 +310,14 @@ func BenchmarkFig08TwoPhaseCommit(b *testing.B) {
 // BenchmarkFig09OpenNested measures the §4.2 structure: B commits inside
 // A; A then commits (no compensation) or aborts (compensation runs).
 func BenchmarkFig09OpenNested(b *testing.B) {
+	b.ReportAllocs()
 	for _, aCommits := range []bool{true, false} {
 		name := "A-commits"
 		if !aCommits {
 			name = "A-aborts-compensation"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			svc := activityservice.New()
 			ctx := context.Background()
 			noop := func(context.Context) error { return nil }
@@ -334,6 +347,7 @@ func BenchmarkFig09OpenNested(b *testing.B) {
 
 // BenchmarkFig10Workflow measures the fig. 10 graph: parallel b, c then d.
 func BenchmarkFig10Workflow(b *testing.B) {
+	b.ReportAllocs()
 	svc := activityservice.New()
 	engine := workflow.New(svc)
 	ok := func(context.Context) error { return nil }
@@ -364,8 +378,10 @@ func (btpParticipant) Cancel() error  { return nil }
 
 // BenchmarkFig11BTPPrepare measures the fig. 11 exchange.
 func BenchmarkFig11BTPPrepare(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{2, 8, 32} {
 		b.Run(fmt.Sprintf("participants=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			svc := activityservice.New()
 			ctx := context.Background()
 			b.ResetTimer()
@@ -392,6 +408,7 @@ func BenchmarkFig11BTPPrepare(b *testing.B) {
 
 // BenchmarkFig12BTPConfirm measures fig. 12: prepare then confirm.
 func BenchmarkFig12BTPConfirm(b *testing.B) {
+	b.ReportAllocs()
 	svc := activityservice.New()
 	ctx := context.Background()
 	b.ResetTimer()
@@ -417,6 +434,7 @@ func BenchmarkFig12BTPConfirm(b *testing.B) {
 // BenchmarkFig13UserActivityDemarcation measures the fig. 13 layered API:
 // begin/complete through UserActivity.
 func BenchmarkFig13UserActivityDemarcation(b *testing.B) {
+	b.ReportAllocs()
 	svc := activityservice.New()
 	ua := activityservice.NewUserActivity(svc)
 	ctx := context.Background()
@@ -435,9 +453,11 @@ func BenchmarkFig13UserActivityDemarcation(b *testing.B) {
 // BenchmarkSaga measures the saga model: n steps committed, or failure at
 // the end with full backward recovery.
 func BenchmarkSaga(b *testing.B) {
+	b.ReportAllocs()
 	ok := func(context.Context) error { return nil }
 	for _, mode := range []string{"commit", "compensate"} {
 		b.Run(mode+"/steps=8", func(b *testing.B) {
+			b.ReportAllocs()
 			svc := activityservice.New()
 			ctx := context.Background()
 			var steps []saga.Step
@@ -464,8 +484,10 @@ func BenchmarkSaga(b *testing.B) {
 
 // BenchmarkLRUOW measures §4.3 rehearsal + performance over k touched keys.
 func BenchmarkLRUOW(b *testing.B) {
+	b.ReportAllocs()
 	for _, keys := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			b.ReportAllocs()
 			svc := activityservice.New()
 			st := store.New()
 			locks := lockmgr.New()
@@ -497,8 +519,10 @@ func BenchmarkLRUOW(b *testing.B) {
 // overhead: the same participants driven by the hand-coded OTS engine and
 // by the activity-coordinated 2PC of §4.1.
 func BenchmarkAblationRawOTSvsActivity2PC(b *testing.B) {
+	b.ReportAllocs()
 	const participants = 8
 	b.Run("raw-ots", func(b *testing.B) {
+		b.ReportAllocs()
 		svc := ots.NewService()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -514,6 +538,7 @@ func BenchmarkAblationRawOTSvsActivity2PC(b *testing.B) {
 		}
 	})
 	b.Run("activity-2pc", func(b *testing.B) {
+		b.ReportAllocs()
 		svc := activityservice.New()
 		coord := twopc.NewCoordinator(svc)
 		ctx := context.Background()
@@ -539,6 +564,7 @@ func BenchmarkAblationRawOTSvsActivity2PC(b *testing.B) {
 // (idempotence left to the action), dedup-wrapped, and transactional
 // exactly-once.
 func BenchmarkDelivery(b *testing.B) {
+	b.ReportAllocs()
 	ctx := context.Background()
 	mk := func(wrap func(activityservice.Action) activityservice.Action) func(*testing.B) {
 		return func(b *testing.B) {
@@ -574,6 +600,7 @@ func BenchmarkDelivery(b *testing.B) {
 // BenchmarkPropertyGroup measures §3.3 nesting behaviours across child
 // chains.
 func BenchmarkPropertyGroup(b *testing.B) {
+	b.ReportAllocs()
 	ctx := context.Background()
 	for _, vis := range []struct {
 		name string
@@ -584,6 +611,7 @@ func BenchmarkPropertyGroup(b *testing.B) {
 		{"read-only", activityservice.VisibilityReadOnly},
 	} {
 		b.Run(vis.name+"/depth=16", func(b *testing.B) {
+			b.ReportAllocs()
 			svc := activityservice.New()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -624,6 +652,7 @@ func BenchmarkPropertyGroup(b *testing.B) {
 // BenchmarkRemote2PC measures the distribution cost: the fig. 8 protocol
 // with participants behind the ORB, in-process vs TCP.
 func BenchmarkRemote2PC(b *testing.B) {
+	b.ReportAllocs()
 	run := func(b *testing.B, tcp bool) {
 		serverORB := orb.New()
 		defer serverORB.Shutdown()
@@ -674,8 +703,10 @@ func resourceAction() activityservice.Action {
 // BenchmarkRecoveryReplay measures §3.4 recovery: journal n activities,
 // then rebuild the tree from the log.
 func BenchmarkRecoveryReplay(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{10, 100} {
 		b.Run(fmt.Sprintf("activities=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			log := ots.NewMemoryLog()
 			svc := activityservice.New(activityservice.WithJournal(log))
 			for i := 0; i < n; i++ {
@@ -706,8 +737,10 @@ func BenchmarkRecoveryReplay(b *testing.B) {
 
 // BenchmarkOTSNestedCommit measures nested transaction cost by depth.
 func BenchmarkOTSNestedCommit(b *testing.B) {
+	b.ReportAllocs()
 	for _, depth := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			svc := ots.NewService()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -770,6 +803,7 @@ func watchGoroutinePeak() (*atomic.Int64, func()) {
 // tail latency; the admission-bounded server keeps both flat by shedding
 // the excess fast.
 func BenchmarkOverload(b *testing.B) {
+	b.ReportAllocs()
 	const (
 		fanIn       = 64
 		servantWork = 200 * time.Microsecond
@@ -837,10 +871,12 @@ func BenchmarkOverload(b *testing.B) {
 	}
 
 	b.Run(fmt.Sprintf("fanin=%d/unbounded", fanIn), func(b *testing.B) {
+		b.ReportAllocs()
 		run(b)
 	})
 	for _, limit := range []int{8, 16} {
 		b.Run(fmt.Sprintf("fanin=%d/maxinflight=%d", fanIn, limit), func(b *testing.B) {
+			b.ReportAllocs()
 			run(b,
 				orb.WithMaxInflight(limit),
 				orb.WithAdmissionQueue(limit, 5*time.Millisecond),
@@ -859,6 +895,7 @@ func BenchmarkOverload(b *testing.B) {
 // p99 reported so the selector's tail is visible too. The redesign's
 // budget: steady-state selector overhead within 5% of the baseline.
 func BenchmarkFailover(b *testing.B) {
+	b.ReportAllocs()
 	ctx := context.Background()
 	startNode := func(b *testing.B) (*orb.ORB, string) {
 		b.Helper()
@@ -913,11 +950,13 @@ func BenchmarkFailover(b *testing.B) {
 	}
 
 	b.Run("single-profile", func(b *testing.B) {
+		b.ReportAllocs()
 		node, ep := startNode(b)
 		defer node.Shutdown()
 		run(b, orb.NewIOR("IDL:bench/Echo:1.0", "bench-obj", ep))
 	})
 	b.Run("two-profile/steady", func(b *testing.B) {
+		b.ReportAllocs()
 		node, ep := startNode(b)
 		defer node.Shutdown()
 		backupNode, backupEp := startNode(b)
@@ -925,6 +964,7 @@ func BenchmarkFailover(b *testing.B) {
 		run(b, orb.NewIOR("IDL:bench/Echo:1.0", "bench-obj", ep, backupEp))
 	})
 	b.Run("two-profile/primary-down", func(b *testing.B) {
+		b.ReportAllocs()
 		node, ep := startNode(b)
 		defer node.Shutdown()
 		run(b, orb.NewIOR("IDL:bench/Echo:1.0", "bench-obj", deadBenchEndpoint(b), ep))

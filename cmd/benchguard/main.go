@@ -1,0 +1,128 @@
+// Command benchguard is the CI allocation-regression gate: it parses `go
+// test -bench -benchmem` output from stdin and fails when a benchmark's
+// allocs/op exceeds its pinned threshold.
+//
+// Usage:
+//
+//	go test -run=xxx -bench BenchmarkWirePath -benchtime=100x -benchmem ./internal/orb/ |
+//	  go run ./cmd/benchguard \
+//	    -max-allocs 'BenchmarkWirePath/body=0/serial=6' \
+//	    -max-allocs 'BenchmarkWirePath/body=4096/serial=8'
+//
+// Each -max-allocs takes "prefix=limit": every benchmark result line
+// whose name starts with prefix (the trailing -N GOMAXPROCS suffix is
+// ignored) must report allocs/op <= limit. A rule that matches no line
+// fails too, so a renamed benchmark cannot silently disable its gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// rule is one "prefix=limit" allocation bound.
+type rule struct {
+	prefix string
+	limit  float64
+	hits   int
+}
+
+// ruleList implements flag.Value for repeated -max-allocs flags.
+type ruleList []*rule
+
+// String implements flag.Value.
+func (r *ruleList) String() string { return fmt.Sprintf("%d rules", len(*r)) }
+
+// Set implements flag.Value, parsing "prefix=limit".
+func (r *ruleList) Set(v string) error {
+	eq := strings.LastIndex(v, "=")
+	if eq <= 0 {
+		return fmt.Errorf("want prefix=limit, got %q", v)
+	}
+	limit, err := strconv.ParseFloat(v[eq+1:], 64)
+	if err != nil {
+		return fmt.Errorf("bad limit in %q: %v", v, err)
+	}
+	*r = append(*r, &rule{prefix: v[:eq], limit: limit})
+	return nil
+}
+
+func main() {
+	var rules ruleList
+	flag.Var(&rules, "max-allocs", "allocs/op bound as 'benchmark-name-prefix=limit' (repeatable)")
+	flag.Parse()
+	if len(rules) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no -max-allocs rules given")
+		os.Exit(2)
+	}
+
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the stream through for the CI log
+		name, allocs, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		for _, r := range rules {
+			if !benchMatches(name, r.prefix) {
+				continue
+			}
+			r.hits++
+			if allocs > r.limit {
+				failed = true
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: %.1f allocs/op exceeds limit %.1f (rule %s)\n",
+					name, allocs, r.limit, r.prefix)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: read stdin:", err)
+		os.Exit(2)
+	}
+	for _, r := range rules {
+		if r.hits == 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL rule %s matched no benchmark line (renamed or not run?)\n", r.prefix)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchguard: all allocation bounds hold")
+}
+
+// parseBenchLine extracts (name, allocs/op) from one `go test -benchmem`
+// result line; ok is false for any other line.
+func parseBenchLine(line string) (string, float64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	fields := strings.Fields(line)
+	for i := 0; i+1 < len(fields); i++ {
+		if fields[i+1] == "allocs/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return fields[0], v, true
+		}
+	}
+	return "", 0, false
+}
+
+// benchMatches reports whether a result line's benchmark name falls under
+// a rule prefix, ignoring the trailing -GOMAXPROCS suffix go test adds.
+func benchMatches(name, prefix string) bool {
+	if !strings.HasPrefix(name, prefix) {
+		return false
+	}
+	rest := name[len(prefix):]
+	return rest == "" || rest[0] == '/' || rest[0] == '-'
+}

@@ -10,17 +10,24 @@
 //	benchsweep -iters 2000
 //	benchsweep -sweep 2pc      # one sweep: 2pc | fanout | chain | delivery |
 //	                           #            remote | remotefanout | overload |
-//	                           #            failover
+//	                           #            failover | wire
 //	benchsweep -sweep remotefanout -pool 8   # pin the client pool size
 //	benchsweep -sweep overload               # admission control at saturation:
 //	                                         # p50/p99/shed vs -max-inflight
 //	benchsweep -sweep failover               # multi-profile selector cost:
 //	                                         # single vs multi-profile refs,
 //	                                         # healthy vs downed primary
+//	benchsweep -sweep wire                   # raw request/reply wire path:
+//	                                         # RTT + allocs/op, small and 4KB
+//	                                         # bodies, 1 and 64 callers
+//	benchsweep -json BENCH_BASELINE.json     # also dump every data point as
+//	                                         # JSON (the committed perf
+//	                                         # baseline future PRs diff)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -43,14 +50,51 @@ import (
 // 0 lets each sweep use its own defaults (remotefanout sweeps 1, 4, 16).
 var poolSize int
 
+// benchResult is one sweep data point, the unit of the -json dump.
+type benchResult struct {
+	Sweep  string  `json:"sweep"`
+	Config string  `json:"config"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+// baseline is the -json document: enough metadata to judge whether two
+// dumps are comparable, then the flat result list.
+type baseline struct {
+	Iters   int           `json:"iters"`
+	MaxProc int           `json:"gomaxprocs"`
+	Results []benchResult `json:"results"`
+}
+
+// recorded accumulates data points when -json is set.
+var recorded []benchResult
+
+// record captures one data point for the -json dump (and is a no-op
+// otherwise, so the table output stays the primary interface).
+func record(sweep, config, metric string, v float64) {
+	recorded = append(recorded, benchResult{Sweep: sweep, Config: config, Metric: metric, Value: v})
+}
+
 func main() {
 	iters := flag.Int("iters", 500, "iterations per data point")
-	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout|overload|failover); empty = all")
+	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout|overload|failover|wire); empty = all")
+	jsonPath := flag.String("json", "", "also write every data point as JSON to this file (perf baseline)")
 	flag.IntVar(&poolSize, "pool", 0, "client connection pool size for remote sweeps (0 = sweep defaults)")
 	flag.Parse()
 	if err := run(*iters, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		doc := baseline{Iters: *iters, MaxProc: runtime.GOMAXPROCS(0), Results: recorded}
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: write json:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -63,6 +107,7 @@ var sweeps = map[string]func(iters int) error{
 	"remotefanout": sweepRemoteFanout,
 	"overload":     sweepOverload,
 	"failover":     sweepFailover,
+	"wire":         sweepWire,
 }
 
 func run(iters int, which string) error {
@@ -154,6 +199,8 @@ func sweep2PC(iters int) error {
 		if err != nil {
 			return err
 		}
+		record("2pc", fmt.Sprintf("participants=%d", n), "activity-ns/op", act)
+		record("2pc", fmt.Sprintf("participants=%d", n), "raw-ots-ns/op", raw)
 		fmt.Printf("%-14d %14.0f %14.0f %9.2fx\n", n, act, raw, act/raw)
 	}
 	return nil
@@ -185,6 +232,7 @@ func sweepFanout(iters int) error {
 		if err != nil {
 			return err
 		}
+		record("fanout", fmt.Sprintf("actions=%d", n), "ns/op", ns)
 		fmt.Printf("%-10d %14.0f %16.1f\n", n, ns, ns/float64(n))
 	}
 	return nil
@@ -214,6 +262,7 @@ func sweepChain(iters int) error {
 		if err != nil {
 			return err
 		}
+		record("chain", fmt.Sprintf("steps=%d", n), "ns/op", ns)
 		fmt.Printf("%-10d %14.0f %14.1f\n", n, ns, ns/float64(n))
 	}
 	return nil
@@ -253,6 +302,7 @@ func sweepDelivery(iters int) error {
 		if err != nil {
 			return err
 		}
+		record("delivery", mode.name, "ns/op", ns)
 		fmt.Printf("%-20s %14.0f\n", mode.name, ns)
 	}
 	return nil
@@ -305,6 +355,7 @@ func sweepRemote(iters int) error {
 		if tcp {
 			name = "tcp"
 		}
+		record("remote", name, "ns/op", ns)
 		fmt.Printf("%-10s %14.0f\n", name, ns)
 	}
 	return nil
@@ -382,6 +433,9 @@ func sweepRemoteFanout(iters int) error {
 				}
 				results[pi] = ns
 			}
+			cfg := fmt.Sprintf("fanout=%d/pool=%d", fanout, pool)
+			record("remotefanout", cfg, "serial-ns/op", results[0])
+			record("remotefanout", cfg, "parallel-ns/op", results[1])
 			fmt.Printf("%-10d %-8d %14.0f %14.0f %9.2fx\n",
 				fanout, pool, results[0], results[1], results[0]/results[1])
 		}
@@ -485,6 +539,10 @@ func sweepOverload(iters int) error {
 		if limit > 0 {
 			name = fmt.Sprintf("%d", limit)
 		}
+		record("overload", "max-inflight="+name, "p50-ns", float64(p50.Nanoseconds()))
+		record("overload", "max-inflight="+name, "p99-ns", float64(p99.Nanoseconds()))
+		record("overload", "max-inflight="+name, "shed-pct", float64(shed.Load())/float64(total)*100)
+		record("overload", "max-inflight="+name, "peak-goroutines", float64(peak.Load()))
 		fmt.Printf("%-14s %12s %12s %9.1f%% %16d\n",
 			name, p50.Round(time.Microsecond), p99.Round(time.Microsecond),
 			float64(shed.Load())/float64(total)*100, peak.Load())
@@ -540,6 +598,7 @@ func sweepFailover(iters int) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		record("failover", name, "ns/op", ns)
 		fmt.Printf("%-26s %14.0f\n", name, ns)
 		return nil
 	}
@@ -585,6 +644,83 @@ func sweepFailover(iters int) error {
 	if err != nil {
 		return fmt.Errorf("first-failover: %w", err)
 	}
+	record("failover", "first-failover-cold", "ns/op", ns)
 	fmt.Printf("%-26s %14.0f\n", "first-failover (cold)", ns)
+	return nil
+}
+
+// sweepWire measures the raw GLOP request/reply wire path the PR-5
+// rebuild targets: a no-op echo servant behind the TCP transport, small
+// and 4KB bodies, one caller (the latency view) and 64 concurrent
+// callers on one pooled connection (the write-coalescing view). Besides
+// ns/op it reports allocs/op measured with runtime.MemStats across the
+// timed loop — the steady-state allocation budget BENCH_BASELINE.json
+// pins for future PRs.
+func sweepWire(iters int) error {
+	fmt.Println("\n== wire path: echo RTT and allocs/op (pooled codecs + coalesced writes) ==")
+	fmt.Printf("%-24s %14s %14s\n", "config", "ns/op", "allocs/op")
+	ctx := context.Background()
+	for _, size := range []int{0, 4096} {
+		payload := make([]byte, size)
+		body := func() []byte {
+			e := cdr.NewEncoder(16 + size)
+			e.WriteBytes(payload)
+			return e.Bytes()
+		}()
+		for _, callers := range []int{1, 64} {
+			node := orb.New(orb.WithHealthRegistry(orb.NewHealthRegistry()))
+			ref := node.RegisterServant("IDL:sweep/Echo:1.0", orb.ServantFunc(
+				func(_ context.Context, _ string, in *cdr.Decoder) ([]byte, error) {
+					return in.ReadBytes(), nil
+				}))
+			if _, err := node.Listen("127.0.0.1:0"); err != nil {
+				return err
+			}
+			ref, _ = node.IOR(ref.Key)
+			client := orb.New(orb.WithHealthRegistry(orb.NewHealthRegistry()), orb.WithPoolSize(1))
+			if _, err := client.Invoke(ctx, ref, "echo", body); err != nil {
+				client.Shutdown()
+				node.Shutdown()
+				return err
+			}
+
+			total := iters * 4
+			var ms0, ms1 runtime.MemStats
+			start := time.Now()
+			runtime.ReadMemStats(&ms0)
+			var next atomic.Int64
+			var callErr atomic.Value
+			var wg sync.WaitGroup
+			for wkr := 0; wkr < callers; wkr++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						if next.Add(1) > int64(total) {
+							return
+						}
+						if _, err := client.Invoke(ctx, ref, "echo", body); err != nil {
+							callErr.Store(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			runtime.ReadMemStats(&ms1)
+			elapsed := time.Since(start)
+			client.Shutdown()
+			node.Shutdown()
+			if err, ok := callErr.Load().(error); ok {
+				return err
+			}
+			ns := float64(elapsed.Nanoseconds()) / float64(total)
+			allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+			cfg := fmt.Sprintf("body=%d/callers=%d", size, callers)
+			record("wire", cfg, "ns/op", ns)
+			record("wire", cfg, "allocs/op", allocs)
+			fmt.Printf("%-24s %14.0f %14.1f\n", cfg, ns, allocs)
+		}
+	}
 	return nil
 }

@@ -97,7 +97,10 @@ func encodeAny(e *Encoder, v any, depth int) error {
 	return nil
 }
 
-// DecodeAny reads a value written by EncodeAny.
+// DecodeAny reads a value written by EncodeAny. Every decoded value is an
+// owned copy — []byte values are Cloned off the stream rather than lent —
+// because any-values escape into long-lived structures (signal payloads,
+// property groups) that outlive the frame they arrived in.
 func DecodeAny(d *Decoder) (any, error) {
 	v := decodeAny(d, 0)
 	if d.err != nil {
@@ -130,7 +133,11 @@ func decodeAny(d *Decoder, depth int) any {
 	case TCString:
 		return d.ReadString()
 	case TCBytes:
-		return d.ReadBytes()
+		b := d.ReadBytesClone()
+		if b == nil && d.err == nil {
+			b = []byte{} // preserve empty-vs-nil across a round trip
+		}
+		return b
 	case TCSeq:
 		n := d.ReadUint32()
 		if d.err != nil {
@@ -173,7 +180,8 @@ func decodeAny(d *Decoder, depth int) any {
 	}
 }
 
-// MarshalAny encodes v as a standalone byte slice.
+// MarshalAny encodes v as a standalone byte slice. The result is an
+// owned copy, free of any encoder buffer.
 func MarshalAny(v any) ([]byte, error) {
 	e := NewEncoder(64)
 	if err := EncodeAny(e, v); err != nil {

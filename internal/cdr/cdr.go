@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Encoding errors.
@@ -30,8 +31,14 @@ var (
 
 // Encoder builds a CDR stream in memory. The zero value is ready to use.
 // Write methods never fail; the buffer grows as needed.
+//
+// Hot paths should acquire encoders from the package pool with GetEncoder
+// and return them with PutEncoder instead of allocating one per message;
+// a pooled encoder arrives Reset and keeps its grown capacity across uses,
+// which is what makes steady-state encoding allocation-free.
 type Encoder struct {
-	buf []byte
+	buf  []byte
+	base int // stream origin: alignment is relative to buf[base:]
 }
 
 // NewEncoder returns an Encoder with the given initial capacity.
@@ -39,20 +46,86 @@ func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
 }
 
-// Bytes returns the encoded stream. The returned slice aliases the
-// encoder's buffer; it is valid until the next Write call.
-func (e *Encoder) Bytes() []byte { return e.buf }
+// maxPooledEncoderBytes bounds the capacity a pooled encoder may retain;
+// an encoder grown past it (a one-off huge frame) is dropped instead of
+// pinning its buffer in the pool forever.
+const maxPooledEncoderBytes = 64 << 10
 
-// Len returns the current stream length.
-func (e *Encoder) Len() int { return len(e.buf) }
+// encoderPool recycles Encoders across messages (see GetEncoder).
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
 
-// Reset discards the stream contents, retaining capacity.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+// GetEncoder returns a Reset encoder from the package pool. Pair it with
+// PutEncoder once the encoded bytes have been consumed; the encoded stream
+// (Bytes, Frame) aliases the encoder's buffer, so releasing the encoder
+// invalidates it.
+func GetEncoder() *Encoder {
+	return encoderPool.Get().(*Encoder)
+}
+
+// PutEncoder resets e and returns it to the package pool. The caller must
+// not touch e — or any slice obtained from its Bytes, Frame or
+// FramePayload — afterwards. Oversized buffers are dropped rather than
+// pooled.
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > maxPooledEncoderBytes {
+		return
+	}
+	e.Reset()
+	encoderPool.Put(e)
+}
+
+// Bytes returns the encoded stream (excluding any frame length prefix
+// reserved by BeginFrame). The returned slice aliases the encoder's
+// buffer; it is valid until the next Write call or Reset.
+func (e *Encoder) Bytes() []byte { return e.buf[e.base:] }
+
+// Len returns the current stream length (excluding any frame length
+// prefix reserved by BeginFrame).
+func (e *Encoder) Len() int { return len(e.buf) - e.base }
+
+// Reset discards the stream contents and any reserved frame prefix,
+// retaining capacity.
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.base = 0
+}
+
+// BeginFrame reserves a big-endian u32 length prefix at the start of the
+// buffer and makes the byte after it the stream origin: alignment — and
+// therefore every encoded byte — is computed exactly as if the payload
+// had been encoded into its own buffer, so framing in place produces the
+// same wire bytes as the historic encode-then-copy path without the copy.
+// It must be called on an empty encoder, before any Write.
+func (e *Encoder) BeginFrame() {
+	if len(e.buf) != 0 {
+		panic("cdr: BeginFrame on a non-empty encoder")
+	}
+	e.buf = append(e.buf, 0, 0, 0, 0)
+	e.base = len(e.buf)
+}
+
+// Frame patches the reserved length prefix with the payload length and
+// returns the complete frame (prefix plus payload). The returned slice
+// aliases the encoder's buffer; it is valid until the next Write call,
+// Reset or PutEncoder. It panics if BeginFrame was not called.
+func (e *Encoder) Frame() []byte {
+	if e.base != 4 {
+		panic("cdr: Frame without BeginFrame")
+	}
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-e.base))
+	return e.buf
+}
+
+// FramePayload returns the frame payload alone (without the length
+// prefix), for transports that add their own framing. The returned slice
+// aliases the encoder's buffer.
+func (e *Encoder) FramePayload() []byte { return e.buf[e.base:] }
 
 // align pads the stream with zero bytes so the next write starts at a
-// multiple of n from the beginning of the stream.
+// multiple of n from the origin of the stream (the byte after the frame
+// prefix when BeginFrame reserved one).
 func (e *Encoder) align(n int) {
-	for len(e.buf)%n != 0 {
+	for (len(e.buf)-e.base)%n != 0 {
 		e.buf = append(e.buf, 0)
 	}
 }
@@ -123,6 +196,37 @@ type Decoder struct {
 
 // NewDecoder returns a Decoder over b. The decoder does not copy b.
 func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Reset points the decoder at b, clearing any sticky error: the zero-cost
+// way to reuse a stack- or pool-allocated Decoder across frames.
+func (d *Decoder) Reset(b []byte) {
+	d.buf = b
+	d.off = 0
+	d.err = nil
+}
+
+// decoderPool recycles Decoders across dispatches (see GetDecoder).
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// GetDecoder returns a pooled Decoder over b. Pair with PutDecoder once
+// every read is done; the hot dispatch path uses this to hand servants a
+// decoder without allocating one per request.
+func GetDecoder(b []byte) *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	d.Reset(b)
+	return d
+}
+
+// PutDecoder returns d to the pool. The caller must not touch d
+// afterwards (slices read from it keep aliasing the original buffer and
+// are governed by that buffer's lifetime, not the decoder's).
+func PutDecoder(d *Decoder) {
+	if d == nil {
+		return
+	}
+	d.Reset(nil)
+	decoderPool.Put(d)
+}
 
 // Err returns the first error encountered, or nil.
 func (d *Decoder) Err() error { return d.err }
@@ -263,32 +367,48 @@ func (d *Decoder) ReadInt64() int64 { return int64(d.ReadUint64()) }
 // ReadFloat64 reads an aligned IEEE-754 double.
 func (d *Decoder) ReadFloat64() float64 { return math.Float64frombits(d.ReadUint64()) }
 
-// ReadString reads a CDR string.
+// ReadString reads a CDR string. The returned string is a copy: it never
+// aliases the decoder's buffer, so it may be retained freely.
 func (d *Decoder) ReadString() string {
+	return string(d.ReadStringBytes())
+}
+
+// ReadStringBytes reads a CDR string but returns its bytes (without the
+// NUL terminator) as a lent sub-slice ALIASING the decoder's buffer — the
+// zero-allocation sibling of ReadString for hot paths that only need the
+// bytes transiently (a map lookup, an intern probe). Everything said
+// about ReadBytes' lifetime applies: Clone before retaining.
+func (d *Decoder) ReadStringBytes() []byte {
 	n := d.ReadUint32()
 	if d.err != nil {
-		return ""
+		return nil
 	}
 	if n == 0 {
 		d.fail(fmt.Errorf("%w: zero-length string encoding", ErrBadString))
-		return ""
+		return nil
 	}
 	if int(n) > d.Remaining() {
 		d.fail(fmt.Errorf("%w: string of %d bytes", ErrTooLong, n))
-		return ""
+		return nil
 	}
 	b := d.take(int(n))
 	if b == nil {
-		return ""
+		return nil
 	}
 	if b[len(b)-1] != 0 {
 		d.fail(fmt.Errorf("%w: missing NUL terminator", ErrBadString))
-		return ""
+		return nil
 	}
-	return string(b[:len(b)-1])
+	return b[:len(b)-1]
 }
 
-// ReadBytes reads an octet sequence. The returned slice is a copy.
+// ReadBytes reads an octet sequence. The returned slice ALIASES the
+// decoder's buffer — it is a lent sub-slice, not a copy — so it is only
+// valid while the buffer is: the ORB recycles frame buffers once dispatch
+// returns, after which a retained slice is overwritten by a later frame.
+// Anything kept past the current dispatch must be copied with Clone.
+// Lending instead of copying is what makes steady-state decoding
+// allocation-free.
 func (d *Decoder) ReadBytes() []byte {
 	n := d.ReadUint32()
 	if d.err != nil {
@@ -298,11 +418,25 @@ func (d *Decoder) ReadBytes() []byte {
 		d.fail(fmt.Errorf("%w: octet sequence of %d bytes", ErrTooLong, n))
 		return nil
 	}
-	b := d.take(int(n))
-	if b == nil {
+	return d.take(int(n))
+}
+
+// ReadBytesClone reads an octet sequence as an owned copy: Clone applied
+// to ReadBytes, for callers that retain the data past the frame.
+func (d *Decoder) ReadBytesClone() []byte {
+	return Clone(d.ReadBytes())
+}
+
+// Clone returns an owned copy of b that does not alias any decoder or
+// frame buffer (nil for an empty input). Servants and interceptors must
+// route any lent slice they retain past their dispatch — a ReadBytes
+// result, a service-context payload — through Clone, or buffer reuse will
+// overwrite it under them.
+func Clone(b []byte) []byte {
+	if len(b) == 0 {
 		return nil
 	}
-	out := make([]byte, n)
+	out := make([]byte, len(b))
 	copy(out, b)
 	return out
 }

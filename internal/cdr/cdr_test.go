@@ -202,3 +202,140 @@ func TestEncoderReset(t *testing.T) {
 		t.Fatal("encoder unusable after reset")
 	}
 }
+
+// buildStream writes one of everything through e.
+func buildStream(e *Encoder) {
+	e.WriteOctet(7)
+	e.WriteUint16(0xBEEF)
+	e.WriteUint32(0xDEADBEEF)
+	e.WriteUint64(1 << 40)
+	e.WriteString("frame me")
+	e.WriteBytes([]byte{1, 2, 3, 4, 5})
+	e.WriteFloat64(3.5)
+}
+
+// TestFrameAssemblyMatchesEncodeThenCopy pins the in-place framing
+// contract: BeginFrame/Frame must produce byte-for-byte the same wire
+// frame as the historic encode-into-own-buffer-then-prefix path, for
+// every alignment-sensitive write. This is what "wire format unchanged"
+// rests on.
+func TestFrameAssemblyMatchesEncodeThenCopy(t *testing.T) {
+	legacy := NewEncoder(0)
+	buildStream(legacy)
+	want := make([]byte, 4+legacy.Len())
+	want[0] = byte(uint32(legacy.Len()) >> 24)
+	want[1] = byte(uint32(legacy.Len()) >> 16)
+	want[2] = byte(uint32(legacy.Len()) >> 8)
+	want[3] = byte(uint32(legacy.Len()))
+	copy(want[4:], legacy.Bytes())
+
+	framed := NewEncoder(0)
+	framed.BeginFrame()
+	buildStream(framed)
+	got := framed.Frame()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("framed bytes differ from encode-then-copy:\n got %x\nwant %x", got, want)
+	}
+	if !bytes.Equal(framed.FramePayload(), legacy.Bytes()) {
+		t.Fatalf("FramePayload differs from legacy payload")
+	}
+	if framed.Len() != legacy.Len() {
+		t.Fatalf("Len = %d, want %d", framed.Len(), legacy.Len())
+	}
+}
+
+// TestEncoderPoolReuse pins the pooled-encoder lifecycle: a released
+// encoder comes back Reset (frame state included) and oversized encoders
+// are dropped rather than pooled.
+func TestEncoderPoolReuse(t *testing.T) {
+	e := GetEncoder()
+	e.BeginFrame()
+	e.WriteString("first use")
+	_ = e.Frame()
+	PutEncoder(e)
+
+	e2 := GetEncoder()
+	if e2.Len() != 0 {
+		t.Fatalf("pooled encoder not reset: len %d", e2.Len())
+	}
+	e2.BeginFrame()
+	e2.WriteUint32(99)
+	frame := e2.Frame()
+	if len(frame) != 8 { // 4-byte prefix + one u32 at payload offset 0
+		t.Fatalf("reused encoder produced %d-byte frame, want 8", len(frame))
+	}
+	PutEncoder(e2)
+
+	big := GetEncoder()
+	big.BeginFrame()
+	big.WriteRaw(make([]byte, maxPooledEncoderBytes+1))
+	PutEncoder(big) // must drop, not pool
+	next := GetEncoder()
+	if cap(next.buf) > maxPooledEncoderBytes {
+		t.Fatalf("oversized encoder buffer (cap %d) survived in the pool", cap(next.buf))
+	}
+	PutEncoder(next)
+}
+
+// TestReadBytesAliasesAndCloneOwns pins the decoder's lending contract:
+// ReadBytes aliases the stream (mutating the buffer mutates the slice —
+// what pooled frame reuse does for real), Clone and ReadBytesClone
+// detach, and ReadString is always an owned copy.
+func TestReadBytesAliasesAndCloneOwns(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteBytes([]byte("payload"))
+	e.WriteBytes([]byte("second"))
+	e.WriteString("stringy")
+	buf := append([]byte(nil), e.Bytes()...)
+
+	d := NewDecoder(buf)
+	lent := d.ReadBytes()
+	owned := d.ReadBytesClone()
+	s := d.ReadString()
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if string(lent) != "payload" || string(owned) != "second" || s != "stringy" {
+		t.Fatalf("decoded %q %q %q", lent, owned, s)
+	}
+	cloned := Clone(lent)
+
+	// Simulate frame-buffer reuse: overwrite the stream.
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if string(lent) == "payload" {
+		t.Fatal("ReadBytes result did not alias the stream (contract says it is lent)")
+	}
+	if string(cloned) != "payload" {
+		t.Fatalf("Clone mutated with the stream: %q", cloned)
+	}
+	if string(owned) != "second" {
+		t.Fatalf("ReadBytesClone mutated with the stream: %q", owned)
+	}
+	if Clone(nil) != nil || Clone([]byte{}) != nil {
+		t.Fatal("Clone of empty input must be nil")
+	}
+}
+
+// TestDecoderReset pins Reset: it clears the sticky error and re-points
+// the decoder, which is what the pooled decoders rely on.
+func TestDecoderReset(t *testing.T) {
+	d := NewDecoder([]byte{1})
+	d.ReadUint64() // truncated: sticky error
+	if d.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+	d.Reset([]byte{0, 0, 0, 5})
+	if d.Err() != nil {
+		t.Fatalf("Reset kept error: %v", d.Err())
+	}
+	if got := d.ReadUint32(); got != 5 || d.Err() != nil {
+		t.Fatalf("ReadUint32 after Reset = %d, err %v", got, d.Err())
+	}
+	pd := GetDecoder([]byte{9})
+	if got := pd.ReadOctet(); got != 9 {
+		t.Fatalf("pooled decoder read %d, want 9", got)
+	}
+	PutDecoder(pd)
+}

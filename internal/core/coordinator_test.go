@@ -277,3 +277,72 @@ func (b *brokenSet) GetSignal() (Signal, bool, error) {
 func (b *brokenSet) SetResponse(Outcome, error) (bool, error) { return false, nil }
 
 func (b *brokenSet) GetOutcome() (Outcome, error) { return Outcome{}, nil }
+
+// TestCoordinatorStripedRegistrationStress hammers the striped
+// registration map from many goroutines — concurrent AddAction,
+// RemoveAction and ActionCount across many sets, including sets that
+// collide on one stripe — and then verifies no registration was lost or
+// double-removed: the exact survivor count per set, with every removal
+// having reported true exactly once. Run under -race this also pins the
+// striping's memory-safety.
+func TestCoordinatorStripedRegistrationStress(t *testing.T) {
+	coord := newCoordinator("stress", testGen(), nil, RetryPolicy{Attempts: 1}, DeliveryPolicy{}, nil)
+	const (
+		sets       = 3 * regStripes // several sets per stripe on average
+		workers    = 8
+		perWorker  = 50 // adds per worker per set
+		removeEach = 20 // removals per worker per set
+	)
+	setName := func(i int) string { return fmt.Sprintf("set-%d", i) }
+
+	type rm struct {
+		set string
+		id  ActionID
+	}
+	var wg sync.WaitGroup
+	removedCh := make(chan rm, sets*workers*removeEach)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < sets; s++ {
+				name := setName(s)
+				ids := make([]ActionID, 0, perWorker)
+				for i := 0; i < perWorker; i++ {
+					ids = append(ids, coord.AddAction(name, noopTestAction{}))
+					coord.ActionCount(name) // reader mixed into the storm
+				}
+				for i := 0; i < removeEach; i++ {
+					if !coord.RemoveAction(name, ids[i]) {
+						t.Errorf("RemoveAction(%s, %v) lost a registration it owned", name, ids[i])
+						return
+					}
+					removedCh <- rm{set: name, id: ids[i]}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(removedCh)
+
+	// Every removal reported true exactly once; removing again must fail.
+	for r := range removedCh {
+		if coord.RemoveAction(r.set, r.id) {
+			t.Fatalf("RemoveAction(%s, %v) succeeded twice", r.set, r.id)
+		}
+	}
+	want := workers * (perWorker - removeEach)
+	for s := 0; s < sets; s++ {
+		if got := coord.ActionCount(setName(s)); got != want {
+			t.Fatalf("set %s: %d registrations survived, want %d", setName(s), got, want)
+		}
+	}
+}
+
+// noopTestAction is a minimal Action for registration-only tests.
+type noopTestAction struct{}
+
+// ProcessSignal implements Action.
+func (noopTestAction) ProcessSignal(context.Context, Signal) (Outcome, error) {
+	return Outcome{Name: "ok"}, nil
+}

@@ -190,7 +190,9 @@ func (s *Service) Recover(log *wal.Log) ([]*Activity, error) {
 		case RecordSetReg:
 			id = readUID()
 			factory := d.ReadString()
-			params := d.ReadBytes()
+			// Clone: the params outlive the replay callback (and with it any
+			// reuse of the record's buffer by the journal).
+			params := d.ReadBytesClone()
 			if rec, ok := records[id]; ok && d.Err() == nil {
 				rec.sets = append(rec.sets, recoveredSet{factory: factory, params: params})
 			}
@@ -198,7 +200,7 @@ func (s *Service) Recover(log *wal.Log) ([]*Activity, error) {
 			id = readUID()
 			setName := d.ReadString()
 			factory := d.ReadString()
-			params := d.ReadBytes()
+			params := d.ReadBytesClone() // retained past the replay callback
 			if rec, ok := records[id]; ok && d.Err() == nil {
 				rec.actions = append(rec.actions, recoveredAction{setName: setName, factory: factory, params: params})
 			}

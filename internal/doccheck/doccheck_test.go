@@ -18,7 +18,7 @@ import (
 
 // checkedPackages are the directories whose exported surface must be
 // fully documented, relative to this package.
-var checkedPackages = []string{"../orb", "../core"}
+var checkedPackages = []string{"../orb", "../core", "../cdr"}
 
 // TestExportedIdentifiersHaveDocComments parses each checked package
 // (tests excluded) and fails with one line per undocumented exported
@@ -55,6 +55,73 @@ func TestExportedIdentifiersHaveDocComments(t *testing.T) {
 			}
 		})
 	}
+}
+
+// aliasWords are the doc-comment markers that satisfy the byte-slice
+// aliasing contract: a doc must say whether the returned bytes alias the
+// source buffer (are lent) or are an owned copy.
+var aliasWords = []string{"alias", "copy", "copies", "clone", "lend", "lent", "owned"}
+
+// TestCdrByteSliceDocsStateAliasing enforces the buffer-ownership
+// contract the pooled wire path depends on: every exported function or
+// method in internal/cdr that returns a []byte must say in its doc
+// comment whether the slice aliases (is lent from) the underlying buffer
+// or is an owned copy. Buffer reuse makes a silent alias a data
+// corruption, so the contract must be visible at every source of a byte
+// slice, forever.
+func TestCdrByteSliceDocsStateAliasing(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "../cdr", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() || !exportedReceiver(fd) || !returnsByteSlice(fd) {
+					continue
+				}
+				pos := fset.Position(fd.Pos())
+				if fd.Doc == nil {
+					t.Errorf("%s:%d: %s returns []byte but has no doc comment stating the aliasing contract",
+						filepath.Base(pos.Filename), pos.Line, fd.Name.Name)
+					continue
+				}
+				doc := strings.ToLower(fd.Doc.Text())
+				stated := false
+				for _, wd := range aliasWords {
+					if strings.Contains(doc, wd) {
+						stated = true
+						break
+					}
+				}
+				if !stated {
+					t.Errorf("%s:%d: %s returns []byte but its doc comment never says whether the slice aliases the buffer or is a copy (mention one of %v)",
+						filepath.Base(pos.Filename), pos.Line, fd.Name.Name, aliasWords)
+				}
+			}
+		}
+	}
+}
+
+// returnsByteSlice reports whether fd's results include a []byte.
+func returnsByteSlice(fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, r := range fd.Type.Results.List {
+		arr, ok := r.Type.(*ast.ArrayType)
+		if !ok || arr.Len != nil {
+			continue
+		}
+		if id, ok := arr.Elt.(*ast.Ident); ok && id.Name == "byte" {
+			return true
+		}
+	}
+	return false
 }
 
 // checkDecl returns a description per undocumented exported identifier in

@@ -11,10 +11,6 @@ const (
 	// defaultShedAfter bounds how long an admitted-but-queued request may
 	// wait for a dispatch slot before it is shed with TRANSIENT.
 	defaultShedAfter = 100 * time.Millisecond
-	// shedBuffer bounds the per-connection backlog of shed replies waiting
-	// on the connection's write lock; overflow is dropped (the client is
-	// not draining its socket).
-	shedBuffer = 256
 )
 
 // admission is the server-side overload gate: a fixed pool of dispatch
@@ -27,9 +23,10 @@ const (
 //
 // The gate also bounds the server's handler goroutines: at most
 // maxInflight dispatches plus queueMax waiters exist at any moment, plus
-// one shed-writer goroutine per connection draining a bounded reply
-// buffer; if that buffer fills behind a client that has stopped draining
-// its socket, further shed replies are dropped outright (see serveConn).
+// one kicker goroutine per connection flushing shed replies through the
+// connection's bounded reply queue; if that queue fills behind a client
+// that has stopped draining its socket, further shed replies are dropped
+// outright (see serveConn).
 type admission struct {
 	slots     chan struct{} // buffered to maxInflight; len = in-flight dispatches
 	queueMax  int

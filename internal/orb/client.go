@@ -2,11 +2,14 @@ package orb
 
 import (
 	"context"
+	"encoding/binary"
 	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
 )
 
 // Client transport defaults. All are per-ORB configurable (WithPoolSize,
@@ -148,12 +151,19 @@ func (p *endpointPool) warm(n int) {
 	}
 }
 
-// clientConn multiplexes concurrent requests over one transport connection.
+// clientConn multiplexes concurrent requests over one transport
+// connection. All writes flow through a combining frameWriter (writer.go)
+// draining a bounded queue of pooled frame encoders: frames enqueued by
+// concurrent fan-out callers while a write is in flight coalesce into one
+// vectored write, so the connection costs one syscall per batch instead
+// of two per frame — while an uncontended caller writes inline with no
+// goroutine handoff.
 type clientConn struct {
 	pool *endpointPool
 	tc   Conn
+	w    *frameWriter
 
-	writeMu sync.Mutex
+	stop chan struct{} // closed by close(); unblocks queued senders
 
 	mu      sync.Mutex
 	pending map[uint64]chan reply
@@ -170,21 +180,25 @@ type clientConn struct {
 // is unknown, so transparently re-running the operation elsewhere could
 // break exactly-once expectations.
 func (o *ORB) invokeRemote(ctx context.Context, ref IOR, op string, contexts []ServiceContext, body []byte) ([]byte, error) {
-	var affKey string
-	if len(ref.Profiles) > 1 {
-		// Affinity only matters when there is a choice; the dominant
-		// single-profile path skips the key construction entirely.
-		affKey = affinityKey(ref)
-	}
-	eps, affinity := o.selectEndpoints(ref, affKey)
-	if len(eps) == 0 {
-		return nil, Systemf(CodeNoImplement, "object %q has no reachable profile (endpoints %v)", ref.Key, ref.Endpoints())
-	}
 	callerCtx := ctx
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline && o.callTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.callTimeout)
 		defer cancel()
+	}
+	if len(ref.Profiles) == 1 {
+		// The dominant single-profile path: no choice to rank, so it skips
+		// the affinity key, the selector and the ordered-endpoints slice —
+		// the steady-state invoke allocates nothing here.
+		if ep := ref.Profiles[0].Endpoint; strings.HasPrefix(ep, "tcp:") {
+			return o.invokeEndpoint(ctx, callerCtx, ep, ref, op, contexts, body)
+		}
+		return nil, Systemf(CodeNoImplement, "object %q has no reachable profile (endpoints %v)", ref.Key, ref.Endpoints())
+	}
+	affKey := affinityKey(ref)
+	eps, affinity := o.selectEndpoints(ref, affKey)
+	if len(eps) == 0 {
+		return nil, Systemf(CodeNoImplement, "object %q has no reachable profile (endpoints %v)", ref.Key, ref.Endpoints())
 	}
 	var lastErr error
 	for _, ep := range eps {
@@ -324,10 +338,14 @@ func (o *ORB) recordAffinity(endpoint, key string) {
 }
 
 // invokeOverPool performs one admitted invocation through the endpoint's
-// connection pool.
+// connection pool. The steady-state path is allocation-free: the request
+// frame is built in a pooled encoder (released by the writer goroutine
+// after the coalesced write), the reply channel comes from a pool, and
+// the reply body arrives in a pooled frame buffer that is cloned into a
+// caller-owned slice before the buffer is recycled.
 func (o *ORB) invokeOverPool(ctx context.Context, pool *endpointPool, ref IOR, op string, contexts []ServiceContext, body []byte) ([]byte, error) {
 	reqID := o.reqID.Add(1)
-	ch := make(chan reply, 1)
+	ch := getReplyChan()
 
 	// A connection picked from the pool can be torn down between the pick
 	// and the registration (its read loop may observe the peer dying at any
@@ -337,34 +355,56 @@ func (o *ORB) invokeOverPool(ctx context.Context, pool *endpointPool, ref IOR, o
 		var err error
 		c, err = pool.get(ctx)
 		if err != nil {
+			putReplyChan(ch) // never registered: no sender can exist
 			return nil, err
 		}
 		if err = c.register(reqID, ch); err == nil {
 			break
 		}
 		if attempt >= o.poolSize {
+			putReplyChan(ch)
 			return nil, err
 		}
 	}
-	defer c.unregister(reqID)
 
-	frame := encodeRequest(request{
+	enc := encodeRequestFrame(request{
 		requestID: reqID,
 		objectKey: ref.Key,
 		operation: op,
 		contexts:  contexts,
 		body:      body,
 	})
-	if err := c.send(frame); err != nil {
+	if err := c.send(enc); err != nil {
+		cdr.PutEncoder(enc) // never enqueued; the caller still owns it
+		if c.unregister(reqID) {
+			putReplyChan(ch)
+		}
 		pool.drop(c, Systemf(CodeCommFailure, "connection to %s lost", pool.endpoint))
-		// The request never left (or partially left) this host: TRANSIENT.
+		// The request never left this host: TRANSIENT.
 		return nil, Systemf(CodeTransient, "send to %s: %v", pool.endpoint, err)
 	}
 
 	select {
 	case rep := <-ch:
+		// The sender removed the pending entry and completed its one send;
+		// nobody else can touch ch, so it is safe to recycle.
+		putReplyChan(ch)
 		return replyToResult(rep)
 	case <-ctx.Done():
+		if c.unregister(reqID) {
+			// This caller removed the entry itself: no send can ever happen.
+			putReplyChan(ch)
+		} else {
+			// A sender beat the timeout to the entry. If its reply already
+			// sits in the buffer, consume it and recycle; otherwise the send
+			// is still in flight — abandon ch to the garbage collector.
+			select {
+			case rep := <-ch:
+				rep.release()
+				putReplyChan(ch)
+			default:
+			}
+		}
 		return nil, Systemf(CodeTimeout, "invoking %s on %s: %v", op, pool.endpoint, ctx.Err())
 	}
 }
@@ -409,6 +449,23 @@ func (o *ORB) PooledEndpoints() []string {
 // marked down (in the shared health registry — possibly by another ORB's
 // pool) and nothing is live, get fails fast without touching the network.
 func (p *endpointPool) get(ctx context.Context) (*clientConn, error) {
+	// Steady-state fast path: the pool is at its bound with live
+	// connections, so no dial or wait can be needed — skip the
+	// context.AfterFunc wake-up plumbing (an allocation per call) that
+	// only the blocking path uses.
+	p.mu.Lock()
+	if !p.closed && len(p.conns) >= p.orb.poolSize && ctx.Err() == nil {
+		if c := p.leastPendingLocked(); c != nil {
+			p.mu.Unlock()
+			return c, nil
+		}
+	}
+	p.mu.Unlock()
+	return p.getSlow(ctx)
+}
+
+// getSlow is get's dial-or-wait path.
+func (p *endpointPool) getSlow(ctx context.Context) (*clientConn, error) {
 	// Wake this waiter if its context dies while it blocks in Wait below.
 	stopWake := context.AfterFunc(ctx, func() {
 		p.mu.Lock()
@@ -489,7 +546,22 @@ func (p *endpointPool) dial(ctx context.Context) (*clientConn, error) {
 		tc.Close()
 		return nil, Systemf(CodeCommFailure, "orb shut down")
 	}
-	c := &clientConn{pool: p, tc: tc, pending: make(map[uint64]chan reply)}
+	c := &clientConn{
+		pool:    p,
+		tc:      tc,
+		stop:    make(chan struct{}),
+		pending: make(map[uint64]chan reply),
+	}
+	bw, _ := tc.(frameBatchWriter)
+	c.w = newFrameWriter(writeQueueDepth, bw, tc.WriteFrame, func(unsent []*cdr.Encoder) {
+		// Requests in a failed write batch never left (or only partially
+		// left) this host: fail them with TRANSIENT — the historic
+		// synchronous-send contract, which lets the caller retry or fail
+		// over to another profile — before the drop converts everything
+		// already on the wire to COMM_FAILURE (completion unknown).
+		c.failUnsent(unsent)
+		c.pool.drop(c, Systemf(CodeCommFailure, "connection to %s lost", c.pool.endpoint))
+	})
 	p.conns = append(p.conns, c)
 	p.health.dialOK()
 	p.cond.Broadcast()
@@ -636,10 +708,18 @@ func (c *clientConn) register(id uint64, ch chan reply) error {
 	return nil
 }
 
-func (c *clientConn) unregister(id uint64) {
+// unregister removes a pending entry, reporting whether this caller
+// removed it. Whoever removes the entry owns the single reply send that
+// will ever target its channel: a true return therefore proves no sender
+// exists and the channel may be recycled.
+func (c *clientConn) unregister(id uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.pending[id]; !ok {
+		return false
+	}
 	delete(c.pending, id)
+	return true
 }
 
 // load counts in-flight requests (the least-pending pick key).
@@ -649,25 +729,82 @@ func (c *clientConn) load() int {
 	return len(c.pending)
 }
 
-func (c *clientConn) send(frame []byte) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	return c.tc.WriteFrame(frame)
+// send hands a complete request frame (a pooled encoder, ownership
+// included) to the connection's combining writer. On success the writer
+// releases the encoder after the frame is written (often by this very
+// goroutine, inline, batched with whatever concurrent callers enqueued
+// meanwhile); on error the caller still owns it. A full queue blocks
+// until a combiner drains or the connection dies.
+func (c *clientConn) send(enc *cdr.Encoder) error {
+	select {
+	case c.w.q <- enc:
+	case <-c.stop:
+		return Systemf(CodeCommFailure, "connection to %s closed", c.pool.endpoint)
+	}
+	c.w.combine()
+	return nil
+}
+
+// failUnsent fails the pending calls behind unwritten (or only partially
+// written) request frames with TRANSIENT, before the connection drop
+// converts everything else to COMM_FAILURE. The request id sits at a
+// fixed offset in the frame payload (magic, version, type, pad, u64), so
+// no full decode is needed.
+func (c *clientConn) failUnsent(unsent []*cdr.Encoder) {
+	for _, e := range unsent {
+		p := e.FramePayload()
+		if len(p) < 16 {
+			continue
+		}
+		id := binary.BigEndian.Uint64(p[8:16])
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- reply{
+				requestID: id,
+				status:    replySystemErr,
+				errCode:   string(CodeTransient),
+				errDetail: "request not sent: connection to " + c.pool.endpoint + " lost",
+			}
+		}
+	}
 }
 
 // readLoop delivers replies to waiting callers until the connection dies.
+// Frames are read into pooled buffers when the transport supports reuse
+// (rep.fb tracks ownership; the caller that consumes the reply releases
+// the buffer) and into fresh allocations otherwise.
 func (c *clientConn) readLoop() {
+	rr, _ := c.tc.(frameReuseReader)
 	for {
-		frame, err := c.tc.ReadFrame()
+		var (
+			frame []byte
+			fb    *frameBuf
+			err   error
+		)
+		if rr != nil {
+			fb = getFrameBuf()
+			fb.b, err = rr.ReadFrameReuse(fb.b)
+			frame = fb.b
+		} else {
+			frame, err = c.tc.ReadFrame()
+		}
 		if err != nil {
+			putFrameBuf(fb)
 			c.pool.drop(c, Systemf(CodeCommFailure, "connection to %s lost", c.pool.endpoint))
 			return
 		}
 		rep, err := decodeReply(frame)
 		if err != nil {
+			putFrameBuf(fb)
 			c.pool.drop(c, Systemf(CodeCommFailure, "connection to %s lost", c.pool.endpoint))
 			return
 		}
+		rep.fb = fb
 		c.mu.Lock()
 		ch, ok := c.pending[rep.requestID]
 		if ok {
@@ -676,12 +813,16 @@ func (c *clientConn) readLoop() {
 		c.mu.Unlock()
 		if ok {
 			ch <- rep
+		} else {
+			// No waiter (it timed out and unregistered): the frame is dead.
+			rep.release()
 		}
 	}
 }
 
-// close fails every pending call with a COMM_FAILURE-style reply. A call
-// in flight when the connection dies has unknown completion.
+// close fails every pending call with a COMM_FAILURE-style reply and
+// stops the writer goroutine. A call in flight when the connection dies
+// has unknown completion.
 func (c *clientConn) close(cause *SystemError) {
 	c.mu.Lock()
 	if c.closed {
@@ -693,6 +834,7 @@ func (c *clientConn) close(cause *SystemError) {
 	c.pending = make(map[uint64]chan reply)
 	c.mu.Unlock()
 
+	close(c.stop)
 	c.tc.Close()
 	for id, ch := range pending {
 		ch <- reply{

@@ -22,8 +22,20 @@ import (
 // which is the point in production and a surprise in a test that reuses
 // the address. A HealthRegistry is safe for concurrent use.
 type HealthRegistry struct {
+	// now is the registry's clock, a test seam for the age-based pruning
+	// (nil means time.Now).
+	now func() time.Time
+
 	mu  sync.Mutex
 	eps map[string]*endpointHealth
+}
+
+// clock returns the registry's notion of now.
+func (h *HealthRegistry) clock() time.Time {
+	if h.now != nil {
+		return h.now()
+	}
+	return time.Now()
 }
 
 // ProcessHealthRegistry is the process-wide default registry every ORB
@@ -40,6 +52,15 @@ func NewHealthRegistry() *HealthRegistry {
 // a long-lived process contacting churning endpoints (ephemeral ports,
 // autoscaled replicas) cannot grow it without bound.
 const maxHealthEntries = 4096
+
+// maxUnhealthyAge is how long an unpinned record's dirty verdict (dial
+// failures, an open down window or breaker window) may go untouched
+// before the eviction sweep prunes it anyway. A peer that died for good
+// used to park its record behind the clean-first eviction forever; a
+// verdict this stale is worth at most one re-learned dial failure, so
+// dropping it is nearly lossless and keeps a churning deployment's sweep
+// from degenerating into the wholesale keep-only-pinned reset.
+const maxUnhealthyAge = 15 * time.Minute
 
 // entry returns the shared record for endpoint, creating it on first use.
 // At the size bound, unpinned records indistinguishable from a fresh one
@@ -71,7 +92,7 @@ func (h *HealthRegistry) entryLocked(endpoint string) *endpointHealth {
 	e, ok := h.eps[endpoint]
 	if !ok {
 		if len(h.eps) >= maxHealthEntries {
-			h.evictCleanLocked(time.Now())
+			h.evictCleanLocked(h.clock())
 			if len(h.eps) >= maxHealthEntries {
 				// Everything left is dirty (a wide outage with endpoint
 				// churn): keep only the records live pools pin and drop
@@ -99,14 +120,19 @@ func (h *HealthRegistry) entryLocked(endpoint string) *endpointHealth {
 
 // evictCleanLocked drops every unpinned record whose verdict equals a
 // fresh record's — a lossless eviction: no live pool feeds the record,
-// and a re-created record carries the same (clean) verdict.
+// and a re-created record carries the same (clean) verdict. It also
+// prunes unpinned records whose dirty verdict has gone untouched for
+// maxUnhealthyAge: records for peers that stayed unhealthy forever used
+// to linger here indefinitely, and a verdict that stale costs at most
+// one re-learned dial failure to reconstruct.
 func (h *HealthRegistry) evictCleanLocked(now time.Time) {
 	for ep, e := range h.eps {
 		e.mu.Lock()
 		clean := e.refs == 0 && e.failures == 0 &&
 			!now.Before(e.downUntil) && !now.Before(e.breakerOpenUntil)
+		stale := e.refs == 0 && !clean && now.Sub(e.touched) > maxUnhealthyAge
 		e.mu.Unlock()
-		if clean {
+		if clean || stale {
 			delete(h.eps, ep)
 		}
 	}
@@ -155,6 +181,7 @@ type endpointHealth struct {
 	failures         int       // consecutive dial failures, all ORBs
 	downUntil        time.Time // dial gate: fail fast until then
 	breakerOpenUntil time.Time // latest breaker-open window reported
+	touched          time.Time // last verdict change, for age-based pruning
 }
 
 // acquire returns the record for endpoint pinned against eviction; pools
@@ -184,6 +211,7 @@ func (e *endpointHealth) dialFailed(now time.Time, backoff func(failures int) ti
 	e.mu.Lock()
 	e.failures++
 	e.downUntil = now.Add(backoff(e.failures))
+	e.touched = now
 	e.mu.Unlock()
 }
 
@@ -192,6 +220,7 @@ func (e *endpointHealth) dialOK() {
 	e.mu.Lock()
 	e.failures = 0
 	e.downUntil = time.Time{}
+	e.touched = time.Now()
 	e.mu.Unlock()
 }
 
@@ -209,6 +238,7 @@ func (e *endpointHealth) reportBreakerOpen(until time.Time) {
 	if until.After(e.breakerOpenUntil) {
 		e.breakerOpenUntil = until
 	}
+	e.touched = time.Now()
 	e.mu.Unlock()
 }
 

@@ -1,0 +1,95 @@
+package orb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fillDirty plants n unpinned records with one dial failure each (dirty
+// verdicts) at the fake clock's current time.
+func fillDirty(h *HealthRegistry, n int, prefix string, now time.Time) {
+	backoff := func(int) time.Duration { return time.Millisecond }
+	for i := 0; i < n; i++ {
+		h.entry(fmt.Sprintf("tcp:%s-%d", prefix, i)).dialFailed(now, backoff)
+	}
+}
+
+// TestHealthRegistryAgePruning pins the age-based pruning with a fake
+// clock: at the size bound, unpinned records whose dirty verdict has gone
+// untouched for maxUnhealthyAge are pruned, fresher dirty records
+// survive, and pinned records survive regardless of age — so a fleet of
+// peers that died forever no longer parks the registry at the bound's
+// degenerate keep-only-pinned reset.
+func TestHealthRegistryAgePruning(t *testing.T) {
+	t0 := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	now := t0
+	h := NewHealthRegistry()
+	h.now = func() time.Time { return now }
+
+	// A pinned stale-dirty record: must survive every sweep.
+	pinned := h.acquire("tcp:pinned:1")
+	pinned.dialFailed(t0, func(int) time.Duration { return time.Millisecond })
+
+	// Fill to the bound with dirty records; all stamped t0.
+	fillDirty(h, maxHealthEntries-1, "old", t0)
+	if got := len(h.eps); got != maxHealthEntries {
+		t.Fatalf("registry holds %d records, want %d", got, maxHealthEntries)
+	}
+
+	// Before maxUnhealthyAge passes, an insert at the bound finds nothing
+	// clean and nothing stale: the wholesale keep-only-pinned reset runs
+	// (the pre-pruning behaviour), which keeps only the pinned record and
+	// the new insert.
+	now = t0.Add(maxUnhealthyAge / 2)
+	h.entry("tcp:new:fresh")
+	if got := len(h.eps); got != 2 {
+		t.Fatalf("fresh-dirty sweep kept %d records, want 2 (pinned + new)", got)
+	}
+	if _, ok := h.eps["tcp:pinned:1"]; !ok {
+		t.Fatal("pinned record lost in wholesale reset")
+	}
+
+	// Refill: half old (stamped now), advance past maxUnhealthyAge, half
+	// young. The next insert's sweep must prune exactly the old unpinned
+	// cohort and keep the young one — no wholesale reset.
+	old := now
+	fillDirty(h, maxHealthEntries/2, "old2", old)
+	now = old.Add(maxUnhealthyAge + time.Minute)
+	young := now
+	youngCount := maxHealthEntries - len(h.eps)
+	fillDirty(h, youngCount, "young", young)
+	if got := len(h.eps); got != maxHealthEntries {
+		t.Fatalf("refill holds %d records, want %d", got, maxHealthEntries)
+	}
+	h.entry("tcp:new:after-age")
+	if _, ok := h.eps["tcp:old2-0"]; ok {
+		t.Fatal("stale unhealthy record survived age pruning")
+	}
+	if _, ok := h.eps["tcp:young-0"]; !ok {
+		t.Fatal("young unhealthy record pruned before maxUnhealthyAge")
+	}
+	if _, ok := h.eps["tcp:pinned:1"]; !ok {
+		t.Fatal("pinned stale record pruned (pins must win over age)")
+	}
+	// Survivors: the young dirty cohort, the pinned record, and the
+	// insert itself (the clean tcp:new:fresh record went to the
+	// clean-first eviction).
+	if got, want := len(h.eps), youngCount+2; got != want {
+		t.Fatalf("age sweep kept %d records, want %d", got, want)
+	}
+
+	// Verdict freshness is what counts: touching an old record's verdict
+	// (another dial failure) resets its age.
+	h.eps["tcp:young-1"].dialFailed(young.Add(maxUnhealthyAge), func(int) time.Duration { return time.Millisecond })
+	now = young.Add(maxUnhealthyAge + 2*time.Minute)
+	h.mu.Lock()
+	h.evictCleanLocked(h.clock())
+	h.mu.Unlock()
+	if _, ok := h.eps["tcp:young-1"]; !ok {
+		t.Fatal("re-touched record pruned despite fresh verdict")
+	}
+	if _, ok := h.eps["tcp:young-2"]; ok {
+		t.Fatal("untouched record survived past maxUnhealthyAge")
+	}
+}

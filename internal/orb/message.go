@@ -52,7 +52,10 @@ const (
 	ContextTransaction uint32 = 0x4F545358 // "OTSX"
 )
 
-// request is a decoded request message.
+// request is a decoded request message. body and the contexts' Data are
+// lent from the frame the request was decoded out of: they are valid only
+// until the frame buffer is released back to the pool (after dispatch and
+// reply encoding on the server).
 type request struct {
 	requestID uint64
 	objectKey string
@@ -61,7 +64,10 @@ type request struct {
 	body      []byte
 }
 
-// reply is a decoded reply message.
+// reply is a decoded reply message. When fb is non-nil, body and the
+// contexts' Data are lent from that pooled frame buffer; release
+// transfers the buffer back to the pool and must only run once no
+// borrowed view is live (replyToResult clones the body first).
 type reply struct {
 	requestID uint64
 	status    byte
@@ -69,6 +75,15 @@ type reply struct {
 	body      []byte // OK payload
 	errCode   string // exception code for non-OK
 	errDetail string
+	fb        *frameBuf // pooled frame backing body, nil for local/synthesized replies
+}
+
+// release returns the reply's backing frame buffer (if any) to the pool.
+func (r *reply) release() {
+	if r.fb != nil {
+		putFrameBuf(r.fb)
+		r.fb = nil
+	}
 }
 
 func encodeContexts(e *cdr.Encoder, ctxs []ServiceContext) {
@@ -98,8 +113,14 @@ func decodeContexts(d *cdr.Decoder) []ServiceContext {
 	return out
 }
 
-func encodeRequest(r request) []byte {
-	e := cdr.NewEncoder(128 + len(r.body))
+// encodeRequestFrame encodes r as a complete wire frame — u32 length
+// prefix included — into a pooled encoder, assembled in place (BeginFrame
+// reserves the prefix up front, so there is no encode-then-copy step).
+// Ownership of the encoder moves to the caller; whoever consumes the
+// frame releases it with cdr.PutEncoder.
+func encodeRequestFrame(r request) *cdr.Encoder {
+	e := cdr.GetEncoder()
+	e.BeginFrame()
 	e.WriteRaw(protocolMagic[:])
 	e.WriteOctet(protocolVersion)
 	e.WriteOctet(msgRequest)
@@ -109,11 +130,14 @@ func encodeRequest(r request) []byte {
 	e.WriteString(r.operation)
 	encodeContexts(e, r.contexts)
 	e.WriteBytes(r.body)
-	return e.Bytes()
+	return e
 }
 
-func encodeReply(r reply) []byte {
-	e := cdr.NewEncoder(64 + len(r.body))
+// encodeReplyFrame encodes r as a complete wire frame into a pooled
+// encoder, like encodeRequestFrame.
+func encodeReplyFrame(r reply) *cdr.Encoder {
+	e := cdr.GetEncoder()
+	e.BeginFrame()
 	e.WriteRaw(protocolMagic[:])
 	e.WriteOctet(protocolVersion)
 	e.WriteOctet(msgReply)
@@ -127,24 +151,26 @@ func encodeReply(r reply) []byte {
 		e.WriteString(r.errCode)
 		e.WriteString(r.errDetail)
 	}
-	return e.Bytes()
+	return e
 }
 
 // decodeHeader validates magic and version and returns the message type.
+// The magic octets are compared individually: materializing a [4]byte for
+// the error formatter would heap-escape it on every call, not just the
+// error path.
 func decodeHeader(d *cdr.Decoder) (byte, error) {
-	var magic [4]byte
-	magic[0] = d.ReadOctet()
-	magic[1] = d.ReadOctet()
-	magic[2] = d.ReadOctet()
-	magic[3] = d.ReadOctet()
+	m0 := d.ReadOctet()
+	m1 := d.ReadOctet()
+	m2 := d.ReadOctet()
+	m3 := d.ReadOctet()
 	version := d.ReadOctet()
 	msgType := d.ReadOctet()
 	d.ReadUint16() // reserved
 	if err := d.Err(); err != nil {
 		return 0, Systemf(CodeMarshal, "short header: %v", err)
 	}
-	if magic != protocolMagic {
-		return 0, Systemf(CodeMarshal, "bad magic %q", magic[:])
+	if m0 != protocolMagic[0] || m1 != protocolMagic[1] || m2 != protocolMagic[2] || m3 != protocolMagic[3] {
+		return 0, Systemf(CodeMarshal, "bad magic %q", string([]byte{m0, m1, m2, m3}))
 	}
 	if version != protocolVersion {
 		return 0, Systemf(CodeMarshal, "unsupported version %d", version)
@@ -152,30 +178,64 @@ func decodeHeader(d *cdr.Decoder) (byte, error) {
 	return msgType, nil
 }
 
-func decodeRequest(b []byte) (request, error) {
-	d := cdr.NewDecoder(b)
+// wireRequest is a request decoded without materializing its strings:
+// objectKey and operation are lent sub-slices of the frame, like body and
+// the context data. The server dispatch path uses it so the steady state
+// allocates no key/operation strings at all (map lookups on string(b)
+// compile allocation-free, and operation names intern); everything else
+// goes through decodeRequest, which converts to the owned request form.
+type wireRequest struct {
+	requestID uint64
+	objectKey []byte // lent from the frame
+	operation []byte // lent from the frame
+	contexts  []ServiceContext
+	body      []byte
+}
+
+func decodeRequestWire(b []byte) (wireRequest, error) {
+	// Stack decoder: it never escapes, so decoding a frame allocates
+	// nothing beyond the context list (and that only when present).
+	var dec cdr.Decoder
+	dec.Reset(b)
+	d := &dec
 	msgType, err := decodeHeader(d)
 	if err != nil {
-		return request{}, err
+		return wireRequest{}, err
 	}
 	if msgType != msgRequest {
-		return request{}, Systemf(CodeMarshal, "expected request, got type %d", msgType)
+		return wireRequest{}, Systemf(CodeMarshal, "expected request, got type %d", msgType)
 	}
-	r := request{
+	r := wireRequest{
 		requestID: d.ReadUint64(),
-		objectKey: d.ReadString(),
-		operation: d.ReadString(),
+		objectKey: d.ReadStringBytes(),
+		operation: d.ReadStringBytes(),
 	}
 	r.contexts = decodeContexts(d)
 	r.body = d.ReadBytes()
 	if err := d.Err(); err != nil {
-		return request{}, Systemf(CodeMarshal, "decode request: %v", err)
+		return wireRequest{}, Systemf(CodeMarshal, "decode request: %v", err)
 	}
 	return r, nil
 }
 
+func decodeRequest(b []byte) (request, error) {
+	w, err := decodeRequestWire(b)
+	if err != nil {
+		return request{}, err
+	}
+	return request{
+		requestID: w.requestID,
+		objectKey: string(w.objectKey),
+		operation: string(w.operation),
+		contexts:  w.contexts,
+		body:      w.body,
+	}, nil
+}
+
 func decodeReply(b []byte) (reply, error) {
-	d := cdr.NewDecoder(b)
+	var dec cdr.Decoder
+	dec.Reset(b)
+	d := &dec
 	msgType, err := decodeHeader(d)
 	if err != nil {
 		return reply{}, err
@@ -200,7 +260,10 @@ func decodeReply(b []byte) (reply, error) {
 	return r, nil
 }
 
-// writeFrame writes a length-prefixed frame.
+// writeFrame writes a length-prefixed frame (two writes: prefix, then
+// payload). The hot paths batch complete pre-framed buffers through
+// net.Buffers instead; this remains for transports handed a bare payload
+// (Conn.WriteFrame implementations).
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -211,19 +274,36 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
+// readFrame reads one length-prefixed frame into a fresh allocation.
 func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto reads one length-prefixed frame, reusing buf's capacity
+// when it suffices and allocating otherwise. The returned slice aliases
+// buf (or its replacement); callers recycling buffers own the lifetime.
+// The length prefix is read into buf too (a stack header array would
+// escape through the io.Reader interface and cost an allocation per
+// frame).
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	if cap(buf) < 4 {
+		buf = make([]byte, 0, 512)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n > maxFrameSize {
 		return nil, fmt.Errorf("orb: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	return payload, nil
+	return buf, nil
 }

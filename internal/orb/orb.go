@@ -82,6 +82,15 @@ import (
 // *SystemError after performing side effects — use any other error (or a
 // wrapped one, which crosses the wire as a RemoteError) for
 // partially-completed work.
+//
+// Buffer ownership: the decoder (and every []byte it lends — ReadBytes
+// results, and on the network path the request body itself) is only
+// valid for the duration of Dispatch; the ORB recycles the underlying
+// frame buffer afterwards. A servant that retains bytes past its return
+// must copy them with cdr.Clone, and must never retain the decoder
+// itself (it is pooled). Returning a slice that aliases the request (an
+// echo servant) is safe: the reply is encoded before the frame is
+// reused.
 type Servant interface {
 	// Dispatch handles one operation against this object.
 	Dispatch(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error)
@@ -555,7 +564,8 @@ func (o *ORB) localTarget(ref IOR) (*ORB, bool) {
 	return nil, false
 }
 
-// dispatch runs a request against the local object adapter.
+// dispatch runs a request against the local object adapter (the
+// in-process invoke path and compatibility callers).
 func (o *ORB) dispatch(ctx context.Context, req request) reply {
 	o.mu.RLock()
 	entry, ok := o.servants[req.objectKey]
@@ -564,18 +574,80 @@ func (o *ORB) dispatch(ctx context.Context, req request) reply {
 	if !ok {
 		return errorReply(req.requestID, Systemf(CodeObjectNotExist, "key %q", req.objectKey))
 	}
+	return o.dispatchEntry(ctx, entry, ics, req.requestID, req.operation, req.contexts, req.body)
+}
+
+// dispatchWire runs a wire-decoded request against the object adapter
+// without materializing its strings: the servant lookup runs directly on
+// the lent key bytes (a map[string] lookup on string(b) compiles
+// allocation-free) and the operation name is interned, so the server's
+// steady-state dispatch allocates nothing for routing.
+func (o *ORB) dispatchWire(ctx context.Context, req wireRequest) reply {
+	o.mu.RLock()
+	entry, ok := o.servants[string(req.objectKey)]
+	ics := o.serverIC
+	o.mu.RUnlock()
+	if !ok {
+		return errorReply(req.requestID, Systemf(CodeObjectNotExist, "key %q", req.objectKey))
+	}
+	return o.dispatchEntry(ctx, entry, ics, req.requestID, internOp(req.operation), req.contexts, req.body)
+}
+
+// dispatchEntry is the shared tail of dispatch/dispatchWire: interceptor
+// chain, then the servant.
+func (o *ORB) dispatchEntry(ctx context.Context, entry servantEntry, ics []ServerInterceptor, requestID uint64, op string, contexts []ServiceContext, body []byte) reply {
 	for _, ic := range ics {
 		var err error
-		ctx, err = ic(ctx, req.contexts)
+		ctx, err = ic(ctx, contexts)
 		if err != nil {
-			return errorReply(req.requestID, Systemf(CodeTransient, "server interceptor: %v", err))
+			return errorReply(requestID, Systemf(CodeTransient, "server interceptor: %v", err))
 		}
 	}
-	body, err := entry.servant.Dispatch(ctx, req.operation, cdr.NewDecoder(req.body))
+	// The argument decoder is pooled: servants read from it during
+	// Dispatch and must not retain it (nor, without cdr.Clone, any []byte
+	// it lends — see the Servant contract).
+	d := cdr.GetDecoder(body)
+	out, err := entry.servant.Dispatch(ctx, op, d)
+	cdr.PutDecoder(d)
 	if err != nil {
-		return errorReply(req.requestID, err)
+		return errorReply(requestID, err)
 	}
-	return reply{requestID: req.requestID, status: replyOK, body: body}
+	return reply{requestID: requestID, status: replyOK, body: out}
+}
+
+// maxInternedOps bounds the operation-name intern table. Operation names
+// are protocol verbs — a small closed set in practice — but the bound
+// makes sure a hostile client spraying random names cannot grow the
+// table; overflow names just pay their one string allocation.
+const maxInternedOps = 256
+
+// opIntern deduplicates operation-name strings across requests, so the
+// hot dispatch path converts the lent wire bytes to a string without
+// allocating (the read path is a map[string] lookup on string(b), which
+// the compiler performs allocation-free).
+var opIntern = struct {
+	sync.RWMutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+// internOp returns the canonical string for an operation name's bytes.
+func internOp(b []byte) string {
+	opIntern.RLock()
+	s, ok := opIntern.m[string(b)]
+	opIntern.RUnlock()
+	if ok {
+		return s
+	}
+	opIntern.Lock()
+	defer opIntern.Unlock()
+	if s, ok = opIntern.m[string(b)]; ok {
+		return s
+	}
+	s = string(b)
+	if len(opIntern.m) < maxInternedOps {
+		opIntern.m[s] = s
+	}
+	return s
 }
 
 // errorReply encodes an error into a reply message.
@@ -596,11 +668,21 @@ func errorReply(requestID uint64, err error) reply {
 	}
 }
 
-// replyToResult converts a reply message back into (body, error).
+// replyToResult converts a reply message back into (body, error). A body
+// lent from a pooled frame buffer is cloned into a caller-owned slice and
+// the buffer is recycled; local replies (no backing frame) pass their
+// body through untouched.
 func replyToResult(rep reply) ([]byte, error) {
+	body := rep.body
+	if rep.fb != nil {
+		if rep.status == replyOK {
+			body = cdr.Clone(body)
+		}
+		rep.release()
+	}
 	switch rep.status {
 	case replyOK:
-		return rep.body, nil
+		return body, nil
 	case replySystemErr:
 		return nil, &SystemError{Code: ExceptionCode(rep.errCode), Detail: rep.errDetail}
 	default:

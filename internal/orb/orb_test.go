@@ -354,7 +354,7 @@ func TestMessageRoundTrip(t *testing.T) {
 		contexts:  []ServiceContext{{ID: 7, Data: []byte("ctx")}},
 		body:      []byte{1, 2, 3},
 	}
-	got, err := decodeRequest(encodeRequest(req))
+	got, err := decodeRequest(encodeRequestFrame(req).FramePayload())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +364,7 @@ func TestMessageRoundTrip(t *testing.T) {
 	}
 
 	rep := reply{requestID: 42, status: replyOK, body: []byte("result")}
-	gotRep, err := decodeReply(encodeReply(rep))
+	gotRep, err := decodeReply(encodeReplyFrame(rep).FramePayload())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestMessageRoundTrip(t *testing.T) {
 	}
 
 	erep := reply{requestID: 7, status: replySystemErr, errCode: "TRANSIENT", errDetail: "busy"}
-	gotErep, err := decodeReply(encodeReply(erep))
+	gotErep, err := decodeReply(encodeReplyFrame(erep).FramePayload())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,12 +386,12 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := decodeRequest([]byte("XXXXjunkjunkjunk")); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	req := encodeRequest(request{requestID: 1, objectKey: "k", operation: "op"})
+	req := encodeRequestFrame(request{requestID: 1, objectKey: "k", operation: "op"}).FramePayload()
 	req[4] = 99 // version
 	if _, err := decodeRequest(req); err == nil {
 		t.Fatal("bad version accepted")
 	}
-	if _, err := decodeReply(encodeRequest(request{requestID: 1})); err == nil {
+	if _, err := decodeReply(encodeRequestFrame(request{requestID: 1}).FramePayload()); err == nil {
 		t.Fatal("request decoded as reply")
 	}
 }

@@ -1,10 +1,14 @@
 package orb
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"fmt"
 	"net"
 	"sync"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
 )
 
 // adminInflight bounds concurrent admission-bypassing admin dispatches
@@ -12,6 +16,14 @@ import (
 // admission gate, so a flood of "orb-admin" frames cannot void the
 // bounded-goroutine guarantee WithMaxInflight provides.
 const adminInflight = 4
+
+// replyQueueDepth bounds the per-connection reply queue feeding the
+// combining frame writer. Handlers block on a full queue (backpressure
+// toward the slow client); the read loop never does — its admission
+// sheds are enqueued non-blocking and dropped when the queue is full,
+// exactly the cases where the client has stopped draining its socket and
+// could never receive the shed anyway.
+const replyQueueDepth = 64
 
 // server is the TCP request transport.
 type server struct {
@@ -86,6 +98,18 @@ func (s *server) acceptLoop() {
 	}
 }
 
+// serveConn is one connection's read loop. All replies flow through a
+// combining frameWriter (writer.go) over a bounded queue of pooled frame
+// encoders: handlers enqueue their reply and drain the queue themselves
+// into vectored writes, coalescing with concurrent handlers' replies.
+// The read loop itself never writes — its admission sheds are enqueued
+// non-blocking and flushed by a small dedicated kicker goroutine, so a
+// reply write stalled on a client that has stopped draining its socket
+// never blocks frame reads (and with them the fast shedding). Request
+// frames are read into pooled buffers; the handler that dispatched a
+// request releases its buffer after the reply is encoded — the decoded
+// body and service-context data are lent from the buffer, which is why
+// servants must cdr.Clone anything they retain.
 func (s *server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -94,99 +118,149 @@ func (s *server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	var writeMu sync.Mutex
-	var reqWG sync.WaitGroup
-	defer reqWG.Wait()
-	send := func(rep reply) {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		_ = writeFrame(conn, encodeReply(rep))
-	}
-	// Queue-full sheds go through one dedicated writer goroutine behind a
-	// bounded buffer, so the read loop never takes writeMu itself: a reply
-	// write stalled on a client that has stopped draining its socket must
-	// not stop frame reads (and with them the fast shedding) for the whole
-	// connection. The deferred close runs before reqWG.Wait above (LIFO),
-	// letting the writer drain and exit.
-	var shedCh chan uint64
+
+	w := newFrameWriter(replyQueueDepth, connBatchWriter{conn}, nil, nil)
+	// The kicker only serves the admission-shed path (the default branch
+	// below, reachable only with a gate configured); an unbounded server
+	// skips the goroutine entirely.
+	var kick chan struct{}
+	kickerDone := make(chan struct{})
 	if s.adm != nil {
-		shedCh = make(chan uint64, shedBuffer)
-		reqWG.Add(1)
+		kick = make(chan struct{}, 1)
 		go func() {
-			defer reqWG.Done()
-			for id := range shedCh {
-				send(errorReply(id, s.adm.shedError()))
+			defer close(kickerDone)
+			for range kick {
+				w.combine()
 			}
 		}()
-		defer close(shedCh)
+	} else {
+		close(kickerDone)
 	}
+	// LIFO with the reqWG.Wait below: handlers finish enqueueing, a final
+	// combine flushes any sheds still queued, the kicker exits, and only
+	// then does the deferred conn.Close above run — so a client that
+	// half-closed after its last request still receives every reply.
+	defer func() {
+		w.combine()
+		if kick != nil {
+			close(kick)
+		}
+		<-kickerDone
+	}()
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+
+	br := bufio.NewReaderSize(conn, tcpReadBuffer)
 	for {
-		frame, err := readFrame(conn)
-		if err != nil {
+		fb := getFrameBuf()
+		var err error
+		if fb.b, err = readFrameInto(br, fb.b); err != nil {
+			putFrameBuf(fb)
 			return
 		}
-		req, err := decodeRequest(frame)
+		req, err := decodeRequestWire(fb.b)
 		if err != nil {
 			// Cannot correlate a reply for an undecodable request; drop the
 			// connection so the client fails fast.
+			putFrameBuf(fb)
 			return
 		}
 		// Admission: a request either takes a dispatch slot now, waits in
 		// the bounded queue (its own goroutine, shed at the deadline), or —
-		// when the queue is full — is shed through the connection's shed
-		// writer without spawning anything. Handler goroutines are
-		// therefore bounded by maxInflight + queue (+ one shed writer per
-		// connection). Admin scrapes for a registered admin servant bypass
-		// the gate through a small dedicated slot pool: the stats servant
-		// must stay answerable exactly while the gate is shedding, which
-		// is when an operator reads it — but the bypass is bounded
-		// (adminInflight) and requires ServeAdmin to have run, so a flood
-		// of client-chosen "orb-admin" keys cannot recreate the pile-up
-		// the gate prevents; overflow admin traffic queues like anything
-		// else.
+		// when the queue is full — is shed through a non-blocking enqueue to
+		// the writer without spawning anything. Handler goroutines are
+		// therefore bounded by maxInflight + queue (+ the writer). Admin
+		// scrapes for a registered admin servant bypass the gate through a
+		// small dedicated slot pool: the stats servant must stay answerable
+		// exactly while the gate is shedding, which is when an operator
+		// reads it — but the bypass is bounded (adminInflight) and requires
+		// ServeAdmin to have run, so a flood of client-chosen "orb-admin"
+		// keys cannot recreate the pile-up the gate prevents; overflow admin
+		// traffic queues like anything else.
 		switch {
 		case s.adm == nil:
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
-				send(s.orb.dispatch(context.Background(), req))
+				s.handle(fb, req, w)
 			}()
-		case req.objectKey == AdminKey && s.orb.hasServant(AdminKey) && s.tryAdminSlot():
+		case bytes.Equal(req.objectKey, adminKeyBytes) && s.orb.hasServant(AdminKey) && s.tryAdminSlot():
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
 				defer func() { <-s.adminSem }()
-				send(s.orb.dispatch(context.Background(), req))
+				s.handle(fb, req, w)
 			}()
 		case s.adm.tryAcquire():
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
 				defer s.adm.release()
-				send(s.orb.dispatch(context.Background(), req))
+				s.handle(fb, req, w)
 			}()
 		case s.adm.enqueue():
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
 				if !s.adm.await(s.done) {
-					send(errorReply(req.requestID, s.adm.shedError()))
+					putFrameBuf(fb)
+					w.q <- encodeReplyFrame(errorReply(req.requestID, s.adm.shedError()))
+					w.combine()
 					return
 				}
 				defer s.adm.release()
-				send(s.orb.dispatch(context.Background(), req))
+				s.handle(fb, req, w)
 			}()
 		default:
-			select {
-			case shedCh <- req.requestID:
-			default:
-				// The shed buffer is full behind a stalled reply write:
-				// the client is not draining its socket, so this reply
-				// could never be delivered anyway. Drop it (the shed is
-				// already counted) and let the caller time out.
+			// Shed without spawning: only the request id is needed, so the
+			// frame goes straight back to the pool, and neither the enqueue
+			// nor the write may block the read loop — the kicker goroutine
+			// flushes the queue instead.
+			id := req.requestID
+			putFrameBuf(fb)
+			enc := encodeReplyFrame(errorReply(id, s.adm.shedError()))
+			if w.tryEnqueue(enc) {
+				select {
+				case kick <- struct{}{}:
+				default: // a kick is already pending
+				}
+			} else {
+				// The reply queue is full behind a stalled write: the client
+				// is not draining its socket, so this shed could never be
+				// delivered anyway. Drop it (the shed is already counted)
+				// and let the caller time out.
+				cdr.PutEncoder(enc)
 			}
 		}
 	}
+}
+
+// adminKeyBytes is AdminKey as bytes, for the read loop's allocation-free
+// admin-bypass check against the lent wire key.
+var adminKeyBytes = []byte(AdminKey)
+
+// handle dispatches one request and enqueues-and-combines its reply. The
+// pooled request frame is released only after the reply is encoded: the
+// reply body a servant returns may alias the request body it was lent (an
+// echo servant does exactly that), so the frame must outlive the encode.
+func (s *server) handle(fb *frameBuf, req wireRequest, w *frameWriter) {
+	rep := s.orb.dispatchWire(context.Background(), req)
+	enc := encodeReplyFrame(rep)
+	putFrameBuf(fb)
+	w.q <- enc
+	w.combine()
+}
+
+// connBatchWriter adapts the server's raw net.Conn to the writer's
+// gather-write interface (one writev(2) per batch).
+type connBatchWriter struct {
+	conn net.Conn
+}
+
+// WriteFrames implements frameBatchWriter.
+func (c connBatchWriter) WriteFrames(bufs *net.Buffers) error {
+	_, err := bufs.WriteTo(c.conn)
+	return err
 }
 
 // tryAdminSlot grabs one admission-bypass slot without waiting.

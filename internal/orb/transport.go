@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"bufio"
 	"context"
 	"net"
 )
@@ -23,22 +24,60 @@ type Transport interface {
 }
 
 // Conn is one framed, full-duplex transport connection. ReadFrame may be
-// called concurrently with WriteFrame (the reply reader runs while callers
-// send), but the ORB serializes WriteFrame calls on one connection itself.
+// called concurrently with WriteFrame (the reply reader runs while
+// writes are in flight), but the ORB serializes all writes on one
+// connection through its combining frame writer itself (writer.go).
 // Close must unblock both directions.
+//
+// A Conn may additionally implement two optional fast-path extensions the
+// wire path probes for: frameBatchWriter (one gather write for a batch of
+// complete frames — the write-coalescing path) and frameReuseReader
+// (reads into a caller-recycled buffer — the pooled-read path). Plain
+// Conns still work; they just pay one syscall pair and one allocation per
+// frame.
 type Conn interface {
 	// WriteFrame sends one frame (the payload, excluding the length
 	// prefix).
 	WriteFrame(payload []byte) error
-	// ReadFrame receives the next frame.
+	// ReadFrame receives the next frame. The returned slice is a fresh
+	// allocation owned by the caller.
 	ReadFrame() ([]byte, error)
 	// Close tears the connection down.
 	Close() error
 }
 
+// frameBatchWriter is the optional Conn extension behind write
+// coalescing: WriteFrames sends a batch of complete frames (u32 length
+// prefix included in each buffer) in a single gather write, so concurrent
+// callers multiplexed onto one connection share one syscall. The
+// implementation may consume (re-slice) bufs. ChaosTransport connections
+// deliberately do not implement it — faults are per frame, so chaos runs
+// take the WriteFrame path.
+type frameBatchWriter interface {
+	// WriteFrames consumes *bufs (net.Buffers.WriteTo re-slices it); the
+	// caller passes a scratch header copy so its backing array survives.
+	WriteFrames(bufs *net.Buffers) error
+}
+
+// frameReuseReader is the optional Conn extension behind pooled frame
+// reads: ReadFrameReuse reads the next frame into buf, growing it only
+// when the frame exceeds its capacity, and returns the filled slice. The
+// caller owns the buffer's lifecycle (the ORB recycles it once the frame
+// is fully consumed).
+type frameReuseReader interface {
+	ReadFrameReuse(buf []byte) ([]byte, error)
+}
+
 // TCPTransport is the real client transport: length-prefixed GLOP frames
-// over plain TCP. The zero value is ready to use.
+// over plain TCP, with buffered reads (adjacent frames arriving together
+// cost one syscall) and vectored batch writes. The zero value is ready to
+// use.
 type TCPTransport struct{}
+
+// tcpReadBuffer is the bufio read buffer per TCP connection: large enough
+// that a burst of small coalesced frames — or one 4KB-body frame plus
+// headers — drains in one read(2).
+const tcpReadBuffer = 16 << 10
 
 // Dial implements Transport.
 func (TCPTransport) Dial(ctx context.Context, addr string) (Conn, error) {
@@ -47,14 +86,27 @@ func (TCPTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return tcpConn{c: nc}, nil
+	return &tcpConn{c: nc, br: bufio.NewReaderSize(nc, tcpReadBuffer)}, nil
 }
 
 // tcpConn frames a net.Conn.
 type tcpConn struct {
-	c net.Conn
+	c  net.Conn
+	br *bufio.Reader
 }
 
-func (c tcpConn) WriteFrame(payload []byte) error { return writeFrame(c.c, payload) }
-func (c tcpConn) ReadFrame() ([]byte, error)      { return readFrame(c.c) }
-func (c tcpConn) Close() error                    { return c.c.Close() }
+func (c *tcpConn) WriteFrame(payload []byte) error { return writeFrame(c.c, payload) }
+func (c *tcpConn) ReadFrame() ([]byte, error)      { return readFrame(c.br) }
+func (c *tcpConn) Close() error                    { return c.c.Close() }
+
+// WriteFrames implements frameBatchWriter with one writev(2) for the
+// whole batch.
+func (c *tcpConn) WriteFrames(bufs *net.Buffers) error {
+	_, err := bufs.WriteTo(c.c)
+	return err
+}
+
+// ReadFrameReuse implements frameReuseReader.
+func (c *tcpConn) ReadFrameReuse(buf []byte) ([]byte, error) {
+	return readFrameInto(c.br, buf)
+}

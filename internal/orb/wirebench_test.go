@@ -1,0 +1,75 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+)
+
+// echoBytesServant returns the request body bytes as the reply body. It reads
+// the lent body slice and returns it directly — legal, because the server
+// encodes the reply before the request frame is released.
+type echoBytesServant struct{}
+
+// Dispatch implements Servant.
+func (echoBytesServant) Dispatch(_ context.Context, _ string, in *cdr.Decoder) ([]byte, error) {
+	return in.ReadBytes(), nil
+}
+
+// BenchmarkWirePath measures one request/reply echo over the TCP wire
+// path: small and 4KB bodies, sequential (one caller, the latency view)
+// and concurrent (64 callers on one pooled connection, the coalescing
+// view). ReportAllocs pins the zero-allocation claim for the steady-state
+// client send path.
+func BenchmarkWirePath(b *testing.B) {
+	for _, size := range []int{0, 64, 4096} {
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		body := func() []byte {
+			e := cdr.NewEncoder(16 + size)
+			e.WriteBytes(payload)
+			return e.Bytes()
+		}()
+		run := func(b *testing.B, callers int) {
+			srv := New(WithHealthRegistry(NewHealthRegistry()))
+			defer srv.Shutdown()
+			ref := srv.RegisterServant("IDL:bench/Echo:1.0", echoBytesServant{})
+			if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			ref, _ = srv.IOR(ref.Key)
+			cli := New(WithHealthRegistry(NewHealthRegistry()), WithPoolSize(1))
+			defer cli.Shutdown()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+			defer cancel()
+			if _, err := cli.Invoke(ctx, ref, "echo", body); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if callers == 1 {
+				for i := 0; i < b.N; i++ {
+					if _, err := cli.Invoke(ctx, ref, "echo", body); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return
+			}
+			b.SetParallelism(callers)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := cli.Invoke(ctx, ref, "echo", body); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("body=%d/serial", size), func(b *testing.B) { run(b, 1) })
+		b.Run(fmt.Sprintf("body=%d/conc=64", size), func(b *testing.B) { run(b, 64) })
+	}
+}

@@ -3,6 +3,7 @@ package orb_test
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -137,8 +138,8 @@ func TestPublicDistributedOTSResources(t *testing.T) {
 	// entirely through the public facades.
 	node := orb.New()
 	defer node.Shutdown()
-	state := "idle"
-	ref := orb.ExportResource(node, facadeResource{state: &state})
+	state := newFacadeState()
+	ref := orb.ExportResource(node, facadeResource{state: state})
 	if _, err := node.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -148,32 +149,55 @@ func TestPublicDistributedOTSResources(t *testing.T) {
 	defer coordORB.Shutdown()
 	svc := ots.NewService()
 	tx := svc.Begin()
-	other := "idle"
+	other := newFacadeState()
 	if err := tx.RegisterResource(orb.ImportResource(coordORB, ref)); err != nil {
 		t.Fatal(err)
 	}
-	if err := tx.RegisterResource(facadeResource{state: &other}); err != nil {
+	if err := tx.RegisterResource(facadeResource{state: other}); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.Commit(true); err != nil {
 		t.Fatal(err)
 	}
-	if state != "committed" || other != "committed" {
-		t.Fatalf("states = %q, %q", state, other)
+	if got, gotOther := state.get(), other.get(); got != "committed" || gotOther != "committed" {
+		t.Fatalf("states = %q, %q", got, gotOther)
 	}
+}
+
+// facadeState is a mutex-guarded string: the remote resource mutates it
+// from a server dispatch goroutine and the test reads it afterwards, so
+// the test must bring its own synchronization (the socket round trip
+// orders the data in practice, but is invisible to the race detector).
+type facadeState struct {
+	mu sync.Mutex
+	s  string
+}
+
+func newFacadeState() *facadeState { return &facadeState{s: "idle"} }
+
+func (f *facadeState) set(s string) {
+	f.mu.Lock()
+	f.s = s
+	f.mu.Unlock()
+}
+
+func (f *facadeState) get() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.s
 }
 
 // facadeResource mutates a string through the public Resource interface.
 type facadeResource struct {
-	state *string
+	state *facadeState
 }
 
 func (r facadeResource) Prepare() (ots.Vote, error) {
-	*r.state = "prepared"
+	r.state.set("prepared")
 	return ots.VoteCommit, nil
 }
-func (r facadeResource) Commit() error         { *r.state = "committed"; return nil }
-func (r facadeResource) Rollback() error       { *r.state = "rolledback"; return nil }
+func (r facadeResource) Commit() error         { r.state.set("committed"); return nil }
+func (r facadeResource) Rollback() error       { r.state.set("rolledback"); return nil }
 func (r facadeResource) CommitOnePhase() error { return r.Commit() }
 func (r facadeResource) Forget() error         { return nil }
 
