@@ -30,6 +30,16 @@
 //	activityd -breaker 5 -breaker-open 1s -retry-rate 10 -retry-burst 5
 //	                                        # client-side breaker + retry
 //	                                        # budget for outgoing calls
+//	activityd -max-inflight 64 -priority 8  # reserve 8 dispatch slots for
+//	                                        # completion/recovery verbs so
+//	                                        # overload sheds first-contact
+//	                                        # work, not in-doubt resolution
+//	activityd -ots-log /var/lib/activityd/decisions.wal
+//	                                        # host a durable transaction
+//	                                        # service: replay the decision
+//	                                        # log on boot and serve the
+//	                                        # well-known "ots-recovery"
+//	                                        # servant (replay_completion)
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"github.com/extendedtx/activityservice"
 	"github.com/extendedtx/activityservice/internal/cdr"
 	"github.com/extendedtx/activityservice/orb"
+	"github.com/extendedtx/activityservice/ots"
 )
 
 // FactoryTypeID is the activity factory interface id.
@@ -74,10 +85,12 @@ type orbConfig struct {
 	maxInflight int
 	admitQueue  int
 	shedAfter   time.Duration
+	priority    int
 	breaker     int
 	breakerOpen time.Duration
 	retryRate   float64
 	retryBurst  int
+	otsLog      string
 }
 
 // options translates the flag values into ORB options, skipping unset ones.
@@ -92,6 +105,9 @@ func (c orbConfig) options() []orb.ORBOption {
 	if c.maxInflight > 0 {
 		opts = append(opts, orb.WithMaxInflight(c.maxInflight))
 		opts = append(opts, orb.WithAdmissionQueue(c.admitQueue, c.shedAfter))
+		if c.priority > 0 {
+			opts = append(opts, orb.WithPriorityOps(c.priority))
+		}
 	}
 	if c.breaker > 0 {
 		opts = append(opts, orb.WithCircuitBreaker(c.breaker, c.breakerOpen))
@@ -118,6 +134,8 @@ func main() {
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "max concurrent server dispatches; excess is queued then shed with TRANSIENT (0 = unbounded)")
 	flag.IntVar(&cfg.admitQueue, "admit-queue", 0, "admission queue depth behind -max-inflight (0 = 2x max-inflight)")
 	flag.DurationVar(&cfg.shedAfter, "shed-after", 0, "max queue wait before an admitted request is shed (0 = default)")
+	flag.IntVar(&cfg.priority, "priority", 0, "dispatch slots out of -max-inflight reserved for completion/recovery verbs (0 = off)")
+	flag.StringVar(&cfg.otsLog, "ots-log", "", "file-backed transaction decision log; enables the hosted transaction service, crash recovery on boot and the ots-recovery servant")
 	flag.IntVar(&cfg.breaker, "breaker", 0, "consecutive call failures before an endpoint's circuit opens (0 = off)")
 	flag.DurationVar(&cfg.breakerOpen, "breaker-open", 0, "open-circuit window before a half-open probe (0 = default)")
 	flag.Float64Var(&cfg.retryRate, "retry-rate", 0, "retry-budget refill rate in tokens/second")
@@ -208,6 +226,11 @@ func run(listens []string, demo bool, cfg orbConfig, parallel, admin bool) error
 	if admin {
 		fmt.Printf("activityd: admin servant at key %q\n", orb.AdminKey)
 	}
+	if cfg.otsLog != "" {
+		if err := hostRecovery(node, cfg.otsLog); err != nil {
+			return err
+		}
+	}
 
 	if demo {
 		return runDemo(node.Endpoints())
@@ -216,6 +239,46 @@ func run(listens []string, demo bool, cfg orbConfig, parallel, admin bool) error
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("activityd: shutting down")
+	return nil
+}
+
+// hostRecovery opens the durable decision log and hosts a transaction
+// service on it: participants named by in-doubt commit decisions are
+// re-bound as remote proxies, one recovery pass re-drives their phase two,
+// and the well-known ots-recovery servant is activated so restarted
+// participants can ask replay_completion for their outcome (and tooling
+// can scrape or re-run recovery over the wire).
+func hostRecovery(node *orb.ORB, path string) error {
+	wal, err := ots.OpenFileLog(path)
+	if err != nil {
+		return fmt.Errorf("open ots log: %w", err)
+	}
+	dir := ots.NewDirectory()
+	svc := ots.NewService(ots.WithLog(wal), ots.WithDirectory(dir))
+	names, err := svc.InDoubtResources()
+	if err != nil {
+		return err
+	}
+	// Only stringified-IOR names can be re-bound as remote proxies;
+	// anything else must be re-registered by its own host.
+	var remoteNames []string
+	for _, n := range names {
+		if _, err := orb.ParseIOR(n); err == nil {
+			remoteNames = append(remoteNames, n)
+		}
+	}
+	if err := orb.BindRemoteResources(node, dir, remoteNames); err != nil {
+		return err
+	}
+	stats, err := svc.Recover()
+	if err != nil {
+		return fmt.Errorf("recovery pass: %w", err)
+	}
+	fmt.Printf("activityd: recovery replayed %d decisions (%d committed, %d missing, %d failed, %d heuristic)\n",
+		stats.DecisionsReplayed, stats.ResourcesCommitted, stats.ResourcesMissing,
+		stats.ResourcesFailed, stats.ResourcesHeuristic)
+	orb.ServeRecovery(node, svc)
+	fmt.Printf("activityd: recovery servant at key %q\n", orb.RecoveryKey)
 	return nil
 }
 

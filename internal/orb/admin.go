@@ -62,6 +62,21 @@ func (s *adminServant) Dispatch(_ context.Context, op string, in *cdr.Decoder) (
 		e := cdr.NewEncoder(64)
 		e.WriteStringList(s.orb.PooledEndpoints())
 		return e.Bytes(), nil
+	case "recovery_stats":
+		s.orb.mu.RLock()
+		fn := s.orb.recoveryFn
+		s.orb.mu.RUnlock()
+		e := cdr.NewEncoder(128)
+		var st RecoveryScrape
+		ok := false
+		if fn != nil {
+			st, ok = fn()
+		}
+		e.WriteBool(ok)
+		if ok {
+			encodeRecoveryScrape(e, st)
+		}
+		return e.Bytes(), nil
 	default:
 		return nil, Systemf(CodeBadOperation, "ORBAdmin has no operation %q", op)
 	}
@@ -143,6 +158,73 @@ func (c *AdminClient) Endpoints(ctx context.Context) ([]string, error) {
 	return eps, nil
 }
 
+// RecoveryScrape is the transaction-recovery status an ORB exposes through
+// the orb-admin servant's "recovery_stats" operation. The hosting process
+// wires its transaction service in with SetRecoveryStatsProvider; the
+// counters mirror ots.RecoveryTotals without this package importing it.
+type RecoveryScrape struct {
+	// Passes counts completed recovery passes.
+	Passes uint64
+	// DecisionsReplayed totals commit decisions re-driven by recovery.
+	DecisionsReplayed uint64
+	// ResourcesCommitted totals commit deliveries made by recovery.
+	ResourcesCommitted uint64
+	// ResourcesMissing totals participants recovery could not re-bind.
+	ResourcesMissing uint64
+	// ResourcesFailed totals commit deliveries that failed during recovery.
+	ResourcesFailed uint64
+	// HeuristicsRecorded totals heuristic outcomes recorded durably.
+	HeuristicsRecorded uint64
+	// PendingDecisions gauges decisions still awaiting full delivery.
+	PendingDecisions uint32
+	// PendingHeuristics gauges heuristic records not yet forgotten.
+	PendingHeuristics uint32
+}
+
+// RecoveryStats scrapes the remote ORB's transaction-recovery status. The
+// second return is false when the remote process hosts no recovery surface
+// (no provider was wired in).
+func (c *AdminClient) RecoveryStats(ctx context.Context) (RecoveryScrape, bool, error) {
+	body, err := c.orb.Invoke(ctx, c.ref, "recovery_stats", nil)
+	if err != nil {
+		return RecoveryScrape{}, false, fmt.Errorf("admin recovery_stats: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	ok := d.ReadBool()
+	var st RecoveryScrape
+	if ok {
+		st = decodeRecoveryScrape(d)
+	}
+	if err := d.Err(); err != nil {
+		return RecoveryScrape{}, false, Systemf(CodeMarshal, "recovery_stats reply: %v", err)
+	}
+	return st, ok, nil
+}
+
+func encodeRecoveryScrape(e *cdr.Encoder, st RecoveryScrape) {
+	e.WriteUint64(st.Passes)
+	e.WriteUint64(st.DecisionsReplayed)
+	e.WriteUint64(st.ResourcesCommitted)
+	e.WriteUint64(st.ResourcesMissing)
+	e.WriteUint64(st.ResourcesFailed)
+	e.WriteUint64(st.HeuristicsRecorded)
+	e.WriteUint32(st.PendingDecisions)
+	e.WriteUint32(st.PendingHeuristics)
+}
+
+func decodeRecoveryScrape(d *cdr.Decoder) RecoveryScrape {
+	var st RecoveryScrape
+	st.Passes = d.ReadUint64()
+	st.DecisionsReplayed = d.ReadUint64()
+	st.ResourcesCommitted = d.ReadUint64()
+	st.ResourcesMissing = d.ReadUint64()
+	st.ResourcesFailed = d.ReadUint64()
+	st.HeuristicsRecorded = d.ReadUint64()
+	st.PendingDecisions = d.ReadUint32()
+	st.PendingHeuristics = d.ReadUint32()
+	return st
+}
+
 func encodeServerStats(e *cdr.Encoder, st ServerStats) {
 	e.WriteString(st.Endpoint)
 	e.WriteStringList(st.Endpoints)
@@ -154,6 +236,10 @@ func encodeServerStats(e *cdr.Encoder, st ServerStats) {
 	e.WriteUint32(uint32(st.MaxInflight))
 	e.WriteUint32(uint32(st.QueueDepth))
 	e.WriteInt64(int64(st.ShedAfter))
+	e.WriteUint32(uint32(st.ReservedSlots))
+	e.WriteUint32(uint32(st.PriorityInflight))
+	e.WriteUint64(st.PriorityDispatched)
+	e.WriteUint64(st.PriorityShed)
 }
 
 func decodeServerStats(d *cdr.Decoder) ServerStats {
@@ -167,6 +253,10 @@ func decodeServerStats(d *cdr.Decoder) ServerStats {
 	st.MaxInflight = int(d.ReadUint32())
 	st.QueueDepth = int(d.ReadUint32())
 	st.ShedAfter = time.Duration(d.ReadInt64())
+	st.ReservedSlots = int(d.ReadUint32())
+	st.PriorityInflight = int(d.ReadUint32())
+	st.PriorityDispatched = d.ReadUint64()
+	st.PriorityShed = d.ReadUint64()
 	return st
 }
 

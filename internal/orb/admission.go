@@ -28,19 +28,41 @@ const (
 // that has stopped draining its socket, further shed replies are dropped
 // outright (see serveConn).
 type admission struct {
-	slots     chan struct{} // buffered to maxInflight; len = in-flight dispatches
+	slots     chan struct{} // buffered to maxInflight-reserve; len = shared in-flight dispatches
+	prioSlots chan struct{} // reserved for priority operations; nil = no reservation
+	prioOps   map[string]bool
 	queueMax  int
 	shedAfter time.Duration
 
-	mu         sync.Mutex
-	queued     int
-	shed       uint64
-	dispatched uint64
+	mu             sync.Mutex
+	queued         int
+	shed           uint64
+	dispatched     uint64
+	prioShed       uint64
+	prioDispatched uint64
 }
 
+// slotToken records which slot pool a dispatch occupies, so release
+// returns it to the right pool. A plain value (not a closure) keeps the
+// hot serveConn path allocation-free.
+type slotToken uint8
+
+// Slot pools a dispatch may occupy.
+const (
+	// slotNone means no slot was acquired.
+	slotNone slotToken = iota
+	// slotShared is a slot from the shared pool.
+	slotShared
+	// slotReserved is a slot from the priority reservation.
+	slotReserved
+)
+
 // newAdmission builds the gate; maxInflight <= 0 disables admission control
-// (nil gate, unbounded dispatch — the pre-admission behaviour).
-func newAdmission(maxInflight, queueMax int, shedAfter time.Duration) *admission {
+// (nil gate, unbounded dispatch — the pre-admission behaviour). reserve > 0
+// carves that many of the maxInflight slots out as a reservation only
+// priority operations (prioOps) may use; it is clamped so at least one
+// shared slot remains.
+func newAdmission(maxInflight, queueMax int, shedAfter time.Duration, reserve int, prioOps map[string]bool) *admission {
 	if maxInflight <= 0 {
 		return nil
 	}
@@ -50,66 +72,133 @@ func newAdmission(maxInflight, queueMax int, shedAfter time.Duration) *admission
 	if shedAfter <= 0 {
 		shedAfter = defaultShedAfter
 	}
-	return &admission{
-		slots:     make(chan struct{}, maxInflight),
+	if reserve >= maxInflight {
+		reserve = maxInflight - 1
+	}
+	if reserve < 0 || len(prioOps) == 0 {
+		reserve = 0
+	}
+	a := &admission{
+		slots:     make(chan struct{}, maxInflight-reserve),
 		queueMax:  queueMax,
 		shedAfter: shedAfter,
 	}
+	if reserve > 0 {
+		a.prioSlots = make(chan struct{}, reserve)
+		a.prioOps = prioOps
+	}
+	return a
 }
 
-// tryAcquire grabs a dispatch slot without waiting.
-func (a *admission) tryAcquire() bool {
+// isPriority reports whether the operation name (lent wire bytes) belongs
+// to the priority admission class. The map lookup on string(op) compiles
+// allocation-free, keeping the read loop's fast path clean.
+func (a *admission) isPriority(op []byte) bool {
+	return a.prioSlots != nil && a.prioOps[string(op)]
+}
+
+// tryAcquire grabs a dispatch slot without waiting: the shared pool first,
+// then — for priority requests — the reservation. It returns slotNone when
+// every pool the request may use is full.
+func (a *admission) tryAcquire(prio bool) slotToken {
 	select {
 	case a.slots <- struct{}{}:
 		a.mu.Lock()
 		a.dispatched++
+		if prio {
+			a.prioDispatched++
+		}
 		a.mu.Unlock()
-		return true
+		return slotShared
 	default:
-		return false
 	}
+	if prio && a.prioSlots != nil {
+		select {
+		case a.prioSlots <- struct{}{}:
+			a.mu.Lock()
+			a.dispatched++
+			a.prioDispatched++
+			a.mu.Unlock()
+			return slotReserved
+		default:
+		}
+	}
+	return slotNone
 }
 
 // enqueue reserves a queue seat for a request that found every slot busy.
 // It reports false — shedding the request — when the queue is already full.
-func (a *admission) enqueue() bool {
+// Priority requests are granted extra headroom (one seat per reserved slot
+// beyond the shared bound) so a queue full of first-contact work cannot
+// shut recovery traffic out of the wait line too.
+func (a *admission) enqueue(prio bool) bool {
+	limit := a.queueMax
+	if prio && a.prioSlots != nil {
+		limit += cap(a.prioSlots)
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.queued >= a.queueMax {
+	if a.queued >= limit {
 		a.shed++
+		if prio {
+			a.prioShed++
+		}
 		return false
 	}
 	a.queued++
 	return true
 }
 
-// await blocks a queued request until a slot frees, the shed deadline
-// passes, or the server stops. It reports whether a slot was acquired; on
-// false the request must be shed. The queue seat is released either way.
-func (a *admission) await(done <-chan struct{}) bool {
+// await blocks a queued request until a slot frees (either pool, for
+// priority requests), the shed deadline passes, or the server stops. It
+// returns the acquired slot's token, or slotNone when the request must be
+// shed. The queue seat is released either way.
+func (a *admission) await(done <-chan struct{}, prio bool) slotToken {
 	timer := time.NewTimer(a.shedAfter)
 	defer timer.Stop()
-	ok := false
-	select {
-	case a.slots <- struct{}{}:
-		ok = true
-	case <-timer.C:
-	case <-done:
+	tok := slotNone
+	if prio && a.prioSlots != nil {
+		select {
+		case a.slots <- struct{}{}:
+			tok = slotShared
+		case a.prioSlots <- struct{}{}:
+			tok = slotReserved
+		case <-timer.C:
+		case <-done:
+		}
+	} else {
+		select {
+		case a.slots <- struct{}{}:
+			tok = slotShared
+		case <-timer.C:
+		case <-done:
+		}
 	}
 	a.mu.Lock()
 	a.queued--
-	if ok {
+	if tok != slotNone {
 		a.dispatched++
+		if prio {
+			a.prioDispatched++
+		}
 	} else {
 		a.shed++
+		if prio {
+			a.prioShed++
+		}
 	}
 	a.mu.Unlock()
-	return ok
+	return tok
 }
 
-// release frees a dispatch slot.
-func (a *admission) release() {
-	<-a.slots
+// release returns a dispatch slot to the pool it came from.
+func (a *admission) release(tok slotToken) {
+	switch tok {
+	case slotShared:
+		<-a.slots
+	case slotReserved:
+		<-a.prioSlots
+	}
 }
 
 // shedError is the reply body for a shed request. TRANSIENT: the servant
@@ -144,12 +233,25 @@ type ServerStats struct {
 	Shed uint64
 	// Dispatched is the cumulative count of requests admitted to dispatch.
 	Dispatched uint64
-	// MaxInflight is the configured dispatch bound (0 = unbounded).
+	// MaxInflight is the configured dispatch bound (0 = unbounded),
+	// including any reserved priority slots.
 	MaxInflight int
 	// QueueDepth is the configured wait-queue bound.
 	QueueDepth int
 	// ShedAfter is the configured maximum queue wait.
 	ShedAfter time.Duration
+	// ReservedSlots is the number of dispatch slots reserved for the
+	// priority admission class (see WithPriorityOps); 0 = no reservation.
+	ReservedSlots int
+	// PriorityInflight is the number of dispatches currently occupying
+	// reserved slots.
+	PriorityInflight int
+	// PriorityDispatched is the cumulative count of priority-class requests
+	// admitted to dispatch (through either slot pool).
+	PriorityDispatched uint64
+	// PriorityShed is the cumulative count of priority-class requests shed
+	// with TRANSIENT.
+	PriorityShed uint64
 }
 
 // ServerStats reports the server transport's admission state, aggregated
@@ -174,11 +276,19 @@ func (o *ORB) ServerStats() (ServerStats, bool) {
 		st.Queued = a.queued
 		st.Shed = a.shed
 		st.Dispatched = a.dispatched
+		st.PriorityDispatched = a.prioDispatched
+		st.PriorityShed = a.prioShed
 		a.mu.Unlock()
 		st.Inflight = len(a.slots)
 		st.MaxInflight = cap(a.slots)
 		st.QueueDepth = a.queueMax
 		st.ShedAfter = a.shedAfter
+		if a.prioSlots != nil {
+			st.ReservedSlots = cap(a.prioSlots)
+			st.PriorityInflight = len(a.prioSlots)
+			st.Inflight += len(a.prioSlots)
+			st.MaxInflight += cap(a.prioSlots)
+		}
 	}
 	return st, true
 }

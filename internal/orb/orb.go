@@ -156,6 +156,8 @@ type ORB struct {
 	maxInflight int
 	admitQueue  int
 	shedAfter   time.Duration
+	prioReserve int
+	prioOps     map[string]bool
 
 	mu         sync.RWMutex
 	servants   map[string]servantEntry
@@ -164,6 +166,7 @@ type ORB struct {
 	bound      []string // "tcp:host:port" per listener, in Listen order
 	advertised []string // endpoints minted into IORs instead of bound
 	shutdown   bool
+	recoveryFn func() (RecoveryScrape, bool) // feeds the recovery_stats scrape
 
 	srvs []*server
 	adm  *admission // shared by every listener; nil = unbounded dispatch
@@ -358,6 +361,55 @@ func WithAdmissionQueue(depth int, shedAfter time.Duration) ORBOption {
 			o.shedAfter = shedAfter
 		}
 	})
+}
+
+// DefaultPriorityOps is the operation set WithPriorityOps reserves slots
+// for when no explicit list is given: the completion and recovery verbs of
+// the transaction surface. Shedding a "commit" or "replay_completion"
+// strands prepared participants in doubt, while shedding a first-contact
+// "begin" merely refuses new work — so under overload the completion verbs
+// must win.
+var DefaultPriorityOps = []string{
+	"prepare", "commit", "rollback", "commit_one_phase", "forget",
+	"replay_completion", "recover", "complete",
+}
+
+// WithPriorityOps reserves n of the WithMaxInflight dispatch slots for a
+// priority admission class: requests whose operation name is in ops (or
+// DefaultPriorityOps when ops is empty) may use any slot, while other
+// requests are confined to the remaining shared slots. Under overload the
+// shared pool saturates and first-contact traffic is shed, but completion
+// and recovery verbs still find the reservation — in-doubt transactions
+// converge instead of being starved by the very load that made them
+// in-doubt. The reservation is clamped to leave at least one shared slot
+// and has no effect unless WithMaxInflight is set.
+func WithPriorityOps(n int, ops ...string) ORBOption {
+	return orbOptionFunc(func(o *ORB) {
+		if n <= 0 {
+			return
+		}
+		o.prioReserve = n
+		if len(ops) == 0 {
+			ops = DefaultPriorityOps
+		}
+		o.prioOps = make(map[string]bool, len(ops))
+		for _, op := range ops {
+			if op != "" {
+				o.prioOps[op] = true
+			}
+		}
+	})
+}
+
+// SetRecoveryStatsProvider wires a recovery-status source (typically the
+// hosted transaction service) into the orb-admin scrape: the admin
+// servant's "recovery_stats" operation calls fn on every scrape. fn must
+// be safe for concurrent use; a nil fn (or one returning ok=false) makes
+// the scrape report that no recovery surface is hosted.
+func (o *ORB) SetRecoveryStatsProvider(fn func() (RecoveryScrape, bool)) {
+	o.mu.Lock()
+	o.recoveryFn = fn
+	o.mu.Unlock()
 }
 
 // New returns a running ORB (in-process only until Listen is called).

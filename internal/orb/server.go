@@ -58,7 +58,7 @@ func (o *ORB) Listen(addr string) (string, error) {
 		return "", Systemf(CodeCommFailure, "orb shut down")
 	}
 	if len(o.srvs) == 0 {
-		o.adm = newAdmission(o.maxInflight, o.admitQueue, o.shedAfter)
+		o.adm = newAdmission(o.maxInflight, o.admitQueue, o.shedAfter, o.prioReserve, o.prioOps)
 	}
 	srv := &server{
 		orb:      o,
@@ -177,59 +177,68 @@ func (s *server) serveConn(conn net.Conn) {
 		// ServeAdmin to have run, so a flood of client-chosen "orb-admin"
 		// keys cannot recreate the pile-up the gate prevents; overflow admin
 		// traffic queues like anything else.
-		switch {
-		case s.adm == nil:
+		// Priority admission class: completion/recovery verbs (see
+		// WithPriorityOps) are classified synchronously in the read loop —
+		// an allocation-free map lookup on the lent operation bytes — and
+		// may fall back to the reserved slot pool when the shared pool is
+		// saturated, so overload sheds first-contact work before it sheds
+		// the traffic that resolves in-doubt transactions.
+		if s.adm == nil {
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
 				s.handle(fb, req, w)
 			}()
-		case bytes.Equal(req.objectKey, adminKeyBytes) && s.orb.hasServant(AdminKey) && s.tryAdminSlot():
+		} else if bytes.Equal(req.objectKey, adminKeyBytes) && s.orb.hasServant(AdminKey) && s.tryAdminSlot() {
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
 				defer func() { <-s.adminSem }()
 				s.handle(fb, req, w)
 			}()
-		case s.adm.tryAcquire():
-			reqWG.Add(1)
-			go func() {
-				defer reqWG.Done()
-				defer s.adm.release()
-				s.handle(fb, req, w)
-			}()
-		case s.adm.enqueue():
-			reqWG.Add(1)
-			go func() {
-				defer reqWG.Done()
-				if !s.adm.await(s.done) {
-					putFrameBuf(fb)
-					w.q <- encodeReplyFrame(errorReply(req.requestID, s.adm.shedError()))
-					w.combine()
-					return
-				}
-				defer s.adm.release()
-				s.handle(fb, req, w)
-			}()
-		default:
-			// Shed without spawning: only the request id is needed, so the
-			// frame goes straight back to the pool, and neither the enqueue
-			// nor the write may block the read loop — the kicker goroutine
-			// flushes the queue instead.
-			id := req.requestID
-			putFrameBuf(fb)
-			enc := encodeReplyFrame(errorReply(id, s.adm.shedError()))
-			if w.tryEnqueue(enc) {
-				select {
-				case kick <- struct{}{}:
-				default: // a kick is already pending
-				}
+		} else {
+			prio := s.adm.isPriority(req.operation)
+			if tok := s.adm.tryAcquire(prio); tok != slotNone {
+				reqWG.Add(1)
+				go func() {
+					defer reqWG.Done()
+					defer s.adm.release(tok)
+					s.handle(fb, req, w)
+				}()
+			} else if s.adm.enqueue(prio) {
+				reqWG.Add(1)
+				go func() {
+					defer reqWG.Done()
+					slot := s.adm.await(s.done, prio)
+					if slot == slotNone {
+						putFrameBuf(fb)
+						w.q <- encodeReplyFrame(errorReply(req.requestID, s.adm.shedError()))
+						w.combine()
+						return
+					}
+					defer s.adm.release(slot)
+					s.handle(fb, req, w)
+				}()
 			} else {
-				// The reply queue is full behind a stalled write: the client
-				// is not draining its socket, so this shed could never be
-				// delivered anyway. Drop it (the shed is already counted)
-				// and let the caller time out.
-				cdr.PutEncoder(enc)
+				// Shed without spawning: only the request id is needed, so
+				// the frame goes straight back to the pool, and neither the
+				// enqueue nor the write may block the read loop — the kicker
+				// goroutine flushes the queue instead.
+				id := req.requestID
+				putFrameBuf(fb)
+				enc := encodeReplyFrame(errorReply(id, s.adm.shedError()))
+				if w.tryEnqueue(enc) {
+					select {
+					case kick <- struct{}{}:
+					default: // a kick is already pending
+					}
+				} else {
+					// The reply queue is full behind a stalled write: the
+					// client is not draining its socket, so this shed could
+					// never be delivered anyway. Drop it (the shed is already
+					// counted) and let the caller time out.
+					cdr.PutEncoder(enc)
+				}
 			}
 		}
 	}

@@ -18,6 +18,15 @@ const (
 	// RecordDone marks a decision as fully delivered, allowing the decision
 	// record to be garbage-collected at the next checkpoint.
 	RecordDone wal.Kind = 0x12
+	// RecordHeuristic records a participant's unilateral (heuristic)
+	// outcome so heuristic damage survives restart: the terminator, an
+	// operator or a later recovery pass can still see which participants
+	// diverged until ForgetHeuristics acknowledges them.
+	RecordHeuristic wal.Kind = 0x13
+	// RecordHeuristicForget acknowledges a transaction's heuristic
+	// records: they stop being reported and are garbage-collected at the
+	// next checkpoint.
+	RecordHeuristicForget wal.Kind = 0x14
 )
 
 // decisionRecord is the decoded form of a RecordDecision entry.
@@ -53,6 +62,43 @@ func decodeDecision(b []byte) (decisionRecord, error) {
 	return rec, nil
 }
 
+// HeuristicRecord is one durably recorded heuristic outcome: a prepared
+// participant that resolved unilaterally instead of waiting for the
+// coordinator's phase two.
+type HeuristicRecord struct {
+	// Tx is the transaction the participant was prepared under.
+	Tx ids.UID
+	// Resource is the participant's recovery name (may be empty for
+	// anonymous participants, which cannot be re-bound after restart).
+	Resource string
+	// Outcome is what the participant unilaterally did: StatusCommitted
+	// or StatusRolledBack.
+	Outcome Status
+}
+
+func encodeHeuristic(rec HeuristicRecord) []byte {
+	e := cdr.NewEncoder(64)
+	e.WriteRaw(rec.Tx[:])
+	e.WriteOctet(byte(rec.Outcome))
+	e.WriteString(rec.Resource)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func decodeHeuristic(b []byte) (HeuristicRecord, error) {
+	var rec HeuristicRecord
+	if len(b) < 17 {
+		return rec, fmt.Errorf("ots: heuristic record too short (%d bytes)", len(b))
+	}
+	copy(rec.Tx[:], b[:16])
+	d := cdr.NewDecoder(b[16:])
+	rec.Outcome = Status(d.ReadOctet())
+	rec.Resource = d.ReadString()
+	if err := d.Err(); err != nil {
+		return rec, fmt.Errorf("ots: decode heuristic: %w", err)
+	}
+	return rec, nil
+}
+
 func encodeDone(tx ids.UID) []byte {
 	out := make([]byte, 16)
 	copy(out, tx[:])
@@ -80,8 +126,11 @@ func (t *Transaction) logDecision(prepared []registeredResource) error {
 			names = append(names, p.name)
 		}
 	}
-	_, err := t.svc.log.Append(RecordDecision, encodeDecision(t.id, names))
-	return err
+	if _, err := t.svc.log.Append(RecordDecision, encodeDecision(t.id, names)); err != nil {
+		return err
+	}
+	t.svc.noteDecision(decisionRecord{tx: t.id, names: names})
+	return nil
 }
 
 // logDone marks the decision delivered; best-effort (losing it only causes
@@ -90,5 +139,38 @@ func (t *Transaction) logDone() {
 	if t.svc.log == nil {
 		return
 	}
-	_, _ = t.svc.log.Append(RecordDone, encodeDone(t.id))
+	if _, err := t.svc.log.Append(RecordDone, encodeDone(t.id)); err == nil {
+		t.svc.noteDone(t.id)
+	}
+}
+
+// recordHeuristic durably records one participant's heuristic outcome,
+// deduplicating per (transaction, resource) so re-driven deliveries that
+// keep hitting the same heuristic do not grow the log. Best-effort: with
+// no log (or a failing one) the heuristic is still reported to the
+// terminator through the commit error, it just will not survive restart.
+func (s *Service) recordHeuristic(tx ids.UID, resource string, outcome Status) {
+	if s.log == nil {
+		return
+	}
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	v, err := s.loadViewLocked()
+	if err == nil {
+		for _, r := range v.heuristics[tx] {
+			if r.Resource == resource {
+				return
+			}
+		}
+	}
+	rec := HeuristicRecord{Tx: tx, Resource: resource, Outcome: outcome}
+	if _, err := s.log.Append(RecordHeuristic, encodeHeuristic(rec)); err != nil {
+		return
+	}
+	if v != nil {
+		v.heuristics[tx] = append(v.heuristics[tx], rec)
+	}
+	s.totMu.Lock()
+	s.totals.HeuristicsRecorded++
+	s.totMu.Unlock()
 }

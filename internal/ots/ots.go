@@ -35,6 +35,14 @@ var (
 	// ErrHeuristicHazard reports that the outcome of some participants is
 	// unknown.
 	ErrHeuristicHazard = errors.New("ots: heuristic hazard")
+	// ErrHeuristicCommit is returned (wrapped) by a participant's Rollback
+	// when it had already, unilaterally, committed its prepared work — the
+	// CosTransactions HeuristicCommit exception.
+	ErrHeuristicCommit = errors.New("ots: participant heuristically committed")
+	// ErrHeuristicRollback is returned (wrapped) by a participant's Commit
+	// when it had already, unilaterally, rolled back its prepared work —
+	// the CosTransactions HeuristicRollback exception.
+	ErrHeuristicRollback = errors.New("ots: participant heuristically rolled back")
 )
 
 // Service is the transaction factory and recovery home. It corresponds to
@@ -46,8 +54,20 @@ type Service struct {
 	retries    int
 	retryDelay time.Duration
 
+	hook func(Event)
+
 	mu       sync.Mutex
 	inflight map[ids.UID]*Transaction
+
+	// viewMu guards the cached decision-log view shared by every recovery
+	// entry point (see recovery.go): one scan serves Recover,
+	// ReplayCompletion, Heuristics and CheckpointLog until invalidated.
+	viewMu sync.Mutex
+	view   *logView
+
+	// totMu guards the cumulative recovery totals the admin scrape reads.
+	totMu  sync.Mutex
+	totals RecoveryTotals
 }
 
 // Option configures a Service.
@@ -79,6 +99,16 @@ func WithRetryPolicy(attempts int, delay time.Duration) Option {
 		}
 		s.retryDelay = delay
 	})
+}
+
+// WithEventHook installs a synchronous observer of top-level commit
+// protocol steps: phase-one completion, the durable decision, each
+// phase-two delivery and the done record. The hook runs inline on the
+// committing goroutine, which is what lets crash-restart tests kill the
+// process at an exact protocol boundary; production observers must return
+// quickly.
+func WithEventHook(fn func(Event)) Option {
+	return optionFunc(func(s *Service) { s.hook = fn })
 }
 
 // NewService returns a transaction service.
@@ -148,6 +178,13 @@ func (s *Service) Inflight() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.inflight)
+}
+
+// emit delivers e to the installed event hook, if any.
+func (s *Service) emit(e Event) {
+	if s.hook != nil {
+		s.hook(e)
+	}
 }
 
 func (s *Service) forget(t *Transaction) {
@@ -390,10 +427,10 @@ func (t *Transaction) completeTopLevel(resources []registeredResource, reportHeu
 			// already-prepared and the not-yet-asked participants.
 			t.setStatus(StatusRollingBack)
 			for _, p := range prepared {
-				_ = p.res.Rollback()
+				t.deliverRollback(p)
 			}
 			for _, rest := range resources[i+1:] {
-				_ = rest.res.Rollback()
+				t.deliverRollback(rest)
 			}
 			t.setStatus(StatusRolledBack)
 			if err != nil {
@@ -407,38 +444,75 @@ func (t *Transaction) completeTopLevel(resources []registeredResource, reportHeu
 		return nil
 	}
 	t.setStatus(StatusPrepared)
+	t.svc.emit(Event{Tx: t.id, Stage: StagePrepared})
 
 	// Commit point: the decision record must be durable before phase two
 	// (presumed abort — without it, recovery rolls back).
 	if err := t.logDecision(prepared); err != nil {
 		t.setStatus(StatusRollingBack)
 		for _, p := range prepared {
-			_ = p.res.Rollback()
+			t.deliverRollback(p)
 		}
 		t.setStatus(StatusRolledBack)
 		return fmt.Errorf("%w: decision log: %v", ErrRolledBack, err)
 	}
+	t.svc.emit(Event{Tx: t.id, Stage: StageDecisionLogged})
 
-	// Phase two.
+	// Phase two. Three outcomes per participant: delivered, heuristically
+	// resolved (the participant decided unilaterally after prepare — a
+	// definitive, durably recorded divergence), or failed (outcome
+	// unknown). Only delivery failures keep the decision record live: the
+	// participant is still prepared and Recover() must re-drive it, so the
+	// done record may be appended only when no delivery failed and the
+	// participant must NOT be told to Forget — forgetting would discard
+	// the very recovery state the replay needs.
 	t.setStatus(StatusCommitting)
-	committed, failed := 0, 0
+	committed, failed, damaged := 0, 0, 0
 	for _, p := range prepared {
-		if err := t.deliverCommit(p.res); err != nil {
-			failed++
-			_ = p.res.Forget()
-		} else {
+		err := t.deliverCommit(p.res)
+		switch {
+		case err == nil:
 			committed++
+			t.svc.emit(Event{Tx: t.id, Stage: StageCommitDelivered, Resource: p.name})
+		case errors.Is(err, ErrHeuristicRollback):
+			damaged++
+			t.svc.recordHeuristic(t.id, p.name, StatusRolledBack)
+		case errors.Is(err, ErrHeuristicCommit):
+			// The participant jumped the gun in the direction the decision
+			// took anyway: converged, but the heuristic is still recorded
+			// so operators can audit it until ForgetHeuristics.
+			committed++
+			t.svc.recordHeuristic(t.id, p.name, StatusCommitted)
+		default:
+			failed++
 		}
 	}
 	t.setStatus(StatusCommitted)
-	t.logDone()
-	if failed > 0 && reportHeuristics {
-		if committed > 0 {
+	if failed == 0 {
+		t.logDone()
+		t.svc.emit(Event{Tx: t.id, Stage: StageDone})
+	}
+	if reportHeuristics {
+		switch {
+		case damaged > 0:
+			return fmt.Errorf("%w: %d committed, %d heuristically rolled back, %d undelivered",
+				ErrHeuristicMixed, committed, damaged, failed)
+		case failed > 0 && committed > 0:
 			return fmt.Errorf("%w: %d committed, %d failed", ErrHeuristicMixed, committed, failed)
+		case failed > 0:
+			return fmt.Errorf("%w: all %d phase-two deliveries failed", ErrHeuristicHazard, failed)
 		}
-		return fmt.Errorf("%w: all %d phase-two deliveries failed", ErrHeuristicHazard, failed)
 	}
 	return nil
+}
+
+// deliverRollback rolls one participant back, capturing a heuristic
+// commit (the participant unilaterally committed after prepare) as
+// durable heuristic damage.
+func (t *Transaction) deliverRollback(rr registeredResource) {
+	if err := rr.res.Rollback(); err != nil && errors.Is(err, ErrHeuristicCommit) {
+		t.svc.recordHeuristic(t.id, rr.name, StatusCommitted)
+	}
 }
 
 // deliverCommit retries phase-two delivery per the service retry policy.
@@ -530,8 +604,10 @@ func (t *Transaction) Rollback() error {
 				_ = aware.RollbackSubtransaction()
 				continue
 			}
+			_ = rr.res.Rollback()
+			continue
 		}
-		_ = rr.res.Rollback()
+		t.deliverRollback(rr)
 	}
 	t.setStatus(StatusRolledBack)
 	if t.parent != nil {

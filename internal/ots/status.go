@@ -6,6 +6,10 @@ import "fmt"
 // status vocabulary.
 type Status int
 
+// StatusUnknown is the zero Status: the outcome could not be determined
+// (for example, a recovery query that failed in transit).
+const StatusUnknown Status = 0
+
 // Transaction statuses.
 const (
 	// StatusActive means the transaction accepts work and registrations.
@@ -29,6 +33,7 @@ const (
 )
 
 var statusNames = map[Status]string{
+	StatusUnknown:        "unknown",
 	StatusActive:         "active",
 	StatusMarkedRollback: "marked-rollback",
 	StatusPreparing:      "preparing",

@@ -1,0 +1,182 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/orb"
+	"github.com/extendedtx/activityservice/internal/ots"
+)
+
+// Recovery servant identity. The servant serves under a well-known key
+// (like orb-admin and naming) so a restarted participant can reconstruct
+// the coordinator's recovery reference from an endpoint alone — after a
+// crash, an endpoint may be all it still has.
+const (
+	// RecoveryTypeID is the interface id of the recovery servant, the
+	// CosTransactions RecoveryCoordinator role hosted service-wide rather
+	// than per transaction.
+	RecoveryTypeID = "IDL:CosTransactions/RecoveryCoordinator:1.0"
+	// RecoveryKey is the well-known object key the recovery servant serves
+	// under.
+	RecoveryKey = "ots-recovery"
+)
+
+// recoveryServant exposes a coordinator's ots.Service recovery surface
+// over the ORB: replay_completion for restarted participants asking their
+// outcome, and recover/totals for operational tooling driving or watching
+// recovery. The completion and recovery verbs belong to the priority
+// admission class (orb.DefaultPriorityOps), so they stay answerable under
+// the overload that strands transactions in doubt in the first place.
+type recoveryServant struct {
+	svc *ots.Service
+}
+
+// ServeRecovery activates the recovery servant for svc on o under
+// RecoveryKey and wires svc's recovery totals into o's orb-admin scrape.
+// It returns the servant's reference; RecoveryAt rebuilds the same
+// reference from endpoints alone.
+func ServeRecovery(o *orb.ORB, svc *ots.Service) orb.IOR {
+	o.SetRecoveryStatsProvider(func() (orb.RecoveryScrape, bool) {
+		t := svc.RecoveryTotals()
+		return orb.RecoveryScrape{
+			Passes:             t.Passes,
+			DecisionsReplayed:  t.DecisionsReplayed,
+			ResourcesCommitted: t.ResourcesCommitted,
+			ResourcesMissing:   t.ResourcesMissing,
+			ResourcesFailed:    t.ResourcesFailed,
+			HeuristicsRecorded: t.HeuristicsRecorded,
+			PendingDecisions:   uint32(t.PendingDecisions),
+			PendingHeuristics:  uint32(t.PendingHeuristics),
+		}, true
+	})
+	return o.RegisterServantWithKey(RecoveryKey, RecoveryTypeID, &recoveryServant{svc: svc})
+}
+
+// Dispatch implements orb.Servant.
+func (s *recoveryServant) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byte, error) {
+	switch op {
+	case "replay_completion":
+		name := in.ReadString()
+		if err := in.Err(); err != nil {
+			return nil, orb.Systemf(orb.CodeMarshal, "replay_completion: %v", err)
+		}
+		status, err := s.svc.ReplayCompletion(name)
+		if err != nil {
+			return nil, err
+		}
+		e := cdr.NewEncoder(4)
+		e.WriteOctet(byte(status))
+		return e.Bytes(), nil
+	case "recover":
+		stats, err := s.svc.Recover()
+		if err != nil {
+			return nil, err
+		}
+		e := cdr.NewEncoder(32)
+		e.WriteUint32(uint32(stats.DecisionsReplayed))
+		e.WriteUint32(uint32(stats.ResourcesCommitted))
+		e.WriteUint32(uint32(stats.ResourcesMissing))
+		e.WriteUint32(uint32(stats.ResourcesFailed))
+		e.WriteUint32(uint32(stats.ResourcesHeuristic))
+		return e.Bytes(), nil
+	case "totals":
+		t := s.svc.RecoveryTotals()
+		e := cdr.NewEncoder(64)
+		e.WriteUint64(t.Passes)
+		e.WriteUint64(t.DecisionsReplayed)
+		e.WriteUint64(t.ResourcesCommitted)
+		e.WriteUint64(t.ResourcesMissing)
+		e.WriteUint64(t.ResourcesFailed)
+		e.WriteUint64(t.HeuristicsRecorded)
+		e.WriteUint32(uint32(t.PendingDecisions))
+		e.WriteUint32(uint32(t.PendingHeuristics))
+		return e.Bytes(), nil
+	default:
+		return nil, orb.Systemf(orb.CodeBadOperation, "RecoveryCoordinator has no operation %q", op)
+	}
+}
+
+// RecoveryClient is the participant- and tooling-side proxy for a
+// coordinator's recovery servant.
+type RecoveryClient struct {
+	orb *orb.ORB
+	ref orb.IOR
+}
+
+// NewRecoveryClient returns a proxy invoking the recovery servant at ref
+// through o.
+func NewRecoveryClient(o *orb.ORB, ref orb.IOR) *RecoveryClient {
+	return &RecoveryClient{orb: o, ref: ref}
+}
+
+// RecoveryAt builds the IOR of the well-known recovery servant reachable
+// at the given endpoints (profiles, in preference order).
+func RecoveryAt(endpoints ...string) orb.IOR {
+	return orb.NewIOR(RecoveryTypeID, RecoveryKey, endpoints...)
+}
+
+// ReplayCompletion asks the coordinator for the outcome of the
+// transaction that prepared the named participant: StatusCommitted when a
+// durable commit decision names it, StatusRolledBack otherwise (presumed
+// abort). A restarted participant stuck in prepared calls this with its
+// own recovery name — the stringified IOR its resource was exported under.
+func (c *RecoveryClient) ReplayCompletion(ctx context.Context, resourceName string) (ots.Status, error) {
+	e := cdr.NewEncoder(64)
+	e.WriteString(resourceName)
+	body, err := c.orb.Invoke(ctx, c.ref, "replay_completion", e.Bytes())
+	if err != nil {
+		return ots.StatusUnknown, fmt.Errorf("recovery replay_completion: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	status := ots.Status(d.ReadOctet())
+	if err := d.Err(); err != nil {
+		return ots.StatusUnknown, orb.Systemf(orb.CodeMarshal, "replay_completion reply: %v", err)
+	}
+	return status, nil
+}
+
+// Recover asks the coordinator to run a recovery pass now and returns its
+// stats. Operational tooling uses this to drive convergence on demand
+// instead of waiting for the coordinator's own schedule.
+func (c *RecoveryClient) Recover(ctx context.Context) (ots.RecoveryStats, error) {
+	var stats ots.RecoveryStats
+	body, err := c.orb.Invoke(ctx, c.ref, "recover", nil)
+	if err != nil {
+		return stats, fmt.Errorf("recovery recover: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	stats.DecisionsReplayed = int(d.ReadUint32())
+	stats.ResourcesCommitted = int(d.ReadUint32())
+	stats.ResourcesMissing = int(d.ReadUint32())
+	stats.ResourcesFailed = int(d.ReadUint32())
+	stats.ResourcesHeuristic = int(d.ReadUint32())
+	if err := d.Err(); err != nil {
+		return ots.RecoveryStats{}, orb.Systemf(orb.CodeMarshal, "recover reply: %v", err)
+	}
+	return stats, nil
+}
+
+// Totals scrapes the coordinator's lifetime recovery totals and pending
+// gauges (the same figures the orb-admin recovery_stats scrape reports).
+func (c *RecoveryClient) Totals(ctx context.Context) (ots.RecoveryTotals, error) {
+	var t ots.RecoveryTotals
+	body, err := c.orb.Invoke(ctx, c.ref, "totals", nil)
+	if err != nil {
+		return t, fmt.Errorf("recovery totals: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	t.Passes = d.ReadUint64()
+	t.DecisionsReplayed = d.ReadUint64()
+	t.ResourcesCommitted = d.ReadUint64()
+	t.ResourcesMissing = d.ReadUint64()
+	t.ResourcesFailed = d.ReadUint64()
+	t.HeuristicsRecorded = d.ReadUint64()
+	t.PendingDecisions = int(d.ReadUint32())
+	t.PendingHeuristics = int(d.ReadUint32())
+	if err := d.Err(); err != nil {
+		return ots.RecoveryTotals{}, orb.Systemf(orb.CodeMarshal, "totals reply: %v", err)
+	}
+	return t, nil
+}

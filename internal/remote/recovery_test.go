@@ -1,0 +1,254 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/orb"
+	"github.com/extendedtx/activityservice/internal/ots"
+	"github.com/extendedtx/activityservice/internal/wal"
+)
+
+// heuristicResource answers phase two with a heuristic sentinel.
+type heuristicResource struct {
+	slotResource
+	outcome error
+}
+
+func (h *heuristicResource) Commit() error {
+	h.set("rolledback")
+	return fmt.Errorf("resolved unilaterally: %w", h.outcome)
+}
+
+// startParticipant exports a resource on its own listening ORB and returns
+// the re-minted reference.
+func startParticipant(t *testing.T, r ots.Resource) orb.IOR {
+	t.Helper()
+	node := orb.New()
+	t.Cleanup(node.Shutdown)
+	ref := ExportResource(node, r)
+	if _, err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ = node.IOR(ref.Key)
+	return ref
+}
+
+func TestWireReplayCompletion(t *testing.T) {
+	// Coordinator: durable log, two remote participants, full commit.
+	coordORB := orb.New()
+	t.Cleanup(coordORB.Shutdown)
+	log := wal.NewMemory()
+	svc := ots.NewService(ots.WithLog(log), ots.WithRetryPolicy(2, 10*time.Millisecond))
+
+	a, b := &slotResource{vote: ots.VoteCommit}, &slotResource{vote: ots.VoteCommit}
+	refA, refB := startParticipant(t, a), startParticipant(t, b)
+	tx := svc.Begin()
+	_ = tx.RegisterResource(ImportResource(coordORB, refA))
+	_ = tx.RegisterResource(ImportResource(coordORB, refB))
+	if err := tx.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator serves recovery; a restarted participant asks for its
+	// outcome over the wire using its own recovery name (its IOR string).
+	recoveryRef := ServeRecovery(coordORB, svc)
+	if _, err := coordORB.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	recoveryRef, _ = coordORB.IOR(recoveryRef.Key)
+
+	participantORB := orb.New()
+	t.Cleanup(participantORB.Shutdown)
+	rc := NewRecoveryClient(participantORB, recoveryRef)
+	ctx := context.Background()
+
+	st, err := rc.ReplayCompletion(ctx, refA.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ots.StatusCommitted {
+		t.Fatalf("replay_completion(%s) = %s, want committed", refA.Key, st)
+	}
+	// A name from a transaction whose decision never became durable is
+	// presumed aborted.
+	st, err = rc.ReplayCompletion(ctx, "IOR:tcp:203.0.113.9:1|T|never-prepared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ots.StatusRolledBack {
+		t.Fatalf("unknown name status = %s, want rolled-back", st)
+	}
+
+	// RecoveryAt rebuilds the same well-known reference from endpoints.
+	rc2 := NewRecoveryClient(participantORB, RecoveryAt(coordORB.Endpoints()...))
+	st, err = rc2.ReplayCompletion(ctx, refB.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ots.StatusCommitted {
+		t.Fatalf("well-known ref status = %s, want committed", st)
+	}
+}
+
+func TestRemoteRecoverVerbRedelivers(t *testing.T) {
+	// A coordinator restart: the new service knows only the log. The wire
+	// "recover" verb drives redelivery and reports the pass stats.
+	log := wal.NewMemory()
+	coordORB := orb.New()
+	t.Cleanup(coordORB.Shutdown)
+	svc := ots.NewService(ots.WithLog(log), ots.WithRetryPolicy(2, 10*time.Millisecond))
+
+	a, b := &slotResource{vote: ots.VoteCommit}, &slotResource{vote: ots.VoteCommit}
+	refA, refB := startParticipant(t, a), startParticipant(t, b)
+	tx := svc.Begin()
+	_ = tx.RegisterResource(ImportResource(coordORB, refA))
+	_ = tx.RegisterResource(ImportResource(coordORB, refB))
+	if err := tx.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep only the decision record: the crash happened before phase two.
+	recs, _ := log.Records()
+	crashLog := wal.NewMemory()
+	if _, err := crashLog.Append(recs[0].Kind, recs[0].Data); err != nil {
+		t.Fatal(err)
+	}
+	a.set("prepared")
+	b.set("prepared")
+
+	coordORB2 := orb.New()
+	t.Cleanup(coordORB2.Shutdown)
+	svc2 := ots.NewService(ots.WithLog(crashLog), ots.WithRetryPolicy(2, 10*time.Millisecond))
+	names, err := svc2.InDoubtResources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("in-doubt names = %v", names)
+	}
+	if err := BindRemoteResources(coordORB2, svc2.Directory(), names); err != nil {
+		t.Fatal(err)
+	}
+	recoveryRef := ServeRecovery(coordORB2, svc2)
+	if _, err := coordORB2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	recoveryRef, _ = coordORB2.IOR(recoveryRef.Key)
+
+	toolORB := orb.New()
+	t.Cleanup(toolORB.Shutdown)
+	rc := NewRecoveryClient(toolORB, recoveryRef)
+	ctx := context.Background()
+	stats, err := rc.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DecisionsReplayed != 1 || stats.ResourcesCommitted != 2 || stats.ResourcesFailed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if a.State() != "committed" || b.State() != "committed" {
+		t.Fatalf("participants = %s / %s", a.State(), b.State())
+	}
+	totals, err := rc.Totals(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Passes != 1 || totals.ResourcesCommitted != 2 || totals.PendingDecisions != 0 {
+		t.Fatalf("totals = %+v", totals)
+	}
+}
+
+func TestRemoteHeuristicCrossesWire(t *testing.T) {
+	// A remote participant's heuristic outcome must reach the coordinator
+	// as the sentinel — not as a generic delivery failure — so it is
+	// aggregated as damage and recorded durably under the participant's
+	// recovery name.
+	coordORB := orb.New()
+	t.Cleanup(coordORB.Shutdown)
+	log := wal.NewMemory()
+	svc := ots.NewService(ots.WithLog(log), ots.WithRetryPolicy(1, 0))
+
+	loyal := &slotResource{vote: ots.VoteCommit}
+	rogue := &heuristicResource{slotResource: slotResource{vote: ots.VoteCommit}, outcome: ots.ErrHeuristicRollback}
+	refLoyal, refRogue := startParticipant(t, loyal), startParticipant(t, rogue)
+	tx := svc.Begin()
+	_ = tx.RegisterResource(ImportResource(coordORB, refLoyal))
+	_ = tx.RegisterResource(ImportResource(coordORB, refRogue))
+	err := tx.Commit(true)
+	if !errors.Is(err, ots.ErrHeuristicMixed) {
+		t.Fatalf("commit err = %v, want ErrHeuristicMixed", err)
+	}
+	recs, err := svc.Heuristics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Resource != refRogue.String() || recs[0].Outcome != ots.StatusRolledBack {
+		t.Fatalf("heuristics = %+v", recs)
+	}
+	// Heuristic participants are resolved: the decision sealed, no replay.
+	stats, err := svc.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DecisionsReplayed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestAdminRecoveryStatsScrape(t *testing.T) {
+	coordORB := orb.New()
+	t.Cleanup(coordORB.Shutdown)
+	log := wal.NewMemory()
+	svc := ots.NewService(ots.WithLog(log), ots.WithRetryPolicy(2, 10*time.Millisecond))
+	orb.ServeAdmin(coordORB)
+	ServeRecovery(coordORB, svc)
+	if _, err := coordORB.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := &slotResource{vote: ots.VoteCommit}, &slotResource{vote: ots.VoteCommit}
+	refA, refB := startParticipant(t, a), startParticipant(t, b)
+	tx := svc.Begin()
+	_ = tx.RegisterResource(ImportResource(coordORB, refA))
+	_ = tx.RegisterResource(ImportResource(coordORB, refB))
+	if err := tx.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	clientORB := orb.New()
+	t.Cleanup(clientORB.Shutdown)
+	admin := orb.NewAdminClient(clientORB, orb.AdminAt(coordORB.Endpoints()...))
+	scrape, ok, err := admin.RecoveryStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("recovery_stats reported no recovery surface")
+	}
+	if scrape.Passes != 1 || scrape.PendingDecisions != 0 || scrape.PendingHeuristics != 0 {
+		t.Fatalf("scrape = %+v", scrape)
+	}
+
+	// An ORB without a provider answers ok=false, not an error.
+	bareORB := orb.New()
+	t.Cleanup(bareORB.Shutdown)
+	orb.ServeAdmin(bareORB)
+	if _, err := bareORB.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	bareAdmin := orb.NewAdminClient(clientORB, orb.AdminAt(bareORB.Endpoints()...))
+	_, ok, err = bareAdmin.RecoveryStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("bare ORB claimed a recovery surface")
+	}
+}

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/extendedtx/activityservice/internal/cdr"
@@ -11,6 +12,61 @@ import (
 
 // ResourceTypeID is the interface id of exported transaction resources.
 const ResourceTypeID = "IDL:CosTransactions/Resource:1.0"
+
+// Phase-two reply outcome octets. CosTransactions models heuristic
+// outcomes as exceptions; here they ride in the reply body (a transport
+// error must keep meaning "delivery failed, outcome unknown", which is
+// exactly what a heuristic reply is not). An empty reply body means clean,
+// so pre-heuristic servants interoperate.
+const (
+	outcomeClean             = 0
+	outcomeHeuristicCommit   = 1
+	outcomeHeuristicRollback = 2
+)
+
+// encodePhaseTwoReply maps a servant's phase-two error to a reply: the
+// heuristic sentinels become outcome octets (the delivery succeeded — the
+// participant resolved, just unilaterally), anything else stays an error.
+func encodePhaseTwoReply(err error) ([]byte, error) {
+	var outcome byte
+	switch {
+	case err == nil:
+		return nil, nil
+	case errors.Is(err, ots.ErrHeuristicCommit):
+		outcome = outcomeHeuristicCommit
+	case errors.Is(err, ots.ErrHeuristicRollback):
+		outcome = outcomeHeuristicRollback
+	default:
+		return nil, err
+	}
+	e := cdr.NewEncoder(4)
+	e.WriteOctet(outcome)
+	return e.Bytes(), nil
+}
+
+// decodePhaseTwoReply is the proxy-side inverse: an outcome octet becomes
+// the matching heuristic sentinel so the coordinator's aggregation treats
+// remote participants exactly like local ones.
+func decodePhaseTwoReply(op string, body []byte) error {
+	if len(body) == 0 {
+		return nil
+	}
+	d := cdr.NewDecoder(body)
+	outcome := d.ReadOctet()
+	if err := d.Err(); err != nil {
+		return orb.Systemf(orb.CodeMarshal, "%s reply: %v", op, err)
+	}
+	switch outcome {
+	case outcomeClean:
+		return nil
+	case outcomeHeuristicCommit:
+		return fmt.Errorf("remote: %s: %w", op, ots.ErrHeuristicCommit)
+	case outcomeHeuristicRollback:
+		return fmt.Errorf("remote: %s: %w", op, ots.ErrHeuristicRollback)
+	default:
+		return orb.Systemf(orb.CodeMarshal, "%s reply: unknown outcome %d", op, outcome)
+	}
+}
 
 // resourceServant adapts an ots.Resource to the ORB, so a transaction
 // coordinator on one node can drive two-phase commit over participants on
@@ -31,11 +87,11 @@ func (s *resourceServant) Dispatch(_ context.Context, op string, _ *cdr.Decoder)
 		e.WriteOctet(byte(vote))
 		return e.Bytes(), nil
 	case "commit":
-		return nil, s.res.Commit()
+		return encodePhaseTwoReply(s.res.Commit())
 	case "rollback":
-		return nil, s.res.Rollback()
+		return encodePhaseTwoReply(s.res.Rollback())
 	case "commit_one_phase":
-		return nil, s.res.CommitOnePhase()
+		return encodePhaseTwoReply(s.res.CommitOnePhase())
 	case "forget":
 		return nil, s.res.Forget()
 	default:
@@ -98,20 +154,29 @@ func (r *remoteResource) Prepare() (ots.Vote, error) {
 
 // Commit implements ots.Resource.
 func (r *remoteResource) Commit() error {
-	_, err := r.invoke("commit")
-	return err
+	body, err := r.invoke("commit")
+	if err != nil {
+		return err
+	}
+	return decodePhaseTwoReply("commit", body)
 }
 
 // Rollback implements ots.Resource.
 func (r *remoteResource) Rollback() error {
-	_, err := r.invoke("rollback")
-	return err
+	body, err := r.invoke("rollback")
+	if err != nil {
+		return err
+	}
+	return decodePhaseTwoReply("rollback", body)
 }
 
 // CommitOnePhase implements ots.Resource.
 func (r *remoteResource) CommitOnePhase() error {
-	_, err := r.invoke("commit_one_phase")
-	return err
+	body, err := r.invoke("commit_one_phase")
+	if err != nil {
+		return err
+	}
+	return decodePhaseTwoReply("commit_one_phase", body)
 }
 
 // Forget implements ots.Resource.

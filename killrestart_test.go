@@ -1,0 +1,424 @@
+// Kill-restart chaos harness: the coordinator process is killed with
+// SIGKILL at injected points inside a distributed two-phase commit —
+// after prepare, after the decision record is forced, and mid-phase-two —
+// then restarted against the same write-ahead log. The participants live
+// in THIS process and survive the kill, so the harness can observe
+// exactly what each one was told before and after the crash. Recovery is
+// driven end to end: WAL replay re-drives in-doubt branches, and the
+// wire-level replay_completion servant answers restarted participants.
+//
+// These are real processes and a real kill(2): the coordinator never gets
+// to run deferred cleanup, flush buffers, or say goodbye — exactly the
+// failure the presumed-abort log protocol is designed for.
+package activityservice_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/extendedtx/activityservice/orb"
+	"github.com/extendedtx/activityservice/ots"
+)
+
+// Environment contract between the parent test and the re-exec'd
+// coordinator helper. IORs are joined with newlines: the stringified
+// reference grammar uses '|' and ',' internally.
+const (
+	crashEnvMode  = "ACTIVITYSERVICE_CRASH_MODE"  // "commit" or "recover"
+	crashEnvStage = "ACTIVITYSERVICE_CRASH_STAGE" // "prepared", "decision", "phase2"
+	crashEnvWAL   = "ACTIVITYSERVICE_CRASH_WAL"   // coordinator log path
+	crashEnvIORs  = "ACTIVITYSERVICE_CRASH_IORS"  // participant refs, "\n"-joined
+)
+
+// survivorResource is a participant hosted by the parent process. It
+// persists nothing — the parent is never killed — but counts protocol
+// verbs so the harness can assert exactly-once application: Commit is
+// idempotent (redelivery is absorbed), and applies records how many times
+// state actually changed.
+type survivorResource struct {
+	prepares    atomic.Int32
+	commitCalls atomic.Int32
+	applies     atomic.Int32
+	rollbacks   atomic.Int32
+	committed   atomic.Bool
+}
+
+func (r *survivorResource) Prepare() (ots.Vote, error) {
+	r.prepares.Add(1)
+	return ots.VoteCommit, nil
+}
+
+func (r *survivorResource) Commit() error {
+	r.commitCalls.Add(1)
+	if r.committed.CompareAndSwap(false, true) {
+		r.applies.Add(1)
+	}
+	return nil
+}
+
+func (r *survivorResource) Rollback() error       { r.rollbacks.Add(1); return nil }
+func (r *survivorResource) CommitOnePhase() error { return r.Commit() }
+func (r *survivorResource) Forget() error         { return nil }
+
+// crashStage maps the injected crash point to the pipeline stage at which
+// the coordinator helper SIGKILLs itself.
+func crashStage(name string) ots.Stage {
+	switch name {
+	case "prepared":
+		return ots.StagePrepared
+	case "decision":
+		return ots.StageDecisionLogged
+	case "phase2":
+		return ots.StageCommitDelivered
+	}
+	return 0
+}
+
+// TestCrashRestartHelper is the coordinator process. It only runs when
+// re-exec'd by the harness with the mode environment set.
+//
+// mode=commit: drive a two-participant 2PC against the parent's
+// participants and SIGKILL self at the configured stage. The kill is
+// raised from inside the synchronous event hook, so the process dies at
+// exactly the protocol point under test — no deferred recovery runs.
+//
+// mode=recover: restart against the same WAL, re-drive in-doubt branches,
+// report pass stats on stdout, then serve wire-level recovery
+// (replay_completion and the recover verb) until stdin closes.
+func TestCrashRestartHelper(t *testing.T) {
+	mode := os.Getenv(crashEnvMode)
+	if mode == "" {
+		t.Skip("coordinator helper; runs only via re-exec")
+	}
+	log, err := ots.OpenFileLog(os.Getenv(crashEnvWAL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := orb.New()
+	defer node.Shutdown()
+
+	switch mode {
+	case "commit":
+		stage := crashStage(os.Getenv(crashEnvStage))
+		if stage == 0 {
+			t.Fatalf("bad crash stage %q", os.Getenv(crashEnvStage))
+		}
+		svc := ots.NewService(ots.WithLog(log),
+			ots.WithRetryPolicy(1, 0),
+			ots.WithEventHook(func(e ots.Event) {
+				if e.Stage == stage {
+					_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+					select {} // unreachable: SIGKILL is not deliverable to a handler
+				}
+			}))
+		tx := svc.Begin()
+		for _, s := range strings.Split(os.Getenv(crashEnvIORs), "\n") {
+			ref, err := orb.ParseIOR(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.RegisterResource(orb.ImportResource(node, ref)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = tx.Commit(true)
+		t.Fatal("coordinator survived its injected crash point")
+
+	case "recover":
+		svc := ots.NewService(ots.WithLog(log), ots.WithRetryPolicy(2, 10*time.Millisecond))
+		names, err := svc.InDoubtResources()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := orb.BindRemoteResources(node, svc.Directory(), names); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := svc.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		orb.ServeRecovery(node, svc)
+		if _, err := node.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("STATS replayed=%d committed=%d missing=%d failed=%d\n",
+			stats.DecisionsReplayed, stats.ResourcesCommitted,
+			stats.ResourcesMissing, stats.ResourcesFailed)
+		fmt.Printf("ENDPOINT %s\n", strings.Join(node.Endpoints(), " "))
+		_, _ = io.Copy(io.Discard, os.Stdin) // serve until the parent hangs up
+
+	default:
+		t.Fatalf("bad mode %q", mode)
+	}
+}
+
+// coordinatorEnv builds the child-process environment for one helper run.
+func coordinatorEnv(mode, stage, walPath string, iors []string) []string {
+	return append(os.Environ(),
+		crashEnvMode+"="+mode,
+		crashEnvStage+"="+stage,
+		crashEnvWAL+"="+walPath,
+		crashEnvIORs+"="+strings.Join(iors, "\n"),
+	)
+}
+
+// runCoordinatorUntilKilled re-execs the helper in commit mode and
+// asserts the process died from the self-inflicted SIGKILL — not from a
+// clean exit or a test failure.
+func runCoordinatorUntilKilled(t *testing.T, stage, walPath string, iors []string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashRestartHelper$")
+	cmd.Env = coordinatorEnv("commit", stage, walPath, iors)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("coordinator exited cleanly, want SIGKILL; output:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("coordinator: %v; output:\n%s", err, out)
+	}
+	ws, ok := exitErr.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("coordinator exit = %v (signaled=%v), want SIGKILL; output:\n%s",
+			err, ok && ws.Signaled(), out)
+	}
+}
+
+// restartedCoordinator holds the recover-mode child and what it reported.
+type restartedCoordinator struct {
+	cmd       *exec.Cmd
+	stdin     io.WriteCloser
+	replayed  int
+	committed int
+	missing   int
+	failed    int
+	endpoints []string
+}
+
+// restartCoordinator re-execs the helper in recover mode against the same
+// WAL, parses its recovery-pass report, and leaves it serving wire-level
+// recovery until shutdown.
+func restartCoordinator(t *testing.T, walPath string) *restartedCoordinator {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashRestartHelper$")
+	cmd.Env = coordinatorEnv("recover", "", walPath, nil)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rc := &restartedCoordinator{cmd: cmd, stdin: stdin}
+	t.Cleanup(func() { rc.shutdown(t) })
+
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "STATS "):
+			if _, err := fmt.Sscanf(line, "STATS replayed=%d committed=%d missing=%d failed=%d",
+				&rc.replayed, &rc.committed, &rc.missing, &rc.failed); err != nil {
+				t.Fatalf("bad stats line %q: %v", line, err)
+			}
+		case strings.HasPrefix(line, "ENDPOINT "):
+			rc.endpoints = strings.Fields(strings.TrimPrefix(line, "ENDPOINT "))
+			if len(rc.endpoints) == 0 {
+				t.Fatalf("restarted coordinator reported no endpoints")
+			}
+			go io.Copy(io.Discard, stdout) // drain test-framework chatter
+			return rc
+		}
+	}
+	_ = cmd.Wait()
+	t.Fatal("restarted coordinator exited before serving recovery")
+	return nil
+}
+
+func (rc *restartedCoordinator) shutdown(t *testing.T) {
+	_ = rc.stdin.Close()
+	if err := rc.cmd.Wait(); err != nil {
+		t.Errorf("restarted coordinator exit: %v", err)
+	}
+}
+
+// crashFixture hosts the surviving participants and the coordinator WAL.
+type crashFixture struct {
+	walPath string
+	a, b    *survivorResource
+	refs    []string
+}
+
+func newCrashFixture(t *testing.T) *crashFixture {
+	t.Helper()
+	node := orb.New()
+	t.Cleanup(node.Shutdown)
+	f := &crashFixture{
+		walPath: filepath.Join(t.TempDir(), "coordinator.wal"),
+		a:       &survivorResource{},
+		b:       &survivorResource{},
+	}
+	refA := orb.ExportResourceWithKey(node, "survivor-a", f.a)
+	refB := orb.ExportResourceWithKey(node, "survivor-b", f.b)
+	if _, err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	refA, _ = node.IOR(refA.Key)
+	refB, _ = node.IOR(refB.Key)
+	f.refs = []string{refA.String(), refB.String()}
+	return f
+}
+
+// recoveryClient dials the restarted coordinator's wire recovery surface.
+func recoveryClient(t *testing.T, rc *restartedCoordinator) *orb.RecoveryClient {
+	t.Helper()
+	client := orb.New()
+	t.Cleanup(client.Shutdown)
+	return orb.NewRecoveryClient(client, orb.RecoveryAt(rc.endpoints...))
+}
+
+// TestCrashRestart2PC is the chaos matrix: one subtest per injected kill
+// point. Each subtest runs a real coordinator process to its crash point,
+// restarts it, and asserts every prepared participant converges to the
+// logged decision exactly once — via WAL replay for branches the restarted
+// coordinator re-drives, and via wire-level replay_completion for
+// participants asking after their fate.
+func TestCrashRestart2PC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	ctx := context.Background()
+
+	t.Run("after-prepare", func(t *testing.T) {
+		// Killed after both votes, before the decision record: nothing
+		// durable exists, so restart must presume abort. The participants
+		// learn their fate through replay_completion and roll back.
+		f := newCrashFixture(t)
+		runCoordinatorUntilKilled(t, "prepared", f.walPath, f.refs)
+		if got := f.a.prepares.Load() + f.b.prepares.Load(); got != 2 {
+			t.Fatalf("prepares before crash = %d, want 2", got)
+		}
+		if f.a.applies.Load()+f.b.applies.Load() != 0 {
+			t.Fatal("participant committed before any durable decision")
+		}
+
+		rc := restartCoordinator(t, f.walPath)
+		if rc.replayed != 0 {
+			t.Fatalf("replayed = %d, want 0 (no decision survived)", rc.replayed)
+		}
+		cl := recoveryClient(t, rc)
+		for i, name := range f.refs {
+			st, err := cl.ReplayCompletion(ctx, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != ots.StatusRolledBack {
+				t.Fatalf("participant %d fate = %s, want rolled-back (presumed abort)", i, st)
+			}
+		}
+		// The participants apply the answer: release by rolling back.
+		if err := f.a.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.b.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+		if f.a.applies.Load() != 0 || f.b.applies.Load() != 0 || f.a.rollbacks.Load() != 1 {
+			t.Fatalf("after presumed abort: applies=%d/%d rollbacks=%d/%d",
+				f.a.applies.Load(), f.b.applies.Load(),
+				f.a.rollbacks.Load(), f.b.rollbacks.Load())
+		}
+	})
+
+	t.Run("after-decision", func(t *testing.T) {
+		// Killed right after the commit record was forced: no participant
+		// heard the verdict. Restart replays the decision from the WAL and
+		// delivers commit to both — each applied exactly once.
+		f := newCrashFixture(t)
+		runCoordinatorUntilKilled(t, "decision", f.walPath, f.refs)
+		if f.a.applies.Load()+f.b.applies.Load() != 0 {
+			t.Fatal("participant committed before phase two began")
+		}
+
+		rc := restartCoordinator(t, f.walPath)
+		if rc.replayed != 1 || rc.committed != 2 || rc.failed != 0 || rc.missing != 0 {
+			t.Fatalf("recovery pass = replayed %d committed %d missing %d failed %d, want 1/2/0/0",
+				rc.replayed, rc.committed, rc.missing, rc.failed)
+		}
+		if f.a.applies.Load() != 1 || f.b.applies.Load() != 1 {
+			t.Fatalf("applies = %d/%d, want exactly once each",
+				f.a.applies.Load(), f.b.applies.Load())
+		}
+		cl := recoveryClient(t, rc)
+		for _, name := range f.refs {
+			st, err := cl.ReplayCompletion(ctx, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != ots.StatusCommitted {
+				t.Fatalf("fate of %s = %s, want committed", name, st)
+			}
+		}
+		// The decision sealed: a second wire-driven pass replays nothing.
+		again, err := cl.Recover(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.DecisionsReplayed != 0 {
+			t.Fatalf("second pass replayed %d decisions, want 0", again.DecisionsReplayed)
+		}
+		if f.a.commitCalls.Load() != 1 || f.b.commitCalls.Load() != 1 {
+			t.Fatalf("commit deliveries = %d/%d, want 1/1 (sealed decision not re-driven)",
+				f.a.commitCalls.Load(), f.b.commitCalls.Load())
+		}
+	})
+
+	t.Run("mid-phase2", func(t *testing.T) {
+		// Killed after the first commit delivery: one participant already
+		// committed, the other is in doubt. Restart re-drives the whole
+		// decision; the already-committed participant absorbs the duplicate
+		// (idempotent), the other commits — every branch applied once.
+		f := newCrashFixture(t)
+		runCoordinatorUntilKilled(t, "phase2", f.walPath, f.refs)
+		if got := f.a.applies.Load() + f.b.applies.Load(); got != 1 {
+			t.Fatalf("applies at crash = %d, want exactly 1 (first delivery landed)", got)
+		}
+
+		rc := restartCoordinator(t, f.walPath)
+		if rc.replayed != 1 || rc.committed != 2 || rc.failed != 0 {
+			t.Fatalf("recovery pass = replayed %d committed %d failed %d, want 1/2/0",
+				rc.replayed, rc.committed, rc.failed)
+		}
+		if f.a.applies.Load() != 1 || f.b.applies.Load() != 1 {
+			t.Fatalf("applies = %d/%d, want exactly once each",
+				f.a.applies.Load(), f.b.applies.Load())
+		}
+		if got := f.a.commitCalls.Load() + f.b.commitCalls.Load(); got != 3 {
+			t.Fatalf("total commit deliveries = %d, want 3 (one pre-crash + full re-drive)", got)
+		}
+		cl := recoveryClient(t, rc)
+		st, err := cl.ReplayCompletion(ctx, f.refs[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != ots.StatusCommitted {
+			t.Fatalf("in-doubt participant fate = %s, want committed", st)
+		}
+	})
+}

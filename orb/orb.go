@@ -90,6 +90,12 @@ type (
 	// AdminClient scrapes a remote ORB's ServerStats/EndpointStats through
 	// its well-known admin servant.
 	AdminClient = iorb.AdminClient
+	// RecoveryScrape is the transaction-recovery status exposed through the
+	// orb-admin "recovery_stats" operation.
+	RecoveryScrape = iorb.RecoveryScrape
+	// RecoveryClient invokes a coordinator's well-known recovery servant
+	// (replay_completion, recover, totals).
+	RecoveryClient = remote.RecoveryClient
 )
 
 // Circuit breaker states (see WithCircuitBreaker).
@@ -164,6 +170,15 @@ var WithMaxInflight = iorb.WithMaxInflight
 
 // WithAdmissionQueue tunes the admission wait queue and shed deadline.
 var WithAdmissionQueue = iorb.WithAdmissionQueue
+
+// WithPriorityOps reserves dispatch slots for a priority admission class
+// (completion/recovery verbs by default), so overload sheds first-contact
+// work before the traffic that resolves in-doubt transactions.
+var WithPriorityOps = iorb.WithPriorityOps
+
+// DefaultPriorityOps is the operation set WithPriorityOps reserves for
+// when given no explicit list.
+var DefaultPriorityOps = iorb.DefaultPriorityOps
 
 // NewChaosTransport wraps base (TCPTransport when nil) with fault
 // injection.
@@ -269,3 +284,22 @@ func ImportResource(o *ORB, ref IOR) ots.NamedResource { return remote.ImportRes
 // BindRemoteResources re-binds logged IOR recovery names to live proxies
 // so ots recovery can re-drive phase two across the network.
 var BindRemoteResources = remote.BindRemoteResources
+
+// ServeRecovery activates the well-known RecoveryCoordinator-style servant
+// for a transaction service and wires its totals into the orb-admin
+// scrape; restarted participants ask it replay_completion for their
+// outcome.
+func ServeRecovery(o *ORB, svc *ots.Service) IOR { return remote.ServeRecovery(o, svc) }
+
+// NewRecoveryClient returns a proxy invoking the recovery servant at ref.
+func NewRecoveryClient(o *ORB, ref IOR) *RecoveryClient { return remote.NewRecoveryClient(o, ref) }
+
+// RecoveryAt builds the IOR of the well-known recovery servant at the
+// given endpoints.
+var RecoveryAt = remote.RecoveryAt
+
+// RecoveryTypeID is the interface id of the recovery servant.
+const RecoveryTypeID = remote.RecoveryTypeID
+
+// RecoveryKey is the well-known object key of the recovery servant.
+const RecoveryKey = remote.RecoveryKey

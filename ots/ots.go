@@ -42,14 +42,31 @@ type (
 	Var = iots.Var
 	// RecoveryStats summarises a recovery pass.
 	RecoveryStats = iots.RecoveryStats
+	// RecoveryTotals is the lifetime recovery counters and pending gauges.
+	RecoveryTotals = iots.RecoveryTotals
+	// HeuristicRecord is one durably recorded heuristic outcome.
+	HeuristicRecord = iots.HeuristicRecord
+	// Event is one observed commit-protocol step (see WithEventHook).
+	Event = iots.Event
+	// Stage identifies a commit-protocol boundary in an Event.
+	Stage = iots.Stage
 	// Option configures a Service.
 	Option = iots.Option
 	// BeginOption configures one transaction.
 	BeginOption = iots.BeginOption
 )
 
+// Commit protocol stages (see WithEventHook).
+const (
+	StagePrepared        = iots.StagePrepared
+	StageDecisionLogged  = iots.StageDecisionLogged
+	StageCommitDelivered = iots.StageCommitDelivered
+	StageDone            = iots.StageDone
+)
+
 // Statuses.
 const (
+	StatusUnknown        = iots.StatusUnknown
 	StatusActive         = iots.StatusActive
 	StatusMarkedRollback = iots.StatusMarkedRollback
 	StatusPreparing      = iots.StatusPreparing
@@ -69,11 +86,13 @@ const (
 
 // Errors.
 var (
-	ErrInactive        = iots.ErrInactive
-	ErrRolledBack      = iots.ErrRolledBack
-	ErrHeuristicMixed  = iots.ErrHeuristicMixed
-	ErrHeuristicHazard = iots.ErrHeuristicHazard
-	ErrWriteConflict   = iots.ErrWriteConflict
+	ErrInactive          = iots.ErrInactive
+	ErrRolledBack        = iots.ErrRolledBack
+	ErrHeuristicMixed    = iots.ErrHeuristicMixed
+	ErrHeuristicHazard   = iots.ErrHeuristicHazard
+	ErrHeuristicCommit   = iots.ErrHeuristicCommit
+	ErrHeuristicRollback = iots.ErrHeuristicRollback
+	ErrWriteConflict     = iots.ErrWriteConflict
 )
 
 // NewService returns a transaction service.
@@ -95,6 +114,12 @@ func WithDirectory(d *Directory) Option { return iots.WithDirectory(d) }
 func WithRetryPolicy(attempts int, delay time.Duration) Option {
 	return iots.WithRetryPolicy(attempts, delay)
 }
+
+// WithEventHook installs a synchronous observer of commit-protocol
+// boundaries (prepare completed, decision logged, per-resource delivery,
+// done). Crash-injection tests use it to stop a coordinator at an exact
+// protocol point; it must be fast and must not call back into the service.
+func WithEventHook(fn func(Event)) Option { return iots.WithEventHook(fn) }
 
 // WithTimeout marks a transaction rollback-only after d.
 func WithTimeout(d time.Duration) BeginOption { return iots.WithTimeout(d) }
