@@ -40,6 +40,21 @@
 //	                                        # log on boot and serve the
 //	                                        # well-known "ots-recovery"
 //	                                        # servant (replay_completion)
+//	                                        # plus "wal-replication" so a
+//	                                        # standby can stream the log
+//	activityd -ots-log decisions.wal -sync-standby 2s
+//	                                        # semi-synchronous replication:
+//	                                        # hold each commit decision (up
+//	                                        # to 2s) until a standby has it
+//	activityd -ots-log replica.wal -standby primary:7411
+//	                                        # warm standby: stream the
+//	                                        # primary's decision log into
+//	                                        # replica.wal and, when the
+//	                                        # primary dies, take over —
+//	                                        # recover in-doubt branches and
+//	                                        # serve ots-recovery so clients
+//	                                        # fail over to this node's
+//	                                        # profile of the shared IOR
 package main
 
 import (
@@ -91,6 +106,8 @@ type orbConfig struct {
 	retryRate   float64
 	retryBurst  int
 	otsLog      string
+	standby     listFlag
+	syncStandby time.Duration
 }
 
 // options translates the flag values into ORB options, skipping unset ones.
@@ -136,6 +153,8 @@ func main() {
 	flag.DurationVar(&cfg.shedAfter, "shed-after", 0, "max queue wait before an admitted request is shed (0 = default)")
 	flag.IntVar(&cfg.priority, "priority", 0, "dispatch slots out of -max-inflight reserved for completion/recovery verbs (0 = off)")
 	flag.StringVar(&cfg.otsLog, "ots-log", "", "file-backed transaction decision log; enables the hosted transaction service, crash recovery on boot and the ots-recovery servant")
+	flag.Var(&cfg.standby, "standby", "run as warm standby: stream the primary's decision log from this replication endpoint into -ots-log and take over when the primary dies; repeatable for a multi-homed primary")
+	flag.DurationVar(&cfg.syncStandby, "sync-standby", 0, "hold each commit decision until a standby acknowledges it, up to this long (primary; 0 = asynchronous shipping)")
 	flag.IntVar(&cfg.breaker, "breaker", 0, "consecutive call failures before an endpoint's circuit opens (0 = off)")
 	flag.DurationVar(&cfg.breakerOpen, "breaker-open", 0, "open-circuit window before a half-open probe (0 = default)")
 	flag.Float64Var(&cfg.retryRate, "retry-rate", 0, "retry-budget refill rate in tokens/second")
@@ -226,8 +245,16 @@ func run(listens []string, demo bool, cfg orbConfig, parallel, admin bool) error
 	if admin {
 		fmt.Printf("activityd: admin servant at key %q\n", orb.AdminKey)
 	}
-	if cfg.otsLog != "" {
-		if err := hostRecovery(node, cfg.otsLog); err != nil {
+	switch {
+	case len(cfg.standby) > 0:
+		if cfg.otsLog == "" {
+			return errors.New("-standby needs -ots-log for the local replica of the primary's decision log")
+		}
+		if err := runStandby(node, cfg.otsLog, cfg.standby); err != nil {
+			return err
+		}
+	case cfg.otsLog != "":
+		if err := hostPrimary(node, cfg.otsLog, cfg.syncStandby); err != nil {
 			return err
 		}
 	}
@@ -242,43 +269,74 @@ func run(listens []string, demo bool, cfg orbConfig, parallel, admin bool) error
 	return nil
 }
 
-// hostRecovery opens the durable decision log and hosts a transaction
+// hostPrimary opens the durable decision log and hosts a transaction
 // service on it: participants named by in-doubt commit decisions are
 // re-bound as remote proxies, one recovery pass re-drives their phase two,
 // and the well-known ots-recovery servant is activated so restarted
 // participants can ask replay_completion for their outcome (and tooling
-// can scrape or re-run recovery over the wire).
-func hostRecovery(node *orb.ORB, path string) error {
-	wal, err := ots.OpenFileLog(path)
+// can scrape or re-run recovery over the wire). The well-known
+// wal-replication servant is activated too, so a -standby node can stream
+// the log; with syncStandby > 0 each commit decision is additionally held
+// (up to that long) until a standby acknowledges it.
+func hostPrimary(node *orb.ORB, path string, syncStandby time.Duration) error {
+	log, err := ots.OpenFileLog(path)
 	if err != nil {
 		return fmt.Errorf("open ots log: %w", err)
 	}
-	dir := ots.NewDirectory()
-	svc := ots.NewService(ots.WithLog(wal), ots.WithDirectory(dir))
-	names, err := svc.InDoubtResources()
+	primary, _ := orb.ServeReplication(node, log)
+	var extra []ots.Option
+	if syncStandby > 0 {
+		extra = append(extra, ots.WithDecisionBarrier(primary.DecisionBarrier(syncStandby)))
+	}
+	res, err := orb.HostRecovery(node, log, extra...)
 	if err != nil {
 		return err
 	}
-	// Only stringified-IOR names can be re-bound as remote proxies;
-	// anything else must be re-registered by its own host.
-	var remoteNames []string
-	for _, n := range names {
-		if _, err := orb.ParseIOR(n); err == nil {
-			remoteNames = append(remoteNames, n)
-		}
-	}
-	if err := orb.BindRemoteResources(node, dir, remoteNames); err != nil {
-		return err
-	}
-	stats, err := svc.Recover()
-	if err != nil {
-		return fmt.Errorf("recovery pass: %w", err)
-	}
+	stats := res.Stats
 	fmt.Printf("activityd: recovery replayed %d decisions (%d committed, %d missing, %d failed, %d heuristic)\n",
 		stats.DecisionsReplayed, stats.ResourcesCommitted, stats.ResourcesMissing,
 		stats.ResourcesFailed, stats.ResourcesHeuristic)
-	orb.ServeRecovery(node, svc)
-	fmt.Printf("activityd: recovery servant at key %q\n", orb.RecoveryKey)
+	fmt.Printf("activityd: recovery servant at key %q, replication at key %q\n",
+		orb.RecoveryKey, orb.ReplicationKey)
+	return nil
+}
+
+// runStandby streams the primary's decision log (via its well-known
+// replication servant at the given endpoints) into a local replica and
+// arms takeover: when the primary stops answering, the standby hosts
+// recovery over the replica — re-driving in-doubt branches to their
+// logged outcomes — and serves ots-recovery and wal-replication itself,
+// so participants holding the shared multi-profile IOR converge through
+// this node and a replacement standby can chain behind it.
+func runStandby(node *orb.ORB, path string, primaries []string) error {
+	log, err := ots.OpenFileLog(path)
+	if err != nil {
+		return fmt.Errorf("open replica log: %w", err)
+	}
+	follower := orb.NewReplicationFollower(node, orb.ReplicationAt(primaries...), log)
+	fmt.Printf("activityd: standby following %s into %s\n", strings.Join(primaries, ","), path)
+	go func() {
+		err := follower.Run(context.Background())
+		if !errors.Is(err, orb.ErrPrimaryLost) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "activityd: standby replication stopped:", err)
+			}
+			return
+		}
+		fmt.Println("activityd: primary lost — taking over")
+		res, err := orb.HostRecovery(node, log)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "activityd: takeover recovery failed:", err)
+			return
+		}
+		orb.ServeReplication(node, log)
+		stats := res.Stats
+		fmt.Printf("activityd: takeover replayed %d decisions (%d committed, %d missing, %d failed, %d heuristic)\n",
+			stats.DecisionsReplayed, stats.ResourcesCommitted, stats.ResourcesMissing,
+			stats.ResourcesFailed, stats.ResourcesHeuristic)
+		fmt.Printf("activityd: recovery servant at key %q, replication at key %q\n",
+			orb.RecoveryKey, orb.ReplicationKey)
+	}()
 	return nil
 }
 

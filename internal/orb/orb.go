@@ -365,13 +365,16 @@ func WithAdmissionQueue(depth int, shedAfter time.Duration) ORBOption {
 
 // DefaultPriorityOps is the operation set WithPriorityOps reserves slots
 // for when no explicit list is given: the completion and recovery verbs of
-// the transaction surface. Shedding a "commit" or "replay_completion"
-// strands prepared participants in doubt, while shedding a first-contact
-// "begin" merely refuses new work — so under overload the completion verbs
-// must win.
+// the transaction surface, plus WAL replication. Shedding a "commit" or
+// "replay_completion" strands prepared participants in doubt, and shedding
+// "repl_fetch" lets the warm standby fall behind exactly when load makes a
+// primary most likely to die — while shedding a first-contact "begin"
+// merely refuses new work. So under overload the completion and
+// replication verbs must win.
 var DefaultPriorityOps = []string{
 	"prepare", "commit", "rollback", "commit_one_phase", "forget",
 	"replay_completion", "recover", "complete",
+	"repl_state", "repl_fetch", "repl_snapshot",
 }
 
 // WithPriorityOps reserves n of the WithMaxInflight dispatch slots for a

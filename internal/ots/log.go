@@ -126,10 +126,14 @@ func (t *Transaction) logDecision(prepared []registeredResource) error {
 			names = append(names, p.name)
 		}
 	}
-	if _, err := t.svc.log.Append(RecordDecision, encodeDecision(t.id, names)); err != nil {
+	lsn, err := t.svc.log.Append(RecordDecision, encodeDecision(t.id, names))
+	if err != nil {
 		return err
 	}
 	t.svc.noteDecision(decisionRecord{tx: t.id, names: names})
+	if t.svc.decisionBarrier != nil {
+		t.svc.decisionBarrier(lsn)
+	}
 	return nil
 }
 

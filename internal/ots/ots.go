@@ -54,7 +54,8 @@ type Service struct {
 	retries    int
 	retryDelay time.Duration
 
-	hook func(Event)
+	hook            func(Event)
+	decisionBarrier func(lsn uint64)
 
 	mu       sync.Mutex
 	inflight map[ids.UID]*Transaction
@@ -109,6 +110,19 @@ func WithRetryPolicy(attempts int, delay time.Duration) Option {
 // quickly.
 func WithEventHook(fn func(Event)) Option {
 	return optionFunc(func(s *Service) { s.hook = fn })
+}
+
+// WithDecisionBarrier installs a hook invoked after each commit decision
+// is durable in the local log (with the decision record's LSN), before any
+// phase-two delivery starts. A replicated coordinator uses it to wait —
+// bounded by its own timeout — for a standby to acknowledge the decision,
+// making takeover-after-decision deterministic (semi-synchronous
+// replication). The barrier cannot veto: the decision is already durable
+// locally, so aborting because a standby is slow would risk mixed
+// outcomes; a barrier that times out simply degrades to asynchronous
+// shipping. It runs inline on the committing goroutine.
+func WithDecisionBarrier(fn func(lsn uint64)) Option {
+	return optionFunc(func(s *Service) { s.decisionBarrier = fn })
 }
 
 // NewService returns a transaction service.

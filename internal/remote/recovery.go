@@ -3,10 +3,12 @@ package remote
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"github.com/extendedtx/activityservice/internal/cdr"
 	"github.com/extendedtx/activityservice/internal/orb"
 	"github.com/extendedtx/activityservice/internal/ots"
+	"github.com/extendedtx/activityservice/internal/wal"
 )
 
 // Recovery servant identity. The servant serves under a well-known key
@@ -98,6 +100,51 @@ func (s *recoveryServant) Dispatch(_ context.Context, op string, in *cdr.Decoder
 	}
 }
 
+// HostRecoveryResult reports what HostRecovery set up.
+type HostRecoveryResult struct {
+	// Service is the transaction service hosted over the log.
+	Service *ots.Service
+	// Stats is the outcome of the initial recovery pass.
+	Stats ots.RecoveryStats
+	// Ref is the activated recovery servant's reference.
+	Ref orb.IOR
+}
+
+// HostRecovery hosts a transaction service over an already-open decision
+// log on o: participants named by in-doubt commit decisions are re-bound
+// as remote proxies, one recovery pass re-drives their phase two, and the
+// well-known ots-recovery servant is activated so restarted participants
+// can ask replay_completion for their outcome. Both a restarting
+// coordinator (activityd with -ots-log) and a standby taking over a
+// replicated log go through it — takeover is recovery over a log that
+// arrived by replication instead of surviving a crash.
+func HostRecovery(o *orb.ORB, log *wal.Log, extra ...ots.Option) (HostRecoveryResult, error) {
+	dir := ots.NewDirectory()
+	opts := append([]ots.Option{ots.WithLog(log), ots.WithDirectory(dir)}, extra...)
+	svc := ots.NewService(opts...)
+	names, err := svc.InDoubtResources()
+	if err != nil {
+		return HostRecoveryResult{}, err
+	}
+	// Only stringified-IOR names can be re-bound as remote proxies;
+	// anything else must be re-registered by its own host.
+	var remoteNames []string
+	for _, n := range names {
+		if _, err := orb.ParseIOR(n); err == nil {
+			remoteNames = append(remoteNames, n)
+		}
+	}
+	if err := BindRemoteResources(o, dir, remoteNames); err != nil {
+		return HostRecoveryResult{}, err
+	}
+	stats, err := svc.Recover()
+	if err != nil {
+		return HostRecoveryResult{}, fmt.Errorf("recovery pass: %w", err)
+	}
+	ref := ServeRecovery(o, svc)
+	return HostRecoveryResult{Service: svc, Stats: stats, Ref: ref}, nil
+}
+
 // RecoveryClient is the participant- and tooling-side proxy for a
 // coordinator's recovery servant.
 type RecoveryClient struct {
@@ -112,9 +159,28 @@ func NewRecoveryClient(o *orb.ORB, ref orb.IOR) *RecoveryClient {
 }
 
 // RecoveryAt builds the IOR of the well-known recovery servant reachable
-// at the given endpoints (profiles, in preference order).
+// at the given endpoints (profiles, in preference order). Bare host:port
+// addresses — flag values, config entries — are accepted alongside the
+// "tcp:host:port" form ORB.Endpoints reports.
 func RecoveryAt(endpoints ...string) orb.IOR {
-	return orb.NewIOR(RecoveryTypeID, RecoveryKey, endpoints...)
+	return orb.NewIOR(RecoveryTypeID, RecoveryKey, normalizeEndpoints(endpoints)...)
+}
+
+// normalizeEndpoints prefixes bare host:port addresses with the "tcp:"
+// scheme the client dial path requires; endpoints already carrying it
+// pass through unchanged. A profile without the scheme is silently
+// undialable, which turns a typo'd -standby flag into an instant
+// spurious "primary lost" — normalizing here makes flag values and
+// ORB.Endpoints output interchangeable.
+func normalizeEndpoints(endpoints []string) []string {
+	out := make([]string, 0, len(endpoints))
+	for _, ep := range endpoints {
+		if ep != "" && !strings.HasPrefix(ep, "tcp:") {
+			ep = "tcp:" + ep
+		}
+		out = append(out, ep)
+	}
+	return out
 }
 
 // ReplayCompletion asks the coordinator for the outcome of the

@@ -1,0 +1,398 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/orb"
+	"github.com/extendedtx/activityservice/internal/wal"
+)
+
+// WAL replication over the ORB: the primary coordinator exposes its
+// decision log as a well-known servant and a warm standby streams it into
+// a follower wal.Log. The protocol is pull-based — the follower long-polls
+// repl_fetch so a healthy primary ships each record within one round trip
+// — with epochs delimiting checkpoints: a checkpoint compacts records
+// (preserving LSNs), so a follower that sees the primary's epoch move
+// resynchronises from a full repl_snapshot instead of chasing LSNs that no
+// longer exist. Each fetch doubles as the follower's acknowledgement of
+// everything at or below its watermark; the primary's ReplicationPrimary
+// tracks that watermark so a decision barrier (semi-synchronous
+// replication) can hold phase two until the standby holds the decision.
+//
+// All three verbs belong to the priority admission class
+// (orb.DefaultPriorityOps): shedding replication under overload would let
+// the standby fall behind exactly when the primary is most likely to die.
+const (
+	// ReplicationTypeID is the interface id of the WAL replication servant.
+	ReplicationTypeID = "IDL:ActivityService/WALReplication:1.0"
+	// ReplicationKey is the well-known object key the replication servant
+	// serves under — like ots-recovery, a standby needs only the primary's
+	// endpoint to find it.
+	ReplicationKey = "wal-replication"
+)
+
+// ErrPrimaryLost is returned by ReplicationFollower.Run when the primary
+// has been unreachable for the takeover policy's failure budget: the
+// standby should stop following and take over.
+var ErrPrimaryLost = errors.New("remote: replication primary lost")
+
+// fetch reply status octets.
+const (
+	replOK            = 0
+	replEpochMismatch = 1
+)
+
+// ReplicationPrimary is the primary-side handle returned by
+// ServeReplication: it tracks the follower acknowledgement watermark and
+// lets the commit path wait on it.
+type ReplicationPrimary struct {
+	log *wal.Log
+
+	mu    sync.Mutex
+	acked uint64
+	ackCh chan struct{} // closed and renewed whenever acked advances
+}
+
+// noteAck records that a follower has durably applied every record with
+// LSN at or below lsn.
+func (p *ReplicationPrimary) noteAck(lsn uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if lsn > p.acked {
+		p.acked = lsn
+		close(p.ackCh)
+		p.ackCh = make(chan struct{})
+	}
+}
+
+// Acked returns the highest LSN a follower has acknowledged as durable.
+func (p *ReplicationPrimary) Acked() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acked
+}
+
+// WaitForAck blocks until a follower has acknowledged lsn (reporting true)
+// or timeout elapses (false). With multiple standbys the watermark is the
+// most advanced one — the deployment story is one warm standby.
+func (p *ReplicationPrimary) WaitForAck(lsn uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		p.mu.Lock()
+		if p.acked >= lsn {
+			p.mu.Unlock()
+			return true
+		}
+		ch := p.ackCh
+		p.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return false
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return false
+		}
+	}
+}
+
+// DecisionBarrier adapts WaitForAck to ots.WithDecisionBarrier: the
+// returned hook holds each freshly-logged commit decision until the
+// standby acknowledges its LSN or timeout elapses. A timeout degrades to
+// asynchronous shipping — the decision is already durable locally and must
+// not be un-decided because a standby is slow.
+func (p *ReplicationPrimary) DecisionBarrier(timeout time.Duration) func(lsn uint64) {
+	return func(lsn uint64) { p.WaitForAck(lsn, timeout) }
+}
+
+// replicationServant exposes a primary's wal.Log over the ORB.
+type replicationServant struct {
+	log     *wal.Log
+	primary *ReplicationPrimary
+}
+
+// ServeReplication activates the WAL replication servant for log on o
+// under ReplicationKey and returns the primary-side handle plus the
+// servant's reference. ReplicationAt rebuilds the same reference from
+// endpoints alone.
+func ServeReplication(o *orb.ORB, log *wal.Log) (*ReplicationPrimary, orb.IOR) {
+	p := &ReplicationPrimary{log: log, ackCh: make(chan struct{})}
+	ref := o.RegisterServantWithKey(ReplicationKey, ReplicationTypeID,
+		&replicationServant{log: log, primary: p})
+	return p, ref
+}
+
+// ReplicationAt builds the IOR of the well-known replication servant
+// reachable at the given endpoints (profiles, in preference order). Bare
+// host:port addresses are accepted alongside the "tcp:host:port" form
+// ORB.Endpoints reports.
+func ReplicationAt(endpoints ...string) orb.IOR {
+	return orb.NewIOR(ReplicationTypeID, ReplicationKey, normalizeEndpoints(endpoints)...)
+}
+
+// maxFetchWait caps how long one repl_fetch may park a dispatch slot.
+const maxFetchWait = 30 * time.Second
+
+// Dispatch implements orb.Servant.
+func (s *replicationServant) Dispatch(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error) {
+	switch op {
+	case "repl_state":
+		epoch, next := s.log.State()
+		e := cdr.NewEncoder(32)
+		e.WriteUint64(epoch)
+		e.WriteUint64(next)
+		e.WriteUint64(s.primary.Acked())
+		return e.Bytes(), nil
+
+	case "repl_fetch":
+		epoch := in.ReadUint64()
+		after := in.ReadUint64()
+		waitMillis := in.ReadUint32()
+		max := in.ReadUint32()
+		if err := in.Err(); err != nil {
+			return nil, orb.Systemf(orb.CodeMarshal, "repl_fetch: %v", err)
+		}
+		curEpoch, _ := s.log.State()
+		e := cdr.NewEncoder(256)
+		if epoch != curEpoch {
+			// The follower's stream position predates a checkpoint (or it
+			// is ahead after a failed takeover); it must resynchronise from
+			// a snapshot. Its watermark is from another epoch — ignore it.
+			e.WriteOctet(replEpochMismatch)
+			e.WriteUint64(curEpoch)
+			e.WriteUint32(0)
+			return e.Bytes(), nil
+		}
+		// A fetch after X acknowledges X: the follower only advances its
+		// watermark once records are durable in its own log.
+		s.primary.noteAck(after)
+		if wait := time.Duration(waitMillis) * time.Millisecond; wait > 0 {
+			if wait > maxFetchWait {
+				wait = maxFetchWait
+			}
+			s.log.WaitSince(epoch, after, wait)
+			// The epoch may have moved while parked; re-read and report
+			// honestly so the follower resyncs rather than mixing streams.
+			if curEpoch, _ = s.log.State(); curEpoch != epoch {
+				e.WriteOctet(replEpochMismatch)
+				e.WriteUint64(curEpoch)
+				e.WriteUint32(0)
+				return e.Bytes(), nil
+			}
+		}
+		recs, err := s.log.RecordsSince(after)
+		if err != nil {
+			return nil, fmt.Errorf("repl_fetch: %w", err)
+		}
+		if max > 0 && len(recs) > int(max) {
+			recs = recs[:max]
+		}
+		e.WriteOctet(replOK)
+		e.WriteUint64(curEpoch)
+		e.WriteUint32(uint32(len(recs)))
+		for _, r := range recs {
+			e.WriteUint64(r.LSN)
+			e.WriteUint32(uint32(r.Kind))
+			e.WriteBytes(r.Data)
+		}
+		return e.Bytes(), nil
+
+	case "repl_snapshot":
+		epoch, next := s.log.State()
+		snap, err := s.log.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("repl_snapshot: %w", err)
+		}
+		e := cdr.NewEncoder(64 + len(snap))
+		e.WriteUint64(epoch)
+		e.WriteUint64(next)
+		e.WriteBytes(snap)
+		return e.Bytes(), nil
+
+	default:
+		return nil, orb.Systemf(orb.CodeBadOperation, "WALReplication has no operation %q", op)
+	}
+}
+
+// TakeoverPolicy says when a follower should declare the primary lost:
+// after Failures consecutive failed fetch rounds, Retry apart.
+type TakeoverPolicy struct {
+	// Failures is how many consecutive fetch failures Run tolerates before
+	// returning ErrPrimaryLost.
+	Failures int
+	// Retry is the pause between a failed round and the next attempt.
+	Retry time.Duration
+}
+
+// ReplicationFollower streams a primary's WAL into a local follower log.
+type ReplicationFollower struct {
+	orb      *orb.ORB
+	ref      orb.IOR
+	log      *wal.Log
+	poll     time.Duration
+	batch    uint32
+	policy   TakeoverPolicy
+	onRecord func(wal.Record)
+}
+
+// FollowerOption configures a ReplicationFollower.
+type FollowerOption func(*ReplicationFollower)
+
+// WithPollTimeout sets how long each fetch long-polls on the primary when
+// the follower is caught up (default 2s; clamped by the primary to 30s).
+func WithPollTimeout(d time.Duration) FollowerOption {
+	return func(f *ReplicationFollower) {
+		if d > 0 {
+			f.poll = d
+		}
+	}
+}
+
+// WithTakeoverPolicy sets when Run declares the primary lost.
+func WithTakeoverPolicy(p TakeoverPolicy) FollowerOption {
+	return func(f *ReplicationFollower) {
+		if p.Failures > 0 {
+			f.policy.Failures = p.Failures
+		}
+		if p.Retry > 0 {
+			f.policy.Retry = p.Retry
+		}
+	}
+}
+
+// WithRecordObserver installs a hook invoked after each shipped record is
+// durable in the follower's log (tests use it to track replication lag).
+func WithRecordObserver(fn func(wal.Record)) FollowerOption {
+	return func(f *ReplicationFollower) { f.onRecord = fn }
+}
+
+// NewReplicationFollower returns a follower that streams the replication
+// servant at ref through o into log.
+func NewReplicationFollower(o *orb.ORB, ref orb.IOR, log *wal.Log, opts ...FollowerOption) *ReplicationFollower {
+	f := &ReplicationFollower{
+		orb:    o,
+		ref:    ref,
+		log:    log,
+		poll:   2 * time.Second,
+		batch:  256,
+		policy: TakeoverPolicy{Failures: 3, Retry: 100 * time.Millisecond},
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// Sync runs one replication round: fetch the records beyond the follower's
+// position and apply them, or resynchronise from a snapshot after an epoch
+// mismatch. It returns the number of records (or snapshots, counted as
+// one) applied. A healthy caught-up round long-polls on the primary until
+// something happens or the poll timeout elapses, then returns (0, nil).
+func (f *ReplicationFollower) Sync(ctx context.Context) (int, error) {
+	epoch, next := f.log.State()
+	e := cdr.NewEncoder(32)
+	e.WriteUint64(epoch)
+	e.WriteUint64(next - 1)
+	e.WriteUint32(uint32(f.poll / time.Millisecond))
+	e.WriteUint32(f.batch)
+	body, err := f.orb.Invoke(ctx, f.ref, "repl_fetch", e.Bytes())
+	if err != nil {
+		return 0, fmt.Errorf("repl_fetch: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	status := d.ReadOctet()
+	d.ReadUint64() // primary epoch; re-read under repl_snapshot when resyncing
+	count := d.ReadUint32()
+	if err := d.Err(); err != nil {
+		return 0, orb.Systemf(orb.CodeMarshal, "repl_fetch reply: %v", err)
+	}
+	if status == replEpochMismatch {
+		if err := f.resync(ctx); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	applied := 0
+	for i := uint32(0); i < count; i++ {
+		rec := wal.Record{
+			LSN:  d.ReadUint64(),
+			Kind: wal.Kind(d.ReadUint32()),
+			Data: d.ReadBytesClone(),
+		}
+		if err := d.Err(); err != nil {
+			return applied, orb.Systemf(orb.CodeMarshal, "repl_fetch record: %v", err)
+		}
+		err := f.log.AppendRecord(rec)
+		if errors.Is(err, wal.ErrStaleRecord) {
+			continue // duplicate shipment; already durable here
+		}
+		if err != nil {
+			return applied, fmt.Errorf("apply shipped record %d: %w", rec.LSN, err)
+		}
+		applied++
+		if f.onRecord != nil {
+			f.onRecord(rec)
+		}
+	}
+	return applied, nil
+}
+
+// resync installs a full primary snapshot, adopting its epoch.
+func (f *ReplicationFollower) resync(ctx context.Context) error {
+	body, err := f.orb.Invoke(ctx, f.ref, "repl_snapshot", nil)
+	if err != nil {
+		return fmt.Errorf("repl_snapshot: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	epoch := d.ReadUint64()
+	d.ReadUint64() // next LSN; implied by the snapshot contents
+	snap := d.ReadBytesClone()
+	if err := d.Err(); err != nil {
+		return orb.Systemf(orb.CodeMarshal, "repl_snapshot reply: %v", err)
+	}
+	if err := f.log.InstallSnapshot(epoch, snap); err != nil {
+		return fmt.Errorf("install snapshot: %w", err)
+	}
+	return nil
+}
+
+// Run streams the primary until ctx is cancelled (returning nil) or the
+// primary has been unreachable for the takeover policy's failure budget
+// (returning ErrPrimaryLost, the standby's cue to take over). Transient
+// failures inside the budget are retried after the policy's pause.
+func (f *ReplicationFollower) Run(ctx context.Context) error {
+	failures := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		_, err := f.Sync(ctx)
+		if err == nil {
+			failures = 0
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		failures++
+		if failures >= f.policy.Failures {
+			return fmt.Errorf("%w: %d consecutive fetch failures, last: %v",
+				ErrPrimaryLost, failures, err)
+		}
+		timer := time.NewTimer(f.policy.Retry)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil
+		case <-timer.C:
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/orb"
+	"github.com/extendedtx/activityservice/internal/ots"
+	"github.com/extendedtx/activityservice/internal/wal"
+)
+
+// startPrimary serves replication for log on a listening ORB and returns
+// the ORB, the primary handle and the ORB's endpoints.
+func startPrimary(t *testing.T, log *wal.Log) (*orb.ORB, *ReplicationPrimary, []string) {
+	t.Helper()
+	primaryORB := orb.New()
+	t.Cleanup(primaryORB.Shutdown)
+	p, _ := ServeReplication(primaryORB, log)
+	if _, err := primaryORB.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	return primaryORB, p, primaryORB.Endpoints()
+}
+
+// waitLSN blocks until the log's last LSN reaches want or the deadline.
+func waitLSN(t *testing.T, l *wal.Log, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.LastLSN() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("log stuck at LSN %d, want %d", l.LastLSN(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReplicationStreamsAndResyncs(t *testing.T) {
+	primaryLog := wal.NewMemory()
+	_, p, endpoints := startPrimary(t, primaryLog)
+
+	followerORB := orb.New()
+	t.Cleanup(followerORB.Shutdown)
+	followerLog := wal.NewMemory()
+	f := NewReplicationFollower(followerORB, ReplicationAt(endpoints...), followerLog,
+		WithPollTimeout(200*time.Millisecond))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- f.Run(ctx) }()
+
+	// Incremental stream: appended records arrive with LSNs preserved.
+	for i := 0; i < 3; i++ {
+		if _, err := primaryLog.Append(wal.Kind(1), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLSN(t, followerLog, 3)
+	if !p.WaitForAck(3, 5*time.Second) {
+		t.Fatalf("primary never saw ack for LSN 3 (acked %d)", p.Acked())
+	}
+
+	// A checkpoint compacts the primary (epoch bump): the follower must
+	// resynchronise from a snapshot and adopt the new epoch.
+	if err := primaryLog.Checkpoint(func(r wal.Record) bool { return r.LSN >= 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primaryLog.Append(wal.Kind(2), []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	waitLSN(t, followerLog, 4)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fe, fn := followerLog.State()
+		pe, pn := primaryLog.State()
+		if fe == pe && fn == pn {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower state (%d,%d) never converged to primary (%d,%d)", fe, fn, pe, pn)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fRecs, err := followerLog.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRecs, _ := primaryLog.Records()
+	if len(fRecs) != len(pRecs) {
+		t.Fatalf("follower has %d records, primary %d", len(fRecs), len(pRecs))
+	}
+	for i := range fRecs {
+		if fRecs[i].LSN != pRecs[i].LSN || string(fRecs[i].Data) != string(pRecs[i].Data) {
+			t.Fatalf("record %d diverged: follower %+v primary %+v", i, fRecs[i], pRecs[i])
+		}
+	}
+
+	// Cancelling the context stops the follower cleanly.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run returned %v after cancel, want nil", err)
+	}
+}
+
+func TestReplicationDecisionBarrier(t *testing.T) {
+	// Semi-synchronous replication: with the decision barrier installed,
+	// Commit does not start phase two until the standby holds the decision
+	// record — so a primary killed any time after the decision leaves a
+	// standby that already knows the outcome.
+	primaryLog := wal.NewMemory()
+	_, p, endpoints := startPrimary(t, primaryLog)
+
+	followerORB := orb.New()
+	t.Cleanup(followerORB.Shutdown)
+	followerLog := wal.NewMemory()
+	f := NewReplicationFollower(followerORB, ReplicationAt(endpoints...), followerLog,
+		WithPollTimeout(200*time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = f.Run(ctx) }()
+
+	var lagAtPhase2 []uint64 // follower's LSN observed as each commit is delivered
+	var mu sync.Mutex
+	svc := ots.NewService(
+		ots.WithLog(primaryLog),
+		ots.WithDecisionBarrier(p.DecisionBarrier(5*time.Second)),
+		ots.WithEventHook(func(ev ots.Event) {
+			if ev.Stage == ots.StageCommitDelivered {
+				mu.Lock()
+				lagAtPhase2 = append(lagAtPhase2, followerLog.LastLSN())
+				mu.Unlock()
+			}
+		}),
+	)
+	tx := svc.Begin()
+	r1, r2 := &slotResource{vote: ots.VoteCommit}, &slotResource{vote: ots.VoteCommit}
+	_ = tx.RegisterResource(r1)
+	_ = tx.RegisterResource(r2)
+	if err := tx.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+
+	decisionLSN := uint64(1) // first record the service logged
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lagAtPhase2) != 2 {
+		t.Fatalf("saw %d phase-two deliveries, want 2", len(lagAtPhase2))
+	}
+	for i, lsn := range lagAtPhase2 {
+		if lsn < decisionLSN {
+			t.Fatalf("delivery %d ran with follower at LSN %d, before the decision (%d) — barrier did not hold", i, lsn, decisionLSN)
+		}
+	}
+	// The decision record itself must be on the standby, byte-identical.
+	fRecs, err := followerLog.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fRecs) == 0 || fRecs[0].Kind != ots.RecordDecision {
+		t.Fatalf("follower log = %+v, want decision record first", fRecs)
+	}
+}
+
+// countingResource counts phase-two deliveries for exactly-once checks.
+type countingResource struct {
+	slotResource
+	commits   atomic.Int32
+	rollbacks atomic.Int32
+}
+
+func (c *countingResource) Commit() error {
+	c.commits.Add(1)
+	return c.slotResource.Commit()
+}
+
+func (c *countingResource) Rollback() error {
+	c.rollbacks.Add(1)
+	return c.slotResource.Rollback()
+}
+
+func TestReplicationStandbyTakeover(t *testing.T) {
+	// The tentpole scenario, in-process: a primary coordinator logs a
+	// commit decision (replicated synchronously via the barrier), then dies
+	// before delivering phase two. The standby detects the loss, hosts
+	// recovery over its replica of the log, and converges every prepared
+	// branch to the logged decision exactly once — the primary never comes
+	// back.
+	primaryLog := wal.NewMemory()
+	primaryORB, p, endpoints := startPrimary(t, primaryLog)
+
+	followerORB := orb.New()
+	t.Cleanup(followerORB.Shutdown)
+	followerLog := wal.NewMemory()
+	f := NewReplicationFollower(followerORB, ReplicationAt(endpoints...), followerLog,
+		WithPollTimeout(100*time.Millisecond),
+		WithTakeoverPolicy(TakeoverPolicy{Failures: 3, Retry: 10 * time.Millisecond}))
+	runErr := make(chan error, 1)
+	go func() { runErr <- f.Run(context.Background()) }()
+
+	// Two participants on their own nodes, registered over the wire so
+	// their recovery names are stringified IORs the standby can re-bind.
+	a, b := &countingResource{}, &countingResource{}
+	a.vote, b.vote = ots.VoteCommit, ots.VoteCommit
+	refA, refB := startParticipant(t, a), startParticipant(t, b)
+
+	// The primary dies at the decision boundary: the event hook shuts the
+	// ORB down after the decision is durable (and replicated — barrier)
+	// but before any phase-two delivery can succeed.
+	svc := ots.NewService(
+		ots.WithLog(primaryLog),
+		ots.WithDecisionBarrier(p.DecisionBarrier(5*time.Second)),
+		ots.WithRetryPolicy(1, 0),
+		ots.WithEventHook(func(ev ots.Event) {
+			if ev.Stage == ots.StageDecisionLogged {
+				primaryORB.Shutdown()
+			}
+		}),
+	)
+	tx := svc.Begin()
+	_ = tx.RegisterResource(ImportResource(primaryORB, refA))
+	_ = tx.RegisterResource(ImportResource(primaryORB, refB))
+	if err := tx.Commit(true); err == nil {
+		t.Fatal("commit succeeded although the coordinator died before phase two")
+	}
+	if a.State() != "prepared" || b.State() != "prepared" {
+		t.Fatalf("participants = %s / %s, want prepared / prepared", a.State(), b.State())
+	}
+
+	// The follower notices the primary is gone.
+	select {
+	case err := <-runErr:
+		if !errors.Is(err, ErrPrimaryLost) {
+			t.Fatalf("follower Run = %v, want ErrPrimaryLost", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower never declared the primary lost")
+	}
+
+	// Takeover: host recovery over the replicated log on the standby's ORB.
+	res, err := HostRecovery(followerORB, followerLog, ots.WithRetryPolicy(3, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := followerORB.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DecisionsReplayed != 1 || res.Stats.ResourcesCommitted != 2 {
+		t.Fatalf("takeover recovery stats = %+v", res.Stats)
+	}
+	if a.State() != "committed" || b.State() != "committed" {
+		t.Fatalf("participants = %s / %s, want committed", a.State(), b.State())
+	}
+	// Exactly once: one commit each, no rollbacks, even after another pass.
+	if _, err := res.Service.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.commits.Load(); got != 1 {
+		t.Fatalf("participant a committed %d times", got)
+	}
+	if got := b.commits.Load(); got != 1 {
+		t.Fatalf("participant b committed %d times", got)
+	}
+	if a.rollbacks.Load() != 0 || b.rollbacks.Load() != 0 {
+		t.Fatal("participants saw rollbacks")
+	}
+
+	// A restarted participant converges through the standby via the same
+	// multi-profile reference it held for the primary: the dead primary's
+	// profile fails over to the standby's.
+	clientORB := orb.New()
+	t.Cleanup(clientORB.Shutdown)
+	recoveryRef := RecoveryAt(append(endpoints, followerORB.Endpoints()...)...)
+	rc := NewRecoveryClient(clientORB, recoveryRef)
+	status, err := rc.ReplayCompletion(context.Background(), refA.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != ots.StatusCommitted {
+		t.Fatalf("replay_completion via standby = %s, want committed", status)
+	}
+}
+
+// Bare host:port flag values (activityd -standby primary:7411) must dial
+// the same as the tcp:-prefixed endpoints ORB.Endpoints reports; an
+// unprefixed profile is silently undialable, which read as an instant
+// "primary lost" takeover.
+func TestReplicationAtNormalizesBareEndpoints(t *testing.T) {
+	for _, ref := range []orb.IOR{
+		ReplicationAt("127.0.0.1:7411", "tcp:127.0.0.1:7412"),
+		RecoveryAt("127.0.0.1:7411", "tcp:127.0.0.1:7412"),
+	} {
+		if got := ref.Profiles[0].Endpoint; got != "tcp:127.0.0.1:7411" {
+			t.Errorf("%s profile 0 = %q, want bare address normalized to %q", ref.Key, got, "tcp:127.0.0.1:7411")
+		}
+		if got := ref.Profiles[1].Endpoint; got != "tcp:127.0.0.1:7412" {
+			t.Errorf("%s profile 1 = %q, want prefixed address unchanged", ref.Key, got)
+		}
+	}
+}
+
+func TestReplicationVerbsArePriorityClass(t *testing.T) {
+	for _, verb := range []string{"repl_state", "repl_fetch", "repl_snapshot"} {
+		found := false
+		for _, op := range orb.DefaultPriorityOps {
+			if op == verb {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s missing from orb.DefaultPriorityOps — replication would be shed under overload", verb)
+		}
+	}
+}

@@ -13,8 +13,29 @@
 //
 // Replay stops at the first torn or corrupt record, which models a crash
 // mid-write; everything before it is durable. Both a file-backed and an
-// in-memory backend are provided; the in-memory backend supports
-// deterministic crash injection for recovery tests.
+// in-memory backend are provided, and both support deterministic crash
+// injection for recovery tests (InjectCrashAfter).
+//
+// Crash-atomicity guarantees:
+//
+//   - Append is atomic: a record is either durable in full or invisible to
+//     replay. A torn tail left by a crashed or failed append is repaired
+//     (truncated and synced) before the next append, so later records are
+//     never written behind garbage where replay cannot see them.
+//   - Checkpoint is atomic: the compacted log is written to a temporary
+//     file, synced, and renamed over the old log (the in-memory backend
+//     swaps its buffer in one step). A crash at any point during a
+//     checkpoint leaves either the complete old log or the complete new
+//     one — never an empty or partially rewritten log.
+//   - Open makes the repaired log durable before use: a truncated torn
+//     tail is synced, and a newly created log file is made durable with a
+//     parent-directory fsync, so a crash immediately after open cannot
+//     resurrect the tail or lose the file.
+//
+// For replication, the log exposes its stream position (State, LastLSN),
+// incremental reads (RecordsSince, WaitSince) and a follower write surface
+// (AppendRecord, InstallSnapshot) — see the replication layer in
+// internal/remote for the wire protocol built on them.
 package wal
 
 import (
@@ -24,6 +45,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -44,15 +66,27 @@ var (
 	ErrClosed = errors.New("wal: log is closed")
 	// ErrCrashed reports that crash injection stopped an append.
 	ErrCrashed = errors.New("wal: simulated crash")
+	// ErrStaleRecord reports a follower append whose LSN is not beyond the
+	// log's current position (a duplicate or out-of-order shipment).
+	ErrStaleRecord = errors.New("wal: stale record")
 )
 
 const headerSize = 8 // u32 length + u32 crc
 
 // backend abstracts the durable medium.
 type backend interface {
+	// append writes b at the end of the medium.
 	append(b []byte) error
+	// sync forces previously written bytes to durable storage.
 	sync() error
+	// contents reads the whole medium.
 	contents() ([]byte, error)
+	// truncate discards everything beyond offset n.
+	truncate(n int) error
+	// replace atomically substitutes the entire contents with b: after a
+	// crash at any point the medium holds either the old contents or b.
+	replace(b []byte) error
+	// close releases the medium.
 	close() error
 }
 
@@ -61,7 +95,17 @@ type Log struct {
 	mu      sync.Mutex
 	be      backend
 	nextLSN uint64
+	size    int  // byte offset of the end of the last valid record
+	dirty   bool // a failed append may have left torn bytes past size
+	epoch   uint64
+	waitCh  chan struct{} // closed and renewed whenever the stream advances
 	closed  bool
+
+	// Crash injection (tests): when armed, the append path tears after
+	// failAfter more successful appends. Backend-agnostic so the same
+	// fault matrix runs against memory and real files.
+	failAfter int
+	failArmed bool
 }
 
 // NewMemory returns an empty in-memory log.
@@ -83,38 +127,68 @@ func OpenMemory(data []byte) (*Log, error) {
 }
 
 // OpenFile opens (creating if needed) a file-backed log and replays it to
-// establish the next LSN. A torn tail from a previous crash is truncated.
+// establish the next LSN. A torn tail from a previous crash is truncated
+// and the truncation synced; the parent directory is fsynced so a freshly
+// created log file survives a crash immediately after open.
 func OpenFile(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l, err := newLog(&fileBackend{f: f})
+	l, err := newLog(&fileBackend{f: f, path: path})
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
+	// Make the file's existence durable: without the directory fsync a
+	// crash right after creating the log can lose the file itself, and
+	// with it every record appended before the next directory flush.
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		l.Close()
+		return nil, fmt.Errorf("wal: sync dir for %s: %w", path, err)
+	}
 	return l, nil
 }
 
+// syncDir fsyncs a directory so that entries created or renamed inside it
+// are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 func newLog(be backend) (*Log, error) {
-	l := &Log{be: be, nextLSN: 1}
-	recs, valid, err := l.scan()
+	l := &Log{be: be, nextLSN: 1, waitCh: make(chan struct{})}
+	recs, valid, total, err := l.scan()
 	if err != nil {
 		return nil, err
 	}
 	if len(recs) > 0 {
 		l.nextLSN = recs[len(recs)-1].LSN + 1
 	}
-	// Drop a torn tail so subsequent appends produce a clean log.
-	if err := l.truncateTo(valid); err != nil {
-		return nil, err
+	l.size = valid
+	// Drop a torn tail so subsequent appends produce a clean log, and make
+	// the repair durable: an unsynced truncation can be undone by a crash,
+	// resurrecting the torn bytes in front of records appended after it.
+	if total > valid {
+		if err := l.be.truncate(valid); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := l.be.sync(); err != nil {
+			return nil, fmt.Errorf("wal: sync torn-tail repair: %w", err)
+		}
 	}
 	return l, nil
 }
 
 // Append durably adds a record and returns its LSN. The record is written
-// and synced before Append returns.
+// and synced before Append returns. If a previous append failed part-way,
+// its torn bytes are truncated (and the truncation synced) first, so a
+// successful Append is always visible to replay.
 func (l *Log) Append(kind Kind, data []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -122,15 +196,68 @@ func (l *Log) Append(kind Kind, data []byte) (uint64, error) {
 		return 0, ErrClosed
 	}
 	lsn := l.nextLSN
-	rec := encodeRecord(Record{LSN: lsn, Kind: kind, Data: data})
-	if err := l.be.append(rec); err != nil {
-		return 0, fmt.Errorf("wal: append: %w", err)
-	}
-	if err := l.be.sync(); err != nil {
-		return 0, fmt.Errorf("wal: sync: %w", err)
+	if err := l.appendLocked(Record{LSN: lsn, Kind: kind, Data: data}); err != nil {
+		return 0, err
 	}
 	l.nextLSN++
+	l.notifyLocked()
 	return lsn, nil
+}
+
+// appendLocked repairs any torn tail, then writes and syncs one record.
+// On failure the log is marked dirty so the next append repairs the tail
+// before writing. The caller must hold l.mu.
+func (l *Log) appendLocked(r Record) error {
+	if err := l.repairLocked(); err != nil {
+		return err
+	}
+	rec := encodeRecord(r)
+	if l.failArmed {
+		if l.failAfter <= 0 {
+			// Simulate a torn write: half the record reaches the medium.
+			_ = l.be.append(rec[:len(rec)/2])
+			l.dirty = true
+			return ErrCrashed
+		}
+		l.failAfter--
+	}
+	if err := l.be.append(rec); err != nil {
+		l.dirty = true
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.be.sync(); err != nil {
+		// The bytes may or may not have reached the medium; treat them as
+		// torn so the next append truncates back to the last known-durable
+		// offset instead of writing behind an uncertain tail.
+		l.dirty = true
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.size += len(rec)
+	return nil
+}
+
+// repairLocked truncates torn bytes left by a failed append back to the
+// end of the last valid record and syncs the truncation. The caller must
+// hold l.mu.
+func (l *Log) repairLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.be.truncate(l.size); err != nil {
+		return fmt.Errorf("wal: repair truncate: %w", err)
+	}
+	if err := l.be.sync(); err != nil {
+		return fmt.Errorf("wal: repair sync: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// notifyLocked wakes WaitSince waiters after the stream advanced. The
+// caller must hold l.mu.
+func (l *Log) notifyLocked() {
+	close(l.waitCh)
+	l.waitCh = make(chan struct{})
 }
 
 // Records returns a copy of all durable records in LSN order.
@@ -140,7 +267,7 @@ func (l *Log) Records() ([]Record, error) {
 	if l.closed {
 		return nil, ErrClosed
 	}
-	recs, _, err := l.scan()
+	recs, _, _, err := l.scan()
 	return recs, err
 }
 
@@ -160,14 +287,21 @@ func (l *Log) Replay(fn func(Record) error) error {
 }
 
 // Checkpoint rewrites the log keeping only records for which keep returns
-// true. LSNs of kept records are preserved.
+// true. LSNs of kept records are preserved, and the log's epoch advances
+// so replication followers know to resynchronise from a snapshot.
+//
+// The rewrite is crash-atomic: the kept records are written to a temporary
+// file, synced, and renamed over the log (the in-memory backend swaps its
+// buffer in one step), so a crash mid-checkpoint leaves either the
+// complete old log or the complete compacted one — never a truncated or
+// partially rewritten log.
 func (l *Log) Checkpoint(keep func(Record) bool) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	recs, _, err := l.scan()
+	recs, _, _, err := l.scan()
 	if err != nil {
 		return err
 	}
@@ -177,18 +311,24 @@ func (l *Log) Checkpoint(keep func(Record) bool) error {
 			out = append(out, encodeRecord(r)...)
 		}
 	}
-	if err := l.truncateTo(0); err != nil {
-		return err
+	if l.failArmed && l.failAfter <= 0 {
+		// Simulated crash during the rewrite: the swap never became
+		// durable, so the old contents must remain intact.
+		return ErrCrashed
 	}
-	if len(out) > 0 {
-		if err := l.be.append(out); err != nil {
-			return fmt.Errorf("wal: checkpoint rewrite: %w", err)
-		}
+	if err := l.be.replace(out); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
-	return l.be.sync()
+	l.size = len(out)
+	l.dirty = false
+	l.epoch++
+	l.notifyLocked()
+	return nil
 }
 
-// Snapshot returns a copy of the raw durable bytes, for simulated restarts.
+// Snapshot returns a copy of the durable record bytes (torn tails from a
+// failed append are excluded), for simulated restarts and for shipping the
+// log's full state to a replication follower (InstallSnapshot).
 func (l *Log) Snapshot() ([]byte, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -198,6 +338,9 @@ func (l *Log) Snapshot() ([]byte, error) {
 	b, err := l.be.contents()
 	if err != nil {
 		return nil, err
+	}
+	if l.size < len(b) {
+		b = b[:l.size]
 	}
 	out := make([]byte, len(b))
 	copy(out, b)
@@ -212,30 +355,33 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.notifyLocked()
 	return l.be.close()
 }
 
-// InjectCrashAfter arranges for the backend to fail all appends after n
-// more successful appends, simulating a crash. Only supported by the
-// in-memory backend; it reports whether injection is supported.
+// InjectCrashAfter arranges for the log to fail all appends (and
+// checkpoints) after n more successful appends, simulating a crash: the
+// failing append tears half a record onto the medium, and a failing
+// checkpoint stops before its atomic swap. Supported by every backend; a
+// negative n disarms injection. It reports whether injection is supported.
 func (l *Log) InjectCrashAfter(n int) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	mb, ok := l.be.(*memBackend)
-	if !ok {
-		return false
+	if n < 0 {
+		l.failArmed = false
+		return true
 	}
-	mb.failAfter = n
-	mb.failArmed = true
+	l.failAfter = n
+	l.failArmed = true
 	return true
 }
 
-// scan parses the backend contents, returning the valid records and the
-// byte offset of the end of the last valid record.
-func (l *Log) scan() ([]Record, int, error) {
+// scan parses the backend contents, returning the valid records, the byte
+// offset of the end of the last valid record, and the total content size.
+func (l *Log) scan() ([]Record, int, int, error) {
 	b, err := l.be.contents()
 	if err != nil {
-		return nil, 0, fmt.Errorf("wal: read: %w", err)
+		return nil, 0, 0, fmt.Errorf("wal: read: %w", err)
 	}
 	var (
 		recs  []Record
@@ -265,27 +411,7 @@ func (l *Log) scan() ([]Record, int, error) {
 		off += headerSize + int(length)
 		valid = off
 	}
-	return recs, valid, nil
-}
-
-func (l *Log) truncateTo(n int) error {
-	switch be := l.be.(type) {
-	case *memBackend:
-		if n < len(be.buf) {
-			be.buf = be.buf[:n]
-		}
-		return nil
-	case *fileBackend:
-		if err := be.f.Truncate(int64(n)); err != nil {
-			return fmt.Errorf("wal: truncate: %w", err)
-		}
-		if _, err := be.f.Seek(int64(n), io.SeekStart); err != nil {
-			return fmt.Errorf("wal: seek: %w", err)
-		}
-		return nil
-	default:
-		return fmt.Errorf("wal: unknown backend %T", l.be)
-	}
+	return recs, valid, len(b), nil
 }
 
 func encodeRecord(r Record) []byte {
@@ -300,33 +426,39 @@ func encodeRecord(r Record) []byte {
 	return out
 }
 
-// memBackend keeps the log in memory with optional crash injection.
+// memBackend keeps the log in memory.
 type memBackend struct {
-	buf       []byte
-	failAfter int
-	failArmed bool
+	buf []byte
 }
 
 func (m *memBackend) append(b []byte) error {
-	if m.failArmed {
-		if m.failAfter <= 0 {
-			// Simulate a torn write: half the record reaches the medium.
-			m.buf = append(m.buf, b[:len(b)/2]...)
-			return ErrCrashed
-		}
-		m.failAfter--
-	}
 	m.buf = append(m.buf, b...)
 	return nil
 }
 
 func (m *memBackend) sync() error               { return nil }
 func (m *memBackend) contents() ([]byte, error) { return m.buf, nil }
-func (m *memBackend) close() error              { return nil }
 
-// fileBackend appends to a real file with fsync on Sync.
+func (m *memBackend) truncate(n int) error {
+	if n < len(m.buf) {
+		m.buf = m.buf[:n]
+	}
+	return nil
+}
+
+func (m *memBackend) replace(b []byte) error {
+	m.buf = append(m.buf[:0:0], b...)
+	return nil
+}
+
+func (m *memBackend) close() error { return nil }
+
+// fileBackend appends to a real file with fsync on sync. replace goes
+// through a temp-file + fsync + rename + directory-fsync sequence so the
+// swap is atomic across a crash at any point.
 type fileBackend struct {
-	f *os.File
+	f    *os.File
+	path string
 }
 
 func (fb *fileBackend) append(b []byte) error {
@@ -348,6 +480,57 @@ func (fb *fileBackend) contents() ([]byte, error) {
 		return nil, err
 	}
 	return b, nil
+}
+
+func (fb *fileBackend) truncate(n int) error {
+	if err := fb.f.Truncate(int64(n)); err != nil {
+		return fmt.Errorf("truncate: %w", err)
+	}
+	if _, err := fb.f.Seek(int64(n), io.SeekStart); err != nil {
+		return fmt.Errorf("seek: %w", err)
+	}
+	return nil
+}
+
+func (fb *fileBackend) replace(b []byte) error {
+	tmpPath := fb.path + ".ckpt"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint temp: %w", err)
+	}
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint sync: %w", err)
+	}
+	// The swap: after the rename the open tmp handle refers to the file
+	// now living at the log path, so it becomes the backend's handle with
+	// no window where the log has no open file.
+	if err := os.Rename(tmpPath, fb.path); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint rename: %w", err)
+	}
+	// Past the rename the swap is complete: the open tmp handle refers to
+	// the file now living at the log path, so it becomes the backend's
+	// handle with no window where the log has no open file. A failed
+	// directory fsync is benign for correctness — if the rename is lost to
+	// a crash, recovery replays the complete old log, a valid
+	// pre-checkpoint state — so it does not fail the swap.
+	_ = syncDir(filepath.Dir(fb.path))
+	old := fb.f
+	fb.f = tmp
+	if _, err := fb.f.Seek(0, io.SeekEnd); err != nil {
+		old.Close()
+		return fmt.Errorf("checkpoint seek: %w", err)
+	}
+	return old.Close()
 }
 
 func (fb *fileBackend) close() error { return fb.f.Close() }

@@ -35,7 +35,7 @@ import (
 // coordinator helper. IORs are joined with newlines: the stringified
 // reference grammar uses '|' and ',' internally.
 const (
-	crashEnvMode  = "ACTIVITYSERVICE_CRASH_MODE"  // "commit" or "recover"
+	crashEnvMode  = "ACTIVITYSERVICE_CRASH_MODE"  // "commit", "primary" or "recover"
 	crashEnvStage = "ACTIVITYSERVICE_CRASH_STAGE" // "prepared", "decision", "phase2"
 	crashEnvWAL   = "ACTIVITYSERVICE_CRASH_WAL"   // coordinator log path
 	crashEnvIORs  = "ACTIVITYSERVICE_CRASH_IORS"  // participant refs, "\n"-joined
@@ -96,6 +96,12 @@ func crashStage(name string) ots.Stage {
 // mode=recover: restart against the same WAL, re-drive in-doubt branches,
 // report pass stats on stdout, then serve wire-level recovery
 // (replay_completion and the recover verb) until stdin closes.
+//
+// mode=primary: like commit, but the coordinator is a replicated primary —
+// it serves WAL replication, reports its endpoints ("REPL ...") so the
+// parent can attach a standby, and commits with the decision barrier
+// installed, so each decision is on the standby before phase two starts
+// (and therefore before any post-decision kill point can fire).
 func TestCrashRestartHelper(t *testing.T) {
 	mode := os.Getenv(crashEnvMode)
 	if mode == "" {
@@ -109,19 +115,32 @@ func TestCrashRestartHelper(t *testing.T) {
 	defer node.Shutdown()
 
 	switch mode {
-	case "commit":
+	case "commit", "primary":
 		stage := crashStage(os.Getenv(crashEnvStage))
 		if stage == 0 {
 			t.Fatalf("bad crash stage %q", os.Getenv(crashEnvStage))
 		}
-		svc := ots.NewService(ots.WithLog(log),
+		opts := []ots.Option{ots.WithLog(log),
 			ots.WithRetryPolicy(1, 0),
 			ots.WithEventHook(func(e ots.Event) {
 				if e.Stage == stage {
 					_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
 					select {} // unreachable: SIGKILL is not deliverable to a handler
 				}
-			}))
+			})}
+		if mode == "primary" {
+			// Replicated primary: serve the log, tell the parent where, and
+			// hold each decision until the standby acknowledges it. The
+			// barrier self-synchronises attach: the parent starts its
+			// standby as soon as it reads the REPL line.
+			p, _ := orb.ServeReplication(node, log)
+			if _, err := node.Listen("127.0.0.1:0"); err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("REPL %s\n", strings.Join(node.Endpoints(), " "))
+			opts = append(opts, ots.WithDecisionBarrier(p.DecisionBarrier(10*time.Second)))
+		}
+		svc := ots.NewService(opts...)
 		tx := svc.Begin()
 		for _, s := range strings.Split(os.Getenv(crashEnvIORs), "\n") {
 			ref, err := orb.ParseIOR(s)
@@ -419,6 +438,257 @@ func TestCrashRestart2PC(t *testing.T) {
 		}
 		if st != ots.StatusCommitted {
 			t.Fatalf("in-doubt participant fate = %s, want committed", st)
+		}
+	})
+}
+
+// runPrimaryUntilKilled re-execs the helper as a replicated primary,
+// reports its replication endpoints as soon as the child prints them (so
+// the caller can attach a standby while the 2PC is still running), and
+// asserts the process died from the self-inflicted SIGKILL.
+func runPrimaryUntilKilled(t *testing.T, stage, walPath string, iors []string, onEndpoints func([]string)) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashRestartHelper$")
+	cmd.Env = coordinatorEnv("primary", stage, walPath, iors)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	reported := false
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "REPL ") {
+			endpoints := strings.Fields(strings.TrimPrefix(line, "REPL "))
+			if len(endpoints) == 0 {
+				t.Fatal("primary reported no replication endpoints")
+			}
+			onEndpoints(endpoints)
+			reported = true
+			break
+		}
+	}
+	if !reported {
+		_ = cmd.Wait()
+		t.Fatal("primary exited before reporting replication endpoints")
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained until the kill
+	err = cmd.Wait()
+	if err == nil {
+		t.Fatal("primary exited cleanly, want SIGKILL")
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("primary: %v", err)
+	}
+	ws, ok := exitErr.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("primary exit = %v (signaled=%v), want SIGKILL", err, ok && ws.Signaled())
+	}
+}
+
+// standby is the warm standby: it lives in the parent process (which is
+// never killed), streams the primary's WAL into its own file-backed
+// replica, and on primary death hosts recovery over the replica.
+type standby struct {
+	orb      *orb.ORB
+	runErr   chan error
+	walPath  string
+	follower *orb.ReplicationFollower
+}
+
+// startStandby opens a replica log and starts following the primary's
+// replication endpoints. The returned standby's runErr yields Run's
+// verdict — ErrPrimaryLost once the primary stops answering.
+func startStandby(t *testing.T, primaryEndpoints []string) *standby {
+	t.Helper()
+	s := &standby{
+		orb:     orb.New(),
+		runErr:  make(chan error, 1),
+		walPath: filepath.Join(t.TempDir(), "replica.wal"),
+	}
+	t.Cleanup(s.orb.Shutdown)
+	log, err := ots.OpenFileLog(s.walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.follower = orb.NewReplicationFollower(s.orb, orb.ReplicationAt(primaryEndpoints...), log,
+		orb.WithPollTimeout(100*time.Millisecond),
+		orb.WithTakeoverPolicy(orb.TakeoverPolicy{Failures: 3, Retry: 50 * time.Millisecond}))
+	go func() { s.runErr <- s.follower.Run(context.Background()) }()
+	return s
+}
+
+// takeover waits for the follower to declare the primary lost, then hosts
+// recovery over the replica on the standby's own listening ORB — the
+// primary is never restarted. It returns the takeover recovery stats and
+// the standby's endpoints.
+func (s *standby) takeover(t *testing.T) (ots.RecoveryStats, []string) {
+	t.Helper()
+	select {
+	case err := <-s.runErr:
+		if !errors.Is(err, orb.ErrPrimaryLost) {
+			t.Fatalf("standby follower Run = %v, want ErrPrimaryLost", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("standby never declared the primary lost")
+	}
+	// Reopen the replica: the follower's log handle stays valid, but a cold
+	// open proves the replica is durable on disk, not just in memory.
+	log, err := ots.OpenFileLog(s.walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := orb.HostRecovery(s.orb, log, ots.WithRetryPolicy(3, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.orb.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	return res.Stats, s.orb.Endpoints()
+}
+
+// TestStandbyTakeover2PC is the replicated-coordinator chaos matrix: a
+// real primary process is SIGKILLed at injected points inside a 2PC whose
+// decision log is streamed (semi-synchronously) to a warm standby in the
+// parent process. The primary is never restarted — every prepared branch
+// must converge to the logged decision exactly once through the standby,
+// and participants holding the shared multi-profile recovery reference
+// (primary profile first, standby profile second) must fail over to the
+// standby transparently.
+func TestStandbyTakeover2PC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	ctx := context.Background()
+
+	// failoverClient dials recovery through the dead primary's profile
+	// first: convergence must arrive via transparent failover to the
+	// standby profile.
+	failoverClient := func(t *testing.T, primaryEndpoints, standbyEndpoints []string) *orb.RecoveryClient {
+		t.Helper()
+		client := orb.New()
+		t.Cleanup(client.Shutdown)
+		ref := orb.RecoveryAt(append(append([]string{}, primaryEndpoints...), standbyEndpoints...)...)
+		return orb.NewRecoveryClient(client, ref)
+	}
+
+	run := func(t *testing.T, stage string) (*crashFixture, *standby, []string) {
+		t.Helper()
+		f := newCrashFixture(t)
+		var s *standby
+		var primaryEndpoints []string
+		runPrimaryUntilKilled(t, stage, f.walPath, f.refs, func(endpoints []string) {
+			primaryEndpoints = endpoints
+			s = startStandby(t, endpoints)
+		})
+		return f, s, primaryEndpoints
+	}
+
+	t.Run("after-prepare", func(t *testing.T) {
+		// Killed after the votes, before any decision record: nothing was
+		// durable on the primary, so nothing reached the standby. Takeover
+		// must presume abort.
+		f, s, primaryEndpoints := run(t, "prepared")
+		if f.a.applies.Load()+f.b.applies.Load() != 0 {
+			t.Fatal("participant committed before any durable decision")
+		}
+		stats, standbyEndpoints := s.takeover(t)
+		if stats.DecisionsReplayed != 0 {
+			t.Fatalf("takeover replayed %d decisions, want 0 (none durable)", stats.DecisionsReplayed)
+		}
+		cl := failoverClient(t, primaryEndpoints, standbyEndpoints)
+		for i, name := range f.refs {
+			st, err := cl.ReplayCompletion(ctx, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != ots.StatusRolledBack {
+				t.Fatalf("participant %d fate via standby = %s, want rolled-back (presumed abort)", i, st)
+			}
+		}
+		if f.a.applies.Load() != 0 || f.b.applies.Load() != 0 {
+			t.Fatal("presumed abort committed a participant")
+		}
+	})
+
+	t.Run("after-decision", func(t *testing.T) {
+		// The acceptance scenario: killed right after the commit record was
+		// forced (and, via the decision barrier, replicated). No participant
+		// heard the verdict. The standby alone must deliver commit to both,
+		// exactly once, without the primary ever coming back.
+		f, s, primaryEndpoints := run(t, "decision")
+		if f.a.applies.Load()+f.b.applies.Load() != 0 {
+			t.Fatal("participant committed before phase two began")
+		}
+		stats, standbyEndpoints := s.takeover(t)
+		if stats.DecisionsReplayed != 1 || stats.ResourcesCommitted != 2 ||
+			stats.ResourcesMissing != 0 || stats.ResourcesFailed != 0 {
+			t.Fatalf("takeover pass = %+v, want 1 decision, 2 committed", stats)
+		}
+		if f.a.applies.Load() != 1 || f.b.applies.Load() != 1 {
+			t.Fatalf("applies = %d/%d, want exactly once each",
+				f.a.applies.Load(), f.b.applies.Load())
+		}
+		if f.a.commitCalls.Load() != 1 || f.b.commitCalls.Load() != 1 {
+			t.Fatalf("commit deliveries = %d/%d, want 1/1",
+				f.a.commitCalls.Load(), f.b.commitCalls.Load())
+		}
+		cl := failoverClient(t, primaryEndpoints, standbyEndpoints)
+		for _, name := range f.refs {
+			st, err := cl.ReplayCompletion(ctx, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != ots.StatusCommitted {
+				t.Fatalf("fate of %s via standby = %s, want committed", name, st)
+			}
+		}
+		// The decision sealed on the standby: a wire-driven second pass
+		// through the failover reference re-drives nothing.
+		again, err := cl.Recover(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.DecisionsReplayed != 0 {
+			t.Fatalf("second pass replayed %d decisions, want 0", again.DecisionsReplayed)
+		}
+		if f.a.commitCalls.Load() != 1 || f.b.commitCalls.Load() != 1 {
+			t.Fatalf("commit deliveries after second pass = %d/%d, want still 1/1",
+				f.a.commitCalls.Load(), f.b.commitCalls.Load())
+		}
+	})
+
+	t.Run("mid-phase2", func(t *testing.T) {
+		// Killed after the first commit delivery: one participant committed,
+		// one in doubt. The standby re-drives the whole decision; the
+		// committed participant absorbs the duplicate, the other commits.
+		f, s, primaryEndpoints := run(t, "phase2")
+		if got := f.a.applies.Load() + f.b.applies.Load(); got != 1 {
+			t.Fatalf("applies at crash = %d, want exactly 1 (first delivery landed)", got)
+		}
+		stats, standbyEndpoints := s.takeover(t)
+		if stats.DecisionsReplayed != 1 || stats.ResourcesCommitted != 2 || stats.ResourcesFailed != 0 {
+			t.Fatalf("takeover pass = %+v, want 1 decision, 2 committed", stats)
+		}
+		if f.a.applies.Load() != 1 || f.b.applies.Load() != 1 {
+			t.Fatalf("applies = %d/%d, want exactly once each",
+				f.a.applies.Load(), f.b.applies.Load())
+		}
+		if got := f.a.commitCalls.Load() + f.b.commitCalls.Load(); got != 3 {
+			t.Fatalf("total commit deliveries = %d, want 3 (one pre-crash + full re-drive)", got)
+		}
+		cl := failoverClient(t, primaryEndpoints, standbyEndpoints)
+		st, err := cl.ReplayCompletion(ctx, f.refs[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != ots.StatusCommitted {
+			t.Fatalf("in-doubt participant fate via standby = %s, want committed", st)
 		}
 	})
 }

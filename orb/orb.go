@@ -96,6 +96,17 @@ type (
 	// RecoveryClient invokes a coordinator's well-known recovery servant
 	// (replay_completion, recover, totals).
 	RecoveryClient = remote.RecoveryClient
+	// ReplicationPrimary is the primary-side handle of WAL replication:
+	// the follower acknowledgement watermark and waits on it.
+	ReplicationPrimary = remote.ReplicationPrimary
+	// ReplicationFollower streams a primary's WAL into a local follower log.
+	ReplicationFollower = remote.ReplicationFollower
+	// FollowerOption configures a ReplicationFollower.
+	FollowerOption = remote.FollowerOption
+	// TakeoverPolicy says when a follower declares the primary lost.
+	TakeoverPolicy = remote.TakeoverPolicy
+	// HostRecoveryResult reports what HostRecovery set up.
+	HostRecoveryResult = remote.HostRecoveryResult
 )
 
 // Circuit breaker states (see WithCircuitBreaker).
@@ -303,3 +314,43 @@ const RecoveryTypeID = remote.RecoveryTypeID
 
 // RecoveryKey is the well-known object key of the recovery servant.
 const RecoveryKey = remote.RecoveryKey
+
+// HostRecovery hosts a transaction service over an already-open decision
+// log: in-doubt IOR names re-bound as remote proxies, one recovery pass,
+// and the well-known recovery servant activated. Both a restarting
+// coordinator and a standby taking over a replicated log go through it.
+var HostRecovery = remote.HostRecovery
+
+// ServeReplication activates the well-known WAL replication servant for a
+// primary coordinator's log and returns the primary-side handle (follower
+// ack watermark, decision barrier).
+var ServeReplication = remote.ServeReplication
+
+// NewReplicationFollower returns a follower streaming the replication
+// servant at ref into a local log.
+var NewReplicationFollower = remote.NewReplicationFollower
+
+// ReplicationAt builds the IOR of the well-known replication servant at
+// the given endpoints.
+var ReplicationAt = remote.ReplicationAt
+
+// WithPollTimeout sets a follower's long-poll fetch timeout.
+var WithPollTimeout = remote.WithPollTimeout
+
+// WithTakeoverPolicy sets when a follower's Run declares the primary lost.
+var WithTakeoverPolicy = remote.WithTakeoverPolicy
+
+// WithRecordObserver observes each shipped record after it is durable in
+// the follower's log.
+var WithRecordObserver = remote.WithRecordObserver
+
+// ErrPrimaryLost is returned by ReplicationFollower.Run when the primary
+// exhausted the takeover policy's failure budget.
+var ErrPrimaryLost = remote.ErrPrimaryLost
+
+// ReplicationTypeID is the interface id of the WAL replication servant.
+const ReplicationTypeID = remote.ReplicationTypeID
+
+// ReplicationKey is the well-known object key of the WAL replication
+// servant.
+const ReplicationKey = remote.ReplicationKey

@@ -121,6 +121,13 @@ func WithRetryPolicy(attempts int, delay time.Duration) Option {
 // protocol point; it must be fast and must not call back into the service.
 func WithEventHook(fn func(Event)) Option { return iots.WithEventHook(fn) }
 
+// WithDecisionBarrier installs a hook invoked after each commit decision
+// is durable in the local log, before phase two starts. A replicated
+// coordinator uses it to wait (bounded) for a standby to acknowledge the
+// decision — see orb.ServeReplication and ReplicationPrimary's
+// DecisionBarrier. The barrier cannot veto the decision.
+func WithDecisionBarrier(fn func(lsn uint64)) Option { return iots.WithDecisionBarrier(fn) }
+
 // WithTimeout marks a transaction rollback-only after d.
 func WithTimeout(d time.Duration) BeginOption { return iots.WithTimeout(d) }
 
