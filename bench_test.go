@@ -277,6 +277,87 @@ func BenchmarkRemoteFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeFanout measures relay-tree delivery against flat parallel
+// delivery over TCP: participants spread across site ORBs that each host
+// the well-known relay servant, so tree mode ships one batch per subtree
+// root (a constant-size plant-id reference after the first round) while
+// flat mode writes one frame per participant. The tree configurations are
+// the allocation budget benchguard gates in CI: the steady-state relay
+// hot path — ref batch encode, servant dispatch, result aggregation —
+// must not regress into per-member allocations.
+func BenchmarkTreeFanout(b *testing.B) {
+	b.ReportAllocs()
+	const sites = 4
+	policies := []struct {
+		name   string
+		policy activityservice.DeliveryPolicy
+	}{
+		{"flat", activityservice.Parallel()},
+		{"tree", activityservice.Tree(8)},
+	}
+	for _, fanout := range []int{64, 256} {
+		siteORBs := make([]*orb.ORB, sites)
+		for i := range siteORBs {
+			siteORBs[i] = orb.New()
+			if _, err := siteORBs[i].Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			orb.ServeRelay(siteORBs[i])
+		}
+		refs := make([]orb.IOR, fanout)
+		for i := range refs {
+			site := siteORBs[i%sites]
+			ref := orb.ExportAction(site, activityservice.ActionFunc(
+				func(context.Context, activityservice.Signal) (activityservice.Outcome, error) {
+					return activityservice.Outcome{Name: "ok"}, nil
+				}))
+			refs[i], _ = site.IOR(ref.Key)
+		}
+		for _, p := range policies {
+			name := fmt.Sprintf("fanout=%d/sites=%d/%s", fanout, sites, p.name)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				clientORB := orb.New()
+				defer clientORB.Shutdown()
+				actions := make([]activityservice.Action, fanout)
+				for i, ref := range refs {
+					actions[i] = orb.ImportAction(clientORB, ref)
+				}
+				svc := activityservice.New(activityservice.WithDelivery(p.policy))
+				ctx := context.Background()
+				round := func() {
+					a := svc.Begin("tree-fanout")
+					set := activityservice.NewSequenceSet("s", "ping")
+					if err := a.RegisterSignalSet(set); err != nil {
+						b.Fatal(err)
+					}
+					for _, action := range actions {
+						if _, err := a.AddAction("s", action); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, err := a.Signal(ctx, "s"); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := a.Complete(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// One warm-up round dials the connections and plants the
+				// memberships; the measured rounds are the steady state.
+				round()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					round()
+				}
+			})
+		}
+		for _, site := range siteORBs {
+			site.Shutdown()
+		}
+	}
+}
+
 // BenchmarkFig08TwoPhaseCommit measures the fig. 8 protocol over a sweep
 // of participant counts.
 func BenchmarkFig08TwoPhaseCommit(b *testing.B) {

@@ -24,6 +24,10 @@
 //	                                        # on the well-known "orb-admin" key
 //	activityd -pool 8 -parallel             # 8 pooled conns per endpoint,
 //	                                        # parallel signal fan-out
+//	activityd -relay -branching 8           # host the well-known "relay"
+//	                                        # servant and fan signals out
+//	                                        # through branching-factor-8
+//	                                        # relay trees (DeliverTree)
 //	activityd -max-inflight 64 -shed-after 50ms   # overload protection:
 //	                                        # bound concurrent dispatches,
 //	                                        # shed the excess with TRANSIENT
@@ -143,6 +147,8 @@ func main() {
 	flag.Var(&listens, "listen", "host:port to serve on; repeat for multiple listeners (default 127.0.0.1:7411)")
 	demo := flag.Bool("demo", false, "run a self-test client and exit")
 	parallel := flag.Bool("parallel", false, "fan signals out to enrolled actions in parallel")
+	relay := flag.Bool("relay", false, "host the well-known relay servant and fan signals out through relay trees")
+	branching := flag.Int("branching", 0, "relay-tree children per node with -relay (0 = default)")
 	admin := flag.Bool("admin", false, "serve ServerStats/EndpointStats on the well-known orb-admin key")
 	var cfg orbConfig
 	flag.Var(&cfg.advertise, "advertise", "endpoint minted into issued IORs instead of the bound address; repeatable")
@@ -163,9 +169,22 @@ func main() {
 	if len(listens) == 0 {
 		listens = listFlag{"127.0.0.1:7411"}
 	}
-	if err := run(listens, *demo, cfg, *parallel, *admin); err != nil {
+	if err := run(listens, *demo, cfg, deliveryFor(*parallel, *relay, *branching), *relay, *admin); err != nil {
 		fmt.Fprintln(os.Stderr, "activityd:", err)
 		os.Exit(1)
+	}
+}
+
+// deliveryFor resolves the daemon's fan-out flags into one delivery
+// policy (zero = serial).
+func deliveryFor(parallel, relay bool, branching int) activityservice.DeliveryPolicy {
+	switch {
+	case relay:
+		return activityservice.Tree(branching)
+	case parallel:
+		return activityservice.Parallel()
+	default:
+		return activityservice.DeliveryPolicy{}
 	}
 }
 
@@ -173,7 +192,7 @@ func main() {
 type factory struct {
 	svc      *activityservice.Service
 	orb      *orb.ORB
-	parallel bool
+	delivery activityservice.DeliveryPolicy
 }
 
 // Dispatch implements orb.Servant: operation "begin" takes an activity
@@ -187,10 +206,10 @@ func (f *factory) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byt
 		return nil, orb.Systemf(orb.CodeMarshal, "begin: %v", err)
 	}
 	var opts []activityservice.BeginOption
-	if f.parallel {
+	if f.delivery.Mode != 0 {
 		// Remotely created activities coordinate remote actions — the
-		// latency-bound regime parallel fan-out targets.
-		opts = append(opts, activityservice.WithActivityDelivery(activityservice.Parallel()))
+		// latency-bound regime parallel and tree fan-out target.
+		opts = append(opts, activityservice.WithActivityDelivery(f.delivery))
 	}
 	a := f.svc.Begin(name, opts...)
 	// Activities created remotely complete through their default set; give
@@ -209,7 +228,7 @@ func (f *factory) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byt
 	return e.Bytes(), nil
 }
 
-func run(listens []string, demo bool, cfg orbConfig, parallel, admin bool) error {
+func run(listens []string, demo bool, cfg orbConfig, delivery activityservice.DeliveryPolicy, relay, admin bool) error {
 	if demo && len(cfg.advertise) > 0 {
 		// The demo drives a loopback client against the daemon's own
 		// references; references minted from advertised (externally
@@ -221,11 +240,14 @@ func run(listens []string, demo bool, cfg orbConfig, parallel, admin bool) error
 	orb.InstallPropagation(node)
 
 	svc := activityservice.New()
-	f := &factory{svc: svc, orb: node, parallel: parallel}
+	f := &factory{svc: svc, orb: node, delivery: delivery}
 	node.RegisterServantWithKey("activity-factory", FactoryTypeID, f)
 
 	ns := orb.NewNameServer()
 	ns.Serve(node)
+	if relay {
+		orb.ServeRelay(node)
+	}
 	if admin {
 		orb.ServeAdmin(node)
 	}

@@ -3,13 +3,15 @@ package main
 import (
 	"testing"
 	"time"
+
+	"github.com/extendedtx/activityservice"
 )
 
 // TestDaemonDemoRoundTrip boots the daemon on an ephemeral port and runs
 // the built-in client against it: factory resolution through naming,
 // remote activity creation, remote enlistment and remote completion.
 func TestDaemonDemoRoundTrip(t *testing.T) {
-	if err := run([]string{"127.0.0.1:0"}, true, orbConfig{}, false, false); err != nil {
+	if err := run([]string{"127.0.0.1:0"}, true, orbConfig{}, activityservice.DeliveryPolicy{}, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -17,7 +19,7 @@ func TestDaemonDemoRoundTrip(t *testing.T) {
 // TestDaemonDemoPooledParallel runs the same round trip with a pooled
 // client transport and parallel signal fan-out enabled.
 func TestDaemonDemoPooledParallel(t *testing.T) {
-	if err := run([]string{"127.0.0.1:0"}, true, orbConfig{pool: 8}, true, false); err != nil {
+	if err := run([]string{"127.0.0.1:0"}, true, orbConfig{pool: 8}, activityservice.Parallel(), false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -26,7 +28,15 @@ func TestDaemonDemoPooledParallel(t *testing.T) {
 // with two listeners (issued IORs carry both endpoints as profiles) and
 // the admin servant enabled.
 func TestDaemonDemoMultiListenerAdmin(t *testing.T) {
-	if err := run([]string{"127.0.0.1:0", "127.0.0.1:0"}, true, orbConfig{}, false, true); err != nil {
+	if err := run([]string{"127.0.0.1:0", "127.0.0.1:0"}, true, orbConfig{}, activityservice.DeliveryPolicy{}, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonDemoRelayTree runs the round trip with the relay servant
+// hosted and tree fan-out selected for remotely created activities.
+func TestDaemonDemoRelayTree(t *testing.T) {
+	if err := run([]string{"127.0.0.1:0"}, true, orbConfig{}, activityservice.Tree(4), true, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -47,7 +57,7 @@ func TestDaemonDemoOverloadProtected(t *testing.T) {
 		retryRate:   10,
 		retryBurst:  5,
 	}
-	if err := run([]string{"127.0.0.1:0"}, true, cfg, false, false); err != nil {
+	if err := run([]string{"127.0.0.1:0"}, true, cfg, activityservice.DeliveryPolicy{}, false, false); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -10,7 +10,7 @@
 //	benchsweep -iters 2000
 //	benchsweep -sweep 2pc      # one sweep: 2pc | fanout | chain | delivery |
 //	                           #            remote | remotefanout | overload |
-//	                           #            failover | wire
+//	                           #            failover | wire | tree
 //	benchsweep -sweep remotefanout -pool 8   # pin the client pool size
 //	benchsweep -sweep overload               # admission control at saturation:
 //	                                         # p50/p99/shed vs -max-inflight
@@ -20,6 +20,9 @@
 //	benchsweep -sweep wire                   # raw request/reply wire path:
 //	                                         # RTT + allocs/op, small and 4KB
 //	                                         # bodies, 1 and 64 callers
+//	benchsweep -sweep tree                   # relay-tree vs flat fan-out:
+//	                                         # coordinator bytes/round and
+//	                                         # p50/p99 at fanout 64-4096
 //	benchsweep -json BENCH_BASELINE.json     # also dump every data point as
 //	                                         # JSON (the committed perf
 //	                                         # baseline future PRs diff)
@@ -77,7 +80,7 @@ func record(sweep, config, metric string, v float64) {
 
 func main() {
 	iters := flag.Int("iters", 500, "iterations per data point")
-	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout|overload|failover|wire); empty = all")
+	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout|overload|failover|wire|tree); empty = all")
 	jsonPath := flag.String("json", "", "also write every data point as JSON to this file (perf baseline)")
 	flag.IntVar(&poolSize, "pool", 0, "client connection pool size for remote sweeps (0 = sweep defaults)")
 	flag.Parse()
@@ -108,6 +111,7 @@ var sweeps = map[string]func(iters int) error{
 	"overload":     sweepOverload,
 	"failover":     sweepFailover,
 	"wire":         sweepWire,
+	"tree":         sweepTree,
 }
 
 func run(iters int, which string) error {
@@ -438,6 +442,150 @@ func sweepRemoteFanout(iters int) error {
 			record("remotefanout", cfg, "parallel-ns/op", results[1])
 			fmt.Printf("%-10d %-8d %14.0f %14.0f %9.2fx\n",
 				fanout, pool, results[0], results[1], results[0]/results[1])
+		}
+	}
+	return nil
+}
+
+// countingTransport wraps a Transport and counts every byte the client
+// writes, so a sweep can report the coordinator's outbound traffic.
+type countingTransport struct {
+	base  orb.Transport
+	bytes *atomic.Int64
+}
+
+// Dial implements orb.Transport.
+func (t countingTransport) Dial(ctx context.Context, addr string) (orb.Conn, error) {
+	c, err := t.base.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return countingConn{Conn: c, bytes: t.bytes}, nil
+}
+
+// countingConn counts outbound frame bytes.
+type countingConn struct {
+	orb.Conn
+	bytes *atomic.Int64
+}
+
+// WriteFrame implements orb.Conn.
+func (c countingConn) WriteFrame(p []byte) error {
+	c.bytes.Add(int64(len(p)))
+	return c.Conn.WriteFrame(p)
+}
+
+// sweepTree compares flat parallel fan-out with relay-tree fan-out
+// (DeliverTree) over TCP: participants spread across a fixed set of site
+// ORBs, each site hosting the well-known relay servant. Per fanout it
+// reports the coordinator's outbound bytes per broadcast round and the
+// round latency distribution. Flat delivery writes one frame per
+// participant, so its bytes grow linearly with fanout; tree delivery
+// contacts only the subtree roots, and after the first round each root
+// batch is a constant-size plant-id reference, so coordinator bytes stay
+// O(branching) — the sub-linear curve BENCH_BASELINE.json pins.
+func sweepTree(iters int) error {
+	const (
+		sites     = 8
+		branching = 8
+	)
+	fmt.Println("\n== relay tree vs flat: coordinator bytes/round and latency (8 sites, branching 8) ==")
+	fmt.Printf("%-10s %-8s %16s %12s %12s\n", "fanout", "mode", "bytes/round", "p50", "p99")
+	ctx := context.Background()
+
+	rounds := iters / 25
+	if rounds < 8 {
+		rounds = 8
+	}
+	for _, fanout := range []int{64, 256, 1024, 4096} {
+		// The site ORBs host the participants and one relay servant each.
+		siteORBs := make([]*orb.ORB, sites)
+		for i := range siteORBs {
+			siteORBs[i] = orb.New()
+			if _, err := siteORBs[i].Listen("127.0.0.1:0"); err != nil {
+				return err
+			}
+			orb.ServeRelay(siteORBs[i])
+		}
+		refs := make([]orb.IOR, fanout)
+		for i := range refs {
+			site := siteORBs[i%sites]
+			ref := orb.ExportAction(site, noop())
+			ref, _ = site.IOR(ref.Key)
+			refs[i] = ref
+		}
+
+		for _, mode := range []struct {
+			name   string
+			policy activityservice.DeliveryPolicy
+		}{
+			{"flat", activityservice.Parallel()},
+			{"tree", activityservice.Tree(branching)},
+		} {
+			var sent atomic.Int64
+			client := orb.New(orb.WithTransport(countingTransport{base: orb.TCPTransport{}, bytes: &sent}))
+			actions := make([]activityservice.Action, fanout)
+			for i, ref := range refs {
+				actions[i] = orb.ImportAction(client, ref)
+			}
+			svc := activityservice.New(activityservice.WithDelivery(mode.policy))
+			round := func() error {
+				a := svc.Begin("tree-sweep")
+				set := activityservice.NewSequenceSet("s", "ping")
+				if err := a.RegisterSignalSet(set); err != nil {
+					return err
+				}
+				for _, action := range actions {
+					if _, err := a.AddAction("s", action); err != nil {
+						return err
+					}
+				}
+				if _, err := a.Signal(ctx, "s"); err != nil {
+					return err
+				}
+				_, err := a.Complete(ctx)
+				return err
+			}
+			// Warm-up rounds: connections dialed, RTTs seeded, memberships
+			// planted. Steady state is what the sweep prices.
+			var err error
+			for i := 0; i < 2 && err == nil; i++ {
+				err = round()
+			}
+			if err != nil {
+				client.Shutdown()
+				for _, site := range siteORBs {
+					site.Shutdown()
+				}
+				return err
+			}
+			sent.Store(0)
+			latencies := make([]time.Duration, rounds)
+			for i := 0; i < rounds && err == nil; i++ {
+				start := time.Now()
+				err = round()
+				latencies[i] = time.Since(start)
+			}
+			bytesPerRound := float64(sent.Load()) / float64(rounds)
+			client.Shutdown()
+			if err != nil {
+				for _, site := range siteORBs {
+					site.Shutdown()
+				}
+				return err
+			}
+			sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+			p50 := latencies[rounds/2]
+			p99 := latencies[rounds*99/100]
+			cfg := fmt.Sprintf("fanout=%d", fanout)
+			record("tree", cfg, mode.name+"-bytes/round", bytesPerRound)
+			record("tree", cfg, mode.name+"-p50-ns", float64(p50.Nanoseconds()))
+			record("tree", cfg, mode.name+"-p99-ns", float64(p99.Nanoseconds()))
+			fmt.Printf("%-10d %-8s %16.0f %12s %12s\n",
+				fanout, mode.name, bytesPerRound, p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+		}
+		for _, site := range siteORBs {
+			site.Shutdown()
 		}
 	}
 	return nil

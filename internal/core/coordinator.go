@@ -235,9 +235,12 @@ func (c *Coordinator) ProcessSignalSet(ctx context.Context, set SignalSet) (Outc
 			advance bool
 			berr    error
 		)
-		if policy.Mode == DeliverParallel && len(regs) > 1 {
+		switch {
+		case policy.Mode == DeliverTree && len(regs) > 1:
+			advance, berr = c.broadcastTree(ctx, driver, regs, sig, policy)
+		case policy.Mode == DeliverParallel && len(regs) > 1:
 			advance, berr = c.broadcastParallel(ctx, driver, regs, sig, policy)
-		} else {
+		default:
 			advance, berr = c.broadcastSerial(ctx, driver, regs, sig)
 		}
 		if berr != nil {

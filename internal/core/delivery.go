@@ -31,6 +31,18 @@ const (
 	// their context). Sets that rely on advance to *prevent* later
 	// deliveries must stay serial.
 	DeliverParallel
+	// DeliverTree relays the broadcast down a branching-factor tree of
+	// relay-capable actions (SubtreeDeliverer): the coordinator contacts
+	// only the subtree roots, each relay delivers to its own span and
+	// forwards to child relays, and outcomes aggregate back up with their
+	// registration identity intact. Responses still reach the SignalSet in
+	// registration order, so collation and the recorded trace are
+	// byte-identical to serial delivery. Tree delivery is speculative like
+	// parallel delivery, and additionally at least once per subtree: a
+	// relay that dies mid-round is re-adopted by redelivering its span
+	// directly, so actions must be idempotent. Actions that cannot relay
+	// are delivered directly through the worker pool.
+	DeliverTree
 )
 
 // String returns the mode name.
@@ -40,6 +52,8 @@ func (m DeliveryMode) String() string {
 		return "serial"
 	case DeliverParallel:
 		return "parallel"
+	case DeliverTree:
+		return "tree"
 	default:
 		return fmt.Sprintf("DeliveryMode(%d)", int(m))
 	}
@@ -55,11 +69,23 @@ type DeliveryPolicy struct {
 	// mode. Zero or negative selects max(16, 4×GOMAXPROCS), capped at the
 	// fanout.
 	MaxWorkers int
+	// Branching is the relay-tree fan-out (children per node) in tree
+	// mode. Zero or negative selects DefaultBranching.
+	Branching int
+	// Planner builds the relay tree in tree mode. Nil selects the
+	// deterministic GreedyNearestPlanner.
+	Planner TreePlanner
 }
 
 // Parallel is shorthand for a parallel policy with the default worker
 // bound.
 func Parallel() DeliveryPolicy { return DeliveryPolicy{Mode: DeliverParallel} }
+
+// Tree is shorthand for a relay-tree policy with the given branching
+// factor (<= 0 selects DefaultBranching) and the default planner.
+func Tree(branching int) DeliveryPolicy {
+	return DeliveryPolicy{Mode: DeliverTree, Branching: branching}
+}
 
 // workers resolves the worker-pool size for one broadcast of n actions.
 func (p DeliveryPolicy) workers(n int) int {

@@ -18,7 +18,7 @@ import (
 
 // checkedPackages are the directories whose exported surface must be
 // fully documented, relative to this package.
-var checkedPackages = []string{"../orb", "../core", "../cdr"}
+var checkedPackages = []string{"../orb", "../core", "../cdr", "../remote"}
 
 // TestExportedIdentifiersHaveDocComments parses each checked package
 // (tests excluded) and fails with one line per undocumented exported
@@ -100,6 +100,51 @@ func TestCdrByteSliceDocsStateAliasing(t *testing.T) {
 				}
 				if !stated {
 					t.Errorf("%s:%d: %s returns []byte but its doc comment never says whether the slice aliases the buffer or is a copy (mention one of %v)",
+						filepath.Base(pos.Filename), pos.Line, fd.Name.Name, aliasWords)
+				}
+			}
+		}
+	}
+}
+
+// TestRemoteDecoderDocsStateAliasing extends the aliasing contract to the
+// wire decoders in internal/remote (the relay batch codec): every function
+// whose name starts with "decode" or "Decode" must say in its doc comment
+// whether what it returns aliases the frame buffer or is owned. Relay
+// batches outlive their dispatch (the plant cache retains them), so a
+// decoder that silently lent frame memory would corrupt cached plans the
+// moment the ORB recycles the buffer.
+func TestRemoteDecoderDocsStateAliasing(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "../remote", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !strings.HasPrefix(strings.ToLower(fd.Name.Name), "decode") {
+					continue
+				}
+				pos := fset.Position(fd.Pos())
+				if fd.Doc == nil {
+					t.Errorf("%s:%d: %s decodes wire data but has no doc comment stating the aliasing contract",
+						filepath.Base(pos.Filename), pos.Line, fd.Name.Name)
+					continue
+				}
+				doc := strings.ToLower(fd.Doc.Text())
+				stated := false
+				for _, wd := range aliasWords {
+					if strings.Contains(doc, wd) {
+						stated = true
+						break
+					}
+				}
+				if !stated {
+					t.Errorf("%s:%d: %s decodes wire data but its doc comment never says whether the result aliases the buffer or is a copy (mention one of %v)",
 						filepath.Base(pos.Filename), pos.Line, fd.Name.Name, aliasWords)
 				}
 			}

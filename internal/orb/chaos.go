@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
 )
 
 // ChaosTransport wraps a Transport and injects faults into the frames that
@@ -67,6 +69,15 @@ type ChaosRule struct {
 	// Op matches the ORB operation name ("process_signal", "prepare",
 	// "commit", …). Empty matches every operation.
 	Op string
+	// Signal matches the activity Signal name carried inside the frame's
+	// body, so a rule can target "prepare" vs "commit" deliveries directly
+	// instead of counting process_signal occurrences. It applies to the
+	// operations whose body leads with a signal encoding — process_signal
+	// and relay_deliver, both of which put Signal.Name in the body's first
+	// CDR string — and is matched at both stages (reply frames match the
+	// signal their request carried). Empty matches every frame; a non-empty
+	// Signal never matches frames without a decodable signal name.
+	Signal string
 	// Addr matches the dialed endpoint address, with or without the "tcp:"
 	// prefix, so a fault can target one endpoint of a multi-profile
 	// reference (e.g. hard-reset the primary while the backup stays
@@ -186,7 +197,7 @@ func (t *ChaosTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &chaosConn{t: t, base: bc, addr: addr, ops: make(map[uint64]string)}
+	c := &chaosConn{t: t, base: bc, addr: addr, ops: make(map[uint64]opSig)}
 	t.mu.Lock()
 	t.conns[c] = struct{}{}
 	t.mu.Unlock()
@@ -200,8 +211,10 @@ type verdict struct {
 	reset   bool
 }
 
-// decide folds partitions and every matching rule into one verdict.
-func (t *ChaosTransport) decide(stage ChaosStage, op, addr string) verdict {
+// decide folds partitions and every matching rule into one verdict. sig is
+// the signal name decoded from the frame's body ("" when the operation
+// carries none).
+func (t *ChaosTransport) decide(stage ChaosStage, op, sig, addr string) verdict {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var v verdict
@@ -216,6 +229,9 @@ func (t *ChaosTransport) decide(stage ChaosStage, op, addr string) verdict {
 			continue
 		}
 		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Signal != "" && r.Signal != sig {
 			continue
 		}
 		if r.Addr != "" && endpointHost(r.Addr) != addr {
@@ -236,6 +252,37 @@ func (t *ChaosTransport) decide(stage ChaosStage, op, addr string) verdict {
 	return v
 }
 
+// opSig is the per-request identity reply-stage rules match against: the
+// operation name plus the signal name decoded from the request body.
+type opSig struct {
+	op  string
+	sig string
+}
+
+// signalCarriers names the operations whose request body leads with an
+// encoded Signal, making Signal.Name the body's first CDR string: the
+// Action servant's process_signal and the relay servant's relay_deliver
+// batch both uphold that layout so chaos rules can match on it.
+var signalCarriers = map[string]bool{
+	"process_signal": true,
+	"relay_deliver":  true,
+}
+
+// signalNameOf decodes the signal name from a signal-carrying request
+// body, returning "" for other operations or undecodable bodies.
+func signalNameOf(op string, body []byte) string {
+	if !signalCarriers[op] || len(body) == 0 {
+		return ""
+	}
+	var d cdr.Decoder
+	d.Reset(body)
+	name := d.ReadString()
+	if d.Err() != nil {
+		return ""
+	}
+	return name
+}
+
 // chaosConn applies the transport's fault rules to one connection.
 type chaosConn struct {
 	t    *ChaosTransport
@@ -243,23 +290,24 @@ type chaosConn struct {
 	addr string // dialed "host:port", for Addr rules
 
 	mu  sync.Mutex
-	ops map[uint64]string // in-flight requestID → operation, for reply rules
+	ops map[uint64]opSig // in-flight requestID → identity, for reply rules
 }
 
 // WriteFrame implements Conn, faulting client→server frames.
 func (c *chaosConn) WriteFrame(payload []byte) error {
-	op := ""
+	op, sig := "", ""
 	var reqID uint64
 	tracked := false
 	if req, err := decodeRequest(payload); err == nil {
 		op = req.operation
+		sig = signalNameOf(op, req.body)
 		reqID = req.requestID
 		tracked = true
 		c.mu.Lock()
-		c.ops[reqID] = op
+		c.ops[reqID] = opSig{op: op, sig: sig}
 		c.mu.Unlock()
 	}
-	v := c.t.decide(StageRequest, op, c.addr)
+	v := c.t.decide(StageRequest, op, sig, c.addr)
 	if v.latency > 0 {
 		time.Sleep(v.latency)
 	}
@@ -287,20 +335,20 @@ func (c *chaosConn) ReadFrame() ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		op := ""
+		var id opSig
 		if rep, err := decodeReply(payload); err == nil {
 			c.mu.Lock()
-			op = c.ops[rep.requestID]
+			id = c.ops[rep.requestID]
 			delete(c.ops, rep.requestID)
 			c.mu.Unlock()
 		}
-		v := c.t.decide(StageReply, op, c.addr)
+		v := c.t.decide(StageReply, id.op, id.sig, c.addr)
 		if v.latency > 0 {
 			time.Sleep(v.latency)
 		}
 		if v.reset {
 			c.Close()
-			return nil, fmt.Errorf("orb: chaos: connection reset dropping reply to %q", op)
+			return nil, fmt.Errorf("orb: chaos: connection reset dropping reply to %q", id.op)
 		}
 		if v.drop {
 			continue

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/extendedtx/activityservice/internal/cdr"
@@ -49,6 +50,12 @@ type endpointPool struct {
 	// be nil when the corresponding option is unset.
 	brk    *breaker
 	budget *retryBudget
+
+	// rttNanos is an EWMA of successful call round-trip times (¼ new, ¾
+	// old), in nanoseconds; zero until the first success. It feeds
+	// EndpointStats.RTT and ORB.EndpointRTT — the latency signal
+	// latency-aware relay-tree planning consumes.
+	rttNanos atomic.Int64
 
 	mu      sync.Mutex
 	cond    *sync.Cond // broadcast on any conns/dialing/closed change
@@ -121,6 +128,35 @@ func (p *endpointPool) observeCall(err error) {
 	}
 	if p.budget != nil {
 		p.budget.observe(failed, now)
+	}
+}
+
+// rttExemptOps are operations whose round trip is dominated by nested
+// fan-out work on the servant side rather than network proximity: feeding
+// them into the RTT EWMA would inflate an endpoint's estimate by orders of
+// magnitude and destabilize anything keyed off it (the relay-tree planner,
+// whose plans — and therefore plant-cache hits — depend on endpoints
+// staying in their latency class between rounds).
+var rttExemptOps = map[string]bool{
+	"relay_deliver": true,
+}
+
+// observeRTT folds one successful call's round trip into the endpoint's
+// EWMA (¼ new sample, ¾ old estimate; the first sample seeds it).
+func (p *endpointPool) observeRTT(d time.Duration) {
+	sample := int64(d)
+	if sample <= 0 {
+		return
+	}
+	for {
+		old := p.rttNanos.Load()
+		next := sample
+		if old > 0 {
+			next = old - old/4 + sample/4
+		}
+		if p.rttNanos.CompareAndSwap(old, next) {
+			return
+		}
 	}
 }
 
@@ -228,11 +264,15 @@ func (o *ORB) invokeEndpoint(ctx, callerCtx context.Context, endpoint string, re
 	if err != nil {
 		return nil, err
 	}
-	probe, err := pool.admitCall(time.Now())
+	start := time.Now()
+	probe, err := pool.admitCall(start)
 	if err != nil {
 		return nil, err
 	}
 	body, err = o.invokeOverPool(ctx, pool, ref, op, contexts, body)
+	if err == nil && !rttExemptOps[op] {
+		pool.observeRTT(time.Since(start))
+	}
 	// A call abandoned because the *caller* died (a cancelled parallel
 	// straggler, an expired caller deadline) says nothing about the
 	// endpoint's health and must not feed the breaker or retry budget —
@@ -659,6 +699,9 @@ type EndpointStats struct {
 	// RetryExhausted is the cumulative number of calls failed fast by an
 	// empty retry budget (see WithRetryBudget).
 	RetryExhausted uint64
+	// RTT is the EWMA of successful call round trips against the endpoint,
+	// zero until the first success (see ORB.EndpointRTT).
+	RTT time.Duration
 }
 
 // EndpointStats reports the pool state for endpoint, if one exists.
@@ -678,6 +721,7 @@ func (o *ORB) EndpointStats(endpoint string) (EndpointStats, bool) {
 		Dialing:  p.dialing,
 		Failures: failures,
 		Down:     down,
+		RTT:      time.Duration(p.rttNanos.Load()),
 	}
 	for _, c := range p.conns {
 		st.Pending += c.load()
@@ -696,6 +740,23 @@ func (o *ORB) EndpointStats(endpoint string) (EndpointStats, bool) {
 		rb.mu.Unlock()
 	}
 	return st, ok
+}
+
+// EndpointRTT returns the EWMA round-trip estimate this ORB has measured
+// against endpoint ("tcp:host:port", the prefix optional), or zero when no
+// successful call has been observed. Latency-aware relay-tree planning
+// feeds on it.
+func (o *ORB) EndpointRTT(endpoint string) time.Duration {
+	if !strings.HasPrefix(endpoint, "tcp:") {
+		endpoint = "tcp:" + endpoint
+	}
+	o.connMu.Lock()
+	p, ok := o.pools[endpoint]
+	o.connMu.Unlock()
+	if !ok {
+		return 0
+	}
+	return time.Duration(p.rttNanos.Load())
 }
 
 func (c *clientConn) register(id uint64, ch chan reply) error {

@@ -147,6 +147,8 @@ func (p *ActivityProxy) Status(ctx context.Context) (core.ActivityState, core.Co
 	return st, cs, nil
 }
 
+// decodeOutcome reads a reply body as a core.Outcome. The result is an
+// owned copy: outcome strings and any-data are copied off the stream.
 func decodeOutcome(body []byte) (core.Outcome, error) {
 	out, err := core.DecodeOutcome(cdr.NewDecoder(body))
 	if err != nil {

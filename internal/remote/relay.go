@@ -1,0 +1,650 @@
+package remote
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/core"
+	"github.com/extendedtx/activityservice/internal/orb"
+)
+
+// Relay servant identity. Every node that participates in tree-structured
+// fan-out hosts exactly one relay servant under the well-known RelayKey, so
+// a relay is addressable knowing only the node's endpoints — the same way
+// CORBA's standard object keys make per-host services discoverable.
+const (
+	// RelayTypeID is the interface id of the relay servant.
+	RelayTypeID = "IDL:ActivityService/Relay:1.0"
+	// RelayKey is the well-known object key the relay servant registers
+	// under on every relay-capable node.
+	RelayKey = "relay"
+	// relayOp is the relay servant's only operation: deliver a signal to a
+	// subtree batch and aggregate the outcomes.
+	relayOp = "relay_deliver"
+)
+
+// Relay batch kinds: the first octet after the signal encoding says whether
+// the frame carries the subtree membership inline or refers to one the
+// relay already planted.
+const (
+	// relayBatchFull carries the membership blob inline; the relay caches
+	// it under its plant id.
+	relayBatchFull byte = 1
+	// relayBatchRef carries only the plant id of a previously planted
+	// membership. A relay that does not know the plant (restarted, evicted)
+	// raises unknown-plant and the sender falls back to a full batch.
+	relayBatchRef byte = 2
+)
+
+// maxRelayDepth bounds membership-tree recursion against hostile frames.
+const maxRelayDepth = 32
+
+// relayPlantCacheCap bounds the number of memberships a relay keeps.
+// Eviction is LRU: a plant is refreshed every time a reference batch hits
+// it, so the plants a live protocol reuses each round stay resident and
+// only abandoned memberships age out. The cap must cover a busy interior
+// site's working set — with the default planner one site can relay every
+// interior subtree of a large tree (fanout/branching plants, ~512 at
+// fanout 4096) — so it is sized well above that; it only guards against
+// unbounded growth from departed coordinators.
+const relayPlantCacheCap = 1024
+
+// unknownPlantDetail is the detail text of the unknown-plant exception;
+// senders match it to distinguish "resend full membership" from real
+// failures.
+const unknownPlantDetail = "unknown relay plant"
+
+// relayNode is the wire form of one subtree vertex: the member's
+// registration index (preserved end-to-end so collation stays in
+// registration order), the Action servant's key and endpoints, and the
+// child subtrees this member relays to.
+//
+// Aliasing contract: decodeRelayNode returns a fully owned tree — every
+// string is copied off the stream by ReadString and no field aliases the
+// frame buffer — so decoded nodes may be retained freely (the plant cache
+// depends on this).
+type relayNode struct {
+	index     int
+	key       string
+	endpoints []string
+	children  []*relayNode
+}
+
+// span appends every node of the subtree to dst in preorder.
+func (n *relayNode) span(dst []*relayNode) []*relayNode {
+	dst = append(dst, n)
+	for _, c := range n.children {
+		dst = c.span(dst)
+	}
+	return dst
+}
+
+// encodeRelayNode writes one subtree in wire form.
+func encodeRelayNode(e *cdr.Encoder, n *relayNode) {
+	e.WriteUint32(uint32(n.index))
+	e.WriteString(n.key)
+	e.WriteStringList(n.endpoints)
+	e.WriteUint32(uint32(len(n.children)))
+	for _, c := range n.children {
+		encodeRelayNode(e, c)
+	}
+}
+
+// decodeRelayNode reads one subtree, guarding depth and child counts
+// against hostile input. The returned tree is an owned copy — every string
+// is copied off the stream, nothing aliases the frame buffer.
+func decodeRelayNode(d *cdr.Decoder, depth int) (*relayNode, error) {
+	if depth > maxRelayDepth {
+		return nil, fmt.Errorf("remote: relay membership deeper than %d", maxRelayDepth)
+	}
+	n := &relayNode{}
+	n.index = int(d.ReadUint32())
+	n.key = d.ReadString()
+	n.endpoints = d.ReadStringList()
+	count := d.ReadUint32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// Each child needs at least index+key+list+count on the wire; 8 bytes
+	// is a safe floor that rejects absurd counts before allocating.
+	if int(count) > d.Remaining()/8 {
+		return nil, fmt.Errorf("remote: relay membership claims %d children with %d bytes left", count, d.Remaining())
+	}
+	for i := 0; i < int(count); i++ {
+		c, err := decodeRelayNode(d, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		n.children = append(n.children, c)
+	}
+	return n, nil
+}
+
+// relayBatch is a decoded relay_deliver request.
+type relayBatch struct {
+	sig     core.Signal
+	kind    byte
+	plantID string
+	retry   core.RetryPolicy
+	root    *relayNode // nil for relayBatchRef
+}
+
+// encodeRelayBatch writes one relay_deliver request body. The signal is
+// encoded first, which puts Signal.Name in the body's first CDR string —
+// the layout the chaos transport's Signal matcher relies on. membership is
+// the standalone blob produced by encodeRelayNode at stream base; carrying
+// it as an opaque octet sequence keeps its internal CDR alignment
+// independent of where it lands in the outer frame, so its bytes — and
+// therefore the plant id hashed from them — are stable across rounds.
+func encodeRelayBatch(e *cdr.Encoder, sig core.Signal, kind byte, plantID string, retry core.RetryPolicy, membership []byte) error {
+	if err := sig.Encode(e); err != nil {
+		return err
+	}
+	e.WriteOctet(kind)
+	e.WriteString(plantID)
+	e.WriteUint32(uint32(retry.Attempts))
+	e.WriteInt64(int64(retry.Backoff))
+	if kind == relayBatchFull {
+		e.WriteBytes(membership)
+	}
+	return nil
+}
+
+// decodeRelayBatch reads one relay_deliver request body. The returned
+// batch owns all of its memory: the signal's strings are copies, the
+// membership blob is re-decoded into an owned relayNode tree, and nothing
+// aliases the frame buffer, so a batch may be retained past the dispatch
+// that decoded it.
+func decodeRelayBatch(d *cdr.Decoder) (relayBatch, error) {
+	var b relayBatch
+	sig, err := core.DecodeSignal(d)
+	if err != nil {
+		return relayBatch{}, err
+	}
+	b.sig = sig
+	b.kind = d.ReadOctet()
+	b.plantID = d.ReadString()
+	b.retry.Attempts = int(d.ReadUint32())
+	b.retry.Backoff = time.Duration(d.ReadInt64())
+	if err := d.Err(); err != nil {
+		return relayBatch{}, err
+	}
+	switch b.kind {
+	case relayBatchRef:
+		return b, nil
+	case relayBatchFull:
+	default:
+		return relayBatch{}, fmt.Errorf("remote: relay batch kind %d", b.kind)
+	}
+	blob := d.ReadBytes() // lent; fully consumed by the nested decode below
+	if err := d.Err(); err != nil {
+		return relayBatch{}, err
+	}
+	var md cdr.Decoder
+	md.Reset(blob)
+	root, err := decodeRelayNode(&md, 0)
+	if err != nil {
+		return relayBatch{}, err
+	}
+	b.root = root
+	return b, nil
+}
+
+// relayResult is one member's outcome in a relay_deliver reply.
+type relayResult struct {
+	index    int
+	attempts int
+	outcome  core.Outcome
+	errText  string // "" on success
+}
+
+// encodeRelayResults writes the aggregated reply.
+func encodeRelayResults(e *cdr.Encoder, results []relayResult) error {
+	e.WriteUint32(uint32(len(results)))
+	for _, r := range results {
+		e.WriteUint32(uint32(r.index))
+		e.WriteUint32(uint32(r.attempts))
+		if r.errText == "" {
+			e.WriteOctet(1)
+			if err := r.outcome.Encode(e); err != nil {
+				return err
+			}
+			continue
+		}
+		e.WriteOctet(0)
+		e.WriteString(r.errText)
+	}
+	return nil
+}
+
+// decodeRelayResults reads an aggregated reply. Owned, like every decode
+// in this file.
+func decodeRelayResults(d *cdr.Decoder) ([]relayResult, error) {
+	count := d.ReadUint32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// index+attempts+status is 9 bytes minimum per entry.
+	if int(count) > d.Remaining()/9+1 {
+		return nil, fmt.Errorf("remote: relay reply claims %d results with %d bytes left", count, d.Remaining())
+	}
+	results := make([]relayResult, 0, count)
+	for i := 0; i < int(count); i++ {
+		var r relayResult
+		r.index = int(d.ReadUint32())
+		r.attempts = int(d.ReadUint32())
+		ok := d.ReadOctet()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if ok != 0 {
+			out, err := core.DecodeOutcome(d)
+			if err != nil {
+				return nil, err
+			}
+			r.outcome = out
+		} else {
+			r.errText = d.ReadString()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// plantIDOf derives the plant id: the SHA-256 of the membership blob, so
+// identical plans hash to identical ids no matter which coordinator sent
+// them.
+func plantIDOf(membership []byte) string {
+	sum := sha256.Sum256(membership)
+	return hex.EncodeToString(sum[:])
+}
+
+// relayServant hosts the relay_deliver operation: it delivers a signal to
+// its own member, forwards sub-batches to child relays, re-adopts the span
+// of any child that fails, and aggregates every member's outcome into one
+// reply. It also keeps the plant cache that makes coordinator traffic
+// sub-linear: a membership arrives once (full batch) and every later round
+// references it by plant id.
+type relayServant struct {
+	o *orb.ORB
+
+	mu     sync.Mutex
+	plants map[string]*relayNode
+	order  []string // LRU order, most recently used last
+}
+
+// ServeRelay activates the relay servant on o under RelayKey and returns
+// its reference. Call it once per ORB that should act as an interior node
+// of relay trees.
+func ServeRelay(o *orb.ORB) orb.IOR {
+	return o.RegisterServantWithKey(RelayKey, RelayTypeID, &relayServant{
+		o:      o,
+		plants: make(map[string]*relayNode),
+	})
+}
+
+// plant stores a membership under its id, evicting least-recently-used
+// plants past the cap.
+func (s *relayServant) plant(id string, root *relayNode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.plants[id]; ok {
+		s.touch(id)
+		return
+	}
+	for len(s.plants) >= relayPlantCacheCap {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.plants, oldest)
+	}
+	s.plants[id] = root
+	s.order = append(s.order, id)
+}
+
+// lookup returns a planted membership, refreshing its LRU position.
+func (s *relayServant) lookup(id string) (*relayNode, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root, ok := s.plants[id]
+	if ok {
+		s.touch(id)
+	}
+	return root, ok
+}
+
+// touch moves id to the most-recently-used end of the eviction order.
+// Callers hold s.mu.
+func (s *relayServant) touch(id string) {
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(append(s.order[:i], s.order[i+1:]...), id)
+			return
+		}
+	}
+}
+
+// Dispatch implements orb.Servant.
+func (s *relayServant) Dispatch(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error) {
+	if op != relayOp {
+		return nil, orb.Systemf(orb.CodeBadOperation, "Relay has no operation %q", op)
+	}
+	batch, err := decodeRelayBatch(in)
+	if err != nil {
+		return nil, orb.Systemf(orb.CodeMarshal, "relay_deliver: %v", err)
+	}
+	root := batch.root
+	if batch.kind == relayBatchRef {
+		var ok bool
+		if root, ok = s.lookup(batch.plantID); !ok {
+			return nil, orb.Systemf(orb.CodeObjectNotExist, "%s %s", unknownPlantDetail, batch.plantID)
+		}
+	} else {
+		s.plant(batch.plantID, root)
+	}
+	results := s.deliver(ctx, batch.sig, root, batch.retry)
+	e := cdr.NewEncoder(64 * len(results))
+	if err := encodeRelayResults(e, results); err != nil {
+		return nil, orb.Systemf(orb.CodeMarshal, "encode relay results: %v", err)
+	}
+	return e.Bytes(), nil
+}
+
+// deliver fans one signal out over the subtree rooted at this relay: its
+// own member and every child concurrently, child relays via sub-batches,
+// leaves directly. A child relay that fails is re-adopted — its whole span
+// is redelivered member-by-member from here — so subtree delivery stays at
+// least once and idempotent actions absorb any duplicates the dead relay
+// already managed.
+func (s *relayServant) deliver(ctx context.Context, sig core.Signal, root *relayNode, retry core.RetryPolicy) []relayResult {
+	se := cdr.NewEncoder(64)
+	if err := sig.Encode(se); err != nil {
+		all := root.span(nil)
+		results := make([]relayResult, len(all))
+		for i, n := range all {
+			results[i] = relayResult{index: n.index, attempts: 1, errText: "encode signal: " + err.Error()}
+		}
+		return results
+	}
+	sigBytes := se.Bytes()
+
+	var (
+		mu  sync.Mutex
+		out []relayResult
+	)
+	add := func(rs ...relayResult) {
+		mu.Lock()
+		out = append(out, rs...)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		add(s.invokeMember(ctx, root, sigBytes, retry))
+	}()
+	for _, child := range root.children {
+		wg.Add(1)
+		go func(child *relayNode) {
+			defer wg.Done()
+			if len(child.children) == 0 {
+				add(s.invokeMember(ctx, child, sigBytes, retry))
+				return
+			}
+			add(s.forward(ctx, sig, child, sigBytes, retry)...)
+		}(child)
+	}
+	wg.Wait()
+	return out
+}
+
+// invokeMember delivers the signal to one member's Action servant with the
+// batch's at-least-once retry loop, mirroring the coordinator's own
+// runAttempts contract.
+func (s *relayServant) invokeMember(ctx context.Context, n *relayNode, sigBytes []byte, retry core.RetryPolicy) relayResult {
+	ref := orb.NewIOR(ActionTypeID, n.key, n.endpoints...)
+	attempts := retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	r := relayResult{index: n.index}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		r.attempts = attempt
+		body, err := s.o.Invoke(ctx, ref, "process_signal", sigBytes)
+		if err == nil {
+			out, derr := core.DecodeOutcome(cdr.NewDecoder(body))
+			if derr == nil {
+				r.outcome = out
+				return r
+			}
+			err = derr
+		}
+		lastErr = err
+		if retry.Backoff > 0 && attempt < attempts {
+			select {
+			case <-ctx.Done():
+				r.errText = errText(fmt.Errorf("relay delivery cancelled: %w", ctx.Err()))
+				return r
+			case <-time.After(retry.Backoff):
+			}
+		}
+	}
+	r.errText = errText(lastErr)
+	return r
+}
+
+// forward sends the child subtree as a sub-batch to the child's relay
+// servant — via sendRelayBatch, so repeated rounds travel as plant-id
+// references — and returns its aggregated results, re-adopting any member
+// the child failed to cover (or the whole span when the child relay itself
+// is unreachable — the interior-relay-death case).
+func (s *relayServant) forward(ctx context.Context, sig core.Signal, child *relayNode, sigBytes []byte, retry core.RetryPolicy) []relayResult {
+	me := cdr.NewEncoder(256)
+	encodeRelayNode(me, child)
+	membership := me.Bytes()
+
+	results, err := func() ([]relayResult, error) {
+		ref := orb.NewIOR(RelayTypeID, RelayKey, child.endpoints...)
+		body, err := sendRelayBatch(ctx, s.o, ref, sig, retry, membership, plantIDOf(membership))
+		if err != nil {
+			return nil, err
+		}
+		return decodeRelayResults(cdr.NewDecoder(body))
+	}()
+	if err != nil {
+		// Child relay unreachable: re-adopt its entire span directly.
+		results = nil
+	}
+
+	covered := make(map[int]bool, len(results))
+	for _, r := range results {
+		covered[r.index] = true
+	}
+	for _, n := range child.span(nil) {
+		if covered[n.index] {
+			continue
+		}
+		results = append(results, s.invokeMember(ctx, n, sigBytes, retry))
+	}
+	return results
+}
+
+// errText renders an error for the wire, never empty (CDR strings must be
+// non-empty).
+func errText(err error) string {
+	if err == nil {
+		return "delivery failed"
+	}
+	if s := err.Error(); s != "" {
+		return s
+	}
+	return "delivery failed"
+}
+
+// relayAddressable is implemented by Action proxies that can be described
+// to a relay on the wire: the servant key and endpoint list of the remote
+// Action. Only trees whose every member is addressable can be delivered as
+// batches; anything else falls back to direct delivery via the
+// coordinator's re-adoption path.
+type relayAddressable interface {
+	relayAddress() (key string, endpoints []string)
+}
+
+// relayAddress implements relayAddressable for the Action proxy.
+func (r *remoteAction) relayAddress() (string, []string) {
+	endpoints := make([]string, len(r.ref.Profiles))
+	for i, p := range r.ref.Profiles {
+		endpoints[i] = p.Endpoint
+	}
+	return r.ref.Key, endpoints
+}
+
+// RelayInfo implements core.SubtreeDeliverer: the proxy's node identity is
+// its primary endpoint, and its RTT is the client ORB's live EWMA for that
+// endpoint (zero until measured, which the default planner treats as
+// nearest).
+func (r *remoteAction) RelayInfo() core.RelayInfo {
+	ep := r.ref.Endpoint()
+	return core.RelayInfo{Node: ep, RTT: r.orb.EndpointRTT(ep)}
+}
+
+// planted tracks which (relay endpoint, plant id) pairs this process has
+// already delivered a full membership for, so later rounds can send the
+// plant id alone. It is advisory: a relay that restarted or evicted the
+// plant raises unknown-plant and the sender falls back to a full batch
+// (and the entry is simply re-confirmed).
+var (
+	plantedMu sync.Mutex
+	planted   = make(map[string]struct{})
+)
+
+// plantedKey keys the planted map by the relay's primary endpoint and the
+// plant id.
+func plantedKey(endpoint, plantID string) string {
+	return endpoint + "\x00" + plantID
+}
+
+// wasPlanted reports whether a full membership was already sent.
+func wasPlanted(endpoint, plantID string) bool {
+	plantedMu.Lock()
+	defer plantedMu.Unlock()
+	_, ok := planted[plantedKey(endpoint, plantID)]
+	return ok
+}
+
+// markPlanted records a successfully delivered full membership.
+func markPlanted(endpoint, plantID string) {
+	plantedMu.Lock()
+	defer plantedMu.Unlock()
+	if len(planted) >= 4096 { // advisory cache; reset rather than grow forever
+		planted = make(map[string]struct{})
+	}
+	planted[plantedKey(endpoint, plantID)] = struct{}{}
+}
+
+// isUnknownPlant reports whether err is the relay's unknown-plant
+// exception, the signal to resend the full membership.
+func isUnknownPlant(err error) bool {
+	return orb.IsSystem(err, orb.CodeObjectNotExist) && strings.Contains(err.Error(), unknownPlantDetail)
+}
+
+// DeliverSubtree implements core.SubtreeDeliverer: it ships the subtree
+// rooted at this proxy to the member's relay servant as one batch and
+// returns the aggregated per-member results. After the first round the
+// membership travels as a plant-id reference — a constant-size frame — so
+// the coordinator's bytes per round stay O(roots), not O(fanout).
+func (r *remoteAction) DeliverSubtree(ctx context.Context, sig core.Signal, node *core.TreeNode, retry core.RetryPolicy) ([]core.SubtreeResult, error) {
+	root, err := wireTree(node)
+	if err != nil {
+		return nil, err
+	}
+	me := cdr.NewEncoder(256)
+	encodeRelayNode(me, root)
+	membership := me.Bytes()
+	plantID := plantIDOf(membership)
+	target := orb.NewIOR(RelayTypeID, RelayKey, root.endpoints...)
+	endpoint := target.Endpoint()
+
+	body, err := sendRelayBatch(ctx, r.orb, target, sig, retry, membership, plantID)
+	if err != nil {
+		return nil, fmt.Errorf("remote: relay_deliver on %s: %w", endpoint, err)
+	}
+
+	raw, err := decodeRelayResults(cdr.NewDecoder(body))
+	if err != nil {
+		return nil, fmt.Errorf("remote: decode relay results: %w", err)
+	}
+	results := make([]core.SubtreeResult, 0, len(raw))
+	for _, rr := range raw {
+		sr := core.SubtreeResult{Index: rr.index, Attempts: rr.attempts, Outcome: rr.outcome}
+		if rr.errText != "" {
+			sr.Err = fmt.Errorf("remote: relay delivery: %s", rr.errText)
+		}
+		results = append(results, sr)
+	}
+	return results, nil
+}
+
+// sendRelayBatch delivers sig and the membership to the relay at target,
+// as a constant-size plant-id reference when this process already planted
+// the membership there, falling back to a full (re)plant when the relay
+// does not know the id (restarted, evicted). Both coordinator-to-root and
+// relay-to-relay hops go through here, so every edge of the tree pays the
+// full membership once and a reference thereafter.
+func sendRelayBatch(ctx context.Context, o *orb.ORB, target orb.IOR, sig core.Signal, retry core.RetryPolicy, membership []byte, plantID string) ([]byte, error) {
+	endpoint := target.Endpoint()
+	invoke := func(kind byte) ([]byte, error) {
+		e := cdr.NewEncoder(len(membership) + 128)
+		if err := encodeRelayBatch(e, sig, kind, plantID, retry, membership); err != nil {
+			return nil, fmt.Errorf("remote: encode relay batch: %w", err)
+		}
+		return o.Invoke(ctx, target, relayOp, e.Bytes())
+	}
+	kind := relayBatchFull
+	if wasPlanted(endpoint, plantID) {
+		kind = relayBatchRef
+	}
+	body, err := invoke(kind)
+	if err != nil && kind == relayBatchRef && isUnknownPlant(err) {
+		body, err = invoke(relayBatchFull)
+	}
+	if err != nil {
+		return nil, err
+	}
+	markPlanted(endpoint, plantID)
+	return body, nil
+}
+
+// wireTree converts a planner tree into wire form, requiring every member
+// to be a relay-addressable proxy. A member that is not (a local action, a
+// wrapped proxy) fails the whole subtree, which the coordinator then
+// re-adopts and delivers directly — correct, just flat.
+func wireTree(node *core.TreeNode) (*relayNode, error) {
+	ra, ok := node.Member.Action.(relayAddressable)
+	if !ok {
+		return nil, fmt.Errorf("remote: member %q (index %d) is not relay-addressable", node.Member.Label, node.Member.Index)
+	}
+	key, endpoints := ra.relayAddress()
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("remote: member %q (index %d) has no endpoints", node.Member.Label, node.Member.Index)
+	}
+	n := &relayNode{index: node.Member.Index, key: key, endpoints: endpoints}
+	for _, c := range node.Children {
+		cn, err := wireTree(c)
+		if err != nil {
+			return nil, err
+		}
+		n.children = append(n.children, cn)
+	}
+	return n, nil
+}

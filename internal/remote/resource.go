@@ -46,7 +46,8 @@ func encodePhaseTwoReply(err error) ([]byte, error) {
 
 // decodePhaseTwoReply is the proxy-side inverse: an outcome octet becomes
 // the matching heuristic sentinel so the coordinator's aggregation treats
-// remote participants exactly like local ones.
+// remote participants exactly like local ones. It returns only owned
+// sentinel errors; nothing aliases the reply buffer.
 func decodePhaseTwoReply(op string, body []byte) error {
 	if len(body) == 0 {
 		return nil

@@ -27,6 +27,8 @@ import (
 	"testing"
 	"time"
 
+	"github.com/extendedtx/activityservice"
+	"github.com/extendedtx/activityservice/hls/btp"
 	"github.com/extendedtx/activityservice/orb"
 	"github.com/extendedtx/activityservice/ots"
 )
@@ -35,10 +37,11 @@ import (
 // coordinator helper. IORs are joined with newlines: the stringified
 // reference grammar uses '|' and ',' internally.
 const (
-	crashEnvMode  = "ACTIVITYSERVICE_CRASH_MODE"  // "commit", "primary" or "recover"
-	crashEnvStage = "ACTIVITYSERVICE_CRASH_STAGE" // "prepared", "decision", "phase2"
-	crashEnvWAL   = "ACTIVITYSERVICE_CRASH_WAL"   // coordinator log path
-	crashEnvIORs  = "ACTIVITYSERVICE_CRASH_IORS"  // participant refs, "\n"-joined
+	crashEnvMode    = "ACTIVITYSERVICE_CRASH_MODE"    // "commit", "primary", "btp" or "recover"
+	crashEnvStage   = "ACTIVITYSERVICE_CRASH_STAGE"   // "prepared", "decision", "phase2"
+	crashEnvWAL     = "ACTIVITYSERVICE_CRASH_WAL"     // coordinator log path
+	crashEnvIORs    = "ACTIVITYSERVICE_CRASH_IORS"    // participant resource refs, "\n"-joined
+	crashEnvActions = "ACTIVITYSERVICE_CRASH_ACTIONS" // BTP inferior action refs, "\n"-joined
 )
 
 // survivorResource is a participant hosted by the parent process. It
@@ -102,6 +105,10 @@ func crashStage(name string) ots.Stage {
 // parent can attach a standby, and commits with the decision barrier
 // installed, so each decision is on the standby before phase two starts
 // (and therefore before any post-decision kill point can fire).
+//
+// mode=btp: a replicated BTP superior — it prepares the parent's inferiors
+// through the real fig. 11 signal exchange, seals the confirm decision in
+// the replicated log, and SIGKILLs itself between confirm deliveries.
 func TestCrashRestartHelper(t *testing.T) {
 	mode := os.Getenv(crashEnvMode)
 	if mode == "" {
@@ -153,6 +160,69 @@ func TestCrashRestartHelper(t *testing.T) {
 		}
 		_ = tx.Commit(true)
 		t.Fatal("coordinator survived its injected crash point")
+
+	case "btp":
+		// Replicated BTP superior. The fig. 11 prepare exchange runs as
+		// real BTP signals over the wire: every enrolled inferior reserves
+		// and votes prepared. BTP then requires the superior to make its
+		// confirm decision durable before any confirm goes out; this
+		// repo's durable-decision substrate is the replicated OTS log, so
+		// the superior seals the decision there with one branch per
+		// enrolled inferior (each inferior's confirm bridge is registered
+		// as a recoverable resource) and phase two delivers the confirms
+		// one inferior at a time. The injected SIGKILL fires after the
+		// first confirm delivery — dead between confirm decisions — and
+		// the warm standby following the log must converge the rest.
+		p, _ := orb.ServeReplication(node, log)
+		if _, err := node.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("REPL %s\n", strings.Join(node.Endpoints(), " "))
+
+		asvc := activityservice.New()
+		atom, err := btp.NewAtom(asvc, "standby-takeover")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range strings.Split(os.Getenv(crashEnvActions), "\n") {
+			ref, err := orb.ParseIOR(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("inferior-%d", i)
+			act := orb.ImportAction(node, ref)
+			if _, err := atom.Activity().AddNamedAction(btp.PrepareSetName, label, act); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := atom.Activity().AddNamedAction(btp.CompleteSetName, label, act); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := atom.Prepare(context.Background()); err != nil {
+			t.Fatalf("btp prepare: %v", err)
+		}
+
+		osvc := ots.NewService(ots.WithLog(log),
+			ots.WithRetryPolicy(1, 0),
+			ots.WithDecisionBarrier(p.DecisionBarrier(10*time.Second)),
+			ots.WithEventHook(func(e ots.Event) {
+				if e.Stage == ots.StageCommitDelivered {
+					_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+					select {} // unreachable: SIGKILL is not deliverable to a handler
+				}
+			}))
+		tx := osvc.Begin()
+		for _, s := range strings.Split(os.Getenv(crashEnvIORs), "\n") {
+			ref, err := orb.ParseIOR(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.RegisterResource(orb.ImportResource(node, ref)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = tx.Commit(true)
+		t.Fatal("superior survived its injected crash point")
 
 	case "recover":
 		svc := ots.NewService(ots.WithLog(log), ots.WithRetryPolicy(2, 10*time.Millisecond))
@@ -442,14 +512,15 @@ func TestCrashRestart2PC(t *testing.T) {
 	})
 }
 
-// runPrimaryUntilKilled re-execs the helper as a replicated primary,
-// reports its replication endpoints as soon as the child prints them (so
-// the caller can attach a standby while the 2PC is still running), and
-// asserts the process died from the self-inflicted SIGKILL.
-func runPrimaryUntilKilled(t *testing.T, stage, walPath string, iors []string, onEndpoints func([]string)) {
+// runReplicatedUntilKilled re-execs the helper as a replicated coordinator
+// (mode "primary" or "btp", per env), reports its replication endpoints as
+// soon as the child prints them (so the caller can attach a standby while
+// the protocol is still running), and asserts the process died from the
+// self-inflicted SIGKILL.
+func runReplicatedUntilKilled(t *testing.T, env []string, onEndpoints func([]string)) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashRestartHelper$")
-	cmd.Env = coordinatorEnv("primary", stage, walPath, iors)
+	cmd.Env = env
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -464,7 +535,7 @@ func runPrimaryUntilKilled(t *testing.T, stage, walPath string, iors []string, o
 		if line := sc.Text(); strings.HasPrefix(line, "REPL ") {
 			endpoints := strings.Fields(strings.TrimPrefix(line, "REPL "))
 			if len(endpoints) == 0 {
-				t.Fatal("primary reported no replication endpoints")
+				t.Fatal("replicated coordinator reported no replication endpoints")
 			}
 			onEndpoints(endpoints)
 			reported = true
@@ -473,20 +544,20 @@ func runPrimaryUntilKilled(t *testing.T, stage, walPath string, iors []string, o
 	}
 	if !reported {
 		_ = cmd.Wait()
-		t.Fatal("primary exited before reporting replication endpoints")
+		t.Fatal("replicated coordinator exited before reporting replication endpoints")
 	}
 	go io.Copy(io.Discard, stdout) // keep the pipe drained until the kill
 	err = cmd.Wait()
 	if err == nil {
-		t.Fatal("primary exited cleanly, want SIGKILL")
+		t.Fatal("replicated coordinator exited cleanly, want SIGKILL")
 	}
 	var exitErr *exec.ExitError
 	if !errors.As(err, &exitErr) {
-		t.Fatalf("primary: %v", err)
+		t.Fatalf("replicated coordinator: %v", err)
 	}
 	ws, ok := exitErr.Sys().(syscall.WaitStatus)
 	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
-		t.Fatalf("primary exit = %v (signaled=%v), want SIGKILL", err, ok && ws.Signaled())
+		t.Fatalf("replicated coordinator exit = %v (signaled=%v), want SIGKILL", err, ok && ws.Signaled())
 	}
 }
 
@@ -582,7 +653,7 @@ func TestStandbyTakeover2PC(t *testing.T) {
 		f := newCrashFixture(t)
 		var s *standby
 		var primaryEndpoints []string
-		runPrimaryUntilKilled(t, stage, f.walPath, f.refs, func(endpoints []string) {
+		runReplicatedUntilKilled(t, coordinatorEnv("primary", stage, f.walPath, f.refs), func(endpoints []string) {
 			primaryEndpoints = endpoints
 			s = startStandby(t, endpoints)
 		})
@@ -691,4 +762,163 @@ func TestStandbyTakeover2PC(t *testing.T) {
 			t.Fatalf("in-doubt participant fate via standby = %s, want committed", st)
 		}
 	})
+}
+
+// btpInferior is one enrolled BTP inferior hosted by the parent process.
+// It has two faces over one participant state: an exported Action speaking
+// the fig. 11/12 signal protocol (the superior's prepare round arrives
+// here), and an exported Resource — the confirm bridge the superior
+// registers under its durable decision, through which the confirm verdict
+// arrives (from the superior before the kill, from the standby after).
+// Both faces share one idempotent confirm latch, so the harness observes
+// exactly-once convergence no matter which path delivered the verdict.
+type btpInferior struct {
+	prepared     atomic.Bool
+	confirmed    atomic.Bool
+	sigPrepares  atomic.Int32
+	confirmCalls atomic.Int32
+	applies      atomic.Int32
+	cancels      atomic.Int32
+}
+
+// confirm applies the verdict idempotently: confirmCalls counts every
+// delivery, applies counts state changes.
+func (p *btpInferior) confirm() {
+	p.confirmCalls.Add(1)
+	if p.confirmed.CompareAndSwap(false, true) {
+		p.applies.Add(1)
+	}
+}
+
+// action is the BTP signal face (fig. 11/12 over the wire).
+func (p *btpInferior) action() activityservice.Action {
+	return activityservice.ActionFunc(
+		func(_ context.Context, sig activityservice.Signal) (activityservice.Outcome, error) {
+			switch sig.Name {
+			case btp.SignalPrepare:
+				p.sigPrepares.Add(1)
+				p.prepared.Store(true)
+				return activityservice.Outcome{Name: btp.OutcomePrepared}, nil
+			case btp.SignalConfirm:
+				p.confirm()
+				return activityservice.Outcome{Name: btp.OutcomeConfirmed}, nil
+			default:
+				p.cancels.Add(1)
+				return activityservice.Outcome{Name: btp.OutcomeCancelled}, nil
+			}
+		})
+}
+
+// Resource face: the superior's durable confirm decision reaches the
+// inferior through these verbs. The vote enforces protocol order — a
+// confirm decision may only cover an inferior the BTP exchange prepared.
+func (p *btpInferior) Prepare() (ots.Vote, error) {
+	if !p.prepared.Load() {
+		return ots.VoteRollback, nil
+	}
+	return ots.VoteCommit, nil
+}
+
+func (p *btpInferior) Commit() error         { p.confirm(); return nil }
+func (p *btpInferior) Rollback() error       { p.cancels.Add(1); return nil }
+func (p *btpInferior) CommitOnePhase() error { p.confirm(); return nil }
+func (p *btpInferior) Forget() error         { return nil }
+
+// TestStandbyTakeoverBTPMidConfirm is the BTP half of the PR-7 follow-up:
+// a real BTP superior process prepares three enrolled inferiors over the
+// wire, seals its confirm decision in the replicated log, and is SIGKILLed
+// between confirm deliveries — one inferior confirmed, two in doubt. The
+// superior never restarts; the warm standby takes over the replica and
+// must converge every enrolled inferior to confirmed exactly once, with
+// the already-confirmed inferior absorbing the redelivery idempotently.
+func TestStandbyTakeoverBTPMidConfirm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	ctx := context.Background()
+
+	node := orb.New()
+	t.Cleanup(node.Shutdown)
+	walPath := filepath.Join(t.TempDir(), "superior.wal")
+	inferiors := []*btpInferior{{}, {}, {}}
+	actionKeys := make([]string, len(inferiors))
+	resourceKeys := make([]string, len(inferiors))
+	for i, p := range inferiors {
+		actionKeys[i] = orb.ExportAction(node, p.action()).Key
+		resourceKeys[i] = orb.ExportResourceWithKey(node, fmt.Sprintf("inferior-%d", i), p).Key
+	}
+	if _, err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	actionRefs := make([]string, len(inferiors))
+	resourceRefs := make([]string, len(inferiors))
+	for i := range inferiors {
+		aref, _ := node.IOR(actionKeys[i])
+		rref, _ := node.IOR(resourceKeys[i])
+		actionRefs[i] = aref.String()
+		resourceRefs[i] = rref.String()
+	}
+
+	env := append(coordinatorEnv("btp", "phase2", walPath, resourceRefs),
+		crashEnvActions+"="+strings.Join(actionRefs, "\n"))
+	var s *standby
+	var superiorEndpoints []string
+	runReplicatedUntilKilled(t, env, func(endpoints []string) {
+		superiorEndpoints = endpoints
+		s = startStandby(t, endpoints)
+	})
+
+	// At the kill: every inferior went through the real prepare exchange,
+	// and exactly one confirm landed — the superior died between confirm
+	// decisions.
+	var confirmedAtKill int32
+	for i, p := range inferiors {
+		if got := p.sigPrepares.Load(); got != 1 {
+			t.Fatalf("inferior %d saw %d prepare signals, want 1", i, got)
+		}
+		confirmedAtKill += p.applies.Load()
+	}
+	if confirmedAtKill != 1 {
+		t.Fatalf("confirms applied at crash = %d, want exactly 1 (first delivery landed)", confirmedAtKill)
+	}
+
+	stats, standbyEndpoints := s.takeover(t)
+	if stats.DecisionsReplayed != 1 || stats.ResourcesCommitted != 3 ||
+		stats.ResourcesMissing != 0 || stats.ResourcesFailed != 0 {
+		t.Fatalf("takeover pass = %+v, want 1 decision, 3 confirmed", stats)
+	}
+
+	// Every enrolled inferior converged to confirmed exactly once: the
+	// standby re-drove the whole decision (3 deliveries, 4 total with the
+	// pre-crash one) and the idempotent latch absorbed the duplicate.
+	var totalConfirmCalls int32
+	for i, p := range inferiors {
+		if got := p.applies.Load(); got != 1 {
+			t.Fatalf("inferior %d confirm applied %d times, want exactly once", i, got)
+		}
+		if got := p.cancels.Load(); got != 0 {
+			t.Fatalf("inferior %d cancelled %d times, want 0", i, got)
+		}
+		totalConfirmCalls += p.confirmCalls.Load()
+	}
+	if totalConfirmCalls != 4 {
+		t.Fatalf("total confirm deliveries = %d, want 4 (one pre-crash + full re-drive)", totalConfirmCalls)
+	}
+
+	// In-doubt inferiors asking after their fate through the shared
+	// failover reference (dead superior's profile first) hear confirmed
+	// from the standby.
+	client := orb.New()
+	t.Cleanup(client.Shutdown)
+	ref := orb.RecoveryAt(append(append([]string{}, superiorEndpoints...), standbyEndpoints...)...)
+	cl := orb.NewRecoveryClient(client, ref)
+	for i, name := range resourceRefs {
+		st, err := cl.ReplayCompletion(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != ots.StatusCommitted {
+			t.Fatalf("inferior %d fate via standby = %s, want committed", i, st)
+		}
+	}
 }

@@ -267,6 +267,18 @@ func ExportActionWithKey(o *ORB, key string, action core.Action) IOR {
 // ImportAction returns an Action proxy for the Action at ref.
 func ImportAction(o *ORB, ref IOR) core.Action { return remote.ImportAction(o, ref) }
 
+// ServeRelay activates the well-known relay servant on o, making the node
+// an interior vertex of tree-structured signal fan-out (DeliverTree): it
+// accepts subtree batches under RelayKey, delivers to its own span,
+// forwards to child relays and aggregates outcomes up the tree.
+var ServeRelay = remote.ServeRelay
+
+// RelayTypeID is the interface id of the relay servant.
+const RelayTypeID = remote.RelayTypeID
+
+// RelayKey is the well-known object key of the relay servant.
+const RelayKey = remote.RelayKey
+
 // ExportActivity activates a coordinator servant for an activity.
 func ExportActivity(o *ORB, a *core.Activity) IOR { return remote.ExportActivity(o, a) }
 
