@@ -79,7 +79,7 @@ import (
 )
 
 // FactoryTypeID is the activity factory interface id.
-const FactoryTypeID = "IDL:ActivityService/ActivityFactory:1.0"
+const FactoryTypeID = orb.ActivityFactoryTypeID
 
 // listFlag collects a repeatable string flag ("-listen a -listen b").
 type listFlag []string
@@ -112,6 +112,11 @@ type orbConfig struct {
 	otsLog      string
 	standby     listFlag
 	syncStandby time.Duration
+
+	shardID        string
+	shardMap       listFlag
+	shardJoin      bool
+	shardAuthority bool
 }
 
 // options translates the flag values into ORB options, skipping unset ones.
@@ -165,6 +170,10 @@ func main() {
 	flag.DurationVar(&cfg.breakerOpen, "breaker-open", 0, "open-circuit window before a half-open probe (0 = default)")
 	flag.Float64Var(&cfg.retryRate, "retry-rate", 0, "retry-budget refill rate in tokens/second")
 	flag.IntVar(&cfg.retryBurst, "retry-burst", 0, "retry-budget bucket size; attempts against a failing endpoint beyond it fail fast (0 = off)")
+	flag.StringVar(&cfg.shardID, "shard", "", "serve as the fleet member with this id: follow the shard map and refuse begins for keys this member does not own (needs -shard-map unless -shard-authority)")
+	flag.Var(&cfg.shardMap, "shard-map", "endpoint of the shard-map authority to follow; repeatable for a multi-homed authority")
+	flag.BoolVar(&cfg.shardJoin, "shard-join", false, "register this member (its listen endpoints) into the shard map on boot")
+	flag.BoolVar(&cfg.shardAuthority, "shard-authority", false, "host the authoritative shard map on the well-known shard-map key (orb-admin forwards the shard_* verbs to it)")
 	flag.Parse()
 	if len(listens) == 0 {
 		listens = listFlag{"127.0.0.1:7411"}
@@ -188,46 +197,6 @@ func deliveryFor(parallel, relay bool, branching int) activityservice.DeliveryPo
 	}
 }
 
-// factory creates activities on request and exports their coordinators.
-type factory struct {
-	svc      *activityservice.Service
-	orb      *orb.ORB
-	delivery activityservice.DeliveryPolicy
-}
-
-// Dispatch implements orb.Servant: operation "begin" takes an activity
-// name and returns the coordinator IOR.
-func (f *factory) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byte, error) {
-	if op != "begin" {
-		return nil, orb.Systemf(orb.CodeBadOperation, "ActivityFactory has no operation %q", op)
-	}
-	name := in.ReadString()
-	if err := in.Err(); err != nil {
-		return nil, orb.Systemf(orb.CodeMarshal, "begin: %v", err)
-	}
-	var opts []activityservice.BeginOption
-	if f.delivery.Mode != 0 {
-		// Remotely created activities coordinate remote actions — the
-		// latency-bound regime parallel and tree fan-out target.
-		opts = append(opts, activityservice.WithActivityDelivery(f.delivery))
-	}
-	a := f.svc.Begin(name, opts...)
-	// Activities created remotely complete through their default set; give
-	// them one so completion collates participant responses.
-	set := activityservice.NewSequenceSet(activityservice.DefaultCompletionSet, "complete").
-		Collate(func(rs []activityservice.Outcome) activityservice.Outcome {
-			return activityservice.Outcome{Name: "completed", Data: int64(len(rs))}
-		})
-	if err := a.RegisterSignalSet(set); err != nil {
-		return nil, err
-	}
-	ref := orb.ExportActivity(f.orb, a)
-	ref, _ = f.orb.IOR(ref.Key)
-	e := cdr.NewEncoder(64)
-	ref.Encode(e)
-	return e.Bytes(), nil
-}
-
 func run(listens []string, demo bool, cfg orbConfig, delivery activityservice.DeliveryPolicy, relay, admin bool) error {
 	if demo && len(cfg.advertise) > 0 {
 		// The demo drives a loopback client against the daemon's own
@@ -239,9 +208,20 @@ func run(listens []string, demo bool, cfg orbConfig, delivery activityservice.De
 	defer node.Shutdown()
 	orb.InstallPropagation(node)
 
+	if cfg.shardID == "" && (cfg.shardJoin || (len(cfg.shardMap) > 0 && !cfg.shardAuthority)) {
+		return errors.New("-shard-join and -shard-map need -shard <member-id>")
+	}
+	if cfg.shardID != "" && len(cfg.shardMap) == 0 && !cfg.shardAuthority {
+		return errors.New("-shard needs -shard-map (or -shard-authority to follow the local map)")
+	}
+
 	svc := activityservice.New()
-	f := &factory{svc: svc, orb: node, delivery: delivery}
-	node.RegisterServantWithKey("activity-factory", FactoryTypeID, f)
+	var factoryOpts []orb.FactoryOption
+	if delivery.Mode != 0 {
+		// Remotely created activities coordinate remote actions — the
+		// latency-bound regime parallel and tree fan-out target.
+		factoryOpts = append(factoryOpts, orb.WithFactoryDelivery(delivery))
+	}
 
 	ns := orb.NewNameServer()
 	ns.Serve(node)
@@ -261,7 +241,48 @@ func run(listens []string, demo bool, cfg orbConfig, delivery activityservice.De
 		}
 		fmt.Printf("activityd: serving at %s\n", endpoint)
 	}
-	factoryRef, _ := node.IOR("activity-factory")
+
+	// Shard wiring happens after the listeners are bound: joining needs
+	// this member's endpoints, and a local authority's reference should
+	// carry every live profile.
+	if cfg.shardAuthority {
+		auth := orb.NewShardAuthority(nil)
+		ref := orb.ServeShardMap(node, auth)
+		ref, _ = node.IOR(orb.ShardMapKey)
+		ns.Bind("shard-map", ref)
+		fmt.Printf("activityd: shard-map authority at key %q\n", orb.ShardMapKey)
+	}
+	if cfg.shardID != "" {
+		authEndpoints := []string(cfg.shardMap)
+		if len(authEndpoints) == 0 {
+			authEndpoints = node.Endpoints()
+		}
+		authRef := orb.ShardMapAt(authEndpoints...)
+		member := orb.NewShardMember(node, cfg.shardID, authRef, orb.WithOnDrain(svc.Drain))
+		if cfg.shardJoin {
+			joinCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			epoch, err := orb.NewShardMapClient(node, authRef).Add(joinCtx,
+				orb.ClusterMember{ID: cfg.shardID, Endpoints: node.Endpoints(), Weight: 1})
+			cancel()
+			if err != nil {
+				return fmt.Errorf("shard join: %w", err)
+			}
+			fmt.Printf("activityd: joined shard map as %q (epoch %d)\n", cfg.shardID, epoch)
+		}
+		syncCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := member.Sync(syncCtx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("shard map sync: %w", err)
+		}
+		go member.Run()
+		defer member.Stop()
+		factoryOpts = append(factoryOpts, orb.WithFactoryShard(member))
+		fmt.Printf("activityd: sharded as member %q\n", cfg.shardID)
+	}
+
+	orb.ServeActivityFactory(node, svc, factoryOpts...)
+	factoryRef, _ := node.IOR(orb.ActivityFactoryKey)
 	ns.Bind("activityservice", factoryRef)
 	fmt.Printf("activityd: factory IOR %s\n", factoryRef)
 	if admin {

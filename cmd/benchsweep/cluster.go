@@ -1,0 +1,375 @@
+package main
+
+// The cluster sweep measures the horizontally sharded activity service
+// end to end: it re-execs this binary as N member processes (each an
+// ORB + core service + sharded activity factory joined to a shard-map
+// authority hosted by the parent), then drives begin/complete pairs
+// through the client-side shard router and reports throughput and
+// latency percentiles per fleet size. A final segment drains one member
+// mid-run and asserts that every admitted begin still completed — the
+// zero-lost-activities contract of live resharding.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/extendedtx/activityservice"
+	"github.com/extendedtx/activityservice/orb"
+)
+
+// Environment protocol between the parent sweep and member children.
+const (
+	clusterMemberEnv    = "BENCHSWEEP_CLUSTER_MEMBER"
+	clusterAuthorityEnv = "BENCHSWEEP_CLUSTER_AUTHORITY"
+)
+
+// clusterWorkers is the client-side concurrency driving each fleet.
+const clusterWorkers = 16
+
+// maxClusterMembers caps the member-count axis (flag -members): the CI
+// smoke run keeps it small, the committed baseline sweeps to 8.
+var maxClusterMembers int
+
+// maybeClusterMember turns this process into one fleet member when the
+// sweep's re-exec environment is set. It never returns in that case.
+func maybeClusterMember() {
+	id := os.Getenv(clusterMemberEnv)
+	if id == "" {
+		return
+	}
+	if err := clusterMemberMain(id, os.Getenv(clusterAuthorityEnv)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep member:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// clusterMemberMain is one member process: serve a sharded activity
+// factory until stdin closes. Protocol on the pipes, one line each:
+//
+//	child  -> parent: ENDPOINT tcp:127.0.0.1:PORT
+//	parent -> child:  ADDED            (the member is in the map now)
+//	child  -> parent: READY            (synced; begins will be admitted)
+//	parent closes stdin               (serve done; exit)
+func clusterMemberMain(id, authority string) error {
+	if authority == "" {
+		return errors.New("no authority endpoint in environment")
+	}
+	node := orb.New()
+	defer node.Shutdown()
+	endpoint, err := node.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	svc := activityservice.New()
+	member := orb.NewShardMember(node, id, orb.ShardMapAt(authority), orb.WithOnDrain(svc.Drain))
+	defer member.Stop()
+	orb.ServeActivityFactory(node, svc, orb.WithFactoryShard(member))
+
+	fmt.Printf("ENDPOINT %s\n", endpoint)
+	in := bufio.NewScanner(os.Stdin)
+	if !in.Scan() || in.Text() != "ADDED" {
+		return fmt.Errorf("handshake: want ADDED, got %q (err %v)", in.Text(), in.Err())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = member.Sync(ctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("map sync: %w", err)
+	}
+	go member.Run()
+	fmt.Println("READY")
+
+	for in.Scan() {
+		// Ignore further lines; EOF means shut down.
+	}
+	if svc.Draining() {
+		// A drained member finishes its in-flight activities before
+		// leaving the fleet.
+		qctx, qcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer qcancel()
+		if err := svc.WaitQuiesced(qctx); err != nil {
+			return fmt.Errorf("drain quiesce: %w", err)
+		}
+	}
+	return nil
+}
+
+// clusterChild is the parent-side handle of one member process.
+type clusterChild struct {
+	id       string
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	out      *bufio.Reader
+	endpoint string
+}
+
+// startClusterChild re-execs this binary as member id and completes the
+// spawn half of the handshake (through ENDPOINT).
+func startClusterChild(id, authority string) (*clusterChild, error) {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		clusterMemberEnv+"="+id,
+		clusterAuthorityEnv+"="+authority,
+	)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	c := &clusterChild{id: id, cmd: cmd, stdin: stdin, out: bufio.NewReader(stdout)}
+	line, err := c.readLine()
+	if err != nil {
+		c.kill()
+		return nil, fmt.Errorf("member %s: %w", id, err)
+	}
+	ep, ok := strings.CutPrefix(line, "ENDPOINT ")
+	if !ok {
+		c.kill()
+		return nil, fmt.Errorf("member %s: want ENDPOINT, got %q", id, line)
+	}
+	c.endpoint = ep
+	return c, nil
+}
+
+// confirmJoin completes the handshake after the parent added the member
+// to the map.
+func (c *clusterChild) confirmJoin() error {
+	if _, err := fmt.Fprintln(c.stdin, "ADDED"); err != nil {
+		return fmt.Errorf("member %s: %w", c.id, err)
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return fmt.Errorf("member %s: %w", c.id, err)
+	}
+	if line != "READY" {
+		return fmt.Errorf("member %s: want READY, got %q", c.id, line)
+	}
+	return nil
+}
+
+func (c *clusterChild) readLine() (string, error) {
+	line, err := c.out.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("read child: %w", err)
+	}
+	return strings.TrimSuffix(line, "\n"), nil
+}
+
+// shutdown closes the child's stdin (its serve-until-EOF signal) and
+// waits for a clean exit.
+func (c *clusterChild) shutdown() error {
+	c.stdin.Close()
+	done := make(chan error, 1)
+	go func() { done <- c.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(60 * time.Second):
+		c.kill()
+		return fmt.Errorf("member %s: shutdown timeout", c.id)
+	}
+}
+
+func (c *clusterChild) kill() {
+	_ = c.cmd.Process.Kill()
+	_, _ = c.cmd.Process.Wait()
+}
+
+// clusterFleet is a running fleet: the authority host plus its members.
+type clusterFleet struct {
+	node     *orb.ORB
+	auth     *orb.ShardAuthority
+	authRef  orb.IOR
+	endpoint string
+	children []*clusterChild
+}
+
+// startClusterFleet hosts a shard-map authority and joins n member
+// processes to it.
+func startClusterFleet(n int) (*clusterFleet, error) {
+	node := orb.New()
+	endpoint, err := node.Listen("127.0.0.1:0")
+	if err != nil {
+		node.Shutdown()
+		return nil, err
+	}
+	auth := orb.NewShardAuthority(nil)
+	orb.ServeShardMap(node, auth)
+	f := &clusterFleet{node: node, auth: auth, endpoint: endpoint}
+	f.authRef, _ = node.IOR(orb.ShardMapKey)
+
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("member-%d", i)
+		c, err := startClusterChild(id, endpoint)
+		if err != nil {
+			f.stop()
+			return nil, err
+		}
+		f.children = append(f.children, c)
+		if _, err := auth.Add(orb.ClusterMember{ID: id, Endpoints: []string{c.endpoint}, Weight: 1}); err != nil {
+			f.stop()
+			return nil, err
+		}
+		if err := c.confirmJoin(); err != nil {
+			f.stop()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// stop tears the fleet down; the first child error wins.
+func (f *clusterFleet) stop() error {
+	var firstErr error
+	for _, c := range f.children {
+		if err := c.shutdown(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.node.Shutdown()
+	return firstErr
+}
+
+// driveCluster runs total begin/complete pairs through router from
+// clusterWorkers goroutines and returns the sorted per-op latencies and
+// the wall-clock elapsed. midRun, when non-nil, fires once near the
+// halfway point (the drain segment injects the reshard there).
+func driveCluster(router *orb.ShardRouter, total int, midRun func()) ([]time.Duration, time.Duration, error) {
+	ctx := context.Background()
+	latencies := make([]time.Duration, total)
+	var next atomic.Int64
+	var callErr atomic.Value
+	var midOnce sync.Once
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < clusterWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				if midRun != nil && i == int64(total/2) {
+					midOnce.Do(midRun)
+				}
+				opStart := time.Now()
+				proxy, err := router.BeginActivity(ctx, fmt.Sprintf("cluster-op-%d", i))
+				if err == nil {
+					_, err = proxy.Complete(ctx, activityservice.CompletionSuccess)
+				}
+				latencies[i] = time.Since(opStart)
+				if err != nil {
+					callErr.Store(fmt.Errorf("op %d: %w", i, err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := callErr.Load().(error); ok {
+		return nil, 0, err
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return latencies, elapsed, nil
+}
+
+// sweepCluster is the multi-process sharded-fleet sweep: throughput and
+// latency vs member count, then the drain-mid-run segment.
+func sweepCluster(iters int) error {
+	counts := []int{1, 2, 4, 8}
+	max := maxClusterMembers
+	if max <= 0 {
+		max = 8
+	}
+	for len(counts) > 1 && counts[len(counts)-1] > max {
+		counts = counts[:len(counts)-1]
+	}
+	total := iters * 2
+
+	fmt.Printf("\n== cluster: sharded begin+complete across member processes (%d client workers) ==\n", clusterWorkers)
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "members", "ops/sec", "p50", "p99", "redirects")
+	for _, n := range counts {
+		fleet, err := startClusterFleet(n)
+		if err != nil {
+			return err
+		}
+		client := orb.New(orb.WithPoolSize(4))
+		router := orb.NewShardRouter(client, fleet.authRef)
+		latencies, elapsed, err := driveCluster(router, total, nil)
+		client.Shutdown()
+		if err != nil {
+			fleet.stop()
+			return err
+		}
+		if err := fleet.stop(); err != nil {
+			return err
+		}
+		opsPerSec := float64(total) / elapsed.Seconds()
+		p50 := latencies[total/2]
+		p99 := latencies[total*99/100]
+		st := router.Stats()
+		config := fmt.Sprintf("members=%d", n)
+		record("cluster", config, "ops-per-sec", opsPerSec)
+		record("cluster", config, "p50-ns", float64(p50.Nanoseconds()))
+		record("cluster", config, "p99-ns", float64(p99.Nanoseconds()))
+		fmt.Printf("%-10d %12.0f %12s %12s %12d\n",
+			n, opsPerSec, p50.Round(time.Microsecond), p99.Round(time.Microsecond), st.Redirects)
+	}
+
+	// Drain segment: drain one member mid-run; every begin the fleet
+	// admitted must still complete (the router heals new begins over to
+	// the survivors, the drained member finishes what it has).
+	n := counts[len(counts)-1]
+	if n < 2 {
+		fmt.Println("cluster: skipping drain segment (needs >= 2 members)")
+		return nil
+	}
+	fleet, err := startClusterFleet(n)
+	if err != nil {
+		return err
+	}
+	client := orb.New(orb.WithPoolSize(4))
+	router := orb.NewShardRouter(client, fleet.authRef)
+	drained := fleet.children[0].id
+	latencies, elapsed, err := driveCluster(router, total, func() {
+		if _, derr := fleet.auth.Drain(drained); derr != nil {
+			panic(fmt.Sprintf("drain %s: %v", drained, derr))
+		}
+	})
+	client.Shutdown()
+	if err != nil {
+		fleet.stop()
+		return fmt.Errorf("drain segment lost an operation: %w", err)
+	}
+	if err := fleet.stop(); err != nil {
+		return fmt.Errorf("drain segment: %w", err)
+	}
+	config := fmt.Sprintf("drain-mid-run/members=%d", n)
+	record("cluster", config, "ops-lost", 0)
+	record("cluster", config, "ops-per-sec", float64(total)/elapsed.Seconds())
+	record("cluster", config, "p99-ns", float64(latencies[total*99/100].Nanoseconds()))
+	fmt.Printf("drain-mid-run: %d/%d ops completed after draining %s (0 lost), p99 %s\n",
+		total, total, drained, latencies[total*99/100].Round(time.Microsecond))
+	return nil
+}

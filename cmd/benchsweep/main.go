@@ -79,10 +79,12 @@ func record(sweep, config, metric string, v float64) {
 }
 
 func main() {
+	maybeClusterMember()
 	iters := flag.Int("iters", 500, "iterations per data point")
-	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout|overload|failover|wire|tree); empty = all")
+	sweep := flag.String("sweep", "", "run one sweep (2pc|fanout|chain|delivery|remote|remotefanout|overload|failover|wire|tree|cluster); empty = all")
 	jsonPath := flag.String("json", "", "also write every data point as JSON to this file (perf baseline)")
 	flag.IntVar(&poolSize, "pool", 0, "client connection pool size for remote sweeps (0 = sweep defaults)")
+	flag.IntVar(&maxClusterMembers, "members", 0, "cap the cluster sweep's member-process axis (0 = sweep to 8)")
 	flag.Parse()
 	if err := run(*iters, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
@@ -112,6 +114,7 @@ var sweeps = map[string]func(iters int) error{
 	"failover":     sweepFailover,
 	"wire":         sweepWire,
 	"tree":         sweepTree,
+	"cluster":      sweepCluster,
 }
 
 func run(iters int, which string) error {

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+)
+
+// mapWireVersion guards the shard-map encoding so a future layout
+// change can be detected instead of misdecoded.
+const mapWireVersion = 1
+
+// Encode writes the map (epoch + membership) onto e. The derived ring
+// is not serialized — every process rebuilds it deterministically.
+func (m *Map) Encode(e *cdr.Encoder) {
+	e.WriteUint32(mapWireVersion)
+	e.WriteUint64(m.Epoch)
+	e.WriteUint32(uint32(len(m.Members)))
+	for _, mem := range m.Members {
+		mem.encode(e)
+	}
+}
+
+func (mem Member) encode(e *cdr.Encoder) {
+	e.WriteString(mem.ID)
+	e.WriteStringList(mem.Endpoints)
+	e.WriteUint32(uint32(mem.Weight))
+	e.WriteUint32(uint32(mem.State))
+}
+
+// DecodeMap reads a map previously written by Encode and rebuilds its
+// ring.
+func DecodeMap(d *cdr.Decoder) (*Map, error) {
+	if v := d.ReadUint32(); v != mapWireVersion && d.Err() == nil {
+		return nil, fmt.Errorf("cluster: shard map wire version %d (want %d)", v, mapWireVersion)
+	}
+	m := &Map{Epoch: d.ReadUint64()}
+	n := d.ReadUint32()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("cluster: implausible member count %d", n)
+	}
+	m.Members = make([]Member, 0, n)
+	for i := uint32(0); i < n; i++ {
+		m.Members = append(m.Members, decodeMember(d))
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := m.build(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodeMember(d *cdr.Decoder) Member {
+	var mem Member
+	mem.ID = d.ReadString()
+	// ReadStringList copies each string, so the decoded member does
+	// not alias the decoder's buffer.
+	mem.Endpoints = d.ReadStringList()
+	mem.Weight = int(d.ReadUint32())
+	mem.State = MemberState(d.ReadUint32())
+	return mem
+}

@@ -1,0 +1,291 @@
+// Package cluster models the shard map of a horizontally sharded
+// activity service: a versioned assignment of activity keys to fleet
+// members via a consistent-hash ring of virtual nodes.
+//
+// The package is pure data — it knows nothing about the ORB or the
+// wire. A Map is an immutable value: mutations (WithAdd, WithDrain,
+// WithRemove) return a new Map with the epoch bumped, so concurrent
+// readers can hold a snapshot without locking. The authoritative copy
+// lives beside the naming service (internal/remote hosts the
+// `shard-map` servant); routers and members cache snapshots keyed by
+// epoch and self-heal on WrongShard redirects.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the number of virtual ring points a member of
+// weight 1 contributes. More vnodes smooth the key distribution and
+// shrink the slice of keys that moves when the fleet changes.
+const DefaultVNodes = 64
+
+// MemberState describes a member's availability for new activity keys.
+type MemberState uint32
+
+// Member states.
+const (
+	// MemberActive owns its ring arcs and accepts new begins.
+	MemberActive MemberState = iota
+	// MemberDraining still finishes in-flight activities but its ring
+	// arcs route to successors; new begins are redirected away.
+	MemberDraining
+)
+
+// String names the state for logs and scrapes.
+func (s MemberState) String() string {
+	switch s {
+	case MemberActive:
+		return "active"
+	case MemberDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("state(%d)", uint32(s))
+	}
+}
+
+// Member is one activityd replica in the fleet.
+type Member struct {
+	// ID is the stable member identity; ring placement hashes it, so
+	// a member keeps its arcs across restarts.
+	ID string
+	// Endpoints are the member's ORB endpoints in failover preference
+	// order (they become the profile list of routed IORs).
+	Endpoints []string
+	// Weight scales the member's vnode count; 0 means 1.
+	Weight int
+	// State is the member's availability for new keys.
+	State MemberState
+}
+
+func (m Member) vnodes() int {
+	w := m.Weight
+	if w <= 0 {
+		w = 1
+	}
+	return w * DefaultVNodes
+}
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// owned by members[member].
+type ringPoint struct {
+	hash   uint64
+	member int
+}
+
+// Map is a versioned shard map: the fleet membership plus the derived
+// consistent-hash ring. Maps are immutable; treat every *Map as
+// read-only and use the With* mutators to derive successors.
+type Map struct {
+	// Epoch is the map version. Every mutation bumps it by one; a
+	// larger epoch always supersedes a smaller one.
+	Epoch uint64
+	// Members is the fleet, in the order members were added.
+	Members []Member
+
+	ring    []ringPoint
+	byID    map[string]int
+	nActive int
+}
+
+// NewMap builds an epoch-1 map from the given members. Member IDs
+// must be unique and non-empty.
+func NewMap(members ...Member) (*Map, error) {
+	m := &Map{Epoch: 1, Members: members}
+	if err := m.build(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EmptyMap returns the epoch-0 map with no members — the state of a
+// freshly started authority before the first member registers.
+func EmptyMap() *Map {
+	m := &Map{Epoch: 0}
+	_ = m.build()
+	return m
+}
+
+// build derives the ring and indexes from Members. It is called once
+// at construction; Maps are immutable afterwards.
+func (m *Map) build() error {
+	m.byID = make(map[string]int, len(m.Members))
+	m.nActive = 0
+	points := 0
+	for i, mem := range m.Members {
+		if mem.ID == "" {
+			return fmt.Errorf("cluster: member %d has empty ID", i)
+		}
+		if _, dup := m.byID[mem.ID]; dup {
+			return fmt.Errorf("cluster: duplicate member ID %q", mem.ID)
+		}
+		m.byID[mem.ID] = i
+		if mem.State == MemberActive {
+			m.nActive++
+		}
+		points += mem.vnodes()
+	}
+	m.ring = make([]ringPoint, 0, points)
+	for i, mem := range m.Members {
+		n := mem.vnodes()
+		for v := 0; v < n; v++ {
+			m.ring = append(m.ring, ringPoint{hash: vnodeHash(mem.ID, v), member: i})
+		}
+	}
+	sort.Slice(m.ring, func(a, b int) bool {
+		if m.ring[a].hash != m.ring[b].hash {
+			return m.ring[a].hash < m.ring[b].hash
+		}
+		// Hash ties (vanishingly rare) break by member index so every
+		// process derives the identical ring.
+		return m.ring[a].member < m.ring[b].member
+	})
+	return nil
+}
+
+// vnodeHash positions virtual node v of the given member on the ring:
+// FNV-1a over "id#" followed by the ordinal's low two bytes.
+func vnodeHash(id string, v int) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * fnvPrime
+	}
+	h = (h ^ uint64('#')) * fnvPrime
+	h = (h ^ uint64(v&0xff)) * fnvPrime
+	h = (h ^ uint64((v>>8)&0xff)) * fnvPrime
+	return mix64(h)
+}
+
+// mix64 is a 64-bit avalanche finalizer (the murmur3 fmix constants).
+// Raw FNV-1a diffuses trailing bytes poorly into the high bits, which
+// would cluster a member's vnodes on one arc of the ring; the
+// finalizer spreads them uniformly.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// HashKey positions an activity key on the ring circle. Exposed so
+// tests and tools can reason about placement.
+func HashKey(key string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * fnvPrime
+	}
+	return mix64(h)
+}
+
+// Owner resolves the member that owns key: the first clockwise virtual
+// node whose member is active. Draining members are skipped, so new
+// keys move off a member the moment it starts draining. ok is false
+// when the map has no active members.
+func (m *Map) Owner(key string) (Member, bool) {
+	i, ok := m.ownerIndex(HashKey(key))
+	if !ok {
+		return Member{}, false
+	}
+	return m.Members[i], true
+}
+
+// Owns reports whether the member with the given ID currently owns
+// key. A draining or unknown member owns nothing.
+func (m *Map) Owns(id, key string) bool {
+	i, ok := m.ownerIndex(HashKey(key))
+	return ok && m.Members[i].ID == id
+}
+
+func (m *Map) ownerIndex(h uint64) (int, bool) {
+	if m.nActive == 0 || len(m.ring) == 0 {
+		return 0, false
+	}
+	n := len(m.ring)
+	start := sort.Search(n, func(i int) bool { return m.ring[i].hash >= h })
+	for i := 0; i < n; i++ {
+		p := m.ring[(start+i)%n]
+		if m.Members[p.member].State == MemberActive {
+			return p.member, true
+		}
+	}
+	return 0, false
+}
+
+// Member returns the member with the given ID.
+func (m *Map) Member(id string) (Member, bool) {
+	i, ok := m.byID[id]
+	if !ok {
+		return Member{}, false
+	}
+	return m.Members[i], true
+}
+
+// Active counts members in the MemberActive state.
+func (m *Map) Active() int { return m.nActive }
+
+// clone copies the member slice (deep enough for mutation: Member
+// values are copied; endpoint slices are shared because Maps never
+// mutate them).
+func (m *Map) clone() []Member {
+	out := make([]Member, len(m.Members))
+	copy(out, m.Members)
+	return out
+}
+
+// WithAdd derives a new map (epoch+1) with mem appended as an active
+// member. Adding an existing ID fails.
+func (m *Map) WithAdd(mem Member) (*Map, error) {
+	if _, dup := m.byID[mem.ID]; dup {
+		return nil, fmt.Errorf("cluster: member %q already present", mem.ID)
+	}
+	mem.State = MemberActive
+	next := &Map{Epoch: m.Epoch + 1, Members: append(m.clone(), mem)}
+	if err := next.build(); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// WithDrain derives a new map (epoch+1) with the member marked
+// draining: its arcs route to successors but it remains addressable so
+// in-flight activities finish where they started.
+func (m *Map) WithDrain(id string) (*Map, error) {
+	i, ok := m.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown member %q", id)
+	}
+	members := m.clone()
+	members[i].State = MemberDraining
+	next := &Map{Epoch: m.Epoch + 1, Members: members}
+	if err := next.build(); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// WithRemove derives a new map (epoch+1) without the member. Remove
+// normally follows a drain once the member reports quiescence, but the
+// map does not enforce the ordering — a crashed member is removed
+// directly and its standby takes over its in-flight state.
+func (m *Map) WithRemove(id string) (*Map, error) {
+	i, ok := m.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown member %q", id)
+	}
+	members := m.clone()
+	members = append(members[:i], members[i+1:]...)
+	next := &Map{Epoch: m.Epoch + 1, Members: members}
+	if err := next.build(); err != nil {
+		return nil, err
+	}
+	return next, nil
+}

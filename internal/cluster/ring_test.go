@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+)
+
+func mustMap(t *testing.T, members ...Member) *Map {
+	t.Helper()
+	m, err := NewMap(members...)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	return m
+}
+
+func fleet(n int) []Member {
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{
+			ID:        fmt.Sprintf("m-%d", i),
+			Endpoints: []string{fmt.Sprintf("tcp:127.0.0.1:%d", 9000+i)},
+		}
+	}
+	return out
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := mustMap(t, fleet(5)...)
+	b := mustMap(t, fleet(5)...)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("activity-%d", i)
+		oa, oka := a.Owner(key)
+		ob, okb := b.Owner(key)
+		if !oka || !okb || oa.ID != ob.ID {
+			t.Fatalf("key %q: owner differs between identical maps (%v/%v, %v/%v)", key, oa.ID, oka, ob.ID, okb)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	m := mustMap(t, fleet(8)...)
+	counts := map[string]int{}
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		o, ok := m.Owner(fmt.Sprintf("key-%d", i))
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[o.ID]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("only %d of 8 members own keys: %v", len(counts), counts)
+	}
+	// With 64 vnodes/member the per-member share should be within a
+	// loose 2x band of the ideal 1/8th.
+	for id, n := range counts {
+		if n < keys/16 || n > keys/4 {
+			t.Fatalf("member %s owns %d of %d keys — ring badly unbalanced: %v", id, n, keys, counts)
+		}
+	}
+}
+
+func TestRingMinimalMovementOnAdd(t *testing.T) {
+	before := mustMap(t, fleet(8)...)
+	after, err := before.WithAdd(Member{ID: "m-8", Endpoints: []string{"tcp:127.0.0.1:9008"}})
+	if err != nil {
+		t.Fatalf("WithAdd: %v", err)
+	}
+	if after.Epoch != before.Epoch+1 {
+		t.Fatalf("epoch %d after add, want %d", after.Epoch, before.Epoch+1)
+	}
+	const keys = 4000
+	moved, movedToNew := 0, 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ob, _ := before.Owner(key)
+		oa, _ := after.Owner(key)
+		if ob.ID != oa.ID {
+			moved++
+			if oa.ID == "m-8" {
+				movedToNew++
+			}
+		}
+	}
+	if moved != movedToNew {
+		t.Fatalf("%d keys moved but only %d moved to the new member — adds must not shuffle keys between old members", moved, movedToNew)
+	}
+	// Ideal movement is 1/9th of the keyspace; allow a wide band.
+	if moved == 0 || moved > keys/4 {
+		t.Fatalf("%d of %d keys moved on add (ideal ~%d)", moved, keys, keys/9)
+	}
+}
+
+func TestRingDrainSkipsMember(t *testing.T) {
+	before := mustMap(t, fleet(4)...)
+	after, err := before.WithDrain("m-2")
+	if err != nil {
+		t.Fatalf("WithDrain: %v", err)
+	}
+	if after.Active() != 3 {
+		t.Fatalf("Active() = %d after drain, want 3", after.Active())
+	}
+	if mem, ok := after.Member("m-2"); !ok || mem.State != MemberDraining {
+		t.Fatalf("m-2 after drain: %+v ok=%v", mem, ok)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o, ok := after.Owner(key)
+		if !ok {
+			t.Fatal("no owner with 3 active members")
+		}
+		if o.ID == "m-2" {
+			t.Fatalf("key %q still owned by draining member", key)
+		}
+		if after.Owns("m-2", key) {
+			t.Fatalf("Owns(m-2, %q) true while draining", key)
+		}
+		// Keys not owned by m-2 before the drain must not move.
+		ob, _ := before.Owner(key)
+		if ob.ID != "m-2" && ob.ID != o.ID {
+			t.Fatalf("key %q moved %s -> %s though %s is not draining", key, ob.ID, o.ID, ob.ID)
+		}
+	}
+}
+
+func TestRingAllDrainingNoOwner(t *testing.T) {
+	m := mustMap(t, fleet(2)...)
+	m, _ = m.WithDrain("m-0")
+	m, _ = m.WithDrain("m-1")
+	if _, ok := m.Owner("anything"); ok {
+		t.Fatal("Owner succeeded with every member draining")
+	}
+	if _, ok := EmptyMap().Owner("anything"); ok {
+		t.Fatal("Owner succeeded on the empty map")
+	}
+}
+
+func TestRingRemove(t *testing.T) {
+	m := mustMap(t, fleet(3)...)
+	next, err := m.WithRemove("m-1")
+	if err != nil {
+		t.Fatalf("WithRemove: %v", err)
+	}
+	if _, ok := next.Member("m-1"); ok {
+		t.Fatal("removed member still present")
+	}
+	if len(next.Members) != 2 || next.Epoch != m.Epoch+1 {
+		t.Fatalf("after remove: %d members epoch %d", len(next.Members), next.Epoch)
+	}
+	if _, err := next.WithRemove("m-1"); err == nil {
+		t.Fatal("removing an unknown member succeeded")
+	}
+	if _, err := next.WithAdd(Member{ID: "m-0"}); err == nil {
+		t.Fatal("adding a duplicate member succeeded")
+	}
+}
+
+func TestRingWeight(t *testing.T) {
+	m := mustMap(t,
+		Member{ID: "small", Endpoints: []string{"tcp:a"}},
+		Member{ID: "big", Endpoints: []string{"tcp:b"}, Weight: 3},
+	)
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		o, _ := m.Owner(fmt.Sprintf("k%d", i))
+		counts[o.ID]++
+	}
+	if counts["big"] <= counts["small"] {
+		t.Fatalf("weight-3 member owns %d keys vs %d for weight-1", counts["big"], counts["small"])
+	}
+}
+
+func TestMapCodecRoundTrip(t *testing.T) {
+	m := mustMap(t,
+		Member{ID: "alpha", Endpoints: []string{"tcp:127.0.0.1:9001", "tcp:127.0.0.1:9002"}, Weight: 2},
+		Member{ID: "beta", Endpoints: []string{"tcp:127.0.0.1:9003"}},
+	)
+	m, err := m.WithDrain("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := cdr.NewEncoder(0)
+	m.Encode(e)
+	got, err := DecodeMap(cdr.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeMap: %v", err)
+	}
+	if got.Epoch != m.Epoch || len(got.Members) != len(m.Members) {
+		t.Fatalf("round trip: epoch %d/%d members %d/%d", got.Epoch, m.Epoch, len(got.Members), len(m.Members))
+	}
+	for i := range m.Members {
+		a, b := m.Members[i], got.Members[i]
+		if a.ID != b.ID || a.Weight != b.Weight || a.State != b.State || len(a.Endpoints) != len(b.Endpoints) {
+			t.Fatalf("member %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Endpoints {
+			if a.Endpoints[j] != b.Endpoints[j] {
+				t.Fatalf("member %d endpoint %d differs", i, j)
+			}
+		}
+	}
+	// The rebuilt ring must route identically.
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		a, _ := m.Owner(key)
+		b, _ := got.Owner(key)
+		if a.ID != b.ID {
+			t.Fatalf("key %q routes %s locally but %s after round trip", key, a.ID, b.ID)
+		}
+	}
+}
+
+func TestMapDecodeRejectsBadVersion(t *testing.T) {
+	e := cdr.NewEncoder(0)
+	e.WriteUint32(99)
+	if _, err := DecodeMap(cdr.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("decoded a shard map with wire version 99")
+	}
+}
+
+func TestNewMapValidates(t *testing.T) {
+	if _, err := NewMap(Member{ID: ""}); err == nil {
+		t.Fatal("empty member ID accepted")
+	}
+	if _, err := NewMap(Member{ID: "x"}, Member{ID: "x"}); err == nil {
+		t.Fatal("duplicate member ID accepted")
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	m, err := NewMap(fleet(8)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("activity-key-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Owner(keys[i&255]); !ok {
+			b.Fatal("no owner")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDrainRefusesNewKeepsInFlight pins the drain contract: TryBegin
+// works until Drain, refuses after, in-flight activities run to
+// completion, and WaitQuiesced unblocks exactly when the last one
+// completes.
+func TestDrainRefusesNewKeepsInFlight(t *testing.T) {
+	s := New()
+	a, err := s.TryBegin("in-flight")
+	if err != nil {
+		t.Fatalf("TryBegin before drain: %v", err)
+	}
+	if s.Draining() {
+		t.Fatal("Draining() true before Drain")
+	}
+
+	s.Drain()
+	s.Drain() // idempotent
+
+	if !s.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	if _, err := s.TryBegin("late"); !errors.Is(err, ErrServiceDraining) {
+		t.Fatalf("TryBegin after drain: %v, want ErrServiceDraining", err)
+	}
+
+	// Not quiesced while the in-flight activity lives.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.WaitQuiesced(ctx); err == nil {
+		t.Fatal("WaitQuiesced returned with a live activity")
+	}
+
+	if _, err := a.Complete(context.Background()); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := s.WaitQuiesced(ctx2); err != nil {
+		t.Fatalf("WaitQuiesced after completion: %v", err)
+	}
+	if s.Live() != 0 {
+		t.Fatalf("Live() = %d after quiesce", s.Live())
+	}
+}
+
+// TestDrainEmptyQuiescesImmediately pins that draining an idle Service
+// unblocks WaitQuiesced at once.
+func TestDrainEmptyQuiescesImmediately(t *testing.T) {
+	s := New()
+	s.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.WaitQuiesced(ctx); err != nil {
+		t.Fatalf("WaitQuiesced on idle drained service: %v", err)
+	}
+}
+
+// TestDrainRaceNeverLosesActivities hammers TryBegin from many
+// goroutines while Drain flips mid-storm: every activity that TryBegin
+// admitted must be observed by the drain (WaitQuiesced only returns
+// once all of them completed).
+func TestDrainRaceNeverLosesActivities(t *testing.T) {
+	s := New()
+	const workers = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var admitted []*Activity
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a, err := s.TryBegin(fmt.Sprintf("w%d-%d", w, i))
+				if err != nil {
+					if !errors.Is(err, ErrServiceDraining) {
+						t.Errorf("TryBegin: %v", err)
+					}
+					return
+				}
+				mu.Lock()
+				admitted = append(admitted, a)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	time.Sleep(2 * time.Millisecond)
+	s.Drain()
+	close(stop)
+	wg.Wait()
+
+	// Nothing admitted may be missing from the live registry before
+	// completion...
+	mu.Lock()
+	live := s.Live()
+	n := len(admitted)
+	if live != n {
+		mu.Unlock()
+		t.Fatalf("admitted %d activities but %d live after drain", n, live)
+	}
+	// ...and completing them all must quiesce the service.
+	for _, a := range admitted {
+		if _, err := a.Complete(context.Background()); err != nil {
+			mu.Unlock()
+			t.Fatalf("Complete: %v", err)
+		}
+	}
+	mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.WaitQuiesced(ctx); err != nil {
+		t.Fatalf("WaitQuiesced: %v", err)
+	}
+}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/extendedtx/activityservice/internal/ids"
@@ -32,6 +35,15 @@ type Service struct {
 	mu        sync.Mutex
 	setFacs   map[string]SignalSetFactory
 	actionFac map[string]ActionFactory
+
+	// Drain state (see Drain): draining is read on the forget fast path;
+	// drainMu orders the draining-flag flip, TryBegin's
+	// check-then-register, and the quiesce close, so a TryBegin racing a
+	// Drain can never slip an activity past WaitQuiesced.
+	draining      atomic.Bool
+	drainMu       sync.Mutex
+	quiesced      chan struct{}
+	quiesceClosed bool
 }
 
 // Option configures a Service.
@@ -76,6 +88,7 @@ func New(opts ...Option) *Service {
 		live:      newActivityRegistry(),
 		setFacs:   make(map[string]SignalSetFactory),
 		actionFac: make(map[string]ActionFactory),
+		quiesced:  make(chan struct{}),
 	}
 	for _, o := range opts {
 		o.apply(s)
@@ -162,13 +175,84 @@ func (s *Service) newActivity(name string, parent *Activity, opts ...BeginOption
 	return a
 }
 
+// ErrServiceDraining is returned by TryBegin while the Service is
+// draining: the process is leaving the fleet, so new activities must be
+// begun elsewhere (the sharded factory converts it into a WrongShard
+// redirect).
+var ErrServiceDraining = errors.New("core: service draining: new activities must begin elsewhere")
+
+// TryBegin is Begin with admission: it refuses with ErrServiceDraining
+// once Drain has been called. Sharded hosts route begins through it so
+// a draining member stops accepting keys the shard map has already
+// moved to its successors; plain Begin stays unconditional for hosts
+// that never drain (and for recovery, which must be able to rebuild
+// in-flight activities on a draining process).
+func (s *Service) TryBegin(name string, opts ...BeginOption) (*Activity, error) {
+	// The check and the registration happen under drainMu, the lock
+	// Drain holds while flipping the flag and taking its emptiness
+	// snapshot: either this activity registers before the snapshot (the
+	// drain waits for it) or the flag is already visible here (the begin
+	// is refused). An activity can never slip between Drain's snapshot
+	// and the quiesce close.
+	s.drainMu.Lock()
+	if s.draining.Load() {
+		s.drainMu.Unlock()
+		return nil, ErrServiceDraining
+	}
+	a := s.Begin(name, opts...)
+	s.drainMu.Unlock()
+	return a, nil
+}
+
+// Drain puts the Service into drain mode: TryBegin refuses new
+// activities while everything already live runs to completion where it
+// started (in-flight protocol state — signal sets, 2PC/BTP phases,
+// recovery log — never migrates mid-activity). WaitQuiesced unblocks
+// once the last live activity completes. Drain is idempotent; there is
+// no undrain — a drained member is expected to be removed from the
+// fleet and restarted.
+func (s *Service) Drain() {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	if !s.quiesceClosed && s.live.size() == 0 {
+		s.quiesceClosed = true
+		close(s.quiesced)
+	}
+	s.drainMu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// WaitQuiesced blocks until a draining Service has no live activities
+// (or ctx dies). Calling it without Drain blocks until ctx dies: the
+// quiesce channel only closes in drain mode.
+func (s *Service) WaitQuiesced(ctx context.Context) error {
+	select {
+	case <-s.quiesced:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Live returns the number of activities begun and not yet completed.
 func (s *Service) Live() int { return s.live.size() }
 
 // Find returns a live activity by id.
 func (s *Service) Find(id ids.UID) (*Activity, bool) { return s.live.get(id) }
 
-func (s *Service) forget(a *Activity) { s.live.delete(a.id) }
+func (s *Service) forget(a *Activity) {
+	s.live.delete(a.id)
+	if s.draining.Load() {
+		s.drainMu.Lock()
+		if !s.quiesceClosed && s.live.size() == 0 {
+			s.quiesceClosed = true
+			close(s.quiesced)
+		}
+		s.drainMu.Unlock()
+	}
+}
 
 // SignalSetFactory recreates a SignalSet from persisted parameters during
 // recovery.

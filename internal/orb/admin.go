@@ -3,6 +3,7 @@ package orb
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/extendedtx/activityservice/internal/cdr"
@@ -36,7 +37,7 @@ func ServeAdmin(o *ORB) IOR {
 }
 
 // Dispatch implements Servant.
-func (s *adminServant) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byte, error) {
+func (s *adminServant) Dispatch(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error) {
 	switch op {
 	case "server_stats":
 		st, ok := s.orb.ServerStats()
@@ -77,7 +78,31 @@ func (s *adminServant) Dispatch(_ context.Context, op string, in *cdr.Decoder) (
 			encodeRecoveryScrape(e, st)
 		}
 		return e.Bytes(), nil
+	case "relay_stats":
+		s.orb.mu.RLock()
+		fn := s.orb.relayFn
+		s.orb.mu.RUnlock()
+		e := cdr.NewEncoder(64)
+		var st RelayScrape
+		ok := false
+		if fn != nil {
+			st, ok = fn()
+		}
+		e.WriteBool(ok)
+		if ok {
+			encodeRelayScrape(e, st)
+		}
+		return e.Bytes(), nil
 	default:
+		if strings.HasPrefix(op, "shard_") {
+			s.orb.mu.RLock()
+			fn := s.orb.shardAdminFn
+			s.orb.mu.RUnlock()
+			if fn == nil {
+				return nil, Systemf(CodeNoImplement, "this process hosts no shard-map authority")
+			}
+			return fn(ctx, op, in)
+		}
 		return nil, Systemf(CodeBadOperation, "ORBAdmin has no operation %q", op)
 	}
 }
@@ -201,6 +226,63 @@ func (c *AdminClient) RecoveryStats(ctx context.Context) (RecoveryScrape, bool, 
 	return st, ok, nil
 }
 
+// RelayScrape is the relay plant-cache telemetry an ORB exposes through
+// the orb-admin servant's "relay_stats" operation, wired in by the
+// relay servant with SetRelayStatsProvider. Operators size the
+// membership cache from it: a high eviction rate with misses on the
+// deliver path means live trees are being evicted and re-planted.
+type RelayScrape struct {
+	// Plants gauges membership trees currently cached.
+	Plants uint32
+	// Capacity is the cache bound (entries).
+	Capacity uint32
+	// Hits totals deliver-path cache lookups that found their tree.
+	Hits uint64
+	// Misses totals deliver-path lookups that missed (forcing the
+	// coordinator to re-send the subtree).
+	Misses uint64
+	// Evictions totals cached trees evicted to admit new plants.
+	Evictions uint64
+}
+
+// RelayStats scrapes the remote ORB's relay plant-cache telemetry. The
+// second return is false when the remote process hosts no relay
+// servant.
+func (c *AdminClient) RelayStats(ctx context.Context) (RelayScrape, bool, error) {
+	body, err := c.orb.Invoke(ctx, c.ref, "relay_stats", nil)
+	if err != nil {
+		return RelayScrape{}, false, fmt.Errorf("admin relay_stats: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	ok := d.ReadBool()
+	var st RelayScrape
+	if ok {
+		st = decodeRelayScrape(d)
+	}
+	if err := d.Err(); err != nil {
+		return RelayScrape{}, false, Systemf(CodeMarshal, "relay_stats reply: %v", err)
+	}
+	return st, ok, nil
+}
+
+func encodeRelayScrape(e *cdr.Encoder, st RelayScrape) {
+	e.WriteUint32(st.Plants)
+	e.WriteUint32(st.Capacity)
+	e.WriteUint64(st.Hits)
+	e.WriteUint64(st.Misses)
+	e.WriteUint64(st.Evictions)
+}
+
+func decodeRelayScrape(d *cdr.Decoder) RelayScrape {
+	var st RelayScrape
+	st.Plants = d.ReadUint32()
+	st.Capacity = d.ReadUint32()
+	st.Hits = d.ReadUint64()
+	st.Misses = d.ReadUint64()
+	st.Evictions = d.ReadUint64()
+	return st
+}
+
 func encodeRecoveryScrape(e *cdr.Encoder, st RecoveryScrape) {
 	e.WriteUint64(st.Passes)
 	e.WriteUint64(st.DecisionsReplayed)
@@ -271,6 +353,7 @@ func encodeEndpointStats(e *cdr.Encoder, st EndpointStats) {
 	e.WriteUint64(st.BreakerProbes)
 	e.WriteUint64(st.BreakerOpens)
 	e.WriteUint64(st.RetryExhausted)
+	e.WriteInt64(int64(st.RTT))
 }
 
 func decodeEndpointStats(d *cdr.Decoder) EndpointStats {
@@ -284,5 +367,6 @@ func decodeEndpointStats(d *cdr.Decoder) EndpointStats {
 	st.BreakerProbes = d.ReadUint64()
 	st.BreakerOpens = d.ReadUint64()
 	st.RetryExhausted = d.ReadUint64()
+	st.RTT = time.Duration(d.ReadInt64())
 	return st
 }

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"container/list"
 	"context"
 	"encoding/binary"
 	"math/rand/v2"
@@ -312,9 +313,12 @@ func affinityKey(ref IOR) string {
 // several profiles the order is: the sticky-affinity endpoint for affKey
 // first while it looks healthy (so a coordinated protocol keeps landing
 // on the replica that answered its earlier phases), then the remaining
-// profiles the shared HealthRegistry considers healthy in reference
-// order, then the unhealthy ones in reference order (still tried last — a
-// stale verdict must not make an object unreachable).
+// profiles the shared HealthRegistry considers healthy ranked by this
+// ORB's round-trip EWMA against them — nearest first, never-measured
+// ones after in reference order, so cross-shard traffic prefers near
+// replicas while fresh endpoints still get probed — then the unhealthy
+// ones in reference order (still tried last — a stale verdict must not
+// make an object unreachable).
 func (o *ORB) selectEndpoints(ref IOR, affKey string) ([]string, string) {
 	var eps []string
 	for _, p := range ref.Profiles {
@@ -328,53 +332,120 @@ func (o *ORB) selectEndpoints(ref IOR, affKey string) ([]string, string) {
 	now := time.Now()
 	affinity := o.affinityFor(affKey)
 	records := o.health.entriesFor(eps) // one registry lock for all profiles
+	rtts := o.rttsFor(eps)              // one pool-map lock for all profiles
 	ordered := make([]string, 0, len(eps))
+	orderedRTT := make([]int64, 0, len(eps))
 	var unhealthy []string
 	if affinity != "" {
 		for i, ep := range eps {
 			if ep == affinity && records[i].preferred(now) {
 				ordered = append(ordered, ep)
+				orderedRTT = append(orderedRTT, 0)
 				break
 			}
 		}
 	}
+	healthyStart := len(ordered)
 	for i, ep := range eps {
-		if len(ordered) > 0 && ep == ordered[0] {
+		if healthyStart > 0 && ep == ordered[0] {
 			continue
 		}
-		if records[i].preferred(now) {
-			ordered = append(ordered, ep)
-		} else {
+		if !records[i].preferred(now) {
 			unhealthy = append(unhealthy, ep)
+			continue
 		}
+		// Insertion-rank by RTT: measured endpoints ascending, unmeasured
+		// (rtt 0) after them in reference order. Inserting strictly before
+		// the first slower entry keeps the sort stable, so ties and the
+		// unmeasured tail preserve reference order. The slices are profile-
+		// list sized (a handful), so insertion beats sort.Slice's closure.
+		r := rtts[i]
+		pos := len(ordered)
+		if r > 0 {
+			for j := healthyStart; j < len(ordered); j++ {
+				if orderedRTT[j] == 0 || r < orderedRTT[j] {
+					pos = j
+					break
+				}
+			}
+		}
+		ordered = append(ordered, "")
+		orderedRTT = append(orderedRTT, 0)
+		copy(ordered[pos+1:], ordered[pos:])
+		copy(orderedRTT[pos+1:], orderedRTT[pos:])
+		ordered[pos] = ep
+		orderedRTT[pos] = r
 	}
 	return append(ordered, unhealthy...), affinity
 }
 
+// rttsFor returns this ORB's round-trip EWMA for each endpoint (zero
+// when no pool exists or nothing succeeded yet), taking the pool-map
+// lock once for the whole profile list.
+func (o *ORB) rttsFor(eps []string) []int64 {
+	out := make([]int64, len(eps))
+	o.connMu.Lock()
+	if !o.poolsClosed {
+		for i, ep := range eps {
+			if p, ok := o.pools[ep]; ok {
+				out[i] = p.rttNanos.Load()
+			}
+		}
+	}
+	o.connMu.Unlock()
+	return out
+}
+
 // maxAffinityEntries bounds the sticky-affinity map. Long-lived clients
 // invoking short-lived per-activity objects would otherwise accumulate
-// one entry per key forever; affinity is only a routing hint, so when the
-// bound is hit the map is simply reset — the worst case is one re-ranked
-// pick per live key.
+// one entry per key forever; affinity is only a routing hint, so the
+// map evicts in least-recently-used order at the bound — a sharded
+// fleet multiplies distinct (endpoint, key) pairs, and the old
+// wholesale reset would throw away every live protocol's stickiness
+// whenever churn filled the map.
 const maxAffinityEntries = 4096
 
-// affinityFor returns the endpoint that last served key, if any.
+// affEntry is one sticky-affinity binding, held in the LRU list.
+type affEntry struct {
+	key      string
+	endpoint string
+}
+
+// affinityFor returns the endpoint that last served key, if any, and
+// freshens the entry's recency: a binding consulted on every invocation
+// of a live protocol must not be the one evicted mid-protocol.
 func (o *ORB) affinityFor(key string) string {
 	o.affMu.Lock()
 	defer o.affMu.Unlock()
-	return o.affinity[key]
+	el, ok := o.affinity[key]
+	if !ok {
+		return ""
+	}
+	o.affOrder.MoveToFront(el)
+	return el.Value.(*affEntry).endpoint
 }
 
-// recordAffinity pins key to the endpoint that just served it.
+// recordAffinity pins key to the endpoint that just served it, evicting
+// the least-recently-used binding when the map is full.
 func (o *ORB) recordAffinity(endpoint, key string) {
 	o.affMu.Lock()
-	if o.affinity == nil {
-		o.affinity = make(map[string]string)
-	} else if _, ok := o.affinity[key]; !ok && len(o.affinity) >= maxAffinityEntries {
-		o.affinity = make(map[string]string)
+	defer o.affMu.Unlock()
+	if el, ok := o.affinity[key]; ok {
+		el.Value.(*affEntry).endpoint = endpoint
+		o.affOrder.MoveToFront(el)
+		return
 	}
-	o.affinity[key] = endpoint
-	o.affMu.Unlock()
+	if o.affinity == nil {
+		o.affinity = make(map[string]*list.Element)
+		o.affOrder = list.New()
+	}
+	if len(o.affinity) >= maxAffinityEntries {
+		if back := o.affOrder.Back(); back != nil {
+			delete(o.affinity, back.Value.(*affEntry).key)
+			o.affOrder.Remove(back)
+		}
+	}
+	o.affinity[key] = o.affOrder.PushFront(&affEntry{key: key, endpoint: endpoint})
 }
 
 // invokeOverPool performs one admitted invocation through the endpoint's

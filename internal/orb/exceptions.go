@@ -25,6 +25,15 @@ const (
 	CodeNoImplement ExceptionCode = "NO_IMPLEMENT"
 	// CodeTimeout: the invocation deadline passed.
 	CodeTimeout ExceptionCode = "TIMEOUT"
+	// CodeWrongShard: the target replica does not own the routed key
+	// under its current shard map. The detail carries the replica's map
+	// epoch ("epoch=N ..."), so a stale client can refresh its map and
+	// retry against the real owner. Like OBJECT_NOT_EXIST it asserts the
+	// operation did not run, but it is deliberately NOT TRANSIENT: the
+	// profile selector must not blindly fail the call over to the next
+	// endpoint of the same (wrong) member — the cure is a map refresh,
+	// which the shard router layers above the selector.
+	CodeWrongShard ExceptionCode = "WRONG_SHARD"
 	// codeApplication marks a user (servant-raised) error on the wire; it
 	// is unwrapped back to a plain error on the client side.
 	codeApplication ExceptionCode = "APPLICATION"

@@ -47,13 +47,21 @@ const iorWireMagic = 0x494F5232 // "IOR2"
 const iorWireVersion = 2
 
 // NewIOR builds a reference to key with the given interface type and
-// endpoint profiles, in preference order. Empty endpoints are dropped.
+// endpoint profiles, in preference order. Empty endpoints are dropped;
+// endpoints without a scheme prefix are taken as "tcp:host:port" (the
+// WithAdvertised convention), so operator-typed endpoints — activityd's
+// -shard-map/-standby flags, the AdminAt/RecoveryAt/ShardMapAt helpers —
+// produce reachable profiles.
 func NewIOR(typeID, key string, endpoints ...string) IOR {
 	r := IOR{TypeID: typeID, Key: key}
 	for _, ep := range endpoints {
-		if ep != "" {
-			r.Profiles = append(r.Profiles, Profile{Endpoint: ep})
+		if ep == "" {
+			continue
 		}
+		if !strings.HasPrefix(ep, "tcp:") && !strings.HasPrefix(ep, "inproc:") {
+			ep = "tcp:" + ep
+		}
+		r.Profiles = append(r.Profiles, Profile{Endpoint: ep})
 	}
 	return r
 }

@@ -59,6 +59,7 @@
 package orb
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"strings"
@@ -167,6 +168,11 @@ type ORB struct {
 	advertised []string // endpoints minted into IORs instead of bound
 	shutdown   bool
 	recoveryFn func() (RecoveryScrape, bool) // feeds the recovery_stats scrape
+	relayFn    func() (RelayScrape, bool)    // feeds the relay_stats scrape
+	// shardAdminFn handles the "shard_*" operations the admin servant
+	// forwards (see SetShardAdminHandler); nil when this process hosts
+	// no shard-map authority.
+	shardAdminFn func(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error)
 
 	srvs []*server
 	adm  *admission // shared by every listener; nil = unbounded dispatch
@@ -176,11 +182,14 @@ type ORB struct {
 	poolsClosed bool
 	reqID       atomic.Uint64
 
-	// affMu guards affinity, the sticky (key → endpoint) map the endpoint
-	// selector consults so multi-profile invocations for one object keep
-	// landing on the replica that served it last (see client.go).
+	// affMu guards the sticky (key → endpoint) affinity state the
+	// endpoint selector consults so multi-profile invocations for one
+	// object keep landing on the replica that served it last: affinity
+	// indexes entries of affOrder, the recency list whose back is
+	// evicted at maxAffinityEntries (see client.go).
 	affMu    sync.Mutex
-	affinity map[string]string
+	affinity map[string]*list.Element
+	affOrder *list.List
 }
 
 // ORBOption configures an ORB.
@@ -412,6 +421,33 @@ func WithPriorityOps(n int, ops ...string) ORBOption {
 func (o *ORB) SetRecoveryStatsProvider(fn func() (RecoveryScrape, bool)) {
 	o.mu.Lock()
 	o.recoveryFn = fn
+	o.mu.Unlock()
+}
+
+// SetRelayStatsProvider wires a relay plant-cache telemetry source (the
+// relay servant, when one is hosted) into the orb-admin scrape: the
+// admin servant's "relay_stats" operation calls fn on every scrape. fn
+// must be safe for concurrent use; a nil fn (or one returning ok=false)
+// makes the scrape report that no relay is hosted.
+func (o *ORB) SetRelayStatsProvider(fn func() (RelayScrape, bool)) {
+	o.mu.Lock()
+	o.relayFn = fn
+	o.mu.Unlock()
+}
+
+// SetShardAdminHandler wires a shard-map authority (hosted by
+// internal/remote beside the naming service) into the orb-admin
+// servant: every "shard_"-prefixed operation the admin servant receives
+// is forwarded to fn, so cluster operators drive resharding —
+// shard_add, shard_drain, shard_remove, shard_fetch — through the same
+// well-known orb-admin reference they already scrape. fn must be safe
+// for concurrent use; while no handler is set the admin servant answers
+// shard verbs with NO_IMPLEMENT. The indirection keeps this package
+// free of any dependency on the shard-map encoding (internal/cluster),
+// mirroring SetRecoveryStatsProvider.
+func (o *ORB) SetShardAdminHandler(fn func(ctx context.Context, op string, in *cdr.Decoder) ([]byte, error)) {
+	o.mu.Lock()
+	o.shardAdminFn = fn
 	o.mu.Unlock()
 }
 

@@ -319,6 +319,20 @@ func TestShutdownIdempotent(t *testing.T) {
 	}
 }
 
+func TestNewIORNormalizesSchemelessEndpoints(t *testing.T) {
+	ref := NewIOR("IDL:test/T:1.0", "k", "127.0.0.1:7411", "tcp:10.0.0.1:7411", "inproc:z", "")
+	want := []string{"tcp:127.0.0.1:7411", "tcp:10.0.0.1:7411", "inproc:z"}
+	got := ref.Endpoints()
+	if len(got) != len(want) {
+		t.Fatalf("endpoints = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("endpoints = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestIORStringRoundTrip(t *testing.T) {
 	ref := NewIOR("IDL:test/Echo:1.0", "abc123", "tcp:127.0.0.1:9099")
 	parsed, err := ParseIOR(ref.String())

@@ -36,6 +36,12 @@ type server struct {
 	conns map[net.Conn]struct{}
 	done  chan struct{}
 	wg    sync.WaitGroup
+
+	// baseCtx parents every dispatch on this listener; stop cancels it so
+	// long-poll servants (e.g. the shard-map watch) unpark instead of
+	// holding shutdown for their full poll round.
+	baseCtx context.Context
+	cancel  context.CancelFunc
 }
 
 // Listen starts accepting invocations on addr (e.g. "127.0.0.1:0") and
@@ -68,6 +74,7 @@ func (o *ORB) Listen(addr string) (string, error) {
 		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
+	srv.baseCtx, srv.cancel = context.WithCancel(context.Background())
 	o.srvs = append(o.srvs, srv)
 	o.bound = append(o.bound, bound)
 	o.mu.Unlock()
@@ -253,7 +260,7 @@ var adminKeyBytes = []byte(AdminKey)
 // reply body a servant returns may alias the request body it was lent (an
 // echo servant does exactly that), so the frame must outlive the encode.
 func (s *server) handle(fb *frameBuf, req wireRequest, w *frameWriter) {
-	rep := s.orb.dispatchWire(context.Background(), req)
+	rep := s.orb.dispatchWire(s.baseCtx, req)
 	enc := encodeReplyFrame(rep)
 	putFrameBuf(fb)
 	w.q <- enc
@@ -286,6 +293,7 @@ func (s *server) tryAdminSlot() bool {
 // handlers to drain.
 func (s *server) stop() {
 	close(s.done)
+	s.cancel()
 	s.ln.Close()
 	s.mu.Lock()
 	for c := range s.conns {

@@ -1,0 +1,133 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/core"
+	"github.com/extendedtx/activityservice/internal/orb"
+)
+
+// Activity-factory servant identity. activityd serves one under the
+// well-known key; the shard router aims routed begins at the factory of
+// the member owning the activity name.
+const (
+	// ActivityFactoryTypeID is the interface id of the activity factory.
+	ActivityFactoryTypeID = "IDL:ActivityService/ActivityFactory:1.0"
+	// ActivityFactoryKey is the well-known object key the factory serves
+	// under.
+	ActivityFactoryKey = "activity-factory"
+)
+
+// ActivityFactory creates activities on request and exports their
+// coordinators: operation "begin" takes an activity name and returns
+// the coordinator IOR. When the factory is sharded (WithFactoryShard),
+// every begin is admitted by the member's CheckOwner guard first, and
+// a draining core.Service converts into a WrongShard redirect too — the
+// begin never ran, so the client-side router retries it elsewhere
+// without risking double execution.
+type ActivityFactory struct {
+	svc      *core.Service
+	orb      *orb.ORB
+	delivery core.DeliveryPolicy
+	member   *ShardMember
+
+	ref    orb.IOR
+	begins atomic.Uint64
+}
+
+// FactoryOption configures a served activity factory.
+type FactoryOption func(*ActivityFactory)
+
+// WithFactoryDelivery stamps remotely begun activities with the given
+// delivery policy (remote activities coordinate remote actions — the
+// latency-bound regime parallel and tree fan-out target).
+func WithFactoryDelivery(p core.DeliveryPolicy) FactoryOption {
+	return func(f *ActivityFactory) { f.delivery = p }
+}
+
+// WithFactoryShard guards every begin with the member's shard check:
+// names this member does not own are refused with a WrongShard
+// redirect before any state is created.
+func WithFactoryShard(m *ShardMember) FactoryOption {
+	return func(f *ActivityFactory) { f.member = m }
+}
+
+// ServeActivityFactory activates an activity factory for svc on o under
+// the well-known ActivityFactoryKey.
+func ServeActivityFactory(o *orb.ORB, svc *core.Service, opts ...FactoryOption) *ActivityFactory {
+	f := &ActivityFactory{svc: svc, orb: o}
+	for _, opt := range opts {
+		opt(f)
+	}
+	f.ref = o.RegisterServantWithKey(ActivityFactoryKey, ActivityFactoryTypeID, f)
+	return f
+}
+
+// Ref returns the factory's reference.
+func (f *ActivityFactory) Ref() orb.IOR { return f.ref }
+
+// Begins returns how many activities this factory has begun — the
+// counter exactly-once tests assert on.
+func (f *ActivityFactory) Begins() uint64 { return f.begins.Load() }
+
+// Dispatch implements orb.Servant.
+func (f *ActivityFactory) Dispatch(_ context.Context, op string, in *cdr.Decoder) ([]byte, error) {
+	if op != "begin" {
+		return nil, orb.Systemf(orb.CodeBadOperation, "ActivityFactory has no operation %q", op)
+	}
+	name := in.ReadString()
+	if err := in.Err(); err != nil {
+		return nil, orb.Systemf(orb.CodeMarshal, "begin: %v", err)
+	}
+	if f.member != nil {
+		if err := f.member.CheckOwner(name); err != nil {
+			return nil, err
+		}
+	}
+	var opts []core.BeginOption
+	if f.delivery.Mode != 0 {
+		opts = append(opts, core.WithActivityDelivery(f.delivery))
+	}
+	a, err := f.svc.TryBegin(name, opts...)
+	if errors.Is(err, core.ErrServiceDraining) {
+		// The map may not have marked this member draining yet (local
+		// drain beats map propagation); answer the same redirect a shard
+		// mismatch would so the client refreshes and retries elsewhere.
+		epoch := uint64(0)
+		owner := "<draining>"
+		if f.member != nil {
+			if m := f.member.Map(); m != nil {
+				epoch = m.Epoch
+				if o, ok := m.Owner(name); ok && o.ID != f.member.ID() {
+					owner = o.ID
+				}
+			}
+		}
+		return nil, wrongShard(epoch, owner, name)
+	} else if err != nil {
+		return nil, err
+	}
+	f.begins.Add(1)
+	// Activities created remotely complete through their default set;
+	// give them one so completion collates participant responses.
+	set := core.NewSequenceSet(core.DefaultCompletionSet, "complete").
+		Collate(func(rs []core.Outcome) core.Outcome {
+			return core.Outcome{Name: "completed", Data: int64(len(rs))}
+		})
+	if err := a.RegisterSignalSet(set); err != nil {
+		_, _ = a.Complete(context.Background())
+		return nil, err
+	}
+	ref := ExportActivity(f.orb, a)
+	// Re-mint through the ORB so the reference carries every live
+	// profile (listen + advertise endpoints).
+	if minted, ok := f.orb.IOR(ref.Key); ok {
+		ref = minted
+	}
+	e := cdr.NewEncoder(64)
+	ref.Encode(e)
+	return e.Bytes(), nil
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/extendedtx/activityservice/internal/cdr"
@@ -277,6 +278,14 @@ func plantIDOf(membership []byte) string {
 type relayServant struct {
 	o *orb.ORB
 
+	// Plant-cache telemetry, exposed through the orb-admin "relay_stats"
+	// scrape so operators can size relayPlantCacheCap: sustained
+	// evictions paired with ref-batch misses mean live trees are being
+	// pushed out and re-planted every round.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
 	mu     sync.Mutex
 	plants map[string]*relayNode
 	order  []string // LRU order, most recently used last
@@ -284,12 +293,29 @@ type relayServant struct {
 
 // ServeRelay activates the relay servant on o under RelayKey and returns
 // its reference. Call it once per ORB that should act as an interior node
-// of relay trees.
+// of relay trees. The servant also wires its plant-cache telemetry into
+// o's orb-admin scrape (the "relay_stats" operation).
 func ServeRelay(o *orb.ORB) orb.IOR {
-	return o.RegisterServantWithKey(RelayKey, RelayTypeID, &relayServant{
+	s := &relayServant{
 		o:      o,
 		plants: make(map[string]*relayNode),
-	})
+	}
+	o.SetRelayStatsProvider(s.scrape)
+	return o.RegisterServantWithKey(RelayKey, RelayTypeID, s)
+}
+
+// scrape snapshots the plant-cache telemetry for the orb-admin servant.
+func (s *relayServant) scrape() (orb.RelayScrape, bool) {
+	s.mu.Lock()
+	n := len(s.plants)
+	s.mu.Unlock()
+	return orb.RelayScrape{
+		Plants:    uint32(n),
+		Capacity:  relayPlantCacheCap,
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+	}, true
 }
 
 // plant stores a membership under its id, evicting least-recently-used
@@ -305,18 +331,25 @@ func (s *relayServant) plant(id string, root *relayNode) {
 		oldest := s.order[0]
 		s.order = s.order[1:]
 		delete(s.plants, oldest)
+		s.evictions.Add(1)
 	}
 	s.plants[id] = root
 	s.order = append(s.order, id)
 }
 
-// lookup returns a planted membership, refreshing its LRU position.
+// lookup returns a planted membership, refreshing its LRU position and
+// counting the hit or miss.
 func (s *relayServant) lookup(id string) (*relayNode, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	root, ok := s.plants[id]
 	if ok {
 		s.touch(id)
+	}
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
 	}
 	return root, ok
 }

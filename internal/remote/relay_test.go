@@ -3,6 +3,7 @@ package remote
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -379,4 +380,80 @@ func FuzzDecodeRelayBatch(f *testing.F) {
 			t.Fatalf("round-trip span mismatch")
 		}
 	})
+}
+
+// TestRelayPlantCacheTelemetry pins the plant-cache counters the
+// orb-admin "relay_stats" scrape exposes: ref-batch rounds count hits,
+// a forged unknown ref counts a miss, and overflow past the cap counts
+// evictions — all visible through an AdminClient scrape over the ORB.
+func TestRelayPlantCacheTelemetry(t *testing.T) {
+	fx := newRelayFixture(t)
+	ctx := context.Background()
+	orb.ServeAdmin(fx.host)
+
+	var count atomic.Int32
+	ref := fx.exportCounting(&count)
+	tree := &core.TreeNode{Member: core.TreeMember{Index: 0, Action: ImportAction(fx.sender, ref)}}
+	deliverer := ImportAction(fx.sender, ref).(core.SubtreeDeliverer)
+
+	// Round 1 plants; rounds 2 and 3 ride the plant id (2 hits).
+	for round := 0; round < 3; round++ {
+		if _, err := deliverer.DeliverSubtree(ctx, core.Signal{Name: "r", SetName: "s"}, tree, core.RetryPolicy{Attempts: 1}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+
+	admin := orb.NewAdminClient(fx.sender, orb.AdminAt(fx.host.Endpoints()...))
+	st, ok, err := admin.RelayStats(ctx)
+	if err != nil || !ok {
+		t.Fatalf("RelayStats: ok=%v err=%v", ok, err)
+	}
+	if st.Capacity != relayPlantCacheCap {
+		t.Fatalf("scrape capacity %d, want %d", st.Capacity, relayPlantCacheCap)
+	}
+	if st.Plants != 1 || st.Hits != 2 || st.Misses != 0 {
+		t.Fatalf("after 3 rounds: plants=%d hits=%d misses=%d, want 1/2/0", st.Plants, st.Hits, st.Misses)
+	}
+
+	// A forged sender-side plant record for a tree the relay has never
+	// seen forces one unknown-ref miss (the sender replants and the
+	// delivery still lands).
+	var count2 atomic.Int32
+	ref2 := fx.exportCounting(&count2)
+	tree2 := &core.TreeNode{Member: core.TreeMember{Index: 0, Action: ImportAction(fx.sender, ref2)}}
+	me := cdr.NewEncoder(128)
+	root2, err := wireTree(tree2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encodeRelayNode(me, root2)
+	markPlanted(orb.NewIOR(RelayTypeID, RelayKey, root2.endpoints...).Endpoint(), plantIDOf(me.Bytes()))
+	if _, err := deliverer.DeliverSubtree(ctx, core.Signal{Name: "r2", SetName: "s"}, tree2, core.RetryPolicy{Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err = admin.RelayStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d after unknown ref, want 1", st.Misses)
+	}
+
+	// Overflowing the cache counts evictions.
+	s := &relayServant{o: fx.host, plants: make(map[string]*relayNode)}
+	for i := 0; i < relayPlantCacheCap+5; i++ {
+		s.plant(fmt.Sprintf("plant-%d", i), &relayNode{})
+	}
+	scrape, _ := s.scrape()
+	if scrape.Evictions != 5 || scrape.Plants != relayPlantCacheCap {
+		t.Fatalf("evictions=%d plants=%d, want 5/%d", scrape.Evictions, scrape.Plants, relayPlantCacheCap)
+	}
+
+	// An ORB with no relay reports ok=false, not an error.
+	bare := orb.New()
+	t.Cleanup(bare.Shutdown)
+	orb.ServeAdmin(bare)
+	if _, ok, err := orb.NewAdminClient(fx.sender, orb.AdminAt(bare.Endpoints()...)).RelayStats(ctx); err != nil || ok {
+		t.Fatalf("bare ORB relay scrape: ok=%v err=%v, want false/nil", ok, err)
+	}
 }
