@@ -422,6 +422,11 @@ func TestClusterDrainLosesNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Watch the map: the drain should reach this router as a shard_watch
+	// change notification, not as a WrongShard round trip.
+	rctx, rcancel := context.WithCancel(ctx)
+	t.Cleanup(rcancel)
+	go router.Run(rctx)
 	var inflight []*orb.ActivityProxy
 	var d1Keys []string
 	for i := 0; i < 4096 && len(inflight) < 5; i++ {
@@ -438,7 +443,8 @@ func TestClusterDrainLosesNothing(t *testing.T) {
 		t.Fatal("d1 owns too few keys")
 	}
 
-	if _, err := auth.Drain("d1"); err != nil {
+	drainEpoch, err := auth.Drain("d1")
+	if err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range nodes {
@@ -447,7 +453,17 @@ func TestClusterDrainLosesNothing(t *testing.T) {
 		}
 	}
 
-	// New begins for d1's keys redirect to d2 and execute exactly once.
+	// The watch loop prefetches the drained map before any begin has to
+	// discover it the hard way.
+	deadline := time.Now().Add(5 * time.Second)
+	for router.Map().Epoch < drainEpoch {
+		if time.Now().After(deadline) {
+			t.Fatalf("router never prefetched drain epoch %d (at %d)", drainEpoch, router.Map().Epoch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// New begins for d1's keys aim straight at d2 and execute exactly once.
 	d2Before := nodes["d2"].factory.Begins()
 	for _, key := range d1Keys[:2] {
 		proxy, err := router.BeginActivity(ctx, key)
@@ -460,6 +476,11 @@ func TestClusterDrainLosesNothing(t *testing.T) {
 	}
 	if got := nodes["d2"].factory.Begins(); got != d2Before+2 {
 		t.Fatalf("drained begins moved %d, want 2", got-d2Before)
+	}
+	// Zero redirects: the prefetched epoch meant no begin ever hit the
+	// draining member.
+	if st := router.Stats(); st.Redirects != 0 || st.Prefetches == 0 {
+		t.Fatalf("watching router stats = %+v, want 0 redirects and >0 prefetches", st)
 	}
 
 	// In-flight activities complete on d1; the last completion quiesces.

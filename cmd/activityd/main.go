@@ -59,6 +59,18 @@
 //	                                        # serve ots-recovery so clients
 //	                                        # fail over to this node's
 //	                                        # profile of the shared IOR
+//	activityd -member-id a -ots-log a.wal   # self-healing coordinator
+//	                                        # group, booted as its leader
+//	activityd -member-id b -ots-log b.wal -standby hostA:7411 -peer hostC:7413
+//	                                        # group standby: stream the
+//	                                        # leader, probe the peers, and
+//	                                        # stand for fenced election —
+//	                                        # highest durable LSN wins and
+//	                                        # re-drives 2PC branches plus
+//	                                        # the activity journal; a
+//	                                        # deposed leader auto-rejoins
+//	                                        # (-rejoin=false makes deposal
+//	                                        # fatal instead)
 package main
 
 import (
@@ -74,6 +86,7 @@ import (
 
 	"github.com/extendedtx/activityservice"
 	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/wal"
 	"github.com/extendedtx/activityservice/orb"
 	"github.com/extendedtx/activityservice/ots"
 )
@@ -112,6 +125,9 @@ type orbConfig struct {
 	otsLog      string
 	standby     listFlag
 	syncStandby time.Duration
+	memberID    string
+	peers       listFlag
+	rejoin      bool
 
 	shardID        string
 	shardMap       listFlag
@@ -166,6 +182,9 @@ func main() {
 	flag.StringVar(&cfg.otsLog, "ots-log", "", "file-backed transaction decision log; enables the hosted transaction service, crash recovery on boot and the ots-recovery servant")
 	flag.Var(&cfg.standby, "standby", "run as warm standby: stream the primary's decision log from this replication endpoint into -ots-log and take over when the primary dies; repeatable for a multi-homed primary")
 	flag.DurationVar(&cfg.syncStandby, "sync-standby", 0, "hold each commit decision until a standby acknowledges it, up to this long (primary; 0 = asynchronous shipping)")
+	flag.StringVar(&cfg.memberID, "member-id", "", "join a self-healing coordinator group under this member id (needs -ots-log); with -standby/-peer the node streams the current leader and stands for fenced election, without them it boots as the group's leader")
+	flag.Var(&cfg.peers, "peer", "replication endpoint of another group member, probed during leader election; repeatable (group mode)")
+	flag.BoolVar(&cfg.rejoin, "rejoin", true, "after being deposed by a higher term, automatically truncate the unreplicated WAL suffix and re-join as a streaming standby; false makes deposal fatal so an operator can inspect the log first")
 	flag.IntVar(&cfg.breaker, "breaker", 0, "consecutive call failures before an endpoint's circuit opens (0 = off)")
 	flag.DurationVar(&cfg.breakerOpen, "breaker-open", 0, "open-circuit window before a half-open probe (0 = default)")
 	flag.Float64Var(&cfg.retryRate, "retry-rate", 0, "retry-budget refill rate in tokens/second")
@@ -214,8 +233,26 @@ func run(listens []string, demo bool, cfg orbConfig, delivery activityservice.De
 	if cfg.shardID != "" && len(cfg.shardMap) == 0 && !cfg.shardAuthority {
 		return errors.New("-shard needs -shard-map (or -shard-authority to follow the local map)")
 	}
+	if cfg.memberID != "" && cfg.otsLog == "" {
+		return errors.New("-member-id needs -ots-log for this member's durable replica of the group's log")
+	}
+	if cfg.memberID == "" && len(cfg.peers) > 0 {
+		return errors.New("-peer needs -member-id")
+	}
 
-	svc := activityservice.New()
+	var svcOpts []activityservice.Option
+	var groupLog *wal.Log
+	if cfg.memberID != "" {
+		l, err := ots.OpenFileLog(cfg.otsLog)
+		if err != nil {
+			return fmt.Errorf("open group log: %w", err)
+		}
+		groupLog = l
+		// The activity journal shares the group's replicated log, so an
+		// elected leader can re-activate in-flight activity state too.
+		svcOpts = append(svcOpts, activityservice.WithJournal(l))
+	}
+	svc := activityservice.New(svcOpts...)
 	var factoryOpts []orb.FactoryOption
 	if delivery.Mode != 0 {
 		// Remotely created activities coordinate remote actions — the
@@ -289,6 +326,10 @@ func run(listens []string, demo bool, cfg orbConfig, delivery activityservice.De
 		fmt.Printf("activityd: admin servant at key %q\n", orb.AdminKey)
 	}
 	switch {
+	case cfg.memberID != "":
+		if err := runGroup(node, svc, groupLog, cfg); err != nil {
+			return err
+		}
 	case len(cfg.standby) > 0:
 		if cfg.otsLog == "" {
 			return errors.New("-standby needs -ots-log for the local replica of the primary's decision log")
@@ -379,6 +420,70 @@ func runStandby(node *orb.ORB, path string, primaries []string) error {
 			stats.ResourcesFailed, stats.ResourcesHeuristic)
 		fmt.Printf("activityd: recovery servant at key %q, replication at key %q\n",
 			orb.RecoveryKey, orb.ReplicationKey)
+	}()
+	return nil
+}
+
+// runGroup hosts one member of a self-healing coordinator group. The
+// durable log carries both the transaction decisions and the activity
+// journal; replication ships it to every standby, and fenced leader
+// election picks the member with the highest durable watermark when the
+// leader dies. Takeover re-drives in-doubt transaction branches and
+// re-activates the in-flight activity tree from the journal. A deposed
+// leader truncates its unreplicated suffix and re-joins as a streaming
+// standby of the new term (unless -rejoin=false, which makes deposal
+// fatal so an operator can inspect the log first).
+func runGroup(node *orb.ORB, svc *activityservice.Service, log *wal.Log, cfg orbConfig) error {
+	var g *orb.GroupMember
+	takeover := func(ctx context.Context) error {
+		extra := []ots.Option{ots.WithDecisionGate(g.Primary().DecisionGate(cfg.syncStandby))}
+		res, err := orb.HostRecovery(node, log, extra...)
+		if err != nil {
+			return err
+		}
+		stats := res.Stats
+		fmt.Printf("activityd: group leader (term %d): replayed %d decisions (%d committed, %d missing, %d failed, %d heuristic)\n",
+			log.KnownTerm(), stats.DecisionsReplayed, stats.ResourcesCommitted, stats.ResourcesMissing,
+			stats.ResourcesFailed, stats.ResourcesHeuristic)
+		roots, err := svc.Recover(log)
+		if err != nil {
+			return fmt.Errorf("activity journal takeover: %w", err)
+		}
+		fmt.Printf("activityd: activity journal activated %d in-flight root activities\n", len(roots))
+		return nil
+	}
+	g = orb.NewGroupMember(node, log, orb.GroupConfig{
+		MemberID:   cfg.memberID,
+		Peers:      cfg.peers,
+		LeaderHint: cfg.standby,
+		Takeover:   takeover,
+		OnDemote: func(term uint64, leader string) {
+			if !cfg.rejoin {
+				fmt.Fprintf(os.Stderr, "activityd: deposed by term %d (leader %q); -rejoin=false, exiting for operator inspection\n", term, leader)
+				os.Exit(3)
+			}
+			fmt.Printf("activityd: deposed by term %d (leader %q) — re-joining as standby\n", term, leader)
+		},
+	})
+	g.InstallAdminScrape()
+
+	if len(cfg.standby) == 0 && len(cfg.peers) == 0 {
+		// Nothing to follow or probe: boot as the group's leader.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := g.Promote(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("group promote: %w", err)
+		}
+		fmt.Printf("activityd: group member %q leading term %d\n", cfg.memberID, log.KnownTerm())
+	} else {
+		fmt.Printf("activityd: group member %q standing by (leader hint %s, %d peers)\n",
+			cfg.memberID, strings.Join(cfg.standby, ","), len(cfg.peers))
+	}
+	go func() {
+		if err := g.Run(context.Background()); err != nil && !errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "activityd: group member stopped:", err)
+		}
 	}()
 	return nil
 }

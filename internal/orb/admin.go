@@ -78,6 +78,21 @@ func (s *adminServant) Dispatch(ctx context.Context, op string, in *cdr.Decoder)
 			encodeRecoveryScrape(e, st)
 		}
 		return e.Bytes(), nil
+	case "replication_stats":
+		s.orb.mu.RLock()
+		fn := s.orb.replFn
+		s.orb.mu.RUnlock()
+		e := cdr.NewEncoder(128)
+		var st ReplicationScrape
+		ok := false
+		if fn != nil {
+			st, ok = fn()
+		}
+		e.WriteBool(ok)
+		if ok {
+			encodeReplicationScrape(e, st)
+		}
+		return e.Bytes(), nil
 	case "relay_stats":
 		s.orb.mu.RLock()
 		fn := s.orb.relayFn
@@ -224,6 +239,110 @@ func (c *AdminClient) RecoveryStats(ctx context.Context) (RecoveryScrape, bool, 
 		return RecoveryScrape{}, false, Systemf(CodeMarshal, "recovery_stats reply: %v", err)
 	}
 	return st, ok, nil
+}
+
+// FollowerLag is one follower's acknowledgement position in a
+// ReplicationScrape: how far behind the leader's last durable LSN its ack
+// watermark sits.
+type FollowerLag struct {
+	// ID is the follower's member ID ("" for an anonymous follower).
+	ID string
+	// Acked is the highest LSN the follower has acknowledged as durable.
+	Acked uint64
+	// Lag is the leader's last LSN minus Acked (0 when caught up).
+	Lag uint64
+}
+
+// ReplicationScrape is the coordinator-group state an ORB exposes through
+// the orb-admin servant's "replication_stats" operation, wired in by the
+// group member with SetReplicationStatsProvider. Operators watch Term and
+// LastElectionMillis to spot churn, and Followers to spot a standby
+// falling behind the decision barrier.
+type ReplicationScrape struct {
+	// MemberID names the scraped member.
+	MemberID string
+	// Role is "leader" or "follower".
+	Role string
+	// Term is the member's durable term.
+	Term uint64
+	// TermLeader is the member that claimed the term.
+	TermLeader string
+	// LeaderID is the leader this member currently follows (its own ID
+	// while leading, "" while searching).
+	LeaderID string
+	// LastLSN is the member's last durable LSN.
+	LastLSN uint64
+	// Fenced reports whether the member's local appends are fenced off.
+	Fenced bool
+	// LastElectionMillis is when this member last won an election (Unix
+	// milliseconds, 0 for never).
+	LastElectionMillis int64
+	// Elections counts this member's election wins.
+	Elections uint64
+	// Followers is the per-follower ack lag, leader-side only, sorted by
+	// ID.
+	Followers []FollowerLag
+}
+
+// ReplicationStats scrapes the remote ORB's coordinator-group state. The
+// second return is false when the remote process hosts no replication
+// group.
+func (c *AdminClient) ReplicationStats(ctx context.Context) (ReplicationScrape, bool, error) {
+	body, err := c.orb.Invoke(ctx, c.ref, "replication_stats", nil)
+	if err != nil {
+		return ReplicationScrape{}, false, fmt.Errorf("admin replication_stats: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	ok := d.ReadBool()
+	var st ReplicationScrape
+	if ok {
+		st = decodeReplicationScrape(d)
+	}
+	if err := d.Err(); err != nil {
+		return ReplicationScrape{}, false, Systemf(CodeMarshal, "replication_stats reply: %v", err)
+	}
+	return st, ok, nil
+}
+
+func encodeReplicationScrape(e *cdr.Encoder, st ReplicationScrape) {
+	e.WriteString(st.MemberID)
+	e.WriteString(st.Role)
+	e.WriteUint64(st.Term)
+	e.WriteString(st.TermLeader)
+	e.WriteString(st.LeaderID)
+	e.WriteUint64(st.LastLSN)
+	e.WriteBool(st.Fenced)
+	e.WriteInt64(st.LastElectionMillis)
+	e.WriteUint64(st.Elections)
+	e.WriteUint32(uint32(len(st.Followers)))
+	for _, f := range st.Followers {
+		e.WriteString(f.ID)
+		e.WriteUint64(f.Acked)
+		e.WriteUint64(f.Lag)
+	}
+}
+
+func decodeReplicationScrape(d *cdr.Decoder) ReplicationScrape {
+	st := ReplicationScrape{
+		MemberID:           d.ReadString(),
+		Role:               d.ReadString(),
+		Term:               d.ReadUint64(),
+		TermLeader:         d.ReadString(),
+		LeaderID:           d.ReadString(),
+		LastLSN:            d.ReadUint64(),
+		Fenced:             d.ReadBool(),
+		LastElectionMillis: d.ReadInt64(),
+		Elections:          d.ReadUint64(),
+	}
+	n := d.ReadUint32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		st.Followers = append(st.Followers, FollowerLag{
+			ID:    d.ReadString(),
+			Acked: d.ReadUint64(),
+			Lag:   d.ReadUint64(),
+		})
+	}
+	return st
 }
 
 // RelayScrape is the relay plant-cache telemetry an ORB exposes through

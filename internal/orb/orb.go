@@ -167,8 +167,9 @@ type ORB struct {
 	bound      []string // "tcp:host:port" per listener, in Listen order
 	advertised []string // endpoints minted into IORs instead of bound
 	shutdown   bool
-	recoveryFn func() (RecoveryScrape, bool) // feeds the recovery_stats scrape
-	relayFn    func() (RelayScrape, bool)    // feeds the relay_stats scrape
+	recoveryFn func() (RecoveryScrape, bool)    // feeds the recovery_stats scrape
+	relayFn    func() (RelayScrape, bool)       // feeds the relay_stats scrape
+	replFn     func() (ReplicationScrape, bool) // feeds the replication_stats scrape
 	// shardAdminFn handles the "shard_*" operations the admin servant
 	// forwards (see SetShardAdminHandler); nil when this process hosts
 	// no shard-map authority.
@@ -432,6 +433,18 @@ func (o *ORB) SetRecoveryStatsProvider(fn func() (RecoveryScrape, bool)) {
 func (o *ORB) SetRelayStatsProvider(fn func() (RelayScrape, bool)) {
 	o.mu.Lock()
 	o.relayFn = fn
+	o.mu.Unlock()
+}
+
+// SetReplicationStatsProvider wires a coordinator-group state source (the
+// replication group member, when one is hosted) into the orb-admin
+// scrape: the admin servant's "replication_stats" operation calls fn on
+// every scrape. fn must be safe for concurrent use; a nil fn (or one
+// returning ok=false) makes the scrape report that no replication group
+// is hosted.
+func (o *ORB) SetReplicationStatsProvider(fn func() (ReplicationScrape, bool)) {
+	o.mu.Lock()
+	o.replFn = fn
 	o.mu.Unlock()
 }
 

@@ -130,6 +130,14 @@ func (t *Transaction) logDecision(prepared []registeredResource) error {
 	if err != nil {
 		return err
 	}
+	if t.svc.decisionGate != nil {
+		// A veto (the leader was deposed mid-commit) unwinds to rollback
+		// before the decision reaches the recovery view: the orphan record
+		// below is cut by the rejoin truncation, never replayed.
+		if err := t.svc.decisionGate(lsn); err != nil {
+			return fmt.Errorf("decision gate vetoed: %w", err)
+		}
+	}
 	t.svc.noteDecision(decisionRecord{tx: t.id, names: names})
 	if t.svc.decisionBarrier != nil {
 		t.svc.decisionBarrier(lsn)

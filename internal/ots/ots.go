@@ -56,6 +56,7 @@ type Service struct {
 
 	hook            func(Event)
 	decisionBarrier func(lsn uint64)
+	decisionGate    func(lsn uint64) error
 
 	mu       sync.Mutex
 	inflight map[ids.UID]*Transaction
@@ -123,6 +124,27 @@ func WithEventHook(fn func(Event)) Option {
 // shipping. It runs inline on the committing goroutine.
 func WithDecisionBarrier(fn func(lsn uint64)) Option {
 	return optionFunc(func(s *Service) { s.decisionBarrier = fn })
+}
+
+// WithDecisionGate installs an error-returning barrier invoked after each
+// commit decision is appended to the local log but before the decision is
+// folded into the recovery view or any phase-two delivery starts. Unlike
+// WithDecisionBarrier, the gate CAN veto: a coordinator-group leader uses
+// it to detect that it was deposed (fenced) between appending the
+// decision and releasing phase two — the new leader's history does not
+// contain the decision, so delivering commits from it would split the
+// outcome. A vetoed decision unwinds exactly like a failed append: every
+// prepared participant is rolled back and the terminator sees
+// ErrRolledBack. The orphan decision record left in the deposed leader's
+// log is removed by its automatic rejoin truncation (it is beyond the new
+// term's start, so it is never replayed by any elected leader); the
+// deposed process must rejoin before running Recover on that log. A slow
+// standby must NOT veto — only a raised fence should; timeouts should
+// degrade to asynchronous shipping as with the barrier. The gate runs
+// inline on the committing goroutine, before the barrier when both are
+// set.
+func WithDecisionGate(fn func(lsn uint64) error) Option {
+	return optionFunc(func(s *Service) { s.decisionGate = fn })
 }
 
 // NewService returns a transaction service.
@@ -468,7 +490,10 @@ func (t *Transaction) completeTopLevel(resources []registeredResource, reportHeu
 			t.deliverRollback(p)
 		}
 		t.setStatus(StatusRolledBack)
-		return fmt.Errorf("%w: decision log: %v", ErrRolledBack, err)
+		// Both wrapped: callers unwind on ErrRolledBack, and a decision-gate
+		// veto keeps its cause inspectable (a deposed coordinator's FENCED
+		// system exception carries the leader hint clients redirect on).
+		return fmt.Errorf("%w: decision log: %w", ErrRolledBack, err)
 	}
 	t.svc.emit(Event{Tx: t.id, Stage: StageDecisionLogged})
 

@@ -1,0 +1,558 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/extendedtx/activityservice/internal/cdr"
+	"github.com/extendedtx/activityservice/internal/orb"
+	"github.com/extendedtx/activityservice/internal/wal"
+)
+
+// Self-healing coordinator group: N members share one replicated WAL
+// behind the wal-replication servant, exactly one of them leads, and the
+// group survives any sequence of member deaths short of total loss
+// without operator intervention.
+//
+// The moving parts:
+//
+//   - Every member serves the replication servant from birth — followers
+//     answer repl_state (their stream position feeds elections) and
+//     repl_claim (a candidate's leadership claim) even while they stream.
+//   - Leadership is a durable term (wal.KindTerm) in the log itself; the
+//     election is driven by the fetch-ack machinery: when a follower's
+//     takeover budget declares the leader lost, it polls its peers'
+//     repl_state and the member holding the highest durable LSN claims
+//     the next term (member-ID tiebreak, lowest wins). Peers accept a
+//     claim only from a candidate whose log is at least as long as their
+//     own — the decision barrier made the winner's log contain every
+//     decision a surviving member has seen, so "highest durable LSN wins"
+//     cannot orphan a committed decision.
+//   - A deposed leader is fenced, not corrupted: the claim (or any fetch
+//     from a follower that out-terms it) fences its local append path, so
+//     a decision racing phase two fails FENCED and unwinds to rollback.
+//   - Re-join is automatic: a dead leader restarted on its old WAL
+//     streams from the new leader, is answered replFenced with the exact
+//     truncation bound (the first term start beyond its own), cuts its
+//     unreplicated suffix crash-atomically, and demotes to a streaming
+//     standby. No role flags change.
+type GroupRole int32
+
+// Group roles.
+const (
+	// RoleFollower streams the leader's WAL.
+	RoleFollower GroupRole = iota
+	// RoleLeader hosts the live coordinator state and serves appends.
+	RoleLeader
+)
+
+// String implements fmt.Stringer.
+func (r GroupRole) String() string {
+	if r == RoleLeader {
+		return "leader"
+	}
+	return "follower"
+}
+
+// errRepointed reports that a follower stream was cancelled because the
+// member learned of a different leader (an accepted claim, a fenced-reply
+// hint) and should re-aim, not elect.
+var errRepointed = errors.New("remote: follower repointed to a new leader")
+
+// GroupConfig configures one coordinator-group member.
+type GroupConfig struct {
+	// MemberID names this member; it keys ack watermarks, breaks election
+	// ties (lowest wins) and names terms. Must be unique in the group.
+	MemberID string
+	// Peers are the replication endpoints of the other members.
+	Peers []string
+	// LeaderHint is where to start streaming from (typically the initial
+	// primary). Empty means discover by polling peers.
+	LeaderHint []string
+	// Takeover activates the recovered coordinator state when this member
+	// becomes leader: re-host OTS recovery, replay the activity journal,
+	// re-register factories — whatever the deployment hosts. It runs after
+	// the new term is durable. A nil Takeover only claims the term.
+	Takeover func(ctx context.Context) error
+	// OnDemote observes this member being deposed while leading (the new
+	// term and leader ID). The log is already fenced when it runs.
+	OnDemote func(term uint64, leaderID string)
+	// Poll is the follower long-poll per fetch (default 2s).
+	Poll time.Duration
+	// Policy says when the follower declares the leader lost.
+	Policy TakeoverPolicy
+	// ElectionRetry is the pause between election rounds when deferring to
+	// a better-positioned candidate or after a rejected claim (default
+	// 50ms).
+	ElectionRetry time.Duration
+	// ProbeTimeout bounds each repl_state/repl_claim call during an
+	// election round (default 1s).
+	ProbeTimeout time.Duration
+}
+
+// GroupMember is one member of a self-healing coordinator group.
+type GroupMember struct {
+	o       *orb.ORB
+	log     *wal.Log
+	cfg     GroupConfig
+	primary *ReplicationPrimary
+	ref     orb.IOR
+
+	mu           sync.Mutex
+	role         GroupRole
+	leaderID     string
+	leaderEps    []string
+	lastElection time.Time
+	elections    uint64
+	repoint      chan struct{} // closed and renewed when leadership knowledge changes
+}
+
+// NewGroupMember registers the group-aware replication servant for log on
+// o and returns the member, initially a follower. Call Promote to boot it
+// as the group's first leader, Run to stream/elect.
+func NewGroupMember(o *orb.ORB, log *wal.Log, cfg GroupConfig) *GroupMember {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 2 * time.Second
+	}
+	if cfg.Policy.Failures <= 0 {
+		cfg.Policy.Failures = 3
+	}
+	if cfg.Policy.Retry <= 0 {
+		cfg.Policy.Retry = 100 * time.Millisecond
+	}
+	if cfg.ElectionRetry <= 0 {
+		cfg.ElectionRetry = 50 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	g := &GroupMember{
+		o:         o,
+		log:       log,
+		cfg:       cfg,
+		leaderEps: append([]string(nil), cfg.LeaderHint...),
+		repoint:   make(chan struct{}),
+	}
+	g.primary, g.ref, _ = serveReplication(o, log, groupHooks{
+		info:    g.info,
+		claim:   g.handleClaim,
+		deposed: g.noteDeposed,
+	})
+	return g
+}
+
+// Primary returns the member's replication handle (ack watermarks, the
+// decision gate). It is live in every role; watermarks only advance while
+// this member leads.
+func (g *GroupMember) Primary() *ReplicationPrimary { return g.primary }
+
+// Ref returns the member's replication servant reference.
+func (g *GroupMember) Ref() orb.IOR { return g.ref }
+
+// Role returns the member's current role.
+func (g *GroupMember) Role() GroupRole {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.role
+}
+
+// Leader returns the group's current leader as this member knows it.
+func (g *GroupMember) Leader() (id string, endpoints []string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.leaderID, append([]string(nil), g.leaderEps...)
+}
+
+// info feeds repl_state.
+func (g *GroupMember) info() (string, bool, int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var at int64
+	if !g.lastElection.IsZero() {
+		at = g.lastElection.UnixMilli()
+	}
+	return g.cfg.MemberID, g.role == RoleLeader, at
+}
+
+// signalLocked wakes everything blocked on leadership knowledge. The
+// caller must hold g.mu.
+func (g *GroupMember) signalLocked() {
+	close(g.repoint)
+	g.repoint = make(chan struct{})
+}
+
+// handleClaim is the servant's claim hook: accept iff the term is new and
+// the claimant's log subsumes ours, then repoint to the claimant. A
+// rejected claim answers FENCED so the stale candidate backs off.
+func (g *GroupMember) handleClaim(term uint64, leaderID string, claimEpoch, claimLast uint64, endpoints []string) error {
+	if known := g.log.KnownTerm(); term <= known {
+		id, _ := g.Leader()
+		return orb.Systemf(orb.CodeFenced, "term=%d leader=%s claim for stale term %d", known, id, term)
+	}
+	epoch, _ := g.log.State()
+	if last := g.log.LastLSN(); claimEpoch == epoch && claimLast < last {
+		return orb.Systemf(orb.CodeFenced, "term=%d higher durable lsn %d > claimant %d", g.log.KnownTerm(), last, claimLast)
+	}
+	g.log.Fence(term)
+	g.mu.Lock()
+	wasLeader := g.role == RoleLeader
+	g.role = RoleFollower
+	g.leaderID = leaderID
+	g.leaderEps = append([]string(nil), endpoints...)
+	g.signalLocked()
+	g.mu.Unlock()
+	if wasLeader && g.cfg.OnDemote != nil {
+		g.cfg.OnDemote(term, leaderID)
+	}
+	return nil
+}
+
+// noteDeposed is the servant's fetch hook: a follower's term proved this
+// member stale. The log is already fenced; drop the leader role and let
+// Run discover the real leader.
+func (g *GroupMember) noteDeposed(term uint64) {
+	g.mu.Lock()
+	wasLeader := g.role == RoleLeader
+	g.role = RoleFollower
+	g.leaderID = ""
+	g.leaderEps = nil
+	g.signalLocked()
+	g.mu.Unlock()
+	if wasLeader && g.cfg.OnDemote != nil {
+		g.cfg.OnDemote(term, "")
+	}
+}
+
+// noteFencedReply records a leader hint carried on a replFenced fetch
+// reply.
+func (g *GroupMember) noteFencedReply(term uint64, leaderID string, endpoints []string) {
+	if len(endpoints) == 0 {
+		return
+	}
+	g.mu.Lock()
+	g.leaderID = leaderID
+	g.leaderEps = append([]string(nil), endpoints...)
+	g.signalLocked()
+	g.mu.Unlock()
+}
+
+// Promote makes this member the group's leader: it durably claims the
+// next term and runs the Takeover callback. The group's first leader
+// promotes at boot; election winners go through the same path.
+func (g *GroupMember) Promote(ctx context.Context) error {
+	return g.becomeLeader(ctx, g.log.KnownTerm()+1)
+}
+
+// becomeLeader claims term durably, flips the role and activates the
+// hosted state.
+func (g *GroupMember) becomeLeader(ctx context.Context, term uint64) error {
+	if _, err := g.log.AdoptTerm(term, g.cfg.MemberID); err != nil {
+		return fmt.Errorf("remote: claim term %d: %w", term, err)
+	}
+	g.mu.Lock()
+	g.role = RoleLeader
+	g.leaderID = g.cfg.MemberID
+	g.leaderEps = append([]string(nil), g.o.Endpoints()...)
+	g.lastElection = time.Now()
+	g.elections++
+	g.signalLocked()
+	g.mu.Unlock()
+	if g.cfg.Takeover != nil {
+		if err := g.cfg.Takeover(ctx); err != nil {
+			return fmt.Errorf("remote: takeover as term-%d leader: %w", term, err)
+		}
+	}
+	return nil
+}
+
+// Run operates the member until ctx ends: stream the leader while a
+// follower, hold the role while the leader, elect when the leader is
+// lost. It returns nil on ctx cancellation and the takeover error if
+// activating won leadership fails.
+func (g *GroupMember) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if g.Role() == RoleLeader {
+			g.mu.Lock()
+			ch := g.repoint
+			g.mu.Unlock()
+			if g.Role() != RoleLeader {
+				continue
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-ch:
+			}
+			continue
+		}
+		err := g.followOnce(ctx)
+		switch {
+		case ctx.Err() != nil:
+			return nil
+		case errors.Is(err, errRepointed):
+			// loop: stream the new leader
+		case errors.Is(err, ErrPrimaryLost):
+			if err := g.elect(ctx); err != nil {
+				return err
+			}
+		case err != nil:
+			sleepCtx(ctx, g.cfg.ElectionRetry)
+		}
+	}
+}
+
+// followOnce streams the known leader until the stream ends: repointed
+// (errRepointed), leader lost (ErrPrimaryLost), promoted by an election
+// we ran meanwhile, or ctx done (nil).
+func (g *GroupMember) followOnce(ctx context.Context) error {
+	g.mu.Lock()
+	eps := append([]string(nil), g.leaderEps...)
+	repoint := g.repoint
+	g.mu.Unlock()
+	if len(eps) == 0 {
+		return ErrPrimaryLost // nothing to follow; elect (which also discovers leaders)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-repoint:
+			cancel()
+		case <-runCtx.Done():
+		}
+	}()
+	f := NewReplicationFollower(g.o, ReplicationAt(eps...), g.log,
+		WithFollowerID(g.cfg.MemberID),
+		WithPollTimeout(g.cfg.Poll),
+		WithTakeoverPolicy(g.cfg.Policy),
+		WithFencedObserver(g.noteFencedReply))
+	err := f.Run(runCtx)
+	if err == nil && ctx.Err() == nil {
+		return errRepointed
+	}
+	return err
+}
+
+// peerState is one peer's repl_state during an election round.
+type peerState struct {
+	endpoint string
+	st       ReplState
+}
+
+// elect runs election rounds until this member wins, discovers a live
+// leader, or ctx ends. One round: poll every peer's repl_state; follow
+// any live leader with a term we do not beat; defer to any reachable
+// candidate with a longer log (or an equal log and a smaller member ID);
+// otherwise claim max(term)+1 from every reachable peer and take over.
+func (g *GroupMember) elect(ctx context.Context) error {
+	g.mu.Lock()
+	g.leaderID = ""
+	g.leaderEps = nil
+	g.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		// A claim may have arrived while we were polling: follow it.
+		if id, eps := g.Leader(); id != "" && len(eps) > 0 {
+			return nil
+		}
+		myLast := g.log.LastLSN()
+		myKnown := g.log.KnownTerm()
+		peers := g.pollPeers(ctx)
+		maxTerm := myKnown
+		defer_ := false
+		for _, p := range peers {
+			if p.st.Term > maxTerm {
+				maxTerm = p.st.Term
+			}
+			if p.st.IsLeader && p.st.Term >= myKnown {
+				// A live leader exists; follow it.
+				g.mu.Lock()
+				g.leaderID = p.st.MemberID
+				g.leaderEps = []string{p.endpoint}
+				g.signalLocked()
+				g.mu.Unlock()
+				return nil
+			}
+			last := p.st.NextLSN - 1
+			if last > myLast || (last == myLast && p.st.MemberID < g.cfg.MemberID) {
+				defer_ = true
+			}
+		}
+		if defer_ {
+			// A better-positioned member exists; give its claim time to
+			// arrive before re-polling.
+			sleepCtx(ctx, g.cfg.ElectionRetry)
+			continue
+		}
+		term := maxTerm + 1
+		if g.claimFrom(ctx, peers, term, myLast) {
+			return g.becomeLeader(ctx, term)
+		}
+		sleepCtx(ctx, g.cfg.ElectionRetry)
+	}
+}
+
+// pollPeers fetches every peer's repl_state concurrently; unreachable
+// peers are dropped — a dead member cannot vote and cannot be orphaned by
+// an election it does not see (it rejoins through the fence instead).
+func (g *GroupMember) pollPeers(ctx context.Context) []peerState {
+	type res struct {
+		ps peerState
+		ok bool
+	}
+	out := make(chan res, len(g.cfg.Peers))
+	for _, ep := range g.cfg.Peers {
+		go func(ep string) {
+			probeCtx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+			defer cancel()
+			st, err := FetchReplState(probeCtx, g.o, ep)
+			out <- res{peerState{endpoint: ep, st: st}, err == nil}
+		}(ep)
+	}
+	var peers []peerState
+	for range g.cfg.Peers {
+		if r := <-out; r.ok {
+			peers = append(peers, r.ps)
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].st.MemberID < peers[j].st.MemberID })
+	return peers
+}
+
+// claimFrom sends repl_claim to every reachable peer; any FENCED
+// rejection abandons the claim (someone knows a higher term or a longer
+// log).
+func (g *GroupMember) claimFrom(ctx context.Context, peers []peerState, term, myLast uint64) bool {
+	epoch, _ := g.log.State()
+	self := g.o.Endpoints()
+	for _, p := range peers {
+		probeCtx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+		e := cdr.NewEncoder(64)
+		e.WriteUint64(term)
+		e.WriteString(g.cfg.MemberID)
+		e.WriteUint64(epoch)
+		e.WriteUint64(myLast)
+		e.WriteStringList(self)
+		_, err := g.o.Invoke(probeCtx, ReplicationAt(p.endpoint), "repl_claim", e.Bytes())
+		cancel()
+		if orb.IsSystem(err, orb.CodeFenced) {
+			return false
+		}
+		// Peers that died between the poll and the claim do not block the
+		// election — they rejoin through the fence later.
+	}
+	return true
+}
+
+// Scrape reports the member's group state for the orb-admin surface.
+func (g *GroupMember) Scrape() orb.ReplicationScrape {
+	g.mu.Lock()
+	role := g.role
+	leaderID := g.leaderID
+	lastElection := int64(0)
+	if !g.lastElection.IsZero() {
+		lastElection = g.lastElection.UnixMilli()
+	}
+	elections := g.elections
+	g.mu.Unlock()
+	ts := g.log.TermState()
+	last := g.log.LastLSN()
+	sc := orb.ReplicationScrape{
+		MemberID:           g.cfg.MemberID,
+		Role:               role.String(),
+		Term:               ts.Term,
+		TermLeader:         ts.Leader,
+		LeaderID:           leaderID,
+		LastLSN:            last,
+		Fenced:             ts.Fenced,
+		LastElectionMillis: lastElection,
+		Elections:          elections,
+	}
+	if role == RoleLeader {
+		for id, acked := range g.primary.FollowerAcks() {
+			lag := uint64(0)
+			if last > acked {
+				lag = last - acked
+			}
+			sc.Followers = append(sc.Followers, orb.FollowerLag{ID: id, Acked: acked, Lag: lag})
+		}
+		sort.Slice(sc.Followers, func(i, j int) bool { return sc.Followers[i].ID < sc.Followers[j].ID })
+	}
+	return sc
+}
+
+// InstallAdminScrape wires this member's group state into o's orb-admin
+// servant (the "replication_stats" verb).
+func (g *GroupMember) InstallAdminScrape() {
+	g.o.SetReplicationStatsProvider(func() (orb.ReplicationScrape, bool) {
+		return g.Scrape(), true
+	})
+}
+
+// ReplState is a decoded repl_state reply: the peer's stream position and
+// group identity.
+type ReplState struct {
+	// Epoch and NextLSN are the peer log's replication position.
+	Epoch, NextLSN uint64
+	// Acked is the most advanced watermark a follower acknowledged to the
+	// peer (meaningful while it leads).
+	Acked uint64
+	// Term and TermStart mirror the peer's durable term state.
+	Term, TermStart uint64
+	// TermLeader is the member that claimed the peer's term.
+	TermLeader string
+	// MemberID is the peer's group identity ("" for a plain
+	// ServeReplication primary).
+	MemberID string
+	// IsLeader reports whether the peer currently leads its group.
+	IsLeader bool
+	// LastElectionMillis is when the peer last won an election (Unix
+	// milliseconds, 0 for never).
+	LastElectionMillis int64
+}
+
+// FetchReplState polls the replication servant at endpoint for its stream
+// position and group identity.
+func FetchReplState(ctx context.Context, o *orb.ORB, endpoint string) (ReplState, error) {
+	body, err := o.Invoke(ctx, ReplicationAt(endpoint), "repl_state", nil)
+	if err != nil {
+		return ReplState{}, fmt.Errorf("repl_state: %w", err)
+	}
+	d := cdr.NewDecoder(body)
+	st := ReplState{
+		Epoch:   d.ReadUint64(),
+		NextLSN: d.ReadUint64(),
+		Acked:   d.ReadUint64(),
+	}
+	if d.Err() == nil && d.Remaining() > 0 {
+		st.Term = d.ReadUint64()
+		st.TermStart = d.ReadUint64()
+		st.TermLeader = d.ReadString()
+		st.MemberID = d.ReadString()
+		st.IsLeader = d.ReadBool()
+		st.LastElectionMillis = d.ReadInt64()
+	}
+	if err := d.Err(); err != nil {
+		return ReplState{}, orb.Systemf(orb.CodeMarshal, "repl_state reply: %v", err)
+	}
+	return st, nil
+}
+
+// sleepCtx pauses for d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+}

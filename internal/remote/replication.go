@@ -45,46 +45,95 @@ var ErrPrimaryLost = errors.New("remote: replication primary lost")
 const (
 	replOK            = 0
 	replEpochMismatch = 1
+	// replFenced tells the fetching follower its stream position belongs
+	// to a deposed term: either the follower holds an unreplicated suffix
+	// it must truncate before streaming (rejoin), or the *server* just
+	// learned from the follower's term that it has itself been deposed.
+	replFenced = 2
 )
 
 // ReplicationPrimary is the primary-side handle returned by
-// ServeReplication: it tracks the follower acknowledgement watermark and
-// lets the commit path wait on it.
+// ServeReplication: it tracks per-follower acknowledgement watermarks and
+// lets the commit path wait on them.
 type ReplicationPrimary struct {
 	log *wal.Log
 
 	mu    sync.Mutex
-	acked uint64
-	ackCh chan struct{} // closed and renewed whenever acked advances
+	acked uint64            // the most advanced follower watermark
+	acks  map[string]uint64 // per-follower watermarks, keyed by follower ID
+	ackCh chan struct{}     // closed and renewed whenever any watermark advances
 }
 
-// noteAck records that a follower has durably applied every record with
+// noteAck records that follower id has durably applied every record with
 // LSN at or below lsn.
-func (p *ReplicationPrimary) noteAck(lsn uint64) {
+func (p *ReplicationPrimary) noteAck(id string, lsn uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	moved := false
+	if lsn > p.acks[id] {
+		p.acks[id] = lsn
+		moved = true
+	}
 	if lsn > p.acked {
 		p.acked = lsn
+		moved = true
+	}
+	if moved {
 		close(p.ackCh)
 		p.ackCh = make(chan struct{})
 	}
 }
 
-// Acked returns the highest LSN a follower has acknowledged as durable.
+// Acked returns the highest LSN any follower has acknowledged as durable.
 func (p *ReplicationPrimary) Acked() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.acked
 }
 
+// FollowerAcks returns a copy of the per-follower ack watermarks (the
+// admin scrape reports them as lag against the log's last LSN). Followers
+// that never sent an ID are aggregated under "".
+func (p *ReplicationPrimary) FollowerAcks() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.acks))
+	for id, lsn := range p.acks {
+		out[id] = lsn
+	}
+	return out
+}
+
+// ackedByNLocked reports whether at least n followers have acknowledged
+// lsn. The caller must hold p.mu.
+func (p *ReplicationPrimary) ackedByNLocked(lsn uint64, n int) bool {
+	if n <= 1 {
+		return p.acked >= lsn
+	}
+	count := 0
+	for _, a := range p.acks {
+		if a >= lsn {
+			count++
+		}
+	}
+	return count >= n
+}
+
 // WaitForAck blocks until a follower has acknowledged lsn (reporting true)
-// or timeout elapses (false). With multiple standbys the watermark is the
-// most advanced one — the deployment story is one warm standby.
+// or timeout elapses (false).
 func (p *ReplicationPrimary) WaitForAck(lsn uint64, timeout time.Duration) bool {
+	return p.WaitForAckN(lsn, 1, timeout)
+}
+
+// WaitForAckN blocks until at least n distinct followers have acknowledged
+// lsn (reporting true) or timeout elapses (false). A coordinator group
+// running semi-synchronous replication across N standbys waits for the
+// quorum it wants here; n <= 1 waits on the most advanced watermark.
+func (p *ReplicationPrimary) WaitForAckN(lsn uint64, n int, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
 		p.mu.Lock()
-		if p.acked >= lsn {
+		if p.ackedByNLocked(lsn, n) {
 			p.mu.Unlock()
 			return true
 		}
@@ -113,10 +162,50 @@ func (p *ReplicationPrimary) DecisionBarrier(timeout time.Duration) func(lsn uin
 	return func(lsn uint64) { p.WaitForAck(lsn, timeout) }
 }
 
+// DecisionGate adapts the barrier to ots.WithDecisionGate, adding the
+// fence check the barrier cannot express: if this member was deposed
+// between appending the decision and releasing phase two, the gate vetoes
+// the commit — the new leader's history does not contain the decision, so
+// delivering it would split the outcome. As with DecisionBarrier, a slow
+// standby only degrades to asynchronous shipping; only a raised fence
+// vetoes.
+func (p *ReplicationPrimary) DecisionGate(timeout time.Duration) func(lsn uint64) error {
+	return func(lsn uint64) error {
+		if err := p.fenceCheck(); err != nil {
+			return err
+		}
+		p.WaitForAck(lsn, timeout)
+		return p.fenceCheck()
+	}
+}
+
+// fenceCheck surfaces a raised fence as the FENCED system exception.
+func (p *ReplicationPrimary) fenceCheck() error {
+	if !p.log.Fenced() {
+		return nil
+	}
+	return orb.Systemf(orb.CodeFenced, "term=%d deposed mid-commit", p.log.KnownTerm())
+}
+
+// groupHooks is the coordinator group's view of replication-servant
+// events. Every hook may be nil (the legacy single-standby deployment has
+// no group).
+type groupHooks struct {
+	// info reports this member's identity for repl_state.
+	info func() (memberID string, leader bool, lastElectionMillis int64)
+	// claim decides a repl_claim: accept (nil) repoints this member to the
+	// claimant; a FENCED error rejects it.
+	claim func(term uint64, leaderID string, epoch, lastLSN uint64, endpoints []string) error
+	// deposed reports that a fetching follower proved a higher term exists
+	// (the log has already been fenced when it runs).
+	deposed func(term uint64)
+}
+
 // replicationServant exposes a primary's wal.Log over the ORB.
 type replicationServant struct {
 	log     *wal.Log
 	primary *ReplicationPrimary
+	hooks   groupHooks
 }
 
 // ServeReplication activates the WAL replication servant for log on o
@@ -124,10 +213,18 @@ type replicationServant struct {
 // servant's reference. ReplicationAt rebuilds the same reference from
 // endpoints alone.
 func ServeReplication(o *orb.ORB, log *wal.Log) (*ReplicationPrimary, orb.IOR) {
-	p := &ReplicationPrimary{log: log, ackCh: make(chan struct{})}
-	ref := o.RegisterServantWithKey(ReplicationKey, ReplicationTypeID,
-		&replicationServant{log: log, primary: p})
+	p, ref, _ := serveReplication(o, log, groupHooks{})
 	return p, ref
+}
+
+// serveReplication registers the replication servant with group hooks
+// attached; the coordinator group uses it so claims and fence evidence
+// reach the member's election state.
+func serveReplication(o *orb.ORB, log *wal.Log, hooks groupHooks) (*ReplicationPrimary, orb.IOR, *replicationServant) {
+	p := &ReplicationPrimary{log: log, acks: make(map[string]uint64), ackCh: make(chan struct{})}
+	s := &replicationServant{log: log, primary: p, hooks: hooks}
+	ref := o.RegisterServantWithKey(ReplicationKey, ReplicationTypeID, s)
+	return p, ref, s
 }
 
 // ReplicationAt builds the IOR of the well-known replication servant
@@ -146,10 +243,21 @@ func (s *replicationServant) Dispatch(ctx context.Context, op string, in *cdr.De
 	switch op {
 	case "repl_state":
 		epoch, next := s.log.State()
-		e := cdr.NewEncoder(32)
+		ts := s.log.TermState()
+		memberID, leader, lastElection := "", false, int64(0)
+		if s.hooks.info != nil {
+			memberID, leader, lastElection = s.hooks.info()
+		}
+		e := cdr.NewEncoder(64)
 		e.WriteUint64(epoch)
 		e.WriteUint64(next)
 		e.WriteUint64(s.primary.Acked())
+		e.WriteUint64(ts.Term)
+		e.WriteUint64(ts.Start)
+		e.WriteString(ts.Leader)
+		e.WriteString(memberID)
+		e.WriteBool(leader)
+		e.WriteInt64(lastElection)
 		return e.Bytes(), nil
 
 	case "repl_fetch":
@@ -157,8 +265,16 @@ func (s *replicationServant) Dispatch(ctx context.Context, op string, in *cdr.De
 		after := in.ReadUint64()
 		waitMillis := in.ReadUint32()
 		max := in.ReadUint32()
+		followerID, followerTerm := "", uint64(0)
+		if in.Err() == nil && in.Remaining() > 0 {
+			followerID = in.ReadString()
+			followerTerm = in.ReadUint64()
+		}
 		if err := in.Err(); err != nil {
 			return nil, orb.Systemf(orb.CodeMarshal, "repl_fetch: %v", err)
+		}
+		if out, fenced := s.fenceFetch(after, followerTerm); fenced {
+			return out, nil
 		}
 		curEpoch, _ := s.log.State()
 		e := cdr.NewEncoder(256)
@@ -173,7 +289,7 @@ func (s *replicationServant) Dispatch(ctx context.Context, op string, in *cdr.De
 		}
 		// A fetch after X acknowledges X: the follower only advances its
 		// watermark once records are durable in its own log.
-		s.primary.noteAck(after)
+		s.primary.noteAck(followerID, after)
 		if wait := time.Duration(waitMillis) * time.Millisecond; wait > 0 {
 			if wait > maxFetchWait {
 				wait = maxFetchWait
@@ -217,9 +333,93 @@ func (s *replicationServant) Dispatch(ctx context.Context, op string, in *cdr.De
 		e.WriteBytes(snap)
 		return e.Bytes(), nil
 
+	case "repl_claim":
+		term := in.ReadUint64()
+		leaderID := in.ReadString()
+		claimEpoch := in.ReadUint64()
+		claimLast := in.ReadUint64()
+		endpoints := in.ReadStringList()
+		if err := in.Err(); err != nil {
+			return nil, orb.Systemf(orb.CodeMarshal, "repl_claim: %v", err)
+		}
+		if err := s.handleClaim(term, leaderID, claimEpoch, claimLast, endpoints); err != nil {
+			return nil, err
+		}
+		epoch, next := s.log.State()
+		e := cdr.NewEncoder(32)
+		e.WriteUint64(epoch)
+		e.WriteUint64(next - 1)
+		return e.Bytes(), nil
+
 	default:
 		return nil, orb.Systemf(orb.CodeBadOperation, "WALReplication has no operation %q", op)
 	}
+}
+
+// fenceFetch applies the term checks guarding repl_fetch, implementing
+// both directions of the fence:
+//
+//   - The follower proves a higher term than this server knows: the server
+//     has been deposed — fence the local log so in-flight appends (a
+//     decision racing phase two) fail FENCED, tell the group, and answer
+//     replFenced so the follower looks for the real leader.
+//   - The follower's term is behind this server's and its stream position
+//     reaches into a newer term's history: the follower is a deposed
+//     leader holding an unreplicated suffix. Streaming to it would silently
+//     diverge (its orphan records occupy LSNs this log assigned to other
+//     records), so the reply carries the exact truncation bound — the
+//     start of the first term beyond the follower's — for the follower's
+//     crash-atomic rejoin cut.
+func (s *replicationServant) fenceFetch(after, followerTerm uint64) ([]byte, bool) {
+	known := s.log.KnownTerm()
+	if followerTerm > known {
+		s.log.Fence(followerTerm)
+		if s.hooks.deposed != nil {
+			s.hooks.deposed(followerTerm)
+		}
+		return encodeFencedReply(followerTerm, 0, "", nil), true
+	}
+	if term := s.log.Term(); followerTerm < term {
+		if cut, ok := s.log.TermStartAfter(followerTerm); ok && after >= cut {
+			ts := s.log.TermState()
+			return encodeFencedReply(ts.Term, cut-1, ts.Leader, nil), true
+		}
+	}
+	return nil, false
+}
+
+// handleClaim decides a repl_claim. The group's claim hook owns the
+// decision when present; without a group the legacy rules apply: a claim
+// for a term at or below the known one is fenced off, as is a claimant
+// whose log (same epoch) is behind this member's — the election invariant
+// is that the highest durable LSN wins.
+func (s *replicationServant) handleClaim(term uint64, leaderID string, claimEpoch, claimLast uint64, endpoints []string) error {
+	if s.hooks.claim != nil {
+		return s.hooks.claim(term, leaderID, claimEpoch, claimLast, endpoints)
+	}
+	if known := s.log.KnownTerm(); term <= known {
+		ts := s.log.TermState()
+		return orb.Systemf(orb.CodeFenced, "term=%d leader=%s claim for stale term %d", known, ts.Leader, term)
+	}
+	epoch, _ := s.log.State()
+	if last := s.log.LastLSN(); claimEpoch == epoch && claimLast < last {
+		return orb.Systemf(orb.CodeFenced, "term=%d higher durable lsn %d > claimant %d", s.log.KnownTerm(), last, claimLast)
+	}
+	s.log.Fence(term)
+	return nil
+}
+
+// encodeFencedReply builds a replFenced fetch reply: the server's term,
+// the truncation bound for a rejoining deposed leader (0 when the server
+// itself is the stale party), and the leader hint.
+func encodeFencedReply(term, truncateTo uint64, leaderID string, endpoints []string) []byte {
+	e := cdr.NewEncoder(64)
+	e.WriteOctet(replFenced)
+	e.WriteUint64(term)
+	e.WriteUint64(truncateTo)
+	e.WriteString(leaderID)
+	e.WriteStringList(endpoints)
+	return e.Bytes()
 }
 
 // TakeoverPolicy says when a follower should declare the primary lost:
@@ -237,10 +437,12 @@ type ReplicationFollower struct {
 	orb      *orb.ORB
 	ref      orb.IOR
 	log      *wal.Log
+	id       string
 	poll     time.Duration
 	batch    uint32
 	policy   TakeoverPolicy
 	onRecord func(wal.Record)
+	onFenced func(term uint64, leaderID string, endpoints []string)
 }
 
 // FollowerOption configures a ReplicationFollower.
@@ -274,6 +476,20 @@ func WithRecordObserver(fn func(wal.Record)) FollowerOption {
 	return func(f *ReplicationFollower) { f.onRecord = fn }
 }
 
+// WithFollowerID names this follower on the wire: the primary keys its
+// per-follower ack watermark by it, and the admin scrape reports lag under
+// it. Coordinator-group members use their member ID.
+func WithFollowerID(id string) FollowerOption {
+	return func(f *ReplicationFollower) { f.id = id }
+}
+
+// WithFencedObserver installs a hook invoked when a fetch is answered
+// replFenced: the server's term, and its leader hint when it knows one.
+// Coordinator-group members repoint their stream from it.
+func WithFencedObserver(fn func(term uint64, leaderID string, endpoints []string)) FollowerOption {
+	return func(f *ReplicationFollower) { f.onFenced = fn }
+}
+
 // NewReplicationFollower returns a follower that streams the replication
 // servant at ref through o into log.
 func NewReplicationFollower(o *orb.ORB, ref orb.IOR, log *wal.Log, opts ...FollowerOption) *ReplicationFollower {
@@ -298,17 +514,25 @@ func NewReplicationFollower(o *orb.ORB, ref orb.IOR, log *wal.Log, opts ...Follo
 // something happens or the poll timeout elapses, then returns (0, nil).
 func (f *ReplicationFollower) Sync(ctx context.Context) (int, error) {
 	epoch, next := f.log.State()
-	e := cdr.NewEncoder(32)
+	e := cdr.NewEncoder(64)
 	e.WriteUint64(epoch)
 	e.WriteUint64(next - 1)
 	e.WriteUint32(uint32(f.poll / time.Millisecond))
 	e.WriteUint32(f.batch)
+	e.WriteString(f.id)
+	e.WriteUint64(f.log.KnownTerm())
 	body, err := f.orb.Invoke(ctx, f.ref, "repl_fetch", e.Bytes())
 	if err != nil {
 		return 0, fmt.Errorf("repl_fetch: %w", err)
 	}
 	d := cdr.NewDecoder(body)
 	status := d.ReadOctet()
+	if err := d.Err(); err != nil {
+		return 0, orb.Systemf(orb.CodeMarshal, "repl_fetch reply: %v", err)
+	}
+	if status == replFenced {
+		return f.handleFenced(d)
+	}
 	d.ReadUint64() // primary epoch; re-read under repl_snapshot when resyncing
 	count := d.ReadUint32()
 	if err := d.Err(); err != nil {
@@ -343,6 +567,36 @@ func (f *ReplicationFollower) Sync(ctx context.Context) (int, error) {
 		}
 	}
 	return applied, nil
+}
+
+// handleFenced applies a replFenced fetch reply — the automatic rejoin
+// path. A reply naming a term beyond this follower's and a truncation
+// bound below its position is the deposed-leader case: the follower cuts
+// its unreplicated suffix (crash-atomic, the torn-tail repair path),
+// fences its local appends under the new term, and resumes streaming —
+// the next fetch starts below the cut and the new leader's term record
+// arrives in sequence. Any other fenced reply means the *server* is the
+// stale party (this follower out-ran its term); it counts as a failed
+// round so the takeover budget eventually moves the follower elsewhere.
+func (f *ReplicationFollower) handleFenced(d *cdr.Decoder) (int, error) {
+	term := d.ReadUint64()
+	truncateTo := d.ReadUint64()
+	leaderID := d.ReadString()
+	endpoints := d.ReadStringList()
+	if err := d.Err(); err != nil {
+		return 0, orb.Systemf(orb.CodeMarshal, "repl_fetch fenced reply: %v", err)
+	}
+	if f.onFenced != nil {
+		f.onFenced(term, leaderID, endpoints)
+	}
+	if term >= f.log.KnownTerm() && truncateTo > 0 && f.log.LastLSN() > truncateTo {
+		f.log.Fence(term)
+		if err := f.log.TruncateAfter(truncateTo); err != nil {
+			return 0, fmt.Errorf("rejoin truncation to %d: %w", truncateTo, err)
+		}
+		return 1, nil
+	}
+	return 0, orb.Systemf(orb.CodeFenced, "term=%d leader=%s fetch fenced", term, leaderID)
 }
 
 // resync installs a full primary snapshot, adopting its epoch.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/extendedtx/activityservice/internal/cdr"
 	"github.com/extendedtx/activityservice/internal/cluster"
@@ -26,6 +27,9 @@ type RouterStats struct {
 	Redirects uint64
 	// Refreshes counts shard-map refetches (redirect- or miss-driven).
 	Refreshes uint64
+	// Prefetches counts map epochs the Run watch loop installed ahead of
+	// any redirect.
+	Prefetches uint64
 }
 
 // ShardRouter routes keyed invocations across an activityd fleet. It
@@ -50,9 +54,10 @@ type ShardRouter struct {
 	// invocations costs one fetch.
 	refreshMu sync.Mutex
 
-	invokes   atomic.Uint64
-	redirects atomic.Uint64
-	refreshes atomic.Uint64
+	invokes    atomic.Uint64
+	redirects  atomic.Uint64
+	refreshes  atomic.Uint64
+	prefetches atomic.Uint64
 }
 
 // RouterOption configures a ShardRouter.
@@ -85,9 +90,58 @@ func (r *ShardRouter) Map() *cluster.Map {
 // Stats returns a snapshot of the routing counters.
 func (r *ShardRouter) Stats() RouterStats {
 	return RouterStats{
-		Invokes:   r.invokes.Load(),
-		Redirects: r.redirects.Load(),
-		Refreshes: r.refreshes.Load(),
+		Invokes:    r.invokes.Load(),
+		Redirects:  r.redirects.Load(),
+		Refreshes:  r.refreshes.Load(),
+		Prefetches: r.prefetches.Load(),
+	}
+}
+
+// install adopts a fetched map without ever regressing the epoch (a
+// racing refresh or watch may have installed a newer one). It reports
+// whether the map actually advanced.
+func (r *ShardRouter) install(next *cluster.Map) bool {
+	for {
+		cur := r.cur.Load()
+		if cur != nil && next.Epoch <= cur.Epoch {
+			return false
+		}
+		if r.cur.CompareAndSwap(cur, next) {
+			return true
+		}
+	}
+}
+
+// Run follows the authority's map with shard_watch long-polls until ctx
+// is cancelled, installing each new epoch into the router's cache as the
+// change notification arrives: a watching router sees a reshard or drain
+// as a map change, not as a WrongShard round trip, so keyed invocations
+// aim at the new owner from the first attempt. Watch errors back off
+// briefly and retry; routing keeps using the last good map meanwhile.
+func (r *ShardRouter) Run(ctx context.Context) {
+	for ctx.Err() == nil {
+		var after uint64
+		if cur := r.cur.Load(); cur != nil {
+			after = cur.Epoch
+		}
+		// The client may be swapped by a concurrent authority re-resolve.
+		r.refreshMu.Lock()
+		c := r.client
+		r.refreshMu.Unlock()
+		wctx, cancel := context.WithTimeout(ctx, 2*shardWatchPollCap)
+		m, err := c.Watch(wctx, after, shardWatchPollCap)
+		cancel()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+			continue
+		}
+		if r.install(m) {
+			r.prefetches.Add(1)
+		}
 	}
 }
 
@@ -116,10 +170,9 @@ func (r *ShardRouter) Refresh(ctx context.Context) (*cluster.Map, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Never regress: a racing refresh may have installed a newer epoch.
-	if cur := r.cur.Load(); cur == nil || m.Epoch >= cur.Epoch {
-		r.cur.Store(m)
-	}
+	// Never regress: a racing refresh or watch may have installed a newer
+	// epoch.
+	r.install(m)
 	return r.cur.Load(), nil
 }
 

@@ -101,6 +101,9 @@ func (l *Log) AppendRecord(r Record) error {
 		return err
 	}
 	l.nextLSN = r.LSN + 1
+	if r.Kind == KindTerm {
+		l.noteTermRecordLocked(r)
+	}
 	l.notifyLocked()
 	return nil
 }
@@ -134,9 +137,13 @@ func (l *Log) InstallSnapshot(epoch uint64, data []byte) error {
 			return fmt.Errorf("wal: install snapshot sync: %w", err)
 		}
 	}
-	l.nextLSN = 1
-	if len(recs) > 0 {
-		l.nextLSN = recs[len(recs)-1].LSN + 1
+	l.adoptScannedLocked(recs)
+	if l.fenced && l.fencedTerm <= l.term {
+		// The snapshot carries the term the fence was raised for: this
+		// member now provably holds the new leader's history, so its
+		// append path need not stay fenced.
+		l.fenced = false
+		l.fencedTerm = 0
 	}
 	l.size = valid
 	l.dirty = false

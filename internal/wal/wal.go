@@ -101,6 +101,16 @@ type Log struct {
 	waitCh  chan struct{} // closed and renewed whenever the stream advances
 	closed  bool
 
+	// Coordinator-group term state (see term.go). term/termStart/termLeader
+	// mirror the latest durable KindTerm record; fenced/fencedTerm are the
+	// in-memory fence raised when a higher term is learned of before its
+	// record arrives through the stream.
+	term       uint64
+	termStart  uint64
+	termLeader string
+	fenced     bool
+	fencedTerm uint64
+
 	// Crash injection (tests): when armed, the append path tears after
 	// failAfter more successful appends. Backend-agnostic so the same
 	// fault matrix runs against memory and real files.
@@ -167,9 +177,7 @@ func newLog(be backend) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(recs) > 0 {
-		l.nextLSN = recs[len(recs)-1].LSN + 1
-	}
+	l.adoptScannedLocked(recs)
 	l.size = valid
 	// Drop a torn tail so subsequent appends produce a clean log, and make
 	// the repair durable: an unsynced truncation can be undone by a crash,
@@ -194,6 +202,9 @@ func (l *Log) Append(kind Kind, data []byte) (uint64, error) {
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
+	}
+	if l.fenced {
+		return 0, fmt.Errorf("%w: term %d", ErrFenced, l.fencedTerm)
 	}
 	lsn := l.nextLSN
 	if err := l.appendLocked(Record{LSN: lsn, Kind: kind, Data: data}); err != nil {
@@ -305,9 +316,18 @@ func (l *Log) Checkpoint(keep func(Record) bool) error {
 	if err != nil {
 		return err
 	}
+	// The latest term record is retained regardless of keep: the group's
+	// fencing epoch must stay durable across every compaction, and client
+	// packages sharing the log do not know about it.
+	lastTerm := -1
+	for i, r := range recs {
+		if r.Kind == KindTerm {
+			lastTerm = i
+		}
+	}
 	var out []byte
-	for _, r := range recs {
-		if keep(r) {
+	for i, r := range recs {
+		if i == lastTerm || keep(r) {
 			out = append(out, encodeRecord(r)...)
 		}
 	}

@@ -21,7 +21,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"testing"
@@ -29,19 +31,26 @@ import (
 
 	"github.com/extendedtx/activityservice"
 	"github.com/extendedtx/activityservice/hls/btp"
+	"github.com/extendedtx/activityservice/internal/wal"
 	"github.com/extendedtx/activityservice/orb"
 	"github.com/extendedtx/activityservice/ots"
 )
+
+// remoteActionFactory names the action factory both the group superior and
+// its successors register: params are a stringified IOR, recreated as a
+// wire proxy — the activity journal's way of shipping enrolled members.
+const remoteActionFactory = "remote-action"
 
 // Environment contract between the parent test and the re-exec'd
 // coordinator helper. IORs are joined with newlines: the stringified
 // reference grammar uses '|' and ',' internally.
 const (
-	crashEnvMode    = "ACTIVITYSERVICE_CRASH_MODE"    // "commit", "primary", "btp" or "recover"
-	crashEnvStage   = "ACTIVITYSERVICE_CRASH_STAGE"   // "prepared", "decision", "phase2"
-	crashEnvWAL     = "ACTIVITYSERVICE_CRASH_WAL"     // coordinator log path
-	crashEnvIORs    = "ACTIVITYSERVICE_CRASH_IORS"    // participant resource refs, "\n"-joined
-	crashEnvActions = "ACTIVITYSERVICE_CRASH_ACTIONS" // BTP inferior action refs, "\n"-joined
+	crashEnvMode     = "ACTIVITYSERVICE_CRASH_MODE"     // "commit", "primary", "btp", "group", "groupbtp" or "recover"
+	crashEnvStage    = "ACTIVITYSERVICE_CRASH_STAGE"    // "prepared", "decision", "phase2"
+	crashEnvWAL      = "ACTIVITYSERVICE_CRASH_WAL"      // coordinator log path
+	crashEnvIORs     = "ACTIVITYSERVICE_CRASH_IORS"     // participant resource refs, "\n"-joined
+	crashEnvActions  = "ACTIVITYSERVICE_CRASH_ACTIONS"  // BTP inferior action refs, "\n"-joined
+	crashEnvStandbys = "ACTIVITYSERVICE_CRASH_STANDBYS" // group modes: standby count the decision barrier waits for
 )
 
 // survivorResource is a participant hosted by the parent process. It
@@ -109,6 +118,15 @@ func crashStage(name string) ots.Stage {
 // mode=btp: a replicated BTP superior — it prepares the parent's inferiors
 // through the real fig. 11 signal exchange, seals the confirm decision in
 // the replicated log, and SIGKILLs itself between confirm deliveries.
+//
+// mode=group: like primary, but as a promoted coordinator-group leader
+// (term 1): the group-aware replication servant answers elections, the
+// decision gate fences the commit point, and the barrier holds each
+// decision until crashEnvStandbys group standbys have streamed it.
+//
+// mode=groupbtp: a coordinator-group BTP superior whose activity journal
+// shares the replicated log — the successor re-activates the atom's
+// structure from the journal, not just the confirm decision.
 func TestCrashRestartHelper(t *testing.T) {
 	mode := os.Getenv(crashEnvMode)
 	if mode == "" {
@@ -223,6 +241,125 @@ func TestCrashRestartHelper(t *testing.T) {
 		}
 		_ = tx.Commit(true)
 		t.Fatal("superior survived its injected crash point")
+
+	case "group":
+		// Coordinator-group leader: promoted to term 1 behind the
+		// group-aware replication servant, committing with the decision
+		// gate (a deposed leader vetoes its in-flight commits) and a
+		// barrier holding each decision until every parent-side group
+		// standby has streamed it — so a post-decision kill point is
+		// guaranteed to leave the decision on the survivors.
+		stage := crashStage(os.Getenv(crashEnvStage))
+		if stage == 0 {
+			t.Fatalf("bad crash stage %q", os.Getenv(crashEnvStage))
+		}
+		standbys, perr := strconv.Atoi(os.Getenv(crashEnvStandbys))
+		if perr != nil || standbys < 1 {
+			t.Fatalf("bad standby count %q", os.Getenv(crashEnvStandbys))
+		}
+		g := orb.NewGroupMember(node, log, orb.GroupConfig{
+			MemberID: "leader",
+			Takeover: func(context.Context) error { return nil },
+		})
+		if _, err := node.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Promote(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("REPL %s\n", strings.Join(node.Endpoints(), " "))
+		svc := ots.NewService(ots.WithLog(log),
+			ots.WithRetryPolicy(1, 0),
+			ots.WithDecisionGate(g.Primary().DecisionGate(10*time.Second)),
+			ots.WithDecisionBarrier(func(lsn uint64) { g.Primary().WaitForAckN(lsn, standbys, 10*time.Second) }),
+			ots.WithEventHook(func(e ots.Event) {
+				if e.Stage == stage {
+					_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+					select {} // unreachable: SIGKILL is not deliverable to a handler
+				}
+			}))
+		tx := svc.Begin()
+		for _, s := range strings.Split(os.Getenv(crashEnvIORs), "\n") {
+			ref, err := orb.ParseIOR(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.RegisterResource(orb.ImportResource(node, ref)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = tx.Commit(true)
+		t.Fatal("group leader survived its injected crash point")
+
+	case "groupbtp":
+		// A coordinator-group leader acting as BTP superior, with the
+		// activity journal sharing the replicated log: the atom's begun
+		// record and its recoverable inferior enrollments stream to the
+		// standbys alongside the confirm decision, so the elected
+		// successor can re-activate the superior's live activity state —
+		// not just replay its transaction log.
+		standbys, perr := strconv.Atoi(os.Getenv(crashEnvStandbys))
+		if perr != nil || standbys < 1 {
+			t.Fatalf("bad standby count %q", os.Getenv(crashEnvStandbys))
+		}
+		g := orb.NewGroupMember(node, log, orb.GroupConfig{
+			MemberID: "leader",
+			Takeover: func(context.Context) error { return nil },
+		})
+		if _, err := node.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Promote(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("REPL %s\n", strings.Join(node.Endpoints(), " "))
+
+		asvc := activityservice.New(activityservice.WithJournal(log))
+		asvc.RegisterActionFactory(remoteActionFactory, func(params []byte) (activityservice.Action, error) {
+			ref, err := orb.ParseIOR(string(params))
+			if err != nil {
+				return nil, err
+			}
+			return orb.ImportAction(node, ref), nil
+		})
+		atom, err := btp.NewAtom(asvc, "group-takeover")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range strings.Split(os.Getenv(crashEnvActions), "\n") {
+			if _, err := atom.Activity().AddRecoverableAction(btp.PrepareSetName, remoteActionFactory, []byte(s)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := atom.Activity().AddRecoverableAction(btp.CompleteSetName, remoteActionFactory, []byte(s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := atom.Prepare(context.Background()); err != nil {
+			t.Fatalf("btp prepare: %v", err)
+		}
+
+		osvc := ots.NewService(ots.WithLog(log),
+			ots.WithRetryPolicy(1, 0),
+			ots.WithDecisionGate(g.Primary().DecisionGate(10*time.Second)),
+			ots.WithDecisionBarrier(func(lsn uint64) { g.Primary().WaitForAckN(lsn, standbys, 10*time.Second) }),
+			ots.WithEventHook(func(e ots.Event) {
+				if e.Stage == ots.StageCommitDelivered {
+					_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+					select {} // unreachable: SIGKILL is not deliverable to a handler
+				}
+			}))
+		tx := osvc.Begin()
+		for _, s := range strings.Split(os.Getenv(crashEnvIORs), "\n") {
+			ref, err := orb.ParseIOR(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.RegisterResource(orb.ImportResource(node, ref)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = tx.Commit(true)
+		t.Fatal("group superior survived its injected crash point")
 
 	case "recover":
 		svc := ots.NewService(ots.WithLog(log), ots.WithRetryPolicy(2, 10*time.Millisecond))
@@ -919,6 +1056,416 @@ func TestStandbyTakeoverBTPMidConfirm(t *testing.T) {
 		}
 		if st != ots.StatusCommitted {
 			t.Fatalf("inferior %d fate via standby = %s, want committed", i, st)
+		}
+	}
+}
+
+// groupStandby is one coordinator-group standby hosted by the parent
+// process: its own ORB serving the group-aware replication servant, a
+// file-backed replica of the group's log, and a GroupMember standing for
+// fenced election. The Takeover callback — run only on the member that
+// wins — re-hosts transaction recovery over the replica AND replays the
+// activity journal, counting what it activated so the harness can assert
+// the successor picked up live activity state.
+type groupStandby struct {
+	id      string
+	orb     *orb.ORB
+	log     *wal.Log
+	walPath string
+	g       *orb.GroupMember
+	runErr  chan error
+
+	takeovers    atomic.Int32
+	factoryCalls atomic.Int32
+
+	mu        sync.Mutex
+	stats     ots.RecoveryStats
+	recovered []string // names of activity-journal roots the takeover activated
+}
+
+// newGroupStandby opens the member's replica log and binds its ORB; the
+// member itself starts with start (peers are only known once every
+// standby's ORB is listening).
+func newGroupStandby(t *testing.T, id string) *groupStandby {
+	t.Helper()
+	return newGroupStandbyAt(t, id, filepath.Join(t.TempDir(), id+".wal"))
+}
+
+// newGroupStandbyAt is newGroupStandby over an existing WAL path — how the
+// rejoin test restarts the dead leader on its old log.
+func newGroupStandbyAt(t *testing.T, id, walPath string) *groupStandby {
+	t.Helper()
+	s := &groupStandby{id: id, orb: orb.New(), walPath: walPath, runErr: make(chan error, 1)}
+	t.Cleanup(s.orb.Shutdown)
+	log, err := ots.OpenFileLog(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.log = log
+	if _, err := s.orb.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// start wires the GroupMember and runs its follow/elect loop until the
+// test ends.
+func (s *groupStandby) start(t *testing.T, leaderHint, peers []string) {
+	t.Helper()
+	takeover := func(ctx context.Context) error {
+		s.takeovers.Add(1)
+		res, err := orb.HostRecovery(s.orb, s.log, ots.WithRetryPolicy(3, 10*time.Millisecond),
+			ots.WithDecisionGate(s.g.Primary().DecisionGate(time.Second)))
+		if err != nil {
+			return err
+		}
+		asvc := activityservice.New()
+		asvc.RegisterActionFactory(remoteActionFactory, func(params []byte) (activityservice.Action, error) {
+			ref, err := orb.ParseIOR(string(params))
+			if err != nil {
+				return nil, err
+			}
+			s.factoryCalls.Add(1)
+			return orb.ImportAction(s.orb, ref), nil
+		})
+		roots, err := asvc.Recover(s.log)
+		if err != nil {
+			return fmt.Errorf("activity journal takeover: %w", err)
+		}
+		s.mu.Lock()
+		s.stats = res.Stats
+		s.recovered = s.recovered[:0]
+		for _, r := range roots {
+			s.recovered = append(s.recovered, r.Name())
+		}
+		s.mu.Unlock()
+		return nil
+	}
+	s.g = orb.NewGroupMember(s.orb, s.log, orb.GroupConfig{
+		MemberID:      s.id,
+		Peers:         peers,
+		LeaderHint:    leaderHint,
+		Takeover:      takeover,
+		Poll:          100 * time.Millisecond,
+		Policy:        orb.TakeoverPolicy{Failures: 3, Retry: 50 * time.Millisecond},
+		ElectionRetry: 25 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go func() { s.runErr <- s.g.Run(ctx) }()
+}
+
+// takeoverStats returns what this member's takeover pass reported.
+func (s *groupStandby) takeoverStats() (ots.RecoveryStats, []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats, append([]string(nil), s.recovered...)
+}
+
+// waitCond polls cond until it holds or the deadline passes.
+func waitCond(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for " + what)
+}
+
+// TestGroupTakeoverKillLeader2PC is the coordinator-group half of the
+// chaos matrix: a real group leader (term 1) is SIGKILLed right after a
+// commit decision became durable on it and on BOTH group standbys (the
+// barrier held the decision until each streamed it), before any
+// participant heard the verdict. The survivors elect among themselves —
+// the winner's log must contain the decision, its takeover re-drives
+// every prepared branch exactly once, and the loser converges onto the
+// new term as a streaming follower. The dead leader never comes back.
+func TestGroupTakeoverKillLeader2PC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	ctx := context.Background()
+
+	f := newCrashFixture(t)
+	sbA := newGroupStandby(t, "sb-a")
+	sbB := newGroupStandby(t, "sb-b")
+	var leaderEndpoints []string
+	env := append(coordinatorEnv("group", "decision", f.walPath, f.refs), crashEnvStandbys+"=2")
+	runReplicatedUntilKilled(t, env, func(endpoints []string) {
+		leaderEndpoints = endpoints
+		sbA.start(t, endpoints, sbB.orb.Endpoints())
+		sbB.start(t, endpoints, sbA.orb.Endpoints())
+	})
+	_ = leaderEndpoints
+
+	// Killed at the decision point: durable everywhere, delivered nowhere.
+	if f.a.applies.Load()+f.b.applies.Load() != 0 {
+		t.Fatal("participant committed before phase two began")
+	}
+
+	// The group heals itself: exactly one standby claims term 2.
+	var winner, loser *groupStandby
+	waitCond(t, 20*time.Second, "a standby to win the election", func() bool {
+		for _, m := range []*groupStandby{sbA, sbB} {
+			if m.g.Role() == orb.RoleLeader {
+				winner = m
+				return true
+			}
+		}
+		return false
+	})
+	if winner == sbA {
+		loser = sbB
+	} else {
+		loser = sbA
+	}
+	waitCond(t, 10*time.Second, "the takeover pass to finish", func() bool {
+		return winner.takeovers.Load() == 1
+	})
+
+	// The winner's log held the decision (the election cannot pick a
+	// member missing it) and its takeover re-drove every prepared branch
+	// exactly once.
+	stats, recovered := winner.takeoverStats()
+	if stats.DecisionsReplayed != 1 || stats.ResourcesCommitted != 2 ||
+		stats.ResourcesMissing != 0 || stats.ResourcesFailed != 0 {
+		t.Fatalf("takeover pass = %+v, want 1 decision, 2 committed", stats)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("plain 2PC takeover activated %d journal roots, want 0", len(recovered))
+	}
+	if f.a.applies.Load() != 1 || f.b.applies.Load() != 1 {
+		t.Fatalf("applies = %d/%d, want exactly once each", f.a.applies.Load(), f.b.applies.Load())
+	}
+	if f.a.commitCalls.Load() != 1 || f.b.commitCalls.Load() != 1 {
+		t.Fatalf("commit deliveries = %d/%d, want 1/1", f.a.commitCalls.Load(), f.b.commitCalls.Load())
+	}
+	if got := winner.log.KnownTerm(); got != 2 {
+		t.Fatalf("winner term = %d, want 2 (one election past the dead leader's term 1)", got)
+	}
+	if loser.takeovers.Load() != 0 {
+		t.Fatalf("losing standby ran %d takeovers, want 0", loser.takeovers.Load())
+	}
+
+	// The loser demotes onto the new term and streams until byte-identical.
+	waitCond(t, 15*time.Second, "the losing standby to converge on the new term", func() bool {
+		return loser.g.Role() == orb.RoleFollower &&
+			loser.log.KnownTerm() == 2 &&
+			loser.log.LastLSN() == winner.log.LastLSN()
+	})
+
+	// The replication scrape reflects the healed group: the new leader
+	// reports its term and a caught-up follower.
+	waitCond(t, 10*time.Second, "the scrape to show a caught-up follower", func() bool {
+		sc := winner.g.Scrape()
+		if sc.Role != "leader" || sc.Term != 2 || sc.Fenced {
+			return false
+		}
+		for _, fl := range sc.Followers {
+			if fl.ID == loser.id && fl.Lag == 0 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Participants asking after their fate converge through the winner.
+	client := orb.New()
+	t.Cleanup(client.Shutdown)
+	cl := orb.NewRecoveryClient(client, orb.RecoveryAt(winner.orb.Endpoints()...))
+	for _, name := range f.refs {
+		st, err := cl.ReplayCompletion(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != ots.StatusCommitted {
+			t.Fatalf("fate of %s via new leader = %s, want committed", name, st)
+		}
+	}
+	if f.a.commitCalls.Load() != 1 || f.b.commitCalls.Load() != 1 {
+		t.Fatalf("commit deliveries after replay = %d/%d, want still 1/1",
+			f.a.commitCalls.Load(), f.b.commitCalls.Load())
+	}
+}
+
+// TestGroupRejoinDeadLeaderOldWAL: the dead leader comes back. A group
+// leader is SIGKILLed at the decision point, its lone standby elects
+// itself (term 2) and re-drives the decision; then the harness restarts a
+// member on the dead leader's OLD WAL — same path the crashed process
+// forced its records to, reopened through the torn-tail repair — with no
+// role flags. It must discover the higher term from the new leader and
+// demote to a streaming standby of term 2, converging byte-for-byte,
+// without a takeover of its own and without disturbing the exactly-once
+// outcome.
+func TestGroupRejoinDeadLeaderOldWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+
+	f := newCrashFixture(t)
+	sb := newGroupStandby(t, "sb")
+	env := append(coordinatorEnv("group", "decision", f.walPath, f.refs), crashEnvStandbys+"=1")
+	runReplicatedUntilKilled(t, env, func(endpoints []string) {
+		sb.start(t, endpoints, nil)
+	})
+
+	// Sole survivor: the standby elects itself and converges the branches.
+	waitCond(t, 20*time.Second, "the standby to take over", func() bool {
+		return sb.g.Role() == orb.RoleLeader && sb.takeovers.Load() == 1
+	})
+	stats, _ := sb.takeoverStats()
+	if stats.DecisionsReplayed != 1 || stats.ResourcesCommitted != 2 || stats.ResourcesFailed != 0 {
+		t.Fatalf("takeover pass = %+v, want 1 decision, 2 committed", stats)
+	}
+	if got := sb.log.KnownTerm(); got != 2 {
+		t.Fatalf("new leader term = %d, want 2", got)
+	}
+
+	// Restart the dead leader on its old WAL: no -standby/-peer style
+	// bootstrapping beyond the new leader's address, no role flags.
+	rejoined := newGroupStandbyAt(t, "leader", f.walPath)
+	if got := rejoined.log.KnownTerm(); got != 1 {
+		t.Fatalf("reopened leader WAL knows term %d, want its own term 1", got)
+	}
+	rejoined.start(t, sb.orb.Endpoints(), nil)
+
+	// It adopts term 2 as a follower and streams the successor's history
+	// (the re-drive's done record, the term record) until byte-identical.
+	waitCond(t, 15*time.Second, "the dead leader to rejoin the new term", func() bool {
+		return rejoined.g.Role() == orb.RoleFollower &&
+			rejoined.log.KnownTerm() == 2 &&
+			rejoined.log.LastLSN() == sb.log.LastLSN()
+	})
+	if rejoined.takeovers.Load() != 0 {
+		t.Fatalf("rejoined member ran %d takeovers, want 0 (it is a standby now)", rejoined.takeovers.Load())
+	}
+	if rejoined.log.Fenced() {
+		t.Fatal("rejoined member still fenced after adopting the new term")
+	}
+
+	// The new leader sees its old leader as a caught-up follower.
+	waitCond(t, 10*time.Second, "the scrape to show the rejoined follower", func() bool {
+		for _, fl := range sb.g.Scrape().Followers {
+			if fl.ID == "leader" && fl.Lag == 0 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Exactly-once held across the whole failover + rejoin.
+	if f.a.applies.Load() != 1 || f.b.applies.Load() != 1 {
+		t.Fatalf("applies = %d/%d, want exactly once each", f.a.applies.Load(), f.b.applies.Load())
+	}
+}
+
+// TestGroupTakeoverBTPActivityJournal: the activity-journal half of the
+// group takeover. A group-leader BTP superior journals its atom (begun
+// record + recoverable inferior enrollments) into the same replicated log
+// that seals its confirm decision, prepares three inferiors over the wire
+// and is SIGKILLed between confirm deliveries. The elected successor must
+// converge every inferior to confirmed exactly once AND re-activate the
+// superior's activity state from the journal — the atom root with all six
+// enrolled actions recreated through the named factory.
+func TestGroupTakeoverBTPActivityJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	ctx := context.Background()
+
+	node := orb.New()
+	t.Cleanup(node.Shutdown)
+	walPath := filepath.Join(t.TempDir(), "superior.wal")
+	inferiors := []*btpInferior{{}, {}, {}}
+	actionRefs := make([]string, len(inferiors))
+	resourceRefs := make([]string, len(inferiors))
+	actionKeys := make([]string, len(inferiors))
+	resourceKeys := make([]string, len(inferiors))
+	for i, p := range inferiors {
+		actionKeys[i] = orb.ExportAction(node, p.action()).Key
+		resourceKeys[i] = orb.ExportResourceWithKey(node, fmt.Sprintf("inferior-%d", i), p).Key
+	}
+	if _, err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range inferiors {
+		aref, _ := node.IOR(actionKeys[i])
+		rref, _ := node.IOR(resourceKeys[i])
+		actionRefs[i] = aref.String()
+		resourceRefs[i] = rref.String()
+	}
+
+	sb := newGroupStandby(t, "sb")
+	env := append(coordinatorEnv("groupbtp", "phase2", walPath, resourceRefs),
+		crashEnvActions+"="+strings.Join(actionRefs, "\n"),
+		crashEnvStandbys+"=1")
+	runReplicatedUntilKilled(t, env, func(endpoints []string) {
+		sb.start(t, endpoints, nil)
+	})
+
+	// At the kill: every inferior went through the real prepare exchange,
+	// exactly one confirm landed.
+	var confirmedAtKill int32
+	for i, p := range inferiors {
+		if got := p.sigPrepares.Load(); got != 1 {
+			t.Fatalf("inferior %d saw %d prepare signals, want 1", i, got)
+		}
+		confirmedAtKill += p.applies.Load()
+	}
+	if confirmedAtKill != 1 {
+		t.Fatalf("confirms applied at crash = %d, want exactly 1 (first delivery landed)", confirmedAtKill)
+	}
+
+	waitCond(t, 20*time.Second, "the standby to take over", func() bool {
+		return sb.g.Role() == orb.RoleLeader && sb.takeovers.Load() == 1
+	})
+	stats, recovered := sb.takeoverStats()
+	if stats.DecisionsReplayed != 1 || stats.ResourcesCommitted != 3 ||
+		stats.ResourcesMissing != 0 || stats.ResourcesFailed != 0 {
+		t.Fatalf("takeover pass = %+v, want 1 decision, 3 confirmed", stats)
+	}
+
+	// Exactly-once convergence of the confirm decision.
+	var totalConfirmCalls int32
+	for i, p := range inferiors {
+		if got := p.applies.Load(); got != 1 {
+			t.Fatalf("inferior %d confirm applied %d times, want exactly once", i, got)
+		}
+		if got := p.cancels.Load(); got != 0 {
+			t.Fatalf("inferior %d cancelled %d times, want 0", i, got)
+		}
+		totalConfirmCalls += p.confirmCalls.Load()
+	}
+	if totalConfirmCalls != 4 {
+		t.Fatalf("total confirm deliveries = %d, want 4 (one pre-crash + full re-drive)", totalConfirmCalls)
+	}
+
+	// The journal activated the superior's activity state on the new
+	// leader: the atom root came back by name, and all six enrolled
+	// actions (three inferiors x prepare+complete set) were recreated
+	// through the factory the successor registered.
+	if len(recovered) != 1 || recovered[0] != "group-takeover" {
+		t.Fatalf("activated journal roots = %v, want [group-takeover]", recovered)
+	}
+	if got := sb.factoryCalls.Load(); got != 6 {
+		t.Fatalf("recreated %d enrolled actions, want 6", got)
+	}
+
+	// In-doubt inferiors hear their fate from the successor.
+	client := orb.New()
+	t.Cleanup(client.Shutdown)
+	cl := orb.NewRecoveryClient(client, orb.RecoveryAt(sb.orb.Endpoints()...))
+	for i, name := range resourceRefs {
+		st, err := cl.ReplayCompletion(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != ots.StatusCommitted {
+			t.Fatalf("inferior %d fate via successor = %s, want committed", i, st)
 		}
 	}
 }

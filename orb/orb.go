@@ -107,6 +107,27 @@ type (
 	TakeoverPolicy = remote.TakeoverPolicy
 	// HostRecoveryResult reports what HostRecovery set up.
 	HostRecoveryResult = remote.HostRecoveryResult
+	// GroupMember is one node of a self-healing coordinator group:
+	// leader or streaming standby, with fenced election and re-join.
+	GroupMember = remote.GroupMember
+	// GroupConfig configures a GroupMember.
+	GroupConfig = remote.GroupConfig
+	// GroupRole is a group member's current role.
+	GroupRole = remote.GroupRole
+	// ReplState is a peer's replication state as reported by repl_state.
+	ReplState = remote.ReplState
+	// ReplicationScrape is a coordinator-group member's replication state
+	// exposed through the orb-admin "replication_stats" operation.
+	ReplicationScrape = iorb.ReplicationScrape
+	// FollowerLag is one follower's ack watermark inside a
+	// ReplicationScrape.
+	FollowerLag = iorb.FollowerLag
+)
+
+// Coordinator-group roles.
+const (
+	RoleFollower = remote.RoleFollower
+	RoleLeader   = remote.RoleLeader
 )
 
 // Circuit breaker states (see WithCircuitBreaker).
@@ -132,6 +153,9 @@ const (
 	CodeMarshal        = iorb.CodeMarshal
 	CodeNoImplement    = iorb.CodeNoImplement
 	CodeTimeout        = iorb.CodeTimeout
+	// CodeFenced is raised by a deposed coordinator-group member; the
+	// detail carries a "at=tcp:host:port" leader hint clients follow.
+	CodeFenced = iorb.CodeFenced
 )
 
 // Service context ids.
@@ -355,6 +379,22 @@ var WithTakeoverPolicy = remote.WithTakeoverPolicy
 // WithRecordObserver observes each shipped record after it is durable in
 // the follower's log.
 var WithRecordObserver = remote.WithRecordObserver
+
+// WithFollowerID names a follower on its fetches so the primary tracks a
+// per-follower ack watermark (and fenced re-join can identify itself).
+var WithFollowerID = remote.WithFollowerID
+
+// WithFencedObserver observes FENCED replies a follower receives.
+var WithFencedObserver = remote.WithFencedObserver
+
+// NewGroupMember wires a coordinator-group member over an ORB and a
+// durable log: fenced leader election over the peer set, automatic
+// re-join of a deposed leader, and takeover through cfg.Takeover.
+var NewGroupMember = remote.NewGroupMember
+
+// FetchReplState asks the replication servant at endpoint for its state
+// (epoch, durable watermark, term, leadership) — the election probe.
+var FetchReplState = remote.FetchReplState
 
 // ErrPrimaryLost is returned by ReplicationFollower.Run when the primary
 // exhausted the takeover policy's failure budget.

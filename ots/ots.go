@@ -128,6 +128,13 @@ func WithEventHook(fn func(Event)) Option { return iots.WithEventHook(fn) }
 // DecisionBarrier. The barrier cannot veto the decision.
 func WithDecisionBarrier(fn func(lsn uint64)) Option { return iots.WithDecisionBarrier(fn) }
 
+// WithDecisionGate installs an error-returning barrier between the
+// decision append and phase two: a coordinator-group leader wires
+// ReplicationPrimary's DecisionGate here so a deposed (fenced) leader
+// vetoes its in-flight commits instead of delivering outcomes the new
+// leader's history does not contain. A veto unwinds to ErrRolledBack.
+func WithDecisionGate(fn func(lsn uint64) error) Option { return iots.WithDecisionGate(fn) }
+
 // WithTimeout marks a transaction rollback-only after d.
 func WithTimeout(d time.Duration) BeginOption { return iots.WithTimeout(d) }
 
