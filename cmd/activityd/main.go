@@ -181,7 +181,7 @@ func main() {
 	flag.IntVar(&cfg.priority, "priority", 0, "dispatch slots out of -max-inflight reserved for completion/recovery verbs (0 = off)")
 	flag.StringVar(&cfg.otsLog, "ots-log", "", "file-backed transaction decision log; enables the hosted transaction service, crash recovery on boot and the ots-recovery servant")
 	flag.Var(&cfg.standby, "standby", "run as warm standby: stream the primary's decision log from this replication endpoint into -ots-log and take over when the primary dies; repeatable for a multi-homed primary")
-	flag.DurationVar(&cfg.syncStandby, "sync-standby", 0, "hold each commit decision until a standby acknowledges it, up to this long (primary; 0 = asynchronous shipping)")
+	flag.DurationVar(&cfg.syncStandby, "sync-standby", 0, "single-standby primary: hold each commit decision until the standby acknowledges it, up to this long (0 = asynchronous shipping); group mode: fence re-check interval of the quorum decision gate, which blocks until a majority holds the decision (0 = 2s default)")
 	flag.StringVar(&cfg.memberID, "member-id", "", "join a self-healing coordinator group under this member id (needs -ots-log); with -standby/-peer the node streams the current leader and stands for fenced election, without them it boots as the group's leader")
 	flag.Var(&cfg.peers, "peer", "replication endpoint of another group member, probed during leader election; repeatable (group mode)")
 	flag.BoolVar(&cfg.rejoin, "rejoin", true, "after being deposed by a higher term, automatically truncate the unreplicated WAL suffix and re-join as a streaming standby; false makes deposal fatal so an operator can inspect the log first")
@@ -435,8 +435,16 @@ func runStandby(node *orb.ORB, path string, primaries []string) error {
 // fatal so an operator can inspect the log first).
 func runGroup(node *orb.ORB, svc *activityservice.Service, log *wal.Log, cfg orbConfig) error {
 	var g *orb.GroupMember
+	// The group gate blocks until a quorum of the electorate holds each
+	// decision; -sync-standby only tunes how often the blocked gate
+	// re-checks the fence, so group mode gets a non-zero default instead
+	// of the primary/standby pair's 0-means-asynchronous.
+	gateInterval := cfg.syncStandby
+	if gateInterval <= 0 {
+		gateInterval = 2 * time.Second
+	}
 	takeover := func(ctx context.Context) error {
-		extra := []ots.Option{ots.WithDecisionGate(g.Primary().DecisionGate(cfg.syncStandby))}
+		extra := []ots.Option{ots.WithDecisionGate(g.DecisionGate(gateInterval))}
 		res, err := orb.HostRecovery(node, log, extra...)
 		if err != nil {
 			return err

@@ -26,12 +26,17 @@ import (
 //   - Leadership is a durable term (wal.KindTerm) in the log itself; the
 //     election is driven by the fetch-ack machinery: when a follower's
 //     takeover budget declares the leader lost, it polls its peers'
-//     repl_state and the member holding the highest durable LSN claims
-//     the next term (member-ID tiebreak, lowest wins). Peers accept a
-//     claim only from a candidate whose log is at least as long as their
-//     own — the decision barrier made the winner's log contain every
-//     decision a surviving member has seen, so "highest durable LSN wins"
-//     cannot orphan a committed decision.
+//     repl_state and the best-positioned member — newest epoch first,
+//     then highest durable LSN, member-ID tiebreak (lowest wins) —
+//     claims the next term. The claim only confers leadership once a
+//     majority of the configured electorate (this member plus cfg.Peers)
+//     positively accepts it; unreachable peers cast no vote, so a
+//     partitioned minority can never self-promote into a second
+//     concurrent leader. Peers accept a claim only from a candidate
+//     whose log subsumes their own — the decision gate held every
+//     released decision until a quorum durably had it, and any two
+//     quorums intersect, so the election cannot orphan a released
+//     decision.
 //   - A deposed leader is fenced, not corrupted: the claim (or any fetch
 //     from a follower that out-terms it) fences its local append path, so
 //     a decision racing phase two fails FENCED and unwinds to rollback.
@@ -68,7 +73,11 @@ type GroupConfig struct {
 	// MemberID names this member; it keys ack watermarks, breaks election
 	// ties (lowest wins) and names terms. Must be unique in the group.
 	MemberID string
-	// Peers are the replication endpoints of the other members.
+	// Peers are the replication endpoints of the other members. Together
+	// with this member they define the electorate: winning an election
+	// requires a majority of len(Peers)+1 positive claim acceptances
+	// (counting this member's own vote), and the group decision gate
+	// holds each commit until the same majority durably holds it.
 	Peers []string
 	// LeaderHint is where to start streaming from (typically the initial
 	// primary). Empty means discover by polling peers.
@@ -186,16 +195,21 @@ func (g *GroupMember) signalLocked() {
 }
 
 // handleClaim is the servant's claim hook: accept iff the term is new and
-// the claimant's log subsumes ours, then repoint to the claimant. A
-// rejected claim answers FENCED so the stale candidate backs off.
+// the claimant's log subsumes ours — a newer epoch, or the same epoch and
+// at least as long a log. A claimant still on an older epoch missed a
+// checkpoint this log has folded in, so cross-epoch LSNs are not compared:
+// the stale-epoch claim is rejected outright. Acceptance repoints this
+// member to the claimant; a rejected claim answers FENCED so the stale
+// candidate backs off.
 func (g *GroupMember) handleClaim(term uint64, leaderID string, claimEpoch, claimLast uint64, endpoints []string) error {
 	if known := g.log.KnownTerm(); term <= known {
 		id, _ := g.Leader()
 		return orb.Systemf(orb.CodeFenced, "term=%d leader=%s claim for stale term %d", known, id, term)
 	}
 	epoch, _ := g.log.State()
-	if last := g.log.LastLSN(); claimEpoch == epoch && claimLast < last {
-		return orb.Systemf(orb.CodeFenced, "term=%d higher durable lsn %d > claimant %d", g.log.KnownTerm(), last, claimLast)
+	if last := g.log.LastLSN(); claimEpoch < epoch || (claimEpoch == epoch && claimLast < last) {
+		return orb.Systemf(orb.CodeFenced, "term=%d durable epoch %d lsn %d not subsumed by claimant epoch %d lsn %d",
+			g.log.KnownTerm(), epoch, last, claimEpoch, claimLast)
 	}
 	g.log.Fence(term)
 	g.mu.Lock()
@@ -349,8 +363,11 @@ type peerState struct {
 // elect runs election rounds until this member wins, discovers a live
 // leader, or ctx ends. One round: poll every peer's repl_state; follow
 // any live leader with a term we do not beat; defer to any reachable
-// candidate with a longer log (or an equal log and a smaller member ID);
-// otherwise claim max(term)+1 from every reachable peer and take over.
+// candidate whose durable position beats ours — newer epoch first, then
+// longer log within the same epoch, then smaller member ID — and
+// otherwise claim max(term)+1. The claim confers leadership only once a
+// majority of the electorate accepts it (claimFrom); a failed claim
+// backs off and re-polls.
 func (g *GroupMember) elect(ctx context.Context) error {
 	g.mu.Lock()
 	g.leaderID = ""
@@ -364,6 +381,7 @@ func (g *GroupMember) elect(ctx context.Context) error {
 		if id, eps := g.Leader(); id != "" && len(eps) > 0 {
 			return nil
 		}
+		myEpoch, _ := g.log.State()
 		myLast := g.log.LastLSN()
 		myKnown := g.log.KnownTerm()
 		peers := g.pollPeers(ctx)
@@ -382,8 +400,13 @@ func (g *GroupMember) elect(ctx context.Context) error {
 				g.mu.Unlock()
 				return nil
 			}
+			// Durability order is (epoch, LSN) lexicographic: a member on a
+			// newer epoch has resynchronised past a checkpoint this one has
+			// not seen, so its history subsumes ours regardless of raw LSNs;
+			// LSNs order members only within one epoch.
 			last := p.st.NextLSN - 1
-			if last > myLast || (last == myLast && p.st.MemberID < g.cfg.MemberID) {
+			if p.st.Epoch > myEpoch ||
+				(p.st.Epoch == myEpoch && (last > myLast || (last == myLast && p.st.MemberID < g.cfg.MemberID))) {
 				defer_ = true
 			}
 		}
@@ -428,12 +451,19 @@ func (g *GroupMember) pollPeers(ctx context.Context) []peerState {
 	return peers
 }
 
-// claimFrom sends repl_claim to every reachable peer; any FENCED
-// rejection abandons the claim (someone knows a higher term or a longer
-// log).
+// claimFrom sends repl_claim to every reachable peer and counts positive
+// acceptances. The claim succeeds only when a majority of the configured
+// electorate accepts it: this member's own vote plus enough peer accepts
+// to reach quorum. A FENCED rejection abandons the claim immediately
+// (someone knows a higher term, a newer epoch, or a longer log). An
+// unreachable or timed-out peer casts NO vote — counting silence as
+// assent would let a partitioned minority member promote itself and
+// split the group into two concurrent leaders appending different
+// records at overlapping LSNs.
 func (g *GroupMember) claimFrom(ctx context.Context, peers []peerState, term, myLast uint64) bool {
 	epoch, _ := g.log.State()
 	self := g.o.Endpoints()
+	accepts := 1 // this member's own durable vote
 	for _, p := range peers {
 		probeCtx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
 		e := cdr.NewEncoder(64)
@@ -447,10 +477,36 @@ func (g *GroupMember) claimFrom(ctx context.Context, peers []peerState, term, my
 		if orb.IsSystem(err, orb.CodeFenced) {
 			return false
 		}
-		// Peers that died between the poll and the claim do not block the
-		// election — they rejoin through the fence later.
+		if err == nil {
+			accepts++
+		}
+		// Peers that died between the poll and the claim simply do not
+		// vote — they rejoin through the fence later.
 	}
-	return true
+	return accepts >= g.quorum()
+}
+
+// quorum is the number of positive votes — including the candidate's own
+// — a leadership claim needs: a majority of the configured electorate
+// (this member plus cfg.Peers). Any two majorities intersect, so a
+// partition can elect at most one leader, and the decision gate's ack
+// quorum (quorum()-1 followers plus the leader itself) guarantees every
+// election majority contains at least one member whose log holds every
+// released decision — whose longer log then fences out any claimant
+// missing one.
+func (g *GroupMember) quorum() int {
+	return (len(g.cfg.Peers)+1)/2 + 1
+}
+
+// DecisionGate returns the group-aware commit gate for this member's
+// leadership (ots.WithDecisionGate): phase two of a commit is released
+// only once a majority of the electorate durably holds the decision —
+// the leader's own append plus quorum()-1 follower acks — and a fence
+// raised at any point vetoes with FENCED. The gate blocks rather than
+// degrades when acks are missing; interval is how often the blocked
+// gate re-checks the fence, not a degrade deadline.
+func (g *GroupMember) DecisionGate(interval time.Duration) func(lsn uint64) error {
+	return g.primary.DecisionGateN(g.quorum()-1, interval)
 }
 
 // Scrape reports the member's group state for the orb-admin surface.

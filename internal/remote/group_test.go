@@ -405,6 +405,72 @@ func TestFencedDeposedLeaderAppendRejected(t *testing.T) {
 	}
 }
 
+// TestElectionRequiresQuorum isolates a member from its whole electorate:
+// with two configured peers the quorum is two and its own vote is one, so
+// however long it retries it must never claim a term — a partitioned
+// minority promoting itself is exactly the two-concurrent-leaders split
+// the majority-accept rule exists to prevent.
+func TestElectionRequiresQuorum(t *testing.T) {
+	dead1, dead2 := deadEndpoint(t), deadEndpoint(t)
+	log := seedLog(t, 2)
+	o, _ := listenORB(t)
+	m := &testMember{o: o, log: log}
+	m.g = NewGroupMember(o, log, GroupConfig{
+		MemberID: "minority", Peers: []string{dead1, dead2}, LeaderHint: []string{dead1},
+		Poll:          50 * time.Millisecond,
+		Policy:        groupTestPolicy,
+		ElectionRetry: 20 * time.Millisecond,
+		ProbeTimeout:  100 * time.Millisecond,
+	})
+	m.start(t)
+
+	// Give it many election rounds' worth of time to (wrongly) promote.
+	time.Sleep(600 * time.Millisecond)
+	if got := m.g.Role(); got != RoleFollower {
+		t.Fatalf("partitioned minority member role = %v, want follower (no quorum)", got)
+	}
+	if got := log.KnownTerm(); got != 0 {
+		t.Fatalf("partitioned minority member adopted term %d with no quorum", got)
+	}
+}
+
+// TestElectionClaimEpochOrdering pins the claim acceptance order to
+// (epoch, LSN) lexicographic: a claimant whose epoch is behind the
+// voter's does not subsume the voter's history no matter how high its
+// raw LSN (its log stopped on an older line), while a claimant on a
+// newer epoch is accepted even with a smaller LSN.
+func TestElectionClaimEpochOrdering(t *testing.T) {
+	// The voter has checkpointed: epoch 1, two records surviving.
+	log := seedLog(t, 3)
+	if err := log.Checkpoint(func(r wal.Record) bool { return r.LSN >= 2 }); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := listenORB(t)
+	g := NewGroupMember(o, log, GroupConfig{MemberID: "voter"})
+
+	// Stale epoch, higher LSN: rejected, and the voter stays unfenced.
+	err := g.handleClaim(1, "stale", 0, 99, []string{"tcp:127.0.0.1:1"})
+	if !orb.IsSystem(err, orb.CodeFenced) {
+		t.Fatalf("stale-epoch claim = %v, want FENCED", err)
+	}
+	if log.Fenced() {
+		t.Fatal("rejected claim fenced the voter")
+	}
+	// Same epoch, shorter log: rejected.
+	err = g.handleClaim(1, "short", 1, log.LastLSN()-1, []string{"tcp:127.0.0.1:1"})
+	if !orb.IsSystem(err, orb.CodeFenced) {
+		t.Fatalf("shorter same-epoch claim = %v, want FENCED", err)
+	}
+	// Newer epoch, lower LSN: the claimant resynchronised past a
+	// checkpoint the voter has not seen; accepted and repointed.
+	if err := g.handleClaim(1, "newer", 2, 1, []string{"tcp:127.0.0.1:1"}); err != nil {
+		t.Fatalf("newer-epoch claim = %v, want accepted", err)
+	}
+	if id, _ := g.Leader(); id != "newer" {
+		t.Fatalf("voter follows %q after accepted claim, want newer", id)
+	}
+}
+
 // TestGroupTakeoverReplicatesThroughNewLeader proves the group keeps
 // working after an election: the new leader's appends reach the
 // surviving follower through the same stream, and a quorum barrier

@@ -162,21 +162,45 @@ func (p *ReplicationPrimary) DecisionBarrier(timeout time.Duration) func(lsn uin
 	return func(lsn uint64) { p.WaitForAck(lsn, timeout) }
 }
 
-// DecisionGate adapts the barrier to ots.WithDecisionGate, adding the
-// fence check the barrier cannot express: if this member was deposed
-// between appending the decision and releasing phase two, the gate vetoes
-// the commit — the new leader's history does not contain the decision, so
-// delivering it would split the outcome. As with DecisionBarrier, a slow
-// standby only degrades to asynchronous shipping; only a raised fence
-// vetoes.
-func (p *ReplicationPrimary) DecisionGate(timeout time.Duration) func(lsn uint64) error {
-	return func(lsn uint64) error {
-		if err := p.fenceCheck(); err != nil {
-			return err
-		}
-		p.WaitForAck(lsn, timeout)
-		return p.fenceCheck()
+// DecisionGateN adapts the quorum ack barrier to ots.WithDecisionGate,
+// adding the fence check the barrier cannot express. The gate releases a
+// freshly-logged commit decision only once n distinct followers have
+// durably acknowledged its LSN — so every member a later election could
+// pick already holds the decision — and a fence raised at any point
+// vetoes the commit with FENCED: a deposed leader's decision is an
+// orphan the rejoin truncation cuts, so it must never reach phase two.
+//
+// Unlike DecisionBarrier, a missing ack does NOT degrade to asynchronous
+// shipping: the gate blocks, re-checking the fence every interval, until
+// the acks arrive or this member is deposed. Degrading would let a
+// leader deliver phase two, die, and leave the election to pick a
+// standby that never saw the decision; vetoing on a slow standby would
+// be unsafe the other way, because the decision record is already
+// durable locally and would replay as commit after a crash while the
+// client heard rollback. Blocking is the only outcome consistent on
+// both sides of a crash. n < 1 skips the ack wait (a single-member
+// group has nobody to wait for) but keeps both fence checks.
+func (p *ReplicationPrimary) DecisionGateN(n int, interval time.Duration) func(lsn uint64) error {
+	if interval <= 0 {
+		interval = time.Second
 	}
+	return func(lsn uint64) error {
+		for {
+			if err := p.fenceCheck(); err != nil {
+				return err
+			}
+			if n < 1 || p.WaitForAckN(lsn, n, interval) {
+				return p.fenceCheck()
+			}
+		}
+	}
+}
+
+// DecisionGate is DecisionGateN over a single follower: the two-member
+// (primary plus one standby) deployment's gate. Coordinator groups use
+// GroupMember.DecisionGate, which sizes n to the electorate's quorum.
+func (p *ReplicationPrimary) DecisionGate(interval time.Duration) func(lsn uint64) error {
+	return p.DecisionGateN(1, interval)
 }
 
 // fenceCheck surfaces a raised fence as the FENCED system exception.
@@ -390,9 +414,12 @@ func (s *replicationServant) fenceFetch(after, followerTerm uint64) ([]byte, boo
 
 // handleClaim decides a repl_claim. The group's claim hook owns the
 // decision when present; without a group the legacy rules apply: a claim
-// for a term at or below the known one is fenced off, as is a claimant
-// whose log (same epoch) is behind this member's — the election invariant
-// is that the highest durable LSN wins.
+// for a term at or below the known one is fenced off, as is any claimant
+// whose log does not subsume this member's — a stale epoch (the claimant
+// missed a checkpoint this log has folded in), or a shorter log within
+// the same epoch. LSNs survive compaction, but an epoch behind the
+// voter's means the claimant's history stopped on an older line, so the
+// comparison is epoch first, LSN within the epoch.
 func (s *replicationServant) handleClaim(term uint64, leaderID string, claimEpoch, claimLast uint64, endpoints []string) error {
 	if s.hooks.claim != nil {
 		return s.hooks.claim(term, leaderID, claimEpoch, claimLast, endpoints)
@@ -402,8 +429,9 @@ func (s *replicationServant) handleClaim(term uint64, leaderID string, claimEpoc
 		return orb.Systemf(orb.CodeFenced, "term=%d leader=%s claim for stale term %d", known, ts.Leader, term)
 	}
 	epoch, _ := s.log.State()
-	if last := s.log.LastLSN(); claimEpoch == epoch && claimLast < last {
-		return orb.Systemf(orb.CodeFenced, "term=%d higher durable lsn %d > claimant %d", s.log.KnownTerm(), last, claimLast)
+	if last := s.log.LastLSN(); claimEpoch < epoch || (claimEpoch == epoch && claimLast < last) {
+		return orb.Systemf(orb.CodeFenced, "term=%d durable epoch %d lsn %d not subsumed by claimant epoch %d lsn %d",
+			s.log.KnownTerm(), epoch, last, claimEpoch, claimLast)
 	}
 	s.log.Fence(term)
 	return nil

@@ -38,6 +38,78 @@ func waitLSN(t *testing.T, l *wal.Log, want uint64) {
 	}
 }
 
+// TestDecisionGateQuorumBlocksUntilAcks pins the gate's core safety
+// property: a decision is NOT released until the requested number of
+// distinct followers durably acked it — the gate blocks rather than
+// degrading to asynchronous shipping on a slow standby.
+func TestDecisionGateQuorumBlocksUntilAcks(t *testing.T) {
+	log := wal.NewMemory()
+	o := orb.New()
+	t.Cleanup(o.Shutdown)
+	p, _ := ServeReplication(o, log)
+	lsn, err := log.Append(wal.Kind(7), []byte("decision"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := p.DecisionGateN(2, 20*time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- gate(lsn) }()
+
+	select {
+	case err := <-done:
+		t.Fatalf("gate released with zero acks: %v", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+	p.noteAck("f1", lsn)
+	select {
+	case err := <-done:
+		t.Fatalf("gate released with one of two required acks: %v", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+	p.noteAck("f2", lsn)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("gate with quorum acks = %v, want release", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gate never released after the quorum acked")
+	}
+}
+
+// TestDecisionGateFenceVetoesWhileBlocked deposes the leader while its
+// gate is parked waiting for acks that will never come: the gate must
+// observe the fence on its next re-check and veto with FENCED instead of
+// blocking forever (the vetoed decision is the orphan the rejoin
+// truncation cuts).
+func TestDecisionGateFenceVetoesWhileBlocked(t *testing.T) {
+	log := wal.NewMemory()
+	if _, err := log.AdoptTerm(1, "leader"); err != nil {
+		t.Fatal(err)
+	}
+	o := orb.New()
+	t.Cleanup(o.Shutdown)
+	p, _ := ServeReplication(o, log)
+	lsn, err := log.Append(wal.Kind(7), []byte("decision"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := p.DecisionGateN(1, 20*time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- gate(lsn) }()
+
+	time.Sleep(60 * time.Millisecond) // let the gate park on the missing ack
+	log.Fence(2)
+	select {
+	case err := <-done:
+		if !orb.IsSystem(err, orb.CodeFenced) {
+			t.Fatalf("deposed gate = %v, want the FENCED system exception", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked gate never observed the fence")
+	}
+}
+
 func TestReplicationStreamsAndResyncs(t *testing.T) {
 	primaryLog := wal.NewMemory()
 	_, p, endpoints := startPrimary(t, primaryLog)

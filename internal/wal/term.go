@@ -142,7 +142,11 @@ func (l *Log) AdoptTerm(term uint64, leaderID string) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
-	if term <= l.term || term < l.fencedTerm {
+	// <= on both bounds: a member fenced at term T must not itself claim T —
+	// the fence is evidence that some other member owns that epoch, and two
+	// leaders sharing one fencing epoch is exactly what terms exist to
+	// prevent.
+	if term <= l.term || term <= l.fencedTerm {
 		return 0, fmt.Errorf("%w: claiming term %d, term %d known", ErrFenced, term, max(l.term, l.fencedTerm))
 	}
 	lsn := l.nextLSN
@@ -153,10 +157,19 @@ func (l *Log) AdoptTerm(term uint64, leaderID string) (uint64, error) {
 	l.term = term
 	l.termStart = lsn
 	l.termLeader = leaderID
+	l.termMarks = append(l.termMarks, termMark{term: term, lsn: lsn})
 	l.fenced = false
 	l.fencedTerm = 0
 	l.notifyLocked()
 	return lsn, nil
+}
+
+// termMark is one durable KindTerm record's position. The log caches every
+// term record's (term, LSN) in memory — rebuilt whenever the record set is
+// rescanned and folded in on every append/adopt — so TermStartAfter can
+// answer without rescanning the backend.
+type termMark struct {
+	term, lsn uint64
 }
 
 // TermStartAfter returns the LSN of the earliest durable term record
@@ -165,22 +178,18 @@ func (l *Log) AdoptTerm(term uint64, leaderID string) (uint64, error) {
 // record below that LSN is a prefix shared with the current leader (each
 // leader streamed its predecessor's log before claiming), and everything
 // at or beyond it on the deposed leader's log was never replicated.
+// Answered from the in-memory term-record cache — fenceFetch calls this
+// on every fetch from a stale-term follower, so it must not cost a log
+// scan per polling round.
 func (l *Log) TermStartAfter(term uint64) (uint64, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, false
 	}
-	recs, _, _, err := l.scan()
-	if err != nil {
-		return 0, false
-	}
-	for _, r := range recs {
-		if r.Kind != KindTerm {
-			continue
-		}
-		if t, _, err := DecodeTermRecord(r.Data); err == nil && t > term {
-			return r.LSN, true
+	for _, m := range l.termMarks {
+		if m.term > term {
+			return m.lsn, true
 		}
 	}
 	return 0, false
@@ -240,14 +249,15 @@ func (l *Log) adoptScannedLocked(recs []Record) {
 		l.nextLSN = recs[len(recs)-1].LSN + 1
 	}
 	l.term, l.termStart, l.termLeader = 0, 0, ""
-	for i := len(recs) - 1; i >= 0; i-- {
-		if recs[i].Kind != KindTerm {
+	l.termMarks = l.termMarks[:0]
+	for _, r := range recs {
+		if r.Kind != KindTerm {
 			continue
 		}
-		if term, leader, err := DecodeTermRecord(recs[i].Data); err == nil {
-			l.term, l.termStart, l.termLeader = term, recs[i].LSN, leader
+		if term, leader, err := DecodeTermRecord(r.Data); err == nil {
+			l.termMarks = append(l.termMarks, termMark{term: term, lsn: r.LSN})
+			l.term, l.termStart, l.termLeader = term, r.LSN, leader
 		}
-		break
 	}
 }
 
@@ -261,6 +271,7 @@ func (l *Log) noteTermRecordLocked(r Record) {
 	if err != nil || term < l.term {
 		return
 	}
+	l.termMarks = append(l.termMarks, termMark{term: term, lsn: r.LSN})
 	l.term = term
 	l.termStart = r.LSN
 	l.termLeader = leader

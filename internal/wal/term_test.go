@@ -45,9 +45,15 @@ func TestAdoptTermAndFence(t *testing.T) {
 	if l.KnownTerm() != 3 {
 		t.Fatalf("KnownTerm = %d, want 3 (fence term)", l.KnownTerm())
 	}
-	// Claiming a term at or below the fence term is rejected too.
+	// Claiming a term at or below the fence term is rejected too — in
+	// particular the fence term itself: the fence is evidence that term 3
+	// is already owned, and adopting it here would put two leaders in one
+	// fencing epoch.
 	if _, err := l.AdoptTerm(2, "m1"); !errors.Is(err, ErrFenced) {
 		t.Fatalf("adopt term 2 under fence 3 = %v, want ErrFenced", err)
+	}
+	if _, err := l.AdoptTerm(3, "m1"); !errors.Is(err, ErrFenced) {
+		t.Fatalf("adopt the fence term itself = %v, want ErrFenced", err)
 	}
 	// Winning a later election clears the fence.
 	if _, err := l.AdoptTerm(4, "m1"); err != nil {
@@ -186,6 +192,68 @@ func TestCheckpointRetainsLatestTermRecord(t *testing.T) {
 	}
 	if ts := reopened.TermState(); ts.Term != 2 || ts.Start != 3 || ts.Leader != "m2" {
 		t.Fatalf("reopened term state = %+v", ts)
+	}
+}
+
+// TestTermStartAfterTracksEveryMutation pins the rejoin truncation bound
+// across every path that changes the term-record set: local adoption,
+// streamed term records, compaction and reopen. TermStartAfter answers
+// from an in-memory cache (fenceFetch calls it per fetch round), so each
+// mutation must keep the cache faithful to the durable records.
+func TestTermStartAfterTracksEveryMutation(t *testing.T) {
+	l := NewMemory()
+	if _, ok := l.TermStartAfter(0); ok {
+		t.Fatal("empty log reported a term start")
+	}
+	if _, err := l.AdoptTerm(1, "m1"); err != nil { // LSN 1
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Kind(7), []byte("a")); err != nil { // LSN 2
+		t.Fatal(err)
+	}
+	if _, err := l.AdoptTerm(2, "m2"); err != nil { // LSN 3
+		t.Fatal(err)
+	}
+	// A streamed term record (the follower apply path) extends the cache.
+	if err := l.AppendRecord(Record{LSN: 4, Kind: KindTerm, Data: EncodeTermRecord(3, "m3")}); err != nil {
+		t.Fatal(err)
+	}
+	for term, want := range map[uint64]uint64{0: 1, 1: 3, 2: 4} {
+		if got, ok := l.TermStartAfter(term); !ok || got != want {
+			t.Fatalf("TermStartAfter(%d) = %d,%v, want %d,true", term, got, ok, want)
+		}
+	}
+	if _, ok := l.TermStartAfter(3); ok {
+		t.Fatal("TermStartAfter beyond the newest term reported a start")
+	}
+
+	// Compaction drops the older term records; the bound for old terms
+	// moves up to the earliest surviving one.
+	if err := l.Checkpoint(func(Record) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := l.TermStartAfter(0); !ok || got != 4 {
+		t.Fatalf("TermStartAfter(0) after checkpoint = %d,%v, want 4,true", got, ok)
+	}
+
+	// A restart over the compacted log rebuilds the cache from the scan.
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenMemory(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := reopened.TermStartAfter(2); !ok || got != 4 {
+		t.Fatalf("reopened TermStartAfter(2) = %d,%v, want 4,true", got, ok)
+	}
+	// Truncation cuts the term-3 record; the bound disappears with it.
+	if err := reopened.TruncateAfter(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reopened.TermStartAfter(2); ok {
+		t.Fatal("truncated term record still reported by TermStartAfter")
 	}
 }
 

@@ -102,12 +102,15 @@ type Log struct {
 	closed  bool
 
 	// Coordinator-group term state (see term.go). term/termStart/termLeader
-	// mirror the latest durable KindTerm record; fenced/fencedTerm are the
-	// in-memory fence raised when a higher term is learned of before its
-	// record arrives through the stream.
+	// mirror the latest durable KindTerm record; termMarks caches every
+	// durable term record's position so TermStartAfter answers without
+	// rescanning the backend; fenced/fencedTerm are the in-memory fence
+	// raised when a higher term is learned of before its record arrives
+	// through the stream.
 	term       uint64
 	termStart  uint64
 	termLeader string
+	termMarks  []termMark
 	fenced     bool
 	fencedTerm uint64
 
@@ -325,10 +328,18 @@ func (l *Log) Checkpoint(keep func(Record) bool) error {
 			lastTerm = i
 		}
 	}
-	var out []byte
+	var (
+		out   []byte
+		marks []termMark
+	)
 	for i, r := range recs {
 		if i == lastTerm || keep(r) {
 			out = append(out, encodeRecord(r)...)
+			if r.Kind == KindTerm {
+				if term, _, err := DecodeTermRecord(r.Data); err == nil {
+					marks = append(marks, termMark{term: term, lsn: r.LSN})
+				}
+			}
 		}
 	}
 	if l.failArmed && l.failAfter <= 0 {
@@ -341,6 +352,7 @@ func (l *Log) Checkpoint(keep func(Record) bool) error {
 	}
 	l.size = len(out)
 	l.dirty = false
+	l.termMarks = marks
 	l.epoch++
 	l.notifyLocked()
 	return nil

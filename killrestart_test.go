@@ -270,7 +270,7 @@ func TestCrashRestartHelper(t *testing.T) {
 		fmt.Printf("REPL %s\n", strings.Join(node.Endpoints(), " "))
 		svc := ots.NewService(ots.WithLog(log),
 			ots.WithRetryPolicy(1, 0),
-			ots.WithDecisionGate(g.Primary().DecisionGate(10*time.Second)),
+			ots.WithDecisionGate(g.DecisionGate(10*time.Second)),
 			ots.WithDecisionBarrier(func(lsn uint64) { g.Primary().WaitForAckN(lsn, standbys, 10*time.Second) }),
 			ots.WithEventHook(func(e ots.Event) {
 				if e.Stage == stage {
@@ -340,7 +340,7 @@ func TestCrashRestartHelper(t *testing.T) {
 
 		osvc := ots.NewService(ots.WithLog(log),
 			ots.WithRetryPolicy(1, 0),
-			ots.WithDecisionGate(g.Primary().DecisionGate(10*time.Second)),
+			ots.WithDecisionGate(g.DecisionGate(10*time.Second)),
 			ots.WithDecisionBarrier(func(lsn uint64) { g.Primary().WaitForAckN(lsn, standbys, 10*time.Second) }),
 			ots.WithEventHook(func(e ots.Event) {
 				if e.Stage == ots.StageCommitDelivered {
@@ -1115,7 +1115,7 @@ func (s *groupStandby) start(t *testing.T, leaderHint, peers []string) {
 	takeover := func(ctx context.Context) error {
 		s.takeovers.Add(1)
 		res, err := orb.HostRecovery(s.orb, s.log, ots.WithRetryPolicy(3, 10*time.Millisecond),
-			ots.WithDecisionGate(s.g.Primary().DecisionGate(time.Second)))
+			ots.WithDecisionGate(s.g.DecisionGate(time.Second)))
 		if err != nil {
 			return err
 		}
